@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its scenario exactly once inside the ``benchmark``
+fixture (``pedantic``, one round — each scenario is a full simulation, and
+determinism makes repeats redundant) and then asserts the *shape* of the
+paper's corresponding figure: who wins, by roughly what factor, where
+saturation appears.  Absolute numbers are recorded in ``extra_info`` and in
+``EXPERIMENTS.md`` (via ``scripts/run_experiments.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_scenario(benchmark):
+    """Run ``fn(*args, **kwargs)`` once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner
+
+
+def record(benchmark, **info):
+    """Attach figure-level numbers to the benchmark JSON."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,39 @@
+"""Figure 10 — latency CDF with the mixed workload in the WAN.
+
+Paper claims (§V-I): ByzCast local latency is 2x-4x smaller than
+Baseline's; global latencies are similar between the protocols; and the
+local-latency CDF is stable even in the presence of global messages (no
+convoy effect).
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.metrics.stats import percentile
+from repro.runtime.scenarios import fig9_fig10_mixed_wan
+
+
+def test_fig10_mixed_wan_latency_cdf(run_scenario, benchmark):
+    results = run_scenario(fig9_fig10_mixed_wan)
+    byz = results["byzcast"]
+    base = results["baseline"]
+    byz_local_p50 = percentile(byz.local_samples, 50)
+    byz_local_p95 = percentile(byz.local_samples, 95)
+    byz_global_p50 = percentile(byz.global_samples, 50)
+    base_local_p50 = percentile(base.local_samples, 50)
+    base_global_p50 = percentile(base.global_samples, 50)
+    record(benchmark,
+           byz_local_p50_ms=round(byz_local_p50 * 1000, 1),
+           byz_global_p50_ms=round(byz_global_p50 * 1000, 1),
+           base_local_p50_ms=round(base_local_p50 * 1000, 1),
+           base_global_p50_ms=round(base_global_p50 * 1000, 1))
+
+    # ByzCast local 2x-4x faster than Baseline local.
+    ratio = base_local_p50 / byz_local_p50
+    assert 1.6 < ratio < 4.5, f"local speedup {ratio:.2f}"
+    # Global latencies similar between protocols.
+    assert 0.6 < byz_global_p50 / base_global_p50 < 1.67
+    # ByzCast local clearly below its global latency even at p95 — the
+    # distribution is not dragged up by global messages (no convoy effect).
+    assert byz_local_p95 < byz_global_p50 * 1.2
+    assert byz_local_p50 < 0.7 * byz_global_p50

@@ -1,0 +1,46 @@
+"""Figure 3 — ByzCast global throughput and latency, 2- vs 3-level trees.
+
+Paper claims (§V-C): under the uniform workload the 2-level tree gives the
+lower average latency (the root can carry the load and heights are
+smaller); under the skewed workload the 2-level root saturates and the
+3-level tree — which splits the two hot pairs across branches — sustains
+more load at lower latency.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.metrics.cdf import cdf_points
+from repro.runtime.scenarios import fig3_tree_layouts
+
+
+def test_fig3_tree_layout_vs_workload(run_scenario, benchmark):
+    results = run_scenario(fig3_tree_layouts)
+
+    uniform2 = results["uniform/2-level"]
+    uniform3 = results["uniform/3-level"]
+    skewed2 = results["skewed/2-level"]
+    skewed3 = results["skewed/3-level"]
+    record(
+        benchmark,
+        uniform_2level_ms=round(uniform2.latency.mean * 1000, 2),
+        uniform_3level_ms=round(uniform3.latency.mean * 1000, 2),
+        skewed_2level_ms=round(skewed2.latency.mean * 1000, 2),
+        skewed_3level_ms=round(skewed3.latency.mean * 1000, 2),
+        skewed_2level_tput=round(skewed2.throughput),
+        skewed_3level_tput=round(skewed3.throughput),
+    )
+
+    # Uniform workload: 2-level is the best choice (lower mean latency,
+    # at least as much throughput).
+    assert uniform2.latency.mean < uniform3.latency.mean
+    assert uniform2.throughput >= uniform3.throughput * 0.95
+
+    # Skewed workload: the 3-level tree wins on both axes because the
+    # 2-level root is past its capacity.
+    assert skewed3.throughput > skewed2.throughput
+    assert skewed3.latency.mean < skewed2.latency.mean
+
+    # CDFs exist for plotting (the paper's lower panels).
+    for result in results.values():
+        assert len(cdf_points(result.samples)) > 10

@@ -1,0 +1,61 @@
+"""Figure 5 — throughput vs latency in the LAN.
+
+Paper claims (§V-E):
+
+* (a) local messages: ByzCast is at least twice as fast as Baseline (half
+  the latency at comparable load) even with few groups;
+* (b) global messages: BFT-SMaRt always has the best performance — an
+  atomic broadcast beats an atomic multicast when most messages are
+  global — with ByzCast and Baseline performing alike and saturating at
+  less than half of BFT-SMaRt's throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.runtime.scenarios import fig5_throughput_latency
+
+CLIENTS = (8, 32, 128)
+
+
+def test_fig5a_local_curves(run_scenario, benchmark):
+    curves = run_scenario(
+        fig5_throughput_latency, client_counts=CLIENTS, message_kind="local"
+    )
+    byz = curves["byzcast"]
+    base = curves["baseline"]
+    record(benchmark, **{
+        f"byzcast_{c}_ms": round(r.latency.mean * 1000, 2)
+        for c, r in zip(CLIENTS, byz)
+    }, **{
+        f"baseline_{c}_ms": round(r.latency.mean * 1000, 2)
+        for c, r in zip(CLIENTS, base)
+    })
+    # Latency grows with offered load along each curve.
+    assert byz[-1].latency.mean >= byz[0].latency.mean * 0.9
+    # ByzCast has about half Baseline's latency at every load level.
+    for byz_point, base_point in zip(byz, base):
+        assert byz_point.latency.mean < 0.75 * base_point.latency.mean
+    # And at the highest load, clearly more throughput.
+    assert byz[-1].throughput > 1.5 * base[-1].throughput
+
+
+def test_fig5b_global_curves(run_scenario, benchmark):
+    curves = run_scenario(
+        fig5_throughput_latency, client_counts=CLIENTS, message_kind="global"
+    )
+    byz = curves["byzcast"]
+    base = curves["baseline"]
+    smart = curves["bft-smart"]
+    record(benchmark,
+           byzcast_max_tput=round(byz[-1].throughput),
+           baseline_max_tput=round(base[-1].throughput),
+           bftsmart_max_tput=round(smart[-1].throughput))
+    # BFT-SMaRt dominates for global messages at every load level.
+    for byz_point, smart_point in zip(byz, smart):
+        assert smart_point.latency.mean < byz_point.latency.mean
+    # ByzCast and Baseline saturate below ~60% of BFT-SMaRt.
+    assert byz[-1].throughput < 0.7 * smart[-1].throughput
+    assert base[-1].throughput < 0.7 * smart[-1].throughput
+    # ByzCast ≈ Baseline for global-only workloads.
+    assert 0.6 < byz[-1].throughput / base[-1].throughput < 1.67

@@ -1,0 +1,48 @@
+"""Figure 6 — latency CDF with 10% global messages in the LAN.
+
+Paper claims (§V-G): with the 10:1 mixed workload, Baseline's local and
+global latencies are similar (everything is ordered by the sequencer),
+while ByzCast's local messages are considerably faster than its global
+ones up to high percentiles.  ByzCast local messages do not suffer the
+convoy effect: their latency distribution is close to the 100%-local run.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.metrics.stats import percentile
+from repro.runtime.scenarios import fig6_mixed_lan
+
+
+def test_fig6_mixed_workload_cdfs(run_scenario, benchmark):
+    results = run_scenario(fig6_mixed_lan)
+    byz = results["byzcast"]
+    base = results["baseline"]
+    pure = results["byzcast/pure-local"]
+
+    byz_local_p50 = percentile(byz.local_samples, 50)
+    byz_global_p50 = percentile(byz.global_samples, 50)
+    base_local_p50 = percentile(base.local_samples, 50)
+    base_global_p50 = percentile(base.global_samples, 50)
+    pure_local_p50 = percentile(pure.local_samples, 50)
+    byz_local_p95 = percentile(byz.local_samples, 95)
+    byz_global_p95 = percentile(byz.global_samples, 95)
+    record(benchmark,
+           byz_local_p50_ms=round(byz_local_p50 * 1000, 2),
+           byz_global_p50_ms=round(byz_global_p50 * 1000, 2),
+           base_local_p50_ms=round(base_local_p50 * 1000, 2),
+           base_global_p50_ms=round(base_global_p50 * 1000, 2),
+           pure_local_p50_ms=round(pure_local_p50 * 1000, 2))
+
+    # Baseline: local ≈ global (everything pays the same double ordering).
+    assert base_local_p50 > 0.75 * base_global_p50
+    # ByzCast: local messages considerably faster than global ones, through
+    # high percentiles.
+    assert byz_local_p50 < 0.65 * byz_global_p50
+    assert byz_local_p95 < 0.80 * byz_global_p95
+    # ByzCast local beats Baseline local by ~2x.
+    assert byz_local_p50 < 0.6 * base_local_p50
+    # No convoy effect: mixed-run local latency close to the pure-local run.
+    assert byz_local_p50 < 1.35 * pure_local_p50
+    # Global latency similar between protocols.
+    assert 0.6 < byz_global_p50 / base_global_p50 < 1.67

@@ -1,0 +1,44 @@
+"""Figure 7 — single-client latency in the LAN (no contention).
+
+Paper claims (§V-F): for local messages ByzCast performs as well as
+BFT-SMaRt no matter the number of groups (~4 ms in the paper's testbed);
+global messages have about twice the latency of local ones, increasing
+slightly with the number of destination groups.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.runtime.scenarios import fig7_latency_lan
+
+GROUPS = (2, 4, 8)
+
+
+def test_fig7_single_client_latency(run_scenario, benchmark):
+    results = run_scenario(fig7_latency_lan, group_counts=GROUPS)
+    smart = results["bftsmart"].latency.median
+    record(benchmark, bftsmart_ms=round(smart * 1000, 2), **{
+        f"byzcast_local_{g}_ms":
+            round(results[f"byzcast/local/{g}"].latency.median * 1000, 2)
+        for g in GROUPS
+    }, **{
+        f"byzcast_global_{g}_ms":
+            round(results[f"byzcast/global/{g}"].latency.median * 1000, 2)
+        for g in GROUPS
+    })
+
+    locals_ = [results[f"byzcast/local/{g}"].latency.median for g in GROUPS]
+    globals_ = [results[f"byzcast/global/{g}"].latency.median for g in GROUPS]
+
+    # Local latency matches BFT-SMaRt (within 20%) at every group count.
+    for value in locals_:
+        assert abs(value - smart) / smart < 0.2
+    # ...and is flat in the number of groups.
+    assert max(locals_) / min(locals_) < 1.25
+    # Global ≈ 2× local (1.6-2.6 window).
+    for local_value, global_value in zip(locals_, globals_):
+        assert 1.6 < global_value / local_value < 2.6
+    # Baseline pays the double ordering even for local messages.
+    for g in GROUPS:
+        base_local = results[f"baseline/local/{g}"].latency.median
+        assert base_local > 1.6 * smart

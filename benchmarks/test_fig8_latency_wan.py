@@ -1,0 +1,37 @@
+"""Figure 8 — single-client latency in the WAN (Table I geography).
+
+Paper claims (§V-H): conclusions mirror the LAN — ByzCast matches
+BFT-SMaRt for local messages and roughly doubles for global ones; the
+Baseline protocol pays that double ordering for every message.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.runtime.scenarios import fig8_latency_wan
+
+
+def test_fig8_single_client_latency_wan(run_scenario, benchmark):
+    results = run_scenario(fig8_latency_wan)
+    smart = results["bftsmart"].latency.median
+    byz_local = results["byzcast/local"].latency.median
+    byz_global = results["byzcast/global"].latency.median
+    base_local = results["baseline/local"].latency.median
+    base_global = results["baseline/global"].latency.median
+    record(benchmark,
+           bftsmart_ms=round(smart * 1000, 1),
+           byzcast_local_ms=round(byz_local * 1000, 1),
+           byzcast_global_ms=round(byz_global * 1000, 1),
+           baseline_local_ms=round(base_local * 1000, 1),
+           baseline_global_ms=round(base_global * 1000, 1))
+
+    # WAN latencies are dominated by inter-region RTTs: hundreds of ms.
+    assert smart > 0.05
+    # ByzCast local ≈ single group.
+    assert abs(byz_local - smart) / smart < 0.35
+    # ByzCast global ≈ 2× local.
+    assert 1.5 < byz_global / byz_local < 2.8
+    # Baseline pays double ordering for local messages too.
+    assert base_local > 1.5 * byz_local
+    # Global messages cost both protocols about the same.
+    assert 0.6 < byz_global / base_global < 1.67

@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the pure components (regression tracking).
+
+These are conventional per-operation benchmarks (many rounds, statistical
+timing) for the hot paths of the library: canonicalization/digests, the
+quorum-head merge, overlay-tree queries, consensus vote counting, and the
+event loop itself.  They carry no paper assertions — they exist so a
+change that slows a hot path by an order of magnitude is visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bcast.consensus import ConsensusInstance
+from repro.bcast.messages import Request
+from repro.core.relay import QuorumMerge
+from repro.core.tree import OverlayTree
+from repro.crypto.digest import canonical_bytes, digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign, verify
+from repro.sim.events import EventLoop
+
+PARENTS = tuple(f"p{i}" for i in range(4))
+
+
+def test_bench_canonical_bytes(benchmark):
+    payload = {"op": "transfer", "src": "acct1", "dst": "acct2",
+               "amount": 125, "meta": (1, 2, 3, ("nested", True))}
+    result = benchmark(canonical_bytes, payload)
+    assert result
+
+
+def test_bench_digest(benchmark):
+    payload = ("amcast", "client-17", 12345, ("g1", "g2"), ("x",) * 8)
+    result = benchmark(digest, payload)
+    assert len(result) == 16
+
+
+def test_bench_sign_verify(benchmark):
+    registry = KeyRegistry()
+    payload = ("req", "g1", "c1", 7, ("cmd", 1))
+
+    def roundtrip():
+        signature = sign(registry, "c1", payload)
+        return verify(registry, payload, signature)
+
+    assert benchmark(roundtrip)
+
+
+def test_bench_quorum_merge_throughput(benchmark):
+    def push_thousand():
+        merge = QuorumMerge(PARENTS, threshold=2)
+        released = 0
+        for index in range(250):
+            key = f"m{index}"
+            for parent in PARENTS:
+                released += len(merge.push(parent, key, key))
+        return released
+
+    assert benchmark(push_thousand) == 250
+
+
+def test_bench_tree_queries(benchmark):
+    tree = OverlayTree.three_level(
+        {f"h{i}": [f"g{i}a", f"g{i}b"] for i in range(2, 6)}
+    )
+    destinations = [
+        frozenset({"g2a", "g3b"}), frozenset({"g4a"}),
+        frozenset({"g2a", "g2b"}), frozenset({"g2a", "g5b", "g3a"}),
+    ]
+
+    def query_all():
+        total = 0
+        for dst in destinations:
+            total += tree.destination_height(dst)
+            total += len(tree.involved_groups(dst))
+        return total
+
+    assert benchmark(query_all) > 0
+
+
+def test_bench_consensus_vote_counting(benchmark):
+    batch = tuple(Request("g", f"c{i}", 1, ("op", i)) for i in range(100))
+    d = digest(batch)
+
+    def run_instance():
+        instance = ConsensusInstance(cid=0, quorum=3)
+        instance.note_proposal(0, d, batch)
+        for replica in ("r0", "r1", "r2", "r3"):
+            instance.add_write(0, d, replica)
+        for replica in ("r0", "r1", "r2", "r3"):
+            instance.add_accept(0, d, replica)
+        return instance.decided
+
+    assert benchmark(run_instance)
+
+
+def test_bench_event_loop_throughput(benchmark):
+    def run_ten_thousand():
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                loop.schedule(0.001, tick)
+
+        loop.schedule(0.001, tick)
+        loop.run()
+        return count[0]
+
+    assert benchmark(run_ten_thousand) == 10_000

@@ -1,0 +1,19 @@
+"""Table I — inter-region latencies of the simulated WAN.
+
+The simulated network must reproduce the paper's EC2 latency matrix: the
+WAN experiments (Figs. 8-10) inherit their shape from these delays.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.runtime.scenarios import table1_wan_latency
+
+
+def test_table1_wan_latency_matrix(run_scenario, benchmark):
+    results = run_scenario(table1_wan_latency)
+    assert len(results) == 6
+    for (a, b), row in results.items():
+        record(benchmark, **{f"{a}-{b}_ms": round(row["measured_ms"], 2)})
+        # Jitter-free ping must reproduce Table I exactly (±0.1 ms).
+        assert abs(row["measured_ms"] - row["paper_ms"]) < 0.1, (a, b, row)

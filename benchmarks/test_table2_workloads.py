@@ -1,0 +1,57 @@
+"""Table II — the uniform and skewed workload definitions.
+
+Checks both the demand matrices used by the optimizer and the empirical
+destination distributions produced by the samplers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import record
+from repro.types import destination
+from repro.workload.spec import (
+    skewed_pairs,
+    table2_skewed_demand,
+    table2_uniform_demand,
+    uniform_pairs,
+)
+
+TARGETS = ["g1", "g2", "g3", "g4"]
+
+
+def sample_distribution(sampler, n=6000, seed=7):
+    rng = random.Random(seed)
+    counts = {}
+    for _ in range(n):
+        d = sampler(rng)
+        counts[d] = counts.get(d, 0) + 1
+    return counts
+
+
+def test_table2_workload_definitions(run_scenario, benchmark):
+    def build():
+        return (
+            table2_uniform_demand(),
+            table2_skewed_demand(),
+            sample_distribution(uniform_pairs(TARGETS)),
+            sample_distribution(skewed_pairs()),
+        )
+
+    uniform, skewed, uniform_counts, skewed_counts = run_scenario(build)
+
+    # D_u: all six pairs, F_u(d) = 1200 m/s each.
+    assert len(uniform) == 6
+    assert all(rate == 1200.0 for rate in uniform.values())
+    # D_s: exactly the two pairs, F_s(d) = 9000 m/s each.
+    assert skewed == {
+        destination("g1", "g2"): 9000.0,
+        destination("g3", "g4"): 9000.0,
+    }
+    # Samplers realize those destination sets with the right support.
+    assert set(uniform_counts) == set(uniform)
+    assert set(skewed_counts) == set(skewed)
+    # Uniform means uniform: no pair deviates more than 25% from the mean.
+    mean = sum(uniform_counts.values()) / 6
+    assert all(abs(c - mean) / mean < 0.25 for c in uniform_counts.values())
+    record(benchmark, uniform_pairs=len(uniform), skewed_pairs=len(skewed))

@@ -1,0 +1,86 @@
+"""Table III — optimization model outcomes for the Table II workloads.
+
+Regenerates every row of the table: the destination sets routed through
+each auxiliary (``T``), the loads (``L``), the objective (``Σ H``), and the
+best/poor/not-viable verdicts, with ``K(h) = 9500`` msgs/s.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.optimizer.report import (
+    VERDICT_BEST,
+    VERDICT_NOT_VIABLE,
+    VERDICT_POOR,
+    format_table3,
+    table3_report,
+)
+
+
+def test_table3_report(run_scenario, benchmark):
+    entries = run_scenario(table3_report)
+    by_cell = {(e.workload, e.tree_label): e for e in entries}
+
+    uniform_t2 = by_cell[("uniform", "T2")]
+    assert uniform_t2.sum_heights == 12
+    assert {r.group: r.load for r in uniform_t2.auxiliaries} == {"h1": 7200.0}
+    assert uniform_t2.verdict == VERDICT_BEST
+
+    uniform_t3 = by_cell[("uniform", "T3")]
+    assert uniform_t3.sum_heights == 16
+    assert {r.group: r.load for r in uniform_t3.auxiliaries} == {
+        "h1": 4800.0, "h2": 6000.0, "h3": 6000.0,
+    }
+    assert uniform_t3.verdict == VERDICT_POOR
+
+    skewed_t2 = by_cell[("skewed", "T2")]
+    assert skewed_t2.sum_heights == 4
+    assert {r.group: r.load for r in skewed_t2.auxiliaries} == {"h1": 18000.0}
+    assert skewed_t2.verdict == VERDICT_NOT_VIABLE
+
+    skewed_t3 = by_cell[("skewed", "T3")]
+    assert skewed_t3.sum_heights == 4
+    assert {r.group: r.load for r in skewed_t3.auxiliaries} == {
+        "h1": 0.0, "h2": 9000.0, "h3": 9000.0,
+    }
+    assert skewed_t3.verdict == VERDICT_BEST
+
+    rendered = format_table3(entries)
+    assert "Uniform workload" in rendered and "Skewed workload" in rendered
+    record(
+        benchmark,
+        uniform_best="T2",
+        skewed_best="T3",
+        uniform_objective_t2=uniform_t2.sum_heights,
+        uniform_objective_t3=uniform_t3.sum_heights,
+    )
+
+
+def test_table3_matches_exhaustive_search(run_scenario, benchmark):
+    """The exhaustive optimizer independently reaches the same verdicts."""
+    from repro.optimizer.enumerate import optimize_exhaustive
+    from repro.optimizer.model import OptimizationInput
+    from repro.workload.spec import table2_skewed_demand, table2_uniform_demand
+
+    def optimize_both():
+        problem = lambda demand: OptimizationInput(
+            targets=("g1", "g2", "g3", "g4"),
+            auxiliaries=("h1", "h2", "h3"),
+            demand=demand,
+            capacity=9500.0,
+        )
+        return (
+            optimize_exhaustive(problem(table2_uniform_demand())),
+            optimize_exhaustive(problem(table2_skewed_demand())),
+        )
+
+    uniform_best, skewed_best = run_scenario(optimize_both)
+    # Uniform: the flat 2-level tree (objective 12).
+    assert uniform_best.objective == 12
+    assert uniform_best.tree.height(uniform_best.tree.root) == 2
+    # Skewed: a 3-level split keeping each hot pair in its own branch.
+    assert skewed_best.objective == 4
+    assert skewed_best.tree.lca({"g1", "g2"}) != skewed_best.tree.root
+    assert skewed_best.tree.lca({"g3", "g4"}) != skewed_best.tree.root
+    record(benchmark, uniform_objective=uniform_best.objective,
+           skewed_objective=skewed_best.objective)

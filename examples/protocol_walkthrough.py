@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Walk through the execution of Fig. 1(b) / Fig. 2, message by message.
+
+Reproduces the paper's illustration: three messages multicast over the
+Fig. 1(a) tree —
+
+* m1 → {g1, g2}:  enters at lca = h2, relayed to g1 and g2;
+* m2 → {g2, g3}:  enters at lca = h1 (the root), walks down via h2 and h3;
+* m3 → {g3}:      local, ordered by g3 directly.
+
+The trace below shows each group's protocol steps (consensus decisions,
+relays with the f+1 quorum-merge confirmation, and a-deliveries), i.e. the
+arrows of Fig. 1(b).
+
+Run:  python examples/protocol_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import ByzCastDeployment, OverlayTree, destination
+
+
+def main() -> None:
+    tree = OverlayTree.paper_tree()
+    deployment = ByzCastDeployment(tree, trace_capacity=10000)
+    client = deployment.add_client("c1")
+
+    print("Tree (Fig. 1a):  h1 -> {h2 -> {g1, g2}, h3 -> {g3, g4}}")
+    print(f"lca(g1, g2) = {tree.lca({'g1', 'g2'})}   "
+          f"lca(g2, g3) = {tree.lca({'g2', 'g3'})}   "
+          f"lca(g3) = {tree.lca({'g3'})}\n")
+
+    client.amulticast(destination("g1", "g2"), payload=("m1",))
+    client.amulticast(destination("g2", "g3"), payload=("m2",))
+    client.amulticast(destination("g3"), payload=("m3",))
+    deployment.run(until=5.0)
+
+    print("Protocol timeline (one replica per group shown):")
+    seen = set()
+    for rec in deployment.monitor.trace:
+        if rec.kind not in ("byzcast.relay", "byzcast.a_deliver"):
+            continue
+        group = rec.component.split("/")[0]
+        key = (rec.kind, group, tuple(rec.detail))
+        if key in seen:
+            continue  # show each step once, not once per replica
+        seen.add(key)
+        if rec.kind == "byzcast.relay":
+            print(f"  t={rec.time * 1000:7.2f} ms  {group}: "
+                  f"relay down to {rec.get('child')}")
+        else:
+            print(f"  t={rec.time * 1000:7.2f} ms  {group}: "
+                  f"a-deliver message #{rec.get('seq')}")
+
+    print("\nDelivery orders (identical at every replica of a group):")
+    for group in ("g1", "g2", "g3", "g4"):
+        payloads = [m.payload[0] for m in deployment.delivered_sequences(group)[0]]
+        print(f"  {group}: {payloads}")
+    print("\nNote how g2 and g3 agree on the relative order of m2, and how")
+    print("m3 never left g3 — the auxiliary groups a-deliver nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: atomically multicast messages over the paper's Fig. 1 tree.
+
+Builds the 3-level overlay of Fig. 1(a) — auxiliary groups h1 (root), h2
+and h3 over target groups g1..g4, each group being 4 BFT replicas — sends a
+local and a global message, and shows where they were delivered and how
+long they took.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ByzCastDeployment, OverlayTree, destination
+
+
+def main() -> None:
+    tree = OverlayTree.paper_tree()
+    print(f"Overlay tree: root={tree.root}, "
+          f"targets={sorted(tree.targets)}, auxiliaries={sorted(tree.auxiliaries)}")
+
+    deployment = ByzCastDeployment(tree, f=1)
+    client = deployment.add_client("client-1")
+
+    # A local message: ordered by g3 alone (partial genuineness).
+    client.amulticast(destination("g3"), payload=("set", "x", 1))
+    # A global message: enters at lca(g2, g3) = h1 and flows down the tree.
+    client.amulticast(destination("g2", "g3"), payload=("sync", "x"))
+
+    deployment.run(until=5.0)
+
+    for group in sorted(tree.targets):
+        sequences = deployment.delivered_sequences(group)
+        payloads = [m.payload for m in sequences[0]]
+        print(f"{group}: every replica a-delivered {payloads}")
+
+    print("\nPer-message completion latency:")
+    for message, latency in client.completions:
+        kind = "local " if message.is_local else "global"
+        print(f"  {kind} {message.payload} -> {sorted(message.dst)}: "
+              f"{latency * 1000:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Calibration probe for the cost model (developer tool).
+
+Targets (paper §V):
+  * single group saturation  ≈ 19,500 msgs/s   (BFT-SMaRt, Fig 4(b) best case)
+  * single-client LAN latency ≈ 4 ms            (Fig 7)
+  * ByzCast global throughput ≈ 9,500-9,700 m/s (K(h), §V-C / Fig 4(b))
+  * Baseline local saturation ≈ 11,000-12,000   (Fig 4(a))
+
+Run:  python scripts/calibrate.py [scale] [clients]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.tree import OverlayTree
+from repro.runtime.environments import lan_network_config, scale_costs, calibrated_costs
+from repro.runtime.experiment import ClientPlan, run_bftsmart, run_byzcast, run_baseline
+from repro.workload.spec import fixed_destination, local_uniform, uniform_pairs
+
+SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+CLIENTS = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+COSTS = scale_costs(calibrated_costs(), SCALE)
+NET = lan_network_config()
+TARGETS = ["g1", "g2", "g3", "g4"]
+
+
+def report(label, result, wall):
+    print(f"{label:<28} tput={result.throughput:>9.0f} m/s  "
+          f"mean={result.latency.mean*1000:7.2f}ms  "
+          f"median={result.latency.median*1000:7.2f}ms  [{wall:.1f}s wall]")
+
+
+def main() -> None:
+    t0 = time.time()
+    single = run_bftsmart(
+        [ClientPlan(f"c{i}", fixed_destination("g1")) for i in range(1)],
+        costs=COSTS, network_config=NET, warmup=0.5, duration=2.0,
+    )
+    report("bftsmart 1 client", single, time.time() - t0)
+
+    t0 = time.time()
+    sat = run_bftsmart(
+        [ClientPlan(f"c{i}", fixed_destination("g1")) for i in range(CLIENTS)],
+        costs=COSTS, network_config=NET, warmup=1.0, duration=3.0,
+    )
+    report(f"bftsmart {CLIENTS} clients", sat, time.time() - t0)
+
+    tree = OverlayTree.two_level(TARGETS)
+
+    t0 = time.time()
+    byz_local_1 = run_byzcast(
+        tree,
+        [ClientPlan("c0", fixed_destination("g1"))],
+        costs=COSTS, network_config=NET, warmup=0.5, duration=2.0,
+    )
+    report("byzcast local 1 client", byz_local_1, time.time() - t0)
+
+    t0 = time.time()
+    byz_global_1 = run_byzcast(
+        tree,
+        [ClientPlan("c0", fixed_destination("g1", "g2"))],
+        costs=COSTS, network_config=NET, warmup=0.5, duration=2.0,
+    )
+    report("byzcast global 1 client", byz_global_1, time.time() - t0)
+
+    t0 = time.time()
+    byz_global = run_byzcast(
+        tree,
+        [ClientPlan(f"c{i}", uniform_pairs(TARGETS)) for i in range(CLIENTS)],
+        costs=COSTS, network_config=NET, warmup=1.0, duration=3.0,
+    )
+    report(f"byzcast global {CLIENTS} cl", byz_global, time.time() - t0)
+
+    t0 = time.time()
+    base_local = run_baseline(
+        TARGETS,
+        [ClientPlan(f"c{i}", local_uniform(TARGETS)) for i in range(CLIENTS)],
+        costs=COSTS, network_config=NET, warmup=1.0, duration=3.0,
+    )
+    report(f"baseline local {CLIENTS} cl", base_local, time.time() - t0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Ready-made replicated applications built on ByzCast.
+
+The paper motivates atomic multicast as the ordering layer for *sharded
+replicated state machines* (§II-D): requests touching one shard are
+multicast to that shard's group, requests spanning shards are multicast to
+every involved group, and acyclic order makes cross-shard execution
+consistent.  This package provides that pattern as a reusable library:
+
+* :class:`~repro.apps.kvstore.ShardedStore` — a sharded, BFT-replicated
+  key-value store with single-key operations, cross-shard transfers, and
+  multi-key read/write transactions.
+* :class:`~repro.apps.ledger.OrderingService` — a multi-channel blockchain
+  ordering service with per-channel hash-chained ledgers and atomic
+  cross-channel transactions (the §I blockchain motivation).
+"""
+
+from repro.apps.kvstore import ShardedStore, StoreClient
+from repro.apps.ledger import ChannelLedger, LedgerClient, OrderingService
+
+__all__ = [
+    "ShardedStore",
+    "StoreClient",
+    "OrderingService",
+    "LedgerClient",
+    "ChannelLedger",
+]

@@ -1,0 +1,288 @@
+"""A sharded, BFT-replicated key-value store on top of ByzCast.
+
+This is the application pattern §II-D motivates, packaged as a library:
+the key space is hash-partitioned over the target groups of an overlay
+tree, every shard is a 3f+1 replicated state machine, and atomic multicast
+routes operations —
+
+* single-key operations go to the owning shard only (the genuine fast
+  path: no other group is involved);
+* multi-key operations (transfers, transactional multi-put/multi-get) are
+  atomically multicast to every involved shard and applied in a globally
+  acyclic order, so cross-shard invariants (e.g. conservation of funds)
+  hold at every cut that respects delivery order.
+
+Results flow back on the delivery acknowledgements: every replica attaches
+its (deterministic) local result, and the client accepts a shard's result
+once ``f + 1`` replicas agree — Byzantine replicas cannot forge reads.
+
+Example::
+
+    store = ShardedStore(shards=4)
+    client = store.client("c1")
+    client.put("user:7", {"name": "ada"})
+    client.transfer("acct:1", "acct:2", 25)
+    ok = store.run_until_quiescent()
+    value = client.get("user:7")
+    store.run_until_quiescent()
+    print(client.take_results())   # confirmed results, in completion order
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bcast.config import CostModel
+from repro.core.client import MulticastClient
+from repro.core.deployment import ByzCastDeployment
+from repro.core.node import ByzCastApplication
+from repro.core.tree import OverlayTree
+from repro.errors import ConfigurationError
+from repro.sim.network import NetworkConfig
+from repro.types import Destination, MessageId, MulticastMessage, destination
+
+
+class ShardStateMachine:
+    """The deterministic per-replica state of one shard."""
+
+    def __init__(self, shard: str, owns: Callable[[str], bool]) -> None:
+        self.shard = shard
+        self.owns = owns
+        self.data: Dict[str, Any] = {}
+        self.ops_applied = 0
+
+    def apply(self, op: Tuple) -> Any:
+        """Apply one ordered operation; returns this shard's result."""
+        self.ops_applied += 1
+        kind = op[0]
+        if kind == "put":
+            __, key, value = op
+            if self.owns(key):
+                self.data[key] = value
+            return ("ok",)
+        if kind == "get":
+            __, key = op
+            return ("value", self.data.get(key)) if self.owns(key) else ("none",)
+        if kind == "delete":
+            __, key = op
+            if self.owns(key):
+                return ("value", self.data.pop(key, None))
+            return ("none",)
+        if kind == "transfer":
+            __, src, dst, amount = op
+            # Each shard applies only its side; the multicast guarantees
+            # both shards apply it, in consistent order.
+            if self.owns(src):
+                self.data[src] = self.data.get(src, 0) - amount
+            if self.owns(dst):
+                self.data[dst] = self.data.get(dst, 0) + amount
+            return ("ok",)
+        if kind == "mput":
+            __, pairs = op
+            for key, value in pairs:
+                if self.owns(key):
+                    self.data[key] = value
+            return ("ok",)
+        if kind == "mget":
+            __, keys = op
+            return ("values", tuple(
+                (key, self.data.get(key)) for key in keys if self.owns(key)
+            ))
+        return ("error", f"unknown op {kind!r}")
+
+
+class StoreClient(MulticastClient):
+    """A store client: key-level operations over the multicast client.
+
+    Completed operations (with combined, f+1-verified results) accumulate
+    in :meth:`take_results`.
+    """
+
+    def __init__(self, *args, shard_of: Callable[[str], str], **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._shard_of = shard_of
+        self._completed_ops: List[Tuple[MessageId, Tuple, Any]] = []
+
+    # -- operations ----------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> MessageId:
+        return self._submit(("put", key, value), [key])
+
+    def get(self, key: str) -> MessageId:
+        return self._submit(("get", key), [key])
+
+    def delete(self, key: str) -> MessageId:
+        return self._submit(("delete", key), [key])
+
+    def transfer(self, src: str, dst: str, amount: int) -> MessageId:
+        return self._submit(("transfer", src, dst, amount), [src, dst])
+
+    def mput(self, pairs: Mapping[str, Any]) -> MessageId:
+        items = tuple(sorted(pairs.items()))
+        return self._submit(("mput", items), [k for k, __ in items])
+
+    def mget(self, keys: Sequence[str]) -> MessageId:
+        keys = tuple(sorted(set(keys)))
+        return self._submit(("mget", keys), keys)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _submit(self, op: Tuple, keys: Iterable[str]) -> MessageId:
+        shards = sorted({self._shard_of(key) for key in keys})
+        mid = self.amulticast(
+            destination(*shards), payload=op,
+            callback=self._record_op,
+        )
+        return mid
+
+    def _record_op(self, message: MulticastMessage, latency: float) -> None:
+        group_results = self.results.get(
+            (message.mid.sender, message.mid.seq), {}
+        )
+        combined = self._combine(message.payload, group_results)
+        self._completed_ops.append((message.mid, message.payload, combined))
+
+    @staticmethod
+    def _combine(op: Tuple, group_results: Dict[str, Any]) -> Any:
+        """Merge per-shard results into one operation result."""
+        kind = op[0]
+        if kind in ("get", "delete"):
+            for result in group_results.values():
+                if result and result[0] == "value":
+                    return result[1]
+            return None
+        if kind == "mget":
+            merged: Dict[str, Any] = {}
+            for result in group_results.values():
+                if result and result[0] == "values":
+                    merged.update(dict(result[1]))
+            return merged
+        return "ok"
+
+    def take_results(self) -> List[Tuple[Tuple, Any]]:
+        """Completed (operation, result) pairs since the last call."""
+        out = [(op, combined) for __, op, combined in self._completed_ops]
+        self._completed_ops.clear()
+        return out
+
+
+class ShardedStore:
+    """A complete sharded KV deployment: tree, groups, shard placement."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        f: int = 1,
+        tree: Optional[OverlayTree] = None,
+        costs: Optional[CostModel] = None,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+        batch_delay: float = 0.0,
+        request_timeout: float = 2.0,
+    ) -> None:
+        if tree is None:
+            if shards < 1:
+                raise ConfigurationError("need at least one shard")
+            tree = OverlayTree.two_level([f"shard{i}" for i in range(shards)])
+        self.tree = tree
+        self.shards: Tuple[str, ...] = tuple(sorted(tree.targets))
+        self._machines: Dict[str, List[ShardStateMachine]] = {}
+
+        def app_factory(group_id, tree, group_configs, registry):
+            machine = ShardStateMachine(group_id, self._owner_check(group_id))
+            self._machines.setdefault(group_id, []).append(machine)
+
+            def on_deliver(message, ctx, machine=machine):
+                return machine.apply(message.payload)
+
+            return ByzCastApplication(
+                group_id=group_id, tree=tree, group_configs=group_configs,
+                registry=registry, on_deliver=on_deliver,
+            )
+
+        overrides = {
+            gid: {
+                name: app_factory
+                for name in (f"{gid}/r{i}" for i in range(3 * f + 1))
+            }
+            for gid in tree.nodes
+        }
+        self.deployment = ByzCastDeployment(
+            tree,
+            f=f,
+            costs=costs,
+            network_config=network_config,
+            seed=seed,
+            batch_delay=batch_delay,
+            request_timeout=request_timeout,
+            app_overrides=overrides,
+        )
+        self.clients: List[StoreClient] = []
+
+    # -- placement ----------------------------------------------------------------
+
+    def shard_of(self, key: str) -> str:
+        """Deterministic key → shard placement (CRC-based)."""
+        index = zlib.crc32(key.encode("utf-8")) % len(self.shards)
+        return self.shards[index]
+
+    def _owner_check(self, shard: str) -> Callable[[str], bool]:
+        return lambda key: self.shard_of(key) == shard
+
+    # -- clients and execution ------------------------------------------------------
+
+    def client(self, name: str, site: str = "site0") -> StoreClient:
+        client = StoreClient(
+            name=name,
+            loop=self.deployment.loop,
+            tree=self.tree,
+            group_configs=self.deployment.group_configs,
+            registry=self.deployment.registry,
+            monitor=self.deployment.monitor,
+            shard_of=self.shard_of,
+        )
+        self.deployment.network.register(client, site=site)
+        self.deployment.clients.append(client)
+        self.clients.append(client)
+        return client
+
+    def run(self, until: float) -> None:
+        self.deployment.run(until=until)
+
+    def run_until_quiescent(self, step: float = 1.0, max_steps: int = 120) -> bool:
+        """Advance the simulation until all clients' operations completed."""
+        self.deployment.start()
+        for __ in range(max_steps):
+            if all(client.pending() == 0 for client in self.clients):
+                return True
+            self.deployment.loop.run(until=self.deployment.loop.now + step)
+        return all(client.pending() == 0 for client in self.clients)
+
+    # -- inspection --------------------------------------------------------------------
+
+    def shard_state(self, shard: str) -> Dict[str, Any]:
+        """The (agreed) state of ``shard``; raises if replicas diverge."""
+        machines = self._machines[shard]
+        reference = machines[0].data
+        for machine in machines[1:]:
+            if machine.data != reference:
+                raise AssertionError(f"replica divergence in {shard}")
+        return dict(reference)
+
+    def total_of(self, keys: Iterable[str]) -> int:
+        """Sum of numeric values for ``keys`` across shards."""
+        total = 0
+        for key in keys:
+            total += self.shard_state(self.shard_of(key)).get(key, 0)
+        return total
+
+    def check_consistency(self) -> List[str]:
+        """Replica-divergence report (empty = all shards agree)."""
+        problems = []
+        for shard in self.shards:
+            try:
+                self.shard_state(shard)
+            except AssertionError as error:
+                problems.append(str(error))
+        return problems

@@ -1,0 +1,21 @@
+"""The paper's comparison protocols (§V-A3).
+
+* :class:`~repro.baseline.single_group.SingleGroupDeployment` — plain
+  BFT-SMaRt: one group orders and executes everything.  The reference for
+  local-message performance.
+* :class:`~repro.baseline.naive.BaselineDeployment` — the non-genuine
+  2-level atomic multicast: one auxiliary group orders *all* messages
+  (local and global) and re-broadcasts them into the destination target
+  groups, which order them again before delivering (the "double ordering"
+  every Baseline message pays, §V-H).
+"""
+
+from repro.baseline.single_group import SingleGroupClient, SingleGroupDeployment
+from repro.baseline.naive import BaselineClient, BaselineDeployment
+
+__all__ = [
+    "SingleGroupDeployment",
+    "SingleGroupClient",
+    "BaselineDeployment",
+    "BaselineClient",
+]

@@ -1,0 +1,98 @@
+"""The non-genuine 2-level Baseline atomic multicast (§V-A3).
+
+One auxiliary group atomically broadcasts **every** message — local or
+global — and then re-broadcasts it into the destination target groups,
+which order it again before delivering (each target replica acts once
+``f + 1`` auxiliary replicas' copies are ordered, exactly like a ByzCast
+relay hop).  The paper implements Baseline with the same machinery as
+ByzCast's 2-level tree, just without the genuine shortcut for local
+messages, and we do the same: :class:`BaselineDeployment` *is* a ByzCast
+deployment over a flat tree whose clients always enter at the root.
+
+Consequences the evaluation draws out (and the benchmarks assert):
+
+* every message pays the double ordering — local latency ≈ global latency
+  ≈ 2× a single BFT-SMaRt group (Figs. 6(a)-8);
+* the sequencer group caps total throughput, so adding target groups barely
+  helps (Fig. 4(a));
+* local messages queue behind global ones — the convoy effect (Fig. 6/10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.bcast.config import CostModel
+from repro.core.client import MulticastClient
+from repro.core.deployment import ByzCastDeployment
+from repro.core.node import ByzCastApplication
+from repro.core.tree import OverlayTree
+from repro.sim.network import NetworkConfig
+from repro.types import MulticastMessage
+
+
+class BaselineClient(MulticastClient):
+    """A Baseline client: every message enters at the sequencer group."""
+
+    def _entry_group(self, message: MulticastMessage) -> str:
+        return self.tree.root
+
+
+class BaselineDeployment(ByzCastDeployment):
+    """One ordering (sequencer) group over plain target groups.
+
+    The public surface mirrors :class:`~repro.core.deployment.ByzCastDeployment`
+    (``add_client``, ``run``, ``delivered_sequences``); ``aux_group`` exposes
+    the sequencer for tests and fault injection.
+    """
+
+    def __init__(
+        self,
+        targets: List[str],
+        aux_id: str = "h1",
+        **kwargs,
+    ) -> None:
+        tree = OverlayTree.two_level(list(targets), root=aux_id)
+        self.aux_id = aux_id
+        super().__init__(tree, **kwargs)
+
+    def _make_app(self, group_id: str, replica_name: str) -> ByzCastApplication:
+        factory = self._app_overrides.get(group_id, {}).get(replica_name)
+        if factory is not None:
+            return factory(
+                group_id=group_id,
+                tree=self.tree,
+                group_configs=self.group_configs,
+                registry=self.registry,
+            )
+        return ByzCastApplication(
+            group_id=group_id,
+            tree=self.tree,
+            group_configs=self.group_configs,
+            registry=self.registry,
+            accept_any_ancestor=True,
+        )
+
+    def add_client(
+        self,
+        name: str,
+        site: str = "site0",
+        on_complete: Optional[Callable] = None,
+    ) -> BaselineClient:
+        client = BaselineClient(
+            name=name,
+            loop=self.loop,
+            tree=self.tree,
+            group_configs=self.group_configs,
+            registry=self.registry,
+            monitor=self.monitor,
+            on_complete=on_complete,
+        )
+        self.network.register(client, site=site)
+        self.clients.append(client)
+        return client
+
+    @property
+    def aux_group(self):
+        """The sequencer group ordering every message."""
+        return self.groups[self.aux_id]

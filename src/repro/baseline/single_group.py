@@ -1,0 +1,193 @@
+"""Plain BFT-SMaRt: a single group ordering and executing every message.
+
+This is the paper's reference protocol: it gives the best possible cost for
+a message ordered once (3 communication steps + client round-trip) and an
+upper bound on per-group throughput.  Clients use the same ``amulticast``
+interface as ByzCast clients (the destination set is accepted for workload
+compatibility but everything is ordered by the one group), so workload
+drivers are protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bcast.app import Application, ExecutionContext
+from repro.bcast.client import GroupProxy
+from repro.bcast.config import BroadcastConfig, CostModel
+from repro.bcast.group import BroadcastGroup
+from repro.bcast.messages import Reply, Request
+from repro.core.messages import WireMulticast
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign, verify
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+from repro.types import ClientId, Delivery, Destination, MessageId, MulticastMessage
+
+CompletionCallback = Callable[[MulticastMessage, float], None]
+
+
+class RecordingApplication(Application):
+    """Executes multicasts by recording their delivery (atomic broadcast)."""
+
+    def __init__(self, group_id: str, registry: KeyRegistry) -> None:
+        self.group_id = group_id
+        self.registry = registry
+        self.deliveries: List[Delivery] = []
+
+    def execute(self, request: Request, ctx: ExecutionContext) -> Any:
+        wire = request.command
+        if not isinstance(wire, WireMulticast):
+            return ("error", "not a multicast")
+        if wire.signature is None or wire.signature.signer != wire.sender:
+            return ("error", "unsigned")
+        if not verify(self.registry, wire.signed_part(), wire.signature):
+            return ("error", "invalid origin signature")
+        message = wire.to_message()
+        self.deliveries.append(
+            Delivery(time=ctx.time, process=ctx.replica_name,
+                     group=self.group_id, message=message)
+        )
+        return ("ack",)
+
+    def delivered_messages(self) -> List[MulticastMessage]:
+        return [record.message for record in self.deliveries]
+
+
+class SingleGroupClient(Actor):
+    """A client of the single ordering group.
+
+    Completion (and therefore latency) is the BFT client criterion: ``f+1``
+    identical replies from the group.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        config: BroadcastConfig,
+        registry: KeyRegistry,
+        monitor: Optional[Monitor] = None,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        super().__init__(name, loop, monitor)
+        self.config = config
+        self.registry = registry
+        self.on_complete = on_complete
+        self.proxy = GroupProxy(self, config.group_id, config.replicas,
+                                config.f, registry)
+        self._next_seq = 1
+        self._sent_at: Dict[int, Tuple[MulticastMessage, float]] = {}
+        self.completions: List[Tuple[MulticastMessage, float]] = []
+
+    def amulticast(
+        self,
+        dst: Destination,
+        payload: Tuple = (),
+        callback: Optional[CompletionCallback] = None,
+    ) -> MessageId:
+        """Broadcast ``payload`` (``dst`` is carried but ordering is global)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        mid = MessageId(ClientId(self.name), seq)
+        message = MulticastMessage(mid=mid, dst=frozenset(dst), payload=tuple(payload))
+        unsigned = WireMulticast.from_message(message)
+        signature = sign(self.registry, self.name, unsigned.signed_part())
+        wire = WireMulticast.from_message(message, signature)
+        self._sent_at[seq] = (message, self.loop.now)
+
+        def on_result(result: Any, seq=seq) -> None:
+            entry = self._sent_at.pop(seq, None)
+            if entry is None:
+                return
+            msg, started = entry
+            latency = self.loop.now - started
+            self.completions.append((msg, latency))
+            if callback is not None:
+                callback(msg, latency)
+            if self.on_complete is not None:
+                self.on_complete(msg, latency)
+
+        self.proxy.submit(wire, on_result)
+        return mid
+
+    def pending(self) -> int:
+        return len(self._sent_at)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Reply):
+            self.proxy.handle_reply(src, payload)
+
+
+class SingleGroupDeployment:
+    """One BFT-SMaRt group + clients, ready to run."""
+
+    def __init__(
+        self,
+        f: int = 1,
+        costs: Optional[CostModel] = None,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+        group_id: str = "g1",
+        max_batch: int = 400,
+        batch_delay: float = 0.0,
+        request_timeout: float = 2.0,
+        sites: Optional[List[str]] = None,
+        trace_capacity: int = 0,
+    ) -> None:
+        self.loop = EventLoop()
+        self.monitor = Monitor(trace_capacity=trace_capacity)
+        self.monitor.bind_clock(lambda: self.loop.now)
+        self.rng = SeededRng(seed)
+        self.network = Network(
+            self.loop,
+            network_config if network_config is not None else NetworkConfig(),
+            rng=self.rng,
+            monitor=self.monitor,
+        )
+        self.registry = KeyRegistry()
+        n = 3 * f + 1
+        self.config = BroadcastConfig(
+            group_id=group_id,
+            replicas=tuple(f"{group_id}/r{i}" for i in range(n)),
+            f=f,
+            max_batch=max_batch,
+            batch_delay=batch_delay,
+            request_timeout=request_timeout,
+            costs=costs if costs is not None else CostModel(),
+        )
+        self.group = BroadcastGroup.build(
+            loop=self.loop,
+            network=self.network,
+            config=self.config,
+            registry=self.registry,
+            app_factory=lambda name: RecordingApplication(group_id, self.registry),
+            monitor=self.monitor,
+            sites=sites,
+        )
+        self.clients: List[SingleGroupClient] = []
+        self._started = False
+
+    def add_client(self, name: str, site: str = "site0",
+                   on_complete: Optional[CompletionCallback] = None) -> SingleGroupClient:
+        client = SingleGroupClient(name, self.loop, self.config, self.registry,
+                                   self.monitor, on_complete=on_complete)
+        self.network.register(client, site=site)
+        self.clients.append(client)
+        return client
+
+    def start(self) -> None:
+        if not self._started:
+            self.group.start()
+            self._started = True
+
+    def run(self, until: float = 10.0, max_events: Optional[int] = None) -> None:
+        self.start()
+        self.loop.run(until=until, max_events=max_events)
+
+    def apps(self) -> List[RecordingApplication]:
+        return [replica.app for replica in self.group.replicas]

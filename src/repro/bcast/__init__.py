@@ -1,0 +1,39 @@
+"""FIFO Byzantine fault-tolerant atomic broadcast (the BFT-SMaRt stand-in).
+
+Each group of ``n = 3f + 1`` replicas runs one independent instance of this
+protocol.  Ordering follows the Mod-SMaRt pattern the paper describes
+(§IV): the leader of the current *regency* proposes a batch of pending
+requests; replicas validate it and WRITE its digest to all peers; a replica
+ACCEPTs once it has a Byzantine quorum (``n - f = 2f + 1``) of matching
+WRITEs, and decides the batch once it has ``2f + 1`` matching ACCEPTs.
+Decided batches are executed in consensus order, giving total order; a
+per-sender sequence-number admission rule gives FIFO order on top.
+
+The package exposes:
+
+* :class:`~repro.bcast.group.BroadcastGroup` — builds and wires a group.
+* :class:`~repro.bcast.replica.Replica` — one replica actor.
+* :class:`~repro.bcast.client.GroupProxy` — client-side submission proxy
+  that waits for ``f + 1`` matching replies.
+* :class:`~repro.bcast.app.Application` — the replicated service interface.
+"""
+
+from repro.bcast.config import BroadcastConfig, CostModel
+from repro.bcast.messages import Request, Reply
+from repro.bcast.app import Application, ExecutionContext, EchoApplication
+from repro.bcast.replica import Replica
+from repro.bcast.client import GroupProxy
+from repro.bcast.group import BroadcastGroup
+
+__all__ = [
+    "BroadcastConfig",
+    "CostModel",
+    "Request",
+    "Reply",
+    "Application",
+    "ExecutionContext",
+    "EchoApplication",
+    "Replica",
+    "GroupProxy",
+    "BroadcastGroup",
+]

@@ -1,0 +1,95 @@
+"""Replicated application interface (the state machine in SMR).
+
+A broadcast group is a Byzantine fault-tolerant replicated state machine:
+every replica runs one :class:`Application` instance and feeds it ordered
+requests.  Determinism is the application's contract — identical request
+sequences must produce identical results at every correct replica, because
+clients accept a result only once ``f + 1`` replicas report it identically
+(see :class:`repro.bcast.client.GroupProxy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bcast.messages import Request
+from repro.sim.monitor import Monitor
+
+
+@dataclass
+class ExecutionContext:
+    """Information available to the application while executing a request.
+
+    ``replica`` is the executing :class:`~repro.bcast.replica.Replica`
+    actor; applications that must talk to the outside world (e.g. the
+    ByzCast relay logic) use it to send messages and charge CPU time.
+    """
+
+    replica: Any
+    time: float
+
+    @property
+    def replica_name(self) -> str:
+        return self.replica.name
+
+    @property
+    def group(self) -> str:
+        return self.replica.config.group_id
+
+    @property
+    def monitor(self) -> Monitor:
+        return self.replica.monitor
+
+
+class Application:
+    """Interface implemented by replicated services."""
+
+    def execute(self, request: Request, ctx: ExecutionContext) -> Any:
+        """Apply one ordered request; the return value is sent as the reply.
+
+        Returning ``None`` suppresses the protocol-level reply (the
+        application is expected to respond through its own channel then).
+        """
+        raise NotImplementedError
+
+
+class EchoApplication(Application):
+    """Trivial service replying with its own command — used by tests/benches."""
+
+    def __init__(self) -> None:
+        self.executed = []
+
+    def execute(self, request: Request, ctx: ExecutionContext) -> Any:
+        self.executed.append(request.command)
+        return ("ok", request.command)
+
+
+class KeyValueApplication(Application):
+    """A small deterministic key-value store.
+
+    Commands are tuples: ``("put", key, value)``, ``("get", key)``,
+    ``("del", key)``, and ``("cas", key, expected, value)``.
+    """
+
+    def __init__(self) -> None:
+        self.store = {}
+
+    def execute(self, request: Request, ctx: ExecutionContext) -> Any:
+        command = request.command
+        op = command[0]
+        if op == "put":
+            __, key, value = command
+            self.store[key] = value
+            return ("ok", None)
+        if op == "get":
+            return ("ok", self.store.get(command[1]))
+        if op == "del":
+            return ("ok", self.store.pop(command[1], None))
+        if op == "cas":
+            __, key, expected, value = command
+            if self.store.get(key) == expected:
+                self.store[key] = value
+                return ("ok", True)
+            return ("ok", False)
+        return ("error", f"unknown op {op!r}")

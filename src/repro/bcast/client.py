@@ -1,0 +1,158 @@
+"""Client-side submission proxy for one broadcast group.
+
+The proxy implements the BFT client discipline of §II-D / §IV: it signs and
+sends each request to **every** replica of the group, then accepts a result
+only once ``f + 1`` replicas returned the *same* result (at most ``f`` can
+be faulty, so at least one correct replica vouches for it).  Requests that
+stay unanswered are retransmitted with exponential backoff, which also
+covers replicas that missed the request (their reply cache answers
+duplicates).
+
+The same proxy is used by external clients and by ByzCast replicas relaying
+messages into child groups — both are just "senders" to a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.bcast.messages import Reply, Request
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.sim.actor import Actor
+from repro.sim.events import Event
+
+ResultCallback = Callable[[Any], None]
+
+
+@dataclass
+class _Outstanding:
+    """Book-keeping for one in-flight request."""
+
+    request: Request
+    callback: Optional[ResultCallback]
+    votes: Dict[bytes, Set[str]] = field(default_factory=dict)
+    results: Dict[bytes, Any] = field(default_factory=dict)
+    timer: Optional[Event] = None
+    retries: int = 0
+
+
+class GroupProxy:
+    """Submits commands to one group and gathers ``f + 1`` matching replies.
+
+    Args:
+        owner: the actor on whose behalf requests are sent (its name is the
+            request sender identity; replies must be routed back through
+            :meth:`handle_reply` from the owner's ``on_message``).
+        group_id: target broadcast group.
+        replicas: the group's replica endpoint names.
+        f: the group's fault threshold.
+        registry: key registry used to sign requests.
+        retransmit_timeout: first retransmission delay; doubles per retry.
+            ``None`` disables retransmission (fine on a loss-free network).
+    """
+
+    def __init__(
+        self,
+        owner: Actor,
+        group_id: str,
+        replicas: Tuple[str, ...],
+        f: int,
+        registry: KeyRegistry,
+        retransmit_timeout: Optional[float] = 4.0,
+        max_retries: int = 16,
+    ) -> None:
+        self.owner = owner
+        self.group_id = group_id
+        self.replicas = tuple(replicas)
+        self.f = f
+        self.registry = registry
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retries = max_retries
+        self._next_seq = 1
+        self._outstanding: Dict[int, _Outstanding] = {}
+        self.submitted = 0
+        self.completed = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, command: Any, callback: Optional[ResultCallback] = None) -> int:
+        """Sign, number and broadcast ``command``; returns its sequence number.
+
+        ``callback(result)`` fires exactly once, when f+1 matching replies
+        arrived.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        unsigned = Request(self.group_id, self.owner.name, seq, command, None)
+        signature = sign(self.registry, self.owner.name, unsigned.signed_part())
+        request = Request(self.group_id, self.owner.name, seq, command, signature)
+        entry = _Outstanding(request=request, callback=callback)
+        self._outstanding[seq] = entry
+        self.submitted += 1
+        self._send_to_all(request)
+        self._arm_retransmit(entry)
+        return seq
+
+    def _send_to_all(self, request: Request) -> None:
+        for replica in self.replicas:
+            self.owner.send(replica, request)
+
+    def _arm_retransmit(self, entry: _Outstanding) -> None:
+        if self.retransmit_timeout is None:
+            return
+        delay = self.retransmit_timeout * (2 ** entry.retries)
+        entry.timer = self.owner.set_timer(delay, lambda: self._retransmit(entry))
+
+    def _retransmit(self, entry: _Outstanding) -> None:
+        if entry.request.seq not in self._outstanding:
+            return
+        if entry.retries >= self.max_retries:
+            return  # give up quietly; the owner may inspect pending()
+        entry.retries += 1
+        self.owner.monitor.count("proxy.retransmit")
+        self._send_to_all(entry.request)
+        self._arm_retransmit(entry)
+
+    # -- replies ------------------------------------------------------------
+
+    def handle_reply(self, src: str, reply: Reply) -> bool:
+        """Feed a :class:`Reply` received by the owner.
+
+        Returns True when the reply belonged to this proxy (matched group and
+        an outstanding request), so owners with several proxies can dispatch.
+        """
+        if reply.group != self.group_id or reply.req_sender != self.owner.name:
+            return False
+        if src not in self.replicas or reply.sender != src:
+            return False
+        entry = self._outstanding.get(reply.req_seq)
+        if entry is None:
+            return True  # ours, but already completed
+        key = digest(("reply", reply.result))
+        entry.votes.setdefault(key, set()).add(src)
+        entry.results[key] = reply.result
+        if len(entry.votes[key]) >= self.f + 1:
+            self._complete(entry, entry.results[key])
+        return True
+
+    def _complete(self, entry: _Outstanding, result: Any) -> None:
+        del self._outstanding[entry.request.seq]
+        if entry.timer is not None:
+            entry.timer.cancel()
+        self.completed += 1
+        if entry.callback is not None:
+            entry.callback(result)
+
+    def update_replicas(self, replicas: Tuple[str, ...], f: int) -> None:
+        """Adopt a reconfigured membership (keeps sequence numbers)."""
+        self.replicas = tuple(replicas)
+        self.f = f
+
+    # -- introspection --------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of submitted-but-unconfirmed requests."""
+        return len(self._outstanding)

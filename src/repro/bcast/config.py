@@ -1,0 +1,110 @@
+"""Configuration of one broadcast group: membership, quorums, costs, timers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU service times (seconds) charged by replicas for protocol steps.
+
+    These knobs are the performance model.  Defaults are calibrated (see
+    ``scripts/calibrate.py`` and ``docs/CALIBRATION.md``) so a simulated
+    4-replica group matches the
+    paper's reference points: ≈19.5k local msgs/s at saturation, ≈9.5k msgs/s
+    sustained by an auxiliary group relaying global traffic (``K(h) = 9500``,
+    §V-C), and ≈4 ms single-client latency in the LAN (§V-F).
+
+    Attributes:
+        request_recv: per client/relay request received, at every replica.
+        propose_fixed: leader cost to assemble + send one proposal.
+        propose_per_msg: leader cost per request included in a proposal.
+        validate_fixed: per-replica cost to validate a received proposal.
+        validate_per_msg: per-request share of proposal validation
+            (signature checks, FIFO admission re-check).
+        vote_recv: cost of processing one WRITE or ACCEPT message.
+        execute_per_msg: cost of executing one ordered request.
+        reply_per_msg: cost of building + sending one reply.
+        relay_per_dest: cost, at a ByzCast replica, of re-broadcasting one
+            ordered global message to one replica of a child group.
+    """
+
+    request_recv: float = 5e-6
+    propose_fixed: float = 1.5e-3
+    propose_per_msg: float = 1.2e-5
+    validate_fixed: float = 1.0e-3
+    validate_per_msg: float = 5e-6
+    vote_recv: float = 4e-5
+    execute_per_msg: float = 7e-6
+    reply_per_msg: float = 4e-6
+    relay_per_dest: float = 6e-6
+
+
+@dataclass(frozen=True)
+class BroadcastConfig:
+    """Static configuration of one broadcast group.
+
+    Attributes:
+        group_id: unique group name.
+        replicas: replica endpoint names, ``len(replicas) == 3f + 1``.
+        f: tolerated Byzantine replicas.
+        max_batch: maximum requests per consensus instance.
+        batch_delay: seconds the leader waits after noticing pending requests
+            before proposing, letting near-simultaneous arrivals (e.g. the
+            3f+1 relayed copies of one ByzCast message) batch into a single
+            consensus instance — the batching effect §IV relies on.
+        request_timeout: seconds a replica waits for a pending request to be
+            executed before voting to change the leader.
+        heartbeat_interval: seconds between leader progress beacons
+            (0 disables); lets quiesced laggards detect that they are
+            behind the quorum.
+        costs: the CPU cost model.
+        verify_client_signatures: charge + perform signature verification of
+            client requests (disabled only in focused microbenchmarks).
+    """
+
+    group_id: str
+    replicas: Tuple[str, ...]
+    f: int = 1
+    max_batch: int = 400
+    batch_delay: float = 0.0
+    request_timeout: float = 2.0
+    heartbeat_interval: float = 1.0
+    costs: CostModel = field(default_factory=CostModel)
+    verify_client_signatures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ConfigurationError("f must be non-negative")
+        expected = 3 * self.f + 1
+        if len(self.replicas) != expected:
+            raise ConfigurationError(
+                f"group {self.group_id!r}: need 3f+1 = {expected} replicas, "
+                f"got {len(self.replicas)}"
+            )
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ConfigurationError(f"group {self.group_id!r}: duplicate replica names")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        if self.batch_delay < 0:
+            raise ConfigurationError("batch_delay must be non-negative")
+        if self.heartbeat_interval < 0:
+            raise ConfigurationError("heartbeat_interval must be non-negative")
+
+    @property
+    def n(self) -> int:
+        """Group size (3f + 1)."""
+        return len(self.replicas)
+
+    @property
+    def quorum(self) -> int:
+        """Byzantine quorum size: n - f = 2f + 1."""
+        return self.n - self.f
+
+    def leader_of(self, regency: int) -> str:
+        """The leader replica of ``regency`` (round-robin)."""
+        return self.replicas[regency % self.n]

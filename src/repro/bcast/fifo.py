@@ -1,0 +1,139 @@
+"""Per-sender FIFO bookkeeping: the pending pool and sequence tracking.
+
+FIFO atomic broadcast (§II-C) requires that if a correct sender broadcasts
+``m`` before ``m'``, no correct process delivers ``m'`` first.  We realize
+this with per-(sender) sequence numbers:
+
+* the :class:`PendingPool` holds requests not yet ordered, indexed by
+  sender, and yields batches that only ever extend each sender's sequence
+  contiguously from what is already ordered;
+* the :class:`SenderTracker` records, per sender, the highest sequence
+  number ordered so far, so proposals (and executions) can be validated and
+  duplicates dropped.
+
+A Byzantine leader that proposes a gap is caught by proposal validation at
+correct replicas (they refuse to WRITE), which eventually triggers a regency
+change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bcast.messages import Request
+
+
+class SenderTracker:
+    """Highest contiguously ordered sequence number per sender."""
+
+    def __init__(self) -> None:
+        self._last: Dict[str, int] = {}
+
+    def last(self, sender: str) -> int:
+        """Highest ordered seq for ``sender`` (0 = nothing ordered yet)."""
+        return self._last.get(sender, 0)
+
+    def expect(self, sender: str) -> int:
+        """Next sequence number expected from ``sender``."""
+        return self.last(sender) + 1
+
+    def advance(self, sender: str, seq: int) -> None:
+        """Record that ``seq`` was ordered for ``sender`` (must be next)."""
+        self._last[sender] = seq
+
+    def is_duplicate(self, request: Request) -> bool:
+        return request.seq <= self.last(request.sender)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._last)
+
+    def restore(self, state: Dict[str, int]) -> None:
+        self._last = dict(state)
+
+
+class PendingPool:
+    """Requests awaiting ordering, organized for FIFO-admissible batching."""
+
+    def __init__(self) -> None:
+        self._by_sender: Dict[str, Dict[int, Request]] = {}
+        self._arrival: List[Tuple[str, int]] = []  # FIFO across senders
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, request: Request) -> bool:
+        """Insert ``request`` unless it is already pooled.  Returns insertion."""
+        per_sender = self._by_sender.setdefault(request.sender, {})
+        if request.seq in per_sender:
+            return False
+        per_sender[request.seq] = request
+        self._arrival.append((request.sender, request.seq))
+        self._size += 1
+        return True
+
+    def contains(self, sender: str, seq: int) -> bool:
+        return seq in self._by_sender.get(sender, {})
+
+    def remove(self, sender: str, seq: int) -> Optional[Request]:
+        """Remove and return the request, if pooled."""
+        per_sender = self._by_sender.get(sender)
+        if not per_sender or seq not in per_sender:
+            return None
+        self._size -= 1
+        return per_sender.pop(seq)
+
+    def prune_ordered(self, tracker: SenderTracker) -> None:
+        """Drop every pooled request that is already ordered."""
+        for sender, per_sender in self._by_sender.items():
+            last = tracker.last(sender)
+            stale = [seq for seq in per_sender if seq <= last]
+            for seq in stale:
+                del per_sender[seq]
+                self._size -= 1
+
+    def admissible_batch(self, tracker: SenderTracker, max_batch: int) -> Tuple[Request, ...]:
+        """Select up to ``max_batch`` requests respecting per-sender FIFO.
+
+        Requests are taken in arrival order; a request is admitted only when
+        it is the next expected sequence for its sender, given what the
+        tracker says is ordered plus what this batch already admits.  Earlier
+        out-of-order arrivals become admissible as soon as their predecessor
+        is picked, so repeated passes over the arrival list are performed
+        until the batch stops growing.
+        """
+        batch: List[Request] = []
+        virtual: Dict[str, int] = {}
+        admitted: set = set()
+        progress = True
+        while progress and len(batch) < max_batch:
+            progress = False
+            for sender, seq in self._arrival:
+                if len(batch) >= max_batch:
+                    break
+                if (sender, seq) in admitted:
+                    continue
+                per_sender = self._by_sender.get(sender, {})
+                if seq not in per_sender:
+                    continue  # removed meanwhile
+                expected = virtual.get(sender, tracker.last(sender)) + 1
+                if seq == expected:
+                    batch.append(per_sender[seq])
+                    admitted.add((sender, seq))
+                    virtual[sender] = seq
+                    progress = True
+        self._compact()
+        return tuple(batch)
+
+    def _compact(self) -> None:
+        """Drop arrival-list entries whose requests are gone."""
+        if len(self._arrival) <= 4 * max(1, self._size):
+            return
+        self._arrival = [
+            (sender, seq)
+            for sender, seq in self._arrival
+            if seq in self._by_sender.get(sender, {})
+        ]
+
+    def senders(self) -> Iterable[str]:
+        return self._by_sender.keys()

@@ -1,0 +1,91 @@
+"""Decision log: decided batches, the execution cursor, and state snapshots.
+
+Consensus instances may decide out of order relative to execution (e.g.
+while a replica is catching up), so the log buffers decided batches by
+consensus id and releases them strictly in order.  The executed prefix is
+retained to serve state transfer to lagging peers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bcast.fifo import SenderTracker
+from repro.bcast.messages import Request
+
+
+class DecisionLog:
+    """Ordered record of decided and executed batches for one replica."""
+
+    def __init__(self) -> None:
+        self._decided: Dict[int, Tuple[Request, ...]] = {}
+        self._executed: List[Tuple[int, Tuple[Request, ...]]] = []
+        self.next_execute = 0  # lowest consensus id not yet executed
+        self.tracker = SenderTracker()
+
+    # -- decisions ---------------------------------------------------------
+
+    def record_decision(self, cid: int, batch: Tuple[Request, ...]) -> None:
+        """Buffer the decided ``batch`` for consensus ``cid`` (idempotent)."""
+        if cid >= self.next_execute:
+            self._decided.setdefault(cid, batch)
+
+    def has_decision(self, cid: int) -> bool:
+        return cid in self._decided or cid < self.next_execute
+
+    def ready_batches(self):
+        """Yield (cid, batch) pairs executable now, advancing the cursor.
+
+        Batches are yielded strictly in consensus order; iteration stops at
+        the first gap.  The caller must execute each yielded batch.
+        """
+        while self.next_execute in self._decided:
+            cid = self.next_execute
+            batch = self._decided.pop(cid)
+            self._executed.append((cid, batch))
+            self.next_execute += 1
+            yield cid, batch
+
+    # -- FIFO accounting (called by the replica during execution) ----------
+
+    def mark_ordered(self, request: Request) -> bool:
+        """Advance the sender tracker; False if ``request`` is a duplicate."""
+        if self.tracker.is_duplicate(request):
+            return False
+        self.tracker.advance(request.sender, request.seq)
+        return True
+
+    # -- state transfer ----------------------------------------------------
+
+    def executed_suffix(self, from_cid: int) -> Tuple[Tuple[int, Tuple[Request, ...]], ...]:
+        """Executed (cid, batch) pairs with cid >= from_cid."""
+        return tuple((cid, batch) for cid, batch in self._executed if cid >= from_cid)
+
+    def install_suffix(
+        self, batches: Tuple[Tuple[int, Tuple[Request, ...]], ...]
+    ) -> List[Tuple[int, Tuple[Request, ...]]]:
+        """Adopt a verified executed-log suffix from peers.
+
+        Returns the list of (cid, batch) pairs newly installed (in order) so
+        the replica can run them through the application.  Batches at or
+        beyond the local cursor are installed; earlier ones are ignored.
+        """
+        installed: List[Tuple[int, Tuple[Request, ...]]] = []
+        for cid, batch in sorted(batches):
+            if cid < self.next_execute:
+                continue
+            if cid != self.next_execute:
+                break  # refuse to install with gaps
+            self._executed.append((cid, batch))
+            self._decided.pop(cid, None)
+            self.next_execute += 1
+            installed.append((cid, batch))
+        return installed
+
+    @property
+    def executed_count(self) -> int:
+        return len(self._executed)
+
+    def highest_decided(self) -> Optional[int]:
+        """Highest buffered-but-unexecuted decision id, if any."""
+        return max(self._decided) if self._decided else None

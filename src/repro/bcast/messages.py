@@ -1,0 +1,165 @@
+"""Wire messages of the atomic broadcast protocol.
+
+All messages are frozen dataclasses so they can be hashed, canonicalized
+(:func:`repro.crypto.digest.canonical_bytes`) and therefore signed.  The
+``group`` field scopes every message to one broadcast instance; replicas
+silently discard messages for other groups (a cheap defense against
+cross-group replay by Byzantine peers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.signatures import Signature
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client (or relay) request to be ordered by a group.
+
+    Attributes:
+        group: destination broadcast group.
+        sender: identity of the submitting endpoint (client or a replica of
+            a parent group, when used by ByzCast relays).
+        seq: per-(sender, group) sequence number — the basis of FIFO order.
+        command: opaque application command (must be canonicalizable).
+        signature: the sender's signature over (group, sender, seq, command).
+    """
+
+    group: str
+    sender: str
+    seq: int
+    command: Any
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> Tuple:
+        """The tuple covered by :attr:`signature`."""
+        return ("req", self.group, self.sender, self.seq, self.command)
+
+    def key(self) -> Tuple[str, int]:
+        """FIFO identity: (sender, seq)."""
+        return (self.sender, self.seq)
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Leader's proposal of a batch for consensus instance ``cid``."""
+
+    group: str
+    regency: int
+    cid: int
+    batch: Tuple[Request, ...]
+    leader: str
+
+
+@dataclass(frozen=True)
+class Write:
+    """Echo of a proposal digest (first quorum phase)."""
+
+    group: str
+    regency: int
+    cid: int
+    digest: bytes
+    sender: str
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Commit vote after a quorum of matching WRITEs (second phase)."""
+
+    group: str
+    regency: int
+    cid: int
+    digest: bytes
+    sender: str
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A replica's response to an ordered request."""
+
+    group: str
+    sender: str
+    req_sender: str
+    req_seq: int
+    result: Any
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Vote to abandon ``regency`` (request timeout / invalid leader)."""
+
+    group: str
+    regency: int
+    sender: str
+
+
+@dataclass(frozen=True)
+class StopData:
+    """Sent to the new leader after a regency change.
+
+    Carries the replica's highest write-certified but undecided value so the
+    new leader cannot revert a potentially decided batch.
+    """
+
+    group: str
+    regency: int
+    sender: str
+    cid: int
+    cert_regency: int
+    batch: Optional[Tuple[Request, ...]]
+
+
+@dataclass(frozen=True)
+class Sync:
+    """New leader's installation message for ``regency``.
+
+    ``carry`` is the write-certified batch (if any) the leader must
+    re-propose for the pending consensus instance.
+    """
+
+    group: str
+    regency: int
+    leader: str
+    cid: int
+    carry: Optional[Tuple[Request, ...]]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic leader liveness + progress beacon.
+
+    Lets a replica that quiesced behind the quorum (e.g. after a healed
+    partition with no further traffic) notice the gap and state-transfer.
+    """
+
+    group: str
+    regency: int
+    next_cid: int
+    sender: str
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """Ask peers for the executed log starting at consensus ``from_cid``."""
+
+    group: str
+    sender: str
+    from_cid: int
+
+
+@dataclass(frozen=True)
+class StateResponse:
+    """A peer's executed log suffix (f+1 matching responses are applied).
+
+    ``regency`` lets a recovering replica rejoin the current leader epoch.
+    """
+
+    group: str
+    sender: str
+    from_cid: int
+    next_cid: int
+    regency: int
+    batches: Tuple[Tuple[int, Tuple[Request, ...]], ...]

@@ -1,0 +1,126 @@
+"""Group reconfiguration: ordered membership changes (BFT-SMaRt §IV).
+
+BFT-SMaRt supports replacing group members at runtime; ByzCast inherits
+that ability per group.  We model it the way BFT-SMaRt does: a trusted
+*view manager* (the ``admin@<group>`` identity) submits a signed
+:class:`Reconfig` command carrying the complete new membership.  The
+command is totally ordered like any request, and every replica switches to
+the new :class:`View` at the same consensus boundary, so quorum sizes and
+the leader schedule stay consistent.
+
+* A **removed** replica deactivates: it stops voting and proposing.
+* An **added** replica starts inactive and polls the group with state
+  requests; replaying the log suffix executes the same ``Reconfig`` and
+  activates it once it appears in the view.
+
+The protocol view (who votes, who leads, quorum arithmetic) always has
+exactly ``3f + 1`` members; clients may keep spraying requests at old
+members (they simply stop answering), and re-transmission plus the f+1
+reply rule keep clients correct across the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.bcast.messages import Reply
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ConfigurationError
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.monitor import Monitor
+
+
+@dataclass(frozen=True)
+class View:
+    """A group's active membership (always 3f + 1 replicas)."""
+
+    replicas: Tuple[str, ...]
+    f: int
+
+    def __post_init__(self) -> None:
+        if len(self.replicas) != 3 * self.f + 1:
+            raise ConfigurationError(
+                f"view must have 3f+1 = {3 * self.f + 1} replicas, "
+                f"got {len(self.replicas)}"
+            )
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ConfigurationError("duplicate replicas in view")
+
+    @property
+    def n(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def quorum(self) -> int:
+        return self.n - self.f
+
+    def leader_of(self, regency: int) -> str:
+        return self.replicas[regency % self.n]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.replicas
+
+
+@dataclass(frozen=True)
+class Reconfig:
+    """An ordered membership-change command (complete new membership)."""
+
+    group: str
+    new_replicas: Tuple[str, ...]
+
+    def to_view(self, f: int) -> View:
+        return View(tuple(self.new_replicas), f)
+
+
+def admin_identity(group_id: str) -> str:
+    """The view-manager identity authorized to reconfigure ``group_id``."""
+    return f"admin@{group_id}"
+
+
+class ViewManager(Actor):
+    """The trusted administrator submitting reconfiguration commands.
+
+    A thin client actor whose only job is to sign and submit
+    :class:`Reconfig` commands to the group (through the standard request
+    path, so membership changes are totally ordered with application
+    traffic).
+    """
+
+    def __init__(
+        self,
+        group_id: str,
+        loop: EventLoop,
+        initial_view: View,
+        registry: KeyRegistry,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        super().__init__(admin_identity(group_id), loop, monitor)
+        from repro.bcast.client import GroupProxy
+
+        self.group_id = group_id
+        self.view = initial_view
+        self.registry = registry
+        self._proxy = GroupProxy(
+            self, group_id, initial_view.replicas, initial_view.f, registry,
+        )
+
+    def reconfigure(self, new_replicas: Tuple[str, ...],
+                    callback: Optional[Any] = None) -> None:
+        """Order a membership change to ``new_replicas``."""
+        command = Reconfig(self.group_id, tuple(new_replicas))
+
+        def done(result: Any) -> None:
+            self.view = View(tuple(new_replicas), self.view.f)
+            self._proxy.update_replicas(self.view.replicas, self.view.f)
+            self.monitor.record(self.name, "reconfig.confirmed",
+                                members=",".join(new_replicas))
+            if callback is not None:
+                callback(result)
+
+        self._proxy.submit(command, done)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Reply):
+            self._proxy.handle_reply(src, payload)

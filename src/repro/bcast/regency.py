@@ -1,0 +1,127 @@
+"""Regency (leader-epoch) management: the Mod-SMaRt synchronization phase.
+
+A *regency* is a leader epoch; the leader of regency ``r`` is replica
+``r mod n``.  When requests time out, replicas vote STOP for the current
+regency.  ``f + 1`` STOPs make a replica join the vote (a correct replica
+detected a problem), ``2f + 1`` STOPs install the next regency: replicas
+send STOPDATA (their strongest write certificate for the pending consensus)
+to the new leader, which re-proposes any certified value in a SYNC message.
+
+This module holds the vote-counting state machine; the replica drives it
+and performs the actual sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.bcast.consensus import WriteCertificate
+from repro.bcast.messages import Request, StopData
+
+
+@dataclass
+class SyncDecision:
+    """What the new leader must re-propose after collecting STOPDATA."""
+
+    cid: int
+    carry: Optional[Tuple[Request, ...]]
+
+
+class RegencyManager:
+    """Vote counting for regency changes at one replica."""
+
+    def __init__(self, n: int, f: int) -> None:
+        self.n = n
+        self.f = f
+        self.quorum = n - f  # 2f + 1
+        self.current = 0
+        self.in_transition = False
+        self._stops: Dict[int, Set[str]] = {}
+        self._sent_stop: Set[int] = set()
+        self._stopdata: Dict[int, Dict[str, StopData]] = {}
+        self._sync_sent: Set[int] = set()
+
+    def update_view(self, n: int, f: int) -> None:
+        """Adopt a reconfigured membership's quorum arithmetic."""
+        self.n = n
+        self.f = f
+        self.quorum = n - f
+
+    # -- STOP phase ---------------------------------------------------------
+
+    def note_own_stop(self, regency: int) -> None:
+        self._sent_stop.add(regency)
+
+    def has_sent_stop(self, regency: int) -> bool:
+        return regency in self._sent_stop
+
+    def add_stop(self, regency: int, sender: str) -> None:
+        """Record a STOP vote for ``regency``."""
+        self._stops.setdefault(regency, set()).add(sender)
+
+    def should_join_stop(self, regency: int) -> bool:
+        """True iff f+1 STOPs were seen and we have not voted yet."""
+        if regency < self.current or regency in self._sent_stop:
+            return False
+        return len(self._stops.get(regency, ())) >= self.f + 1
+
+    def stop_quorum(self, regency: int) -> bool:
+        """True iff 2f+1 STOPs for ``regency`` were collected."""
+        return len(self._stops.get(regency, ())) >= self.quorum
+
+    def begin_transition(self, stopped_regency: int) -> int:
+        """Move to ``stopped_regency + 1`` pending SYNC; returns new regency."""
+        new_regency = stopped_regency + 1
+        self.current = max(self.current, new_regency)
+        self.in_transition = True
+        return self.current
+
+    # -- STOPDATA / SYNC phase ------------------------------------------------
+
+    def add_stopdata(self, data: StopData) -> None:
+        self._stopdata.setdefault(data.regency, {})[data.sender] = data
+
+    def sync_ready(self, regency: int) -> bool:
+        """True iff the new leader holds a quorum of STOPDATA for ``regency``
+        and has not emitted SYNC yet."""
+        if regency in self._sync_sent:
+            return False
+        return len(self._stopdata.get(regency, {})) >= self.quorum
+
+    def mark_sync_sent(self, regency: int) -> None:
+        self._sync_sent.add(regency)
+
+    def choose_sync(self, regency: int, own_cid: int,
+                    own_cert: Optional[WriteCertificate]) -> SyncDecision:
+        """Pick the value the new leader must carry into ``regency``.
+
+        The rule mirrors Paxos: among all reported write certificates for the
+        highest pending consensus id, re-propose the one from the highest
+        regency; if none exists the leader is free to propose fresh batches.
+        """
+        reports = list(self._stopdata.get(regency, {}).values())
+        cid = max([own_cid] + [r.cid for r in reports])
+        best_regency = -1
+        carry: Optional[Tuple[Request, ...]] = None
+        if own_cert is not None and own_cid == cid and own_cert.batch:
+            best_regency = own_cert.regency
+            carry = own_cert.batch
+        for report in reports:
+            if report.cid == cid and report.batch and report.cert_regency > best_regency:
+                best_regency = report.cert_regency
+                carry = report.batch
+        return SyncDecision(cid=cid, carry=carry)
+
+    # -- SYNC installation ----------------------------------------------------
+
+    def install(self, regency: int) -> None:
+        """Adopt ``regency`` as current and leave the transition state."""
+        self.current = max(self.current, regency)
+        self.in_transition = False
+
+    def accepts_sync(self, regency: int) -> bool:
+        """True iff a SYNC for ``regency`` is acceptable now."""
+        if regency > self.current:
+            return True
+        return regency == self.current and self.in_transition

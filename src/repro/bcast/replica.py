@@ -1,0 +1,725 @@
+"""The replica actor: Mod-SMaRt ordering + execution for one group member.
+
+A replica stitches together the pure sub-machines of this package:
+
+* :class:`~repro.bcast.fifo.PendingPool` — unordered requests;
+* :class:`~repro.bcast.consensus.ConsensusInstance` — per-cid quorum logic;
+* :class:`~repro.bcast.regency.RegencyManager` — leader-change voting;
+* :class:`~repro.bcast.log.DecisionLog` — ordered execution + state.
+
+Consensus instances run sequentially (one in flight), exactly as the paper
+describes BFT-SMaRt: "the leader starts a consensus instance every time
+there are pending client requests ... and there are no consensus being
+executed" (§IV).  Throughput comes from batching, not pipelining.
+
+Methods are deliberately fine-grained so :mod:`repro.faults` can subclass
+this actor and override individual steps (e.g. send an equivocating
+proposal) without duplicating the rest of the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bcast.app import Application, ExecutionContext
+from repro.bcast.config import BroadcastConfig
+from repro.bcast.consensus import ConsensusInstance
+from repro.bcast.fifo import PendingPool
+from repro.bcast.log import DecisionLog
+from repro.bcast.messages import (
+    Accept,
+    Heartbeat,
+    Propose,
+    Reply,
+    Request,
+    StateRequest,
+    StateResponse,
+    Stop,
+    StopData,
+    Sync,
+    Write,
+)
+from repro.bcast.reconfig import Reconfig, View, admin_identity
+from repro.bcast.regency import RegencyManager
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import verify
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.monitor import Monitor
+
+#: consensus-id lead that makes a replica suspect it is missing decisions
+STATE_GAP_THRESHOLD = 2
+#: how long a state-transfer round may take before it is retried
+STATE_RETRY_TIMEOUT = 1.0
+
+
+class Replica(Actor):
+    """One member of a BFT atomic broadcast group."""
+
+    def __init__(
+        self,
+        name: str,
+        config: BroadcastConfig,
+        loop: EventLoop,
+        registry: KeyRegistry,
+        app: Application,
+        monitor: Optional[Monitor] = None,
+        view: Optional[View] = None,
+    ) -> None:
+        super().__init__(name, loop, monitor)
+        if view is None and name not in config.replicas:
+            raise ValueError(f"{name!r} is not a member of group {config.group_id!r}")
+        self.config = config
+        self.registry = registry
+        self.app = app
+        #: the active membership; changes through ordered Reconfig commands
+        self.view = view if view is not None else View(config.replicas, config.f)
+        #: False for a joiner that is not (yet) part of the view
+        self.active = name in self.view
+
+        self.pool = PendingPool()
+        self.log = DecisionLog()
+        self.regency = RegencyManager(self.view.n, self.view.f)
+        self._consensus: Dict[int, ConsensusInstance] = {}
+        self._proposing = False  # leader-side: an instance we lead is in flight
+
+        self._pending_since: Dict[Tuple[str, int], float] = {}
+        self._request_timer = None
+        self._last_reply: Dict[str, Reply] = {}
+
+        self._state_xfer_active = False
+        self._state_responses: Dict[str, StateResponse] = {}
+        #: proposals for consensus ids we have not reached yet (bounded stash)
+        self._future_proposals: Dict[int, Tuple[str, Propose]] = {}
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def group_id(self) -> str:
+        return self.config.group_id
+
+    @property
+    def is_leader(self) -> bool:
+        return (
+            not self.regency.in_transition
+            and self.view.leader_of(self.regency.current) == self.name
+        )
+
+    def peers(self) -> Tuple[str, ...]:
+        """All group members except this replica."""
+        return tuple(r for r in self.view.replicas if r != self.name)
+
+    def _apply_reconfig(self, command: Reconfig) -> None:
+        """Switch to the new membership at this consensus boundary."""
+        new_view = View(tuple(command.new_replicas), self.view.f)
+        was_active = self.active
+        self.view = new_view
+        self.regency.update_view(new_view.n, new_view.f)
+        self.active = self.name in new_view
+        self._proposing = False
+        self.monitor.record(self.name, "replica.reconfigured",
+                            members=",".join(new_view.replicas),
+                            active=self.active)
+        if self.active and not was_active:
+            # Freshly joined: we are already caught up to this boundary.
+            self._maybe_propose()
+
+    def start(self) -> None:
+        if not self.active:
+            self._inactive_poll()
+        if self.config.heartbeat_interval > 0:
+            self.set_timer(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if self.crashed:
+            return
+        if self.active and self.is_leader:
+            beat = Heartbeat(self.group_id, self.regency.current,
+                             self.log.next_execute, self.name)
+            self._broadcast(beat)
+        self.set_timer(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _handle_heartbeat(self, src: str, beat: Heartbeat) -> None:
+        if beat.group != self.group_id or beat.sender != src:
+            return
+        if src not in self.view.replicas:
+            return
+        if beat.next_cid > self.log.next_execute:
+            self._request_state()
+
+    def _inactive_poll(self) -> None:
+        """A joiner keeps pulling state until a Reconfig activates it."""
+        if self.active or self.crashed:
+            return
+        self._request_state()
+        self.set_timer(self.config.request_timeout, self._inactive_poll)
+
+    def recover(self) -> None:
+        """Rejoin after a benign crash: wipe volatile state, catch up."""
+        self.crashed = False
+        self._consensus.clear()
+        self._proposing = False
+        self.pool = PendingPool()
+        self._pending_since.clear()
+        self._request_timer = None
+        self._state_xfer_active = False
+        self._state_responses.clear()
+        self.monitor.record(self.name, "replica.recover")
+        if self.config.heartbeat_interval > 0:
+            self.set_timer(self.config.heartbeat_interval, self._heartbeat_tick)
+        self._request_state()
+
+    # ----------------------------------------------------------- dispatch
+
+    def on_message(self, src: str, payload: Any) -> None:
+        costs = self.config.costs
+        if not self.active and not isinstance(payload, (StateRequest, StateResponse)):
+            return  # a joiner only catches up until a Reconfig activates it
+        if isinstance(payload, Request):
+            self.work(costs.request_recv, lambda: self._handle_request(src, payload))
+        elif isinstance(payload, Propose):
+            cost = costs.validate_fixed + costs.validate_per_msg * len(payload.batch)
+            self.work(cost, lambda: self._handle_propose(src, payload))
+        elif isinstance(payload, Write):
+            self.work(costs.vote_recv, lambda: self._handle_write(src, payload))
+        elif isinstance(payload, Accept):
+            self.work(costs.vote_recv, lambda: self._handle_accept(src, payload))
+        elif isinstance(payload, Stop):
+            self.work(costs.vote_recv, lambda: self._handle_stop(src, payload))
+        elif isinstance(payload, StopData):
+            self.work(costs.vote_recv, lambda: self._handle_stopdata(src, payload))
+        elif isinstance(payload, Sync):
+            self.work(costs.vote_recv, lambda: self._handle_sync(src, payload))
+        elif isinstance(payload, StateRequest):
+            self.work(costs.vote_recv, lambda: self._handle_state_request(src, payload))
+        elif isinstance(payload, StateResponse):
+            self.work(costs.vote_recv, lambda: self._handle_state_response(src, payload))
+        elif isinstance(payload, Heartbeat):
+            self.work(costs.vote_recv, lambda: self._handle_heartbeat(src, payload))
+        elif isinstance(payload, Reply):
+            # Replies reach a replica when it acts as a *sender* to another
+            # group (ByzCast relays); the application owns those proxies.
+            handler = getattr(self.app, "handle_reply", None)
+            if handler is not None:
+                handler(src, payload)
+        else:
+            self.monitor.record(self.name, "replica.unknown_message", kind=type(payload).__name__)
+
+    def _broadcast(self, message: Any, size: int = 64) -> None:
+        """Send ``message`` to every peer (not to self)."""
+        for peer in self.peers():
+            self.send(peer, message, size)
+
+    # ----------------------------------------------------------- requests
+
+    def _handle_request(self, src: str, request: Request) -> None:
+        if request.group != self.group_id:
+            return
+        # Admission-time validation (as in BFT-SMaRt): a request that could
+        # never pass proposal validation must not enter the pool, or it
+        # would poison every batch built from it.  The CPU cost of this
+        # check is part of ``request_recv``.
+        if self.config.verify_client_signatures:
+            if request.signature is None or request.signature.signer != request.sender:
+                self.monitor.record(self.name, "request.unsigned", sender=request.sender)
+                return
+            if not verify(self.registry, request.signed_part(), request.signature):
+                self.monitor.record(self.name, "request.bad_signature", sender=request.sender)
+                return
+        if self.log.tracker.is_duplicate(request):
+            cached = self._last_reply.get(request.sender)
+            if cached is not None and cached.req_seq == request.seq:
+                self.send(request.sender, cached)
+            return
+        if self.pool.add(request):
+            self._pending_since[request.key()] = self.loop.now
+            self._arm_request_timer()
+        self._maybe_propose()
+
+    # ----------------------------------------------------------- proposing
+
+    def _next_cid(self) -> int:
+        highest = self.log.highest_decided()
+        floor = self.log.next_execute if highest is None else highest + 1
+        return floor
+
+    def _maybe_propose(self) -> None:
+        """Leader: start a consensus if none is running and work is pending."""
+        if not self.is_leader or self._proposing or self._state_xfer_active:
+            return
+        if not len(self.pool):
+            return
+        self._proposing = True
+        if self.config.batch_delay > 0:
+            self.set_timer(self.config.batch_delay, self._begin_proposal)
+        else:
+            self._begin_proposal()
+
+    def _begin_proposal(self) -> None:
+        """Select the batch (after any batch delay) and charge the CPU."""
+        if not self.is_leader or self._state_xfer_active:
+            self._proposing = False
+            return
+        batch = self.pool.admissible_batch(self.log.tracker, self.config.max_batch)
+        if not batch:
+            self._proposing = False
+            return
+        cid = self._next_cid()
+        regency = self.regency.current
+        costs = self.config.costs
+        cost = costs.propose_fixed + costs.propose_per_msg * len(batch)
+        self.work(cost, lambda: self._send_propose(cid, regency, batch))
+
+    def _send_propose(self, cid: int, regency: int, batch: Tuple[Request, ...]) -> None:
+        """Emit the proposal (overridden by Byzantine behaviours)."""
+        if regency != self.regency.current or self.regency.in_transition:
+            self._proposing = False  # a regency change raced with us
+            return
+        if not self.is_leader:
+            self._proposing = False  # a reconfiguration changed the schedule
+            return
+        proposal = Propose(self.group_id, regency, cid, batch, self.name)
+        self.monitor.record(self.name, "consensus.propose", cid=cid, batch=len(batch))
+        self._broadcast(proposal, size=64 * max(1, len(batch)))
+        # Local processing of our own proposal (no network hop for self).
+        self._process_proposal(self.name, proposal)
+
+    # ------------------------------------------------------ proposal intake
+
+    def _handle_propose(self, src: str, proposal: Propose) -> None:
+        self._note_progress_gap(proposal.cid)
+        self._process_proposal(src, proposal)
+
+    def _process_proposal(self, src: str, proposal: Propose) -> None:
+        if not self._validate_proposal(src, proposal):
+            return
+        d = digest(proposal.batch)
+        instance = self._instance(proposal.cid)
+        if not instance.note_proposal(proposal.regency, d, proposal.batch):
+            self.monitor.record(self.name, "consensus.equivocation", cid=proposal.cid)
+            return
+        if instance.should_write(proposal.regency):
+            instance.mark_write_sent(proposal.regency)
+            write = Write(self.group_id, proposal.regency, proposal.cid, d, self.name)
+            self._broadcast(write)
+            self._apply_write(self.name, write)
+
+    def _validate_proposal(self, src: str, proposal: Propose) -> bool:
+        """All the checks a correct replica performs before echoing a batch."""
+        record = self.monitor.record
+        if proposal.group != self.group_id:
+            return False
+        if self.regency.in_transition or proposal.regency != self.regency.current:
+            record(self.name, "propose.wrong_regency", cid=proposal.cid)
+            return False
+        expected_leader = self.view.leader_of(proposal.regency)
+        if src != expected_leader or proposal.leader != expected_leader:
+            record(self.name, "propose.wrong_leader", src=src)
+            return False
+        if not 1 <= len(proposal.batch) <= self.config.max_batch:
+            record(self.name, "propose.bad_batch_size", size=len(proposal.batch))
+            return False
+        if proposal.cid != self.log.next_execute:
+            # Stale (already executed) or ahead (we are behind): never echo
+            # now, but stash a slightly-ahead proposal so a lagging replica
+            # can vote as soon as it catches up.
+            if (
+                proposal.cid > self.log.next_execute
+                and proposal.cid - self.log.next_execute <= 8
+            ):
+                self._future_proposals[proposal.cid] = (src, proposal)
+            record(self.name, "propose.wrong_cid", cid=proposal.cid)
+            return False
+        virtual: Dict[str, int] = {}
+        seen = set()
+        for request in proposal.batch:
+            if request.group != self.group_id:
+                record(self.name, "propose.foreign_request")
+                return False
+            if request.key() in seen:
+                record(self.name, "propose.duplicate_request")
+                return False
+            seen.add(request.key())
+            expected = virtual.get(request.sender, self.log.tracker.last(request.sender)) + 1
+            if request.seq != expected:
+                record(self.name, "propose.fifo_violation", sender=request.sender)
+                return False
+            virtual[request.sender] = request.seq
+            if self.config.verify_client_signatures:
+                if request.signature is None or request.signature.signer != request.sender:
+                    record(self.name, "propose.unsigned_request", sender=request.sender)
+                    return False
+                if not verify(self.registry, request.signed_part(), request.signature):
+                    record(self.name, "propose.bad_signature", sender=request.sender)
+                    return False
+        return True
+
+    def _reconfig_authorized(self, request: Request) -> bool:
+        """Only the group's view manager may change membership.
+
+        Evaluated at execution time (deterministically, from ordered data),
+        so an unauthorized Reconfig is simply refused with an error reply
+        instead of poisoning proposals or the sender's FIFO stream.
+        """
+        command = request.command
+        if request.sender != admin_identity(self.group_id):
+            return False
+        if command.group != self.group_id:
+            return False
+        try:
+            View(tuple(command.new_replicas), self.view.f)
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------- voting
+
+    def _instance(self, cid: int) -> ConsensusInstance:
+        if cid not in self._consensus:
+            self._consensus[cid] = ConsensusInstance(cid=cid, quorum=self.view.quorum)
+        return self._consensus[cid]
+
+    def _handle_write(self, src: str, write: Write) -> None:
+        if write.group != self.group_id or write.sender != src:
+            return
+        if src not in self.view.replicas:
+            return
+        self._note_progress_gap(write.cid)
+        self._apply_write(src, write)
+
+    def _apply_write(self, sender: str, write: Write) -> None:
+        if write.cid < self.log.next_execute:
+            return
+        instance = self._instance(write.cid)
+        instance.add_write(write.regency, write.digest, sender)
+        if instance.should_accept(write.regency, write.digest):
+            instance.mark_accept_sent(write.regency)
+            accept = Accept(self.group_id, write.regency, write.cid, write.digest, self.name)
+            self._broadcast(accept)
+            self._apply_accept(self.name, accept)
+
+    def _handle_accept(self, src: str, accept: Accept) -> None:
+        if accept.group != self.group_id or accept.sender != src:
+            return
+        if src not in self.view.replicas:
+            return
+        self._note_progress_gap(accept.cid)
+        self._apply_accept(src, accept)
+
+    def _apply_accept(self, sender: str, accept: Accept) -> None:
+        if accept.cid < self.log.next_execute:
+            return
+        instance = self._instance(accept.cid)
+        if instance.add_accept(accept.regency, accept.digest, sender):
+            self._on_decided(instance)
+
+    # ------------------------------------------------------------ decision
+
+    def _on_decided(self, instance: ConsensusInstance) -> None:
+        batch = instance.decided_batch()
+        self.monitor.record(self.name, "consensus.decided", cid=instance.cid)
+        if batch is None:
+            # We know *that* cid decided but not *what* — fetch from peers.
+            self.monitor.record(self.name, "consensus.decided_unknown", cid=instance.cid)
+            self._request_state()
+            return
+        self.log.record_decision(instance.cid, batch)
+        if self._proposing and self.is_leader:
+            self._proposing = False
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        for cid, batch in self.log.ready_batches():
+            self._consensus.pop(cid, None)
+            # FIFO/ordering state advances *synchronously* at decision time:
+            # a proposal for cid+1 may be validated before the (CPU-deferred)
+            # execution job runs, and it must see the up-to-date tracker.
+            ordered = []
+            for request in batch:
+                self._pending_since.pop(request.key(), None)
+                self.pool.remove(request.sender, request.seq)
+                if self.log.mark_ordered(request):
+                    if (isinstance(request.command, Reconfig)
+                            and self._reconfig_authorized(request)):
+                        self._apply_reconfig(request.command)
+                    ordered.append(request)
+                # else: duplicate slipped through (e.g. a carried batch)
+            self.pool.prune_ordered(self.log.tracker)
+            costs = self.config.costs
+            cost = (costs.execute_per_msg + costs.reply_per_msg) * len(ordered)
+            self.work(cost, lambda b=tuple(ordered): self._execute_batch(b))
+        self._drain_future_proposals()
+        self._maybe_propose()
+
+    def _execute_batch(self, batch: Tuple[Request, ...]) -> None:
+        ctx = ExecutionContext(replica=self, time=self.loop.now)
+        for request in batch:
+            if isinstance(request.command, Reconfig):
+                if self._reconfig_authorized(request):
+                    result = ("ok", "reconfig", request.command.new_replicas)
+                else:
+                    result = ("error", "reconfig denied")
+                    self.monitor.record(self.name, "reconfig.denied",
+                                        sender=request.sender)
+            else:
+                result = self.app.execute(request, ctx)
+            self.monitor.record(self.name, "replica.executed", sender=request.sender, seq=request.seq)
+            if result is not None:
+                reply = Reply(self.group_id, self.name, request.sender, request.seq, result)
+                self._last_reply[request.sender] = reply
+                self._send_reply(request, reply)
+        self._maybe_propose()
+
+    def _drain_future_proposals(self) -> None:
+        """Re-process stashed proposals that became current."""
+        stale = [cid for cid in self._future_proposals if cid < self.log.next_execute]
+        for cid in stale:
+            del self._future_proposals[cid]
+        entry = self._future_proposals.pop(self.log.next_execute, None)
+        if entry is not None:
+            src, proposal = entry
+            self._process_proposal(src, proposal)
+
+    def _send_reply(self, request: Request, reply: Reply) -> None:
+        """Deliver the reply to the request's sender (override point)."""
+        self.send(request.sender, reply)
+
+    # ------------------------------------------------------- request timer
+
+    def _arm_request_timer(self) -> None:
+        if self._request_timer is not None or not self._pending_since:
+            return
+        self._request_timer = self.set_timer(
+            self.config.request_timeout, self._request_timer_fired
+        )
+
+    def _request_timer_fired(self) -> None:
+        self._request_timer = None
+        if not self._pending_since:
+            return
+        oldest = min(self._pending_since.values())
+        waited = self.loop.now - oldest
+        if waited >= self.config.request_timeout * 0.999:
+            self._initiate_stop()
+            # Anti-entropy: the stall may be because *we* fell behind the
+            # quorum (our votes or decisions were lost); ask peers for their
+            # executed log alongside the leader-change vote.
+            self._request_state()
+            now = self.loop.now
+            for key in self._pending_since:
+                self._pending_since[key] = now
+            self._request_timer = self.set_timer(
+                self.config.request_timeout, self._request_timer_fired
+            )
+        else:
+            remaining = self.config.request_timeout - waited
+            self._request_timer = self.set_timer(remaining, self._request_timer_fired)
+
+    # ------------------------------------------------------ regency change
+
+    def _initiate_stop(self) -> None:
+        regency = self.regency.current
+        stop = Stop(self.group_id, regency, self.name)
+        if not self.regency.has_sent_stop(regency):
+            self.monitor.record(self.name, "regency.stop", regency=regency)
+            self.regency.note_own_stop(regency)
+        else:
+            # Retransmit: our earlier STOP may have been lost (drops or a
+            # partition); peers count stop votes idempotently.
+            self.monitor.count("regency.stop_retransmit")
+        self._broadcast(stop)
+        self._apply_stop(self.name, stop)
+
+    def _handle_stop(self, src: str, stop: Stop) -> None:
+        if stop.group != self.group_id or stop.sender != src:
+            return
+        if src not in self.view.replicas:
+            return
+        self._apply_stop(src, stop)
+
+    def _apply_stop(self, sender: str, stop: Stop) -> None:
+        self.regency.add_stop(stop.regency, sender)
+        if self.regency.should_join_stop(stop.regency):
+            self.regency.note_own_stop(stop.regency)
+            echoed = Stop(self.group_id, stop.regency, self.name)
+            self._broadcast(echoed)
+            self.regency.add_stop(stop.regency, self.name)
+        if stop.regency >= self.regency.current and self.regency.stop_quorum(stop.regency):
+            new_regency = self.regency.begin_transition(stop.regency)
+            self._on_regency_transition(new_regency)
+
+    def _on_regency_transition(self, new_regency: int) -> None:
+        self.monitor.record(self.name, "regency.transition", regency=new_regency)
+        self._proposing = False
+        cid = self.log.next_execute
+        instance = self._consensus.get(cid)
+        cert = instance.write_cert if instance is not None else None
+        data = StopData(
+            group=self.group_id,
+            regency=new_regency,
+            sender=self.name,
+            cid=cid,
+            cert_regency=cert.regency if cert is not None else -1,
+            batch=cert.batch if (cert is not None and cert.batch) else None,
+        )
+        new_leader = self.view.leader_of(new_regency)
+        if new_leader == self.name:
+            self._apply_stopdata(self.name, data)
+        else:
+            self.send(new_leader, data)
+
+    def _handle_stopdata(self, src: str, data: StopData) -> None:
+        if data.group != self.group_id or data.sender != src:
+            return
+        if src not in self.view.replicas:
+            return
+        self._apply_stopdata(src, data)
+
+    def _apply_stopdata(self, sender: str, data: StopData) -> None:
+        if self.view.leader_of(data.regency) != self.name:
+            return
+        if data.regency < self.regency.current:
+            return
+        self.regency.add_stopdata(data)
+        if self.regency.sync_ready(data.regency):
+            cid = self.log.next_execute
+            instance = self._consensus.get(cid)
+            cert = instance.write_cert if instance is not None else None
+            decision = self.regency.choose_sync(data.regency, cid, cert)
+            self.regency.mark_sync_sent(data.regency)
+            sync = Sync(
+                group=self.group_id,
+                regency=data.regency,
+                leader=self.name,
+                cid=decision.cid,
+                carry=decision.carry,
+            )
+            self.monitor.record(self.name, "regency.sync", regency=data.regency,
+                                carry=decision.carry is not None)
+            self._broadcast(sync)
+            self._apply_sync(self.name, sync)
+
+    def _handle_sync(self, src: str, sync: Sync) -> None:
+        if sync.group != self.group_id or sync.leader != src:
+            return
+        self._apply_sync(src, sync)
+
+    def _apply_sync(self, sender: str, sync: Sync) -> None:
+        if self.view.leader_of(sync.regency) != sender:
+            return
+        if not self.regency.accepts_sync(sync.regency):
+            return
+        self.regency.install(sync.regency)
+        self.monitor.record(self.name, "regency.installed", regency=sync.regency)
+        now = self.loop.now
+        for key in self._pending_since:
+            self._pending_since[key] = now
+        if sync.carry is not None and sync.cid == self.log.next_execute:
+            carried = Propose(self.group_id, sync.regency, sync.cid, sync.carry, sender)
+            self._process_proposal(sender, carried)
+        self._drain_future_proposals()
+        self._maybe_propose()
+
+    # ------------------------------------------------------- state transfer
+
+    def _note_progress_gap(self, cid: int) -> None:
+        if cid >= self.log.next_execute + STATE_GAP_THRESHOLD:
+            self._request_state()
+
+    def _request_state(self) -> None:
+        if self._state_xfer_active:
+            return
+        self._state_xfer_active = True
+        self._state_responses.clear()
+        self.monitor.record(self.name, "state.request", from_cid=self.log.next_execute)
+        self._broadcast(StateRequest(self.group_id, self.name, self.log.next_execute))
+        self.set_timer(STATE_RETRY_TIMEOUT, self._state_timeout)
+
+    def _state_timeout(self) -> None:
+        if self._state_xfer_active:
+            self._state_xfer_active = False
+
+    def _handle_state_request(self, src: str, request: StateRequest) -> None:
+        if request.group != self.group_id:
+            return
+        response = StateResponse(
+            group=self.group_id,
+            sender=self.name,
+            from_cid=request.from_cid,
+            next_cid=self.log.next_execute,
+            regency=self.regency.current,
+            batches=self.log.executed_suffix(request.from_cid),
+        )
+        self.send(src, response, size=64 * max(1, len(response.batches)))
+
+    def _handle_state_response(self, src: str, response: StateResponse) -> None:
+        if response.group != self.group_id or response.sender != src:
+            return
+        if src not in self.view.replicas:
+            return
+        if not self._state_xfer_active:
+            return
+        self._state_responses[src] = response
+        if len(self._state_responses) < self.view.f + 1:
+            return
+        adopted = self._try_adopt_state()
+        # Whether or not anything was installable, the round is over: f+1
+        # peers answered.  If we were genuinely behind but their responses
+        # disagreed (drops), the next timeout retries.  Keeping the flag set
+        # would block the leader from proposing (livelock).
+        self._state_xfer_active = False
+        if adopted:
+            self._execute_ready()
+        self._drain_future_proposals()
+        self._maybe_propose()
+
+    def _try_adopt_state(self) -> bool:
+        """Install every log position vouched for by f+1 identical responses."""
+        per_cid: Dict[int, Dict[bytes, Tuple[int, Tuple[Request, ...]]]] = {}
+        counts: Dict[Tuple[int, bytes], int] = {}
+        regencies = []
+        for response in self._state_responses.values():
+            regencies.append(response.regency)
+            for cid, batch in response.batches:
+                d = digest(batch)
+                per_cid.setdefault(cid, {})[d] = (cid, batch)
+                counts[(cid, d)] = counts.get((cid, d), 0) + 1
+        installed_any = False
+        while True:
+            cid = self.log.next_execute
+            options = per_cid.get(cid)
+            if not options:
+                break
+            chosen = None
+            for d, (__, batch) in options.items():
+                if counts.get((cid, d), 0) >= self.view.f + 1:
+                    chosen = batch
+                    break
+            if chosen is None:
+                break
+            for installed_cid, batch in self.log.install_suffix(((cid, chosen),)):
+                self._run_installed_batch(batch)
+                installed_any = True
+        if installed_any:
+            target = max(regencies)
+            if target > self.regency.current:
+                self.regency.install(target)
+        return installed_any
+
+    def _run_installed_batch(self, batch: Tuple[Request, ...]) -> None:
+        """Execute a state-transferred batch (no replies for stale requests)."""
+        ctx = ExecutionContext(replica=self, time=self.loop.now)
+        for request in batch:
+            self._pending_since.pop(request.key(), None)
+            self.pool.remove(request.sender, request.seq)
+            if not self.log.mark_ordered(request):
+                continue
+            if isinstance(request.command, Reconfig):
+                if self._reconfig_authorized(request):
+                    self._apply_reconfig(request.command)
+            else:
+                self.app.execute(request, ctx)
+            self.monitor.record(self.name, "replica.executed_catchup",
+                                sender=request.sender, seq=request.seq)
+        self.pool.prune_ordered(self.log.tracker)

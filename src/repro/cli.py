@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run the quickstart scenario and print deliveries;
+* ``table3``    — regenerate the paper's Table III;
+* ``plan``      — optimize an overlay tree for a demand matrix;
+* ``capacity``  — probe group capacities (the K(x) methodology of §V-C);
+* ``experiment``— run one of the paper's figure scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.deployment import ByzCastDeployment
+from repro.core.tree import OverlayTree
+from repro.types import destination
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    tree = OverlayTree.paper_tree()
+    deployment = ByzCastDeployment(tree)
+    client = deployment.add_client("cli-client")
+    client.amulticast(destination("g3"), payload=("local", 1))
+    client.amulticast(destination("g2", "g3"), payload=("global", 2))
+    deployment.run(until=5.0)
+    for group in sorted(tree.targets):
+        sequence = deployment.delivered_sequences(group)[0]
+        print(f"{group}: {[m.payload for m in sequence]}")
+    for message, latency in client.completions:
+        print(f"{message.payload} -> {sorted(message.dst)}: {latency * 1000:.2f} ms")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.optimizer.report import format_table3, table3_report
+
+    print(format_table3(table3_report(capacity=args.capacity)))
+    return 0
+
+
+def _parse_demand(text: str):
+    """Demand matrix from JSON: {"g1,g2": 1200, ...} (msgs/s)."""
+    raw = json.loads(text)
+    demand = {}
+    for key, rate in raw.items():
+        groups = [g.strip() for g in key.split(",")]
+        demand[destination(*groups)] = float(rate)
+    return demand
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.optimizer.enumerate import MAX_TARGETS, optimize_exhaustive
+    from repro.optimizer.heuristic import optimize_heuristic
+    from repro.optimizer.model import OptimizationInput
+
+    demand = _parse_demand(args.demand)
+    targets = sorted({g for dst in demand for g in dst})
+    auxiliaries = [f"h{i + 1}" for i in range(args.auxiliaries)]
+    problem = OptimizationInput(
+        targets=tuple(targets),
+        auxiliaries=tuple(auxiliaries),
+        demand=demand,
+        capacity=args.capacity,
+    )
+    if len(targets) <= MAX_TARGETS and not args.heuristic:
+        result = optimize_exhaustive(problem)
+    else:
+        result = optimize_heuristic(problem)
+    print(f"objective sum-of-heights = {result.objective}")
+    for group in sorted(result.tree.nodes):
+        parent = result.tree.parent(group) or "(root)"
+        load = result.loads[group]
+        print(f"  {group:<10} parent={parent:<8} load={load:8.0f} m/s")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.runtime.capacity import (
+        estimate_relay_capacity,
+        estimate_target_capacity,
+    )
+
+    target = estimate_target_capacity(clients=args.clients)
+    relay = estimate_relay_capacity(clients=args.clients)
+    print(f"target-group capacity  (local msgs): {target:10.0f} msgs/s")
+    print(f"auxiliary capacity (global relays):  {relay:10.0f} msgs/s")
+    print("(paper-scale estimates; the paper's model used K(h) = 9500 m/s)")
+    return 0
+
+
+EXPERIMENTS = {
+    "table1": "table1_wan_latency",
+    "fig3": "fig3_tree_layouts",
+    "fig4a": ("fig4_scalability", {"message_kind": "local"}),
+    "fig4b": ("fig4_scalability", {"message_kind": "global"}),
+    "fig5a": ("fig5_throughput_latency", {"message_kind": "local"}),
+    "fig5b": ("fig5_throughput_latency", {"message_kind": "global"}),
+    "fig6": "fig6_mixed_lan",
+    "fig7": "fig7_latency_lan",
+    "fig8": "fig8_latency_wan",
+    "fig9": "fig9_fig10_mixed_wan",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.runtime import scenarios
+
+    spec = EXPERIMENTS[args.name]
+    kwargs = {}
+    if isinstance(spec, tuple):
+        spec, kwargs = spec
+    results = getattr(scenarios, spec)(**kwargs)
+    if args.name == "table1":
+        for (a, b), row in sorted(results.items()):
+            print(f"{a}-{b}: paper {row['paper_ms']:.0f} ms, "
+                  f"measured {row['measured_ms']:.1f} ms")
+        return 0
+    for key, value in sorted(results.items()):
+        if isinstance(value, list):  # fig5 curves
+            for point in value:
+                print(f"{key:<24} clients={point.clients:<5} "
+                      f"tput={point.throughput:10.1f} m/s "
+                      f"mean={point.latency.mean * 1000:8.2f} ms")
+        else:
+            print(f"{key:<24} tput={value.throughput:10.1f} m/s "
+                  f"mean={value.latency.mean * 1000:8.2f} ms "
+                  f"p95={value.latency.p95 * 1000:8.2f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ByzCast (DSN 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the quickstart scenario")
+
+    table3 = sub.add_parser("table3", help="regenerate the paper's Table III")
+    table3.add_argument("--capacity", type=float, default=9500.0,
+                        help="group capacity K(x) in msgs/s (default 9500)")
+
+    plan = sub.add_parser("plan", help="optimize an overlay tree")
+    plan.add_argument("demand",
+                      help='demand JSON, e.g. \'{"g1,g2": 9000, "g3,g4": 9000}\'')
+    plan.add_argument("--capacity", type=float, default=9500.0)
+    plan.add_argument("--auxiliaries", type=int, default=3)
+    plan.add_argument("--heuristic", action="store_true",
+                      help="force the clustering heuristic")
+
+    capacity = sub.add_parser("capacity", help="probe group capacities")
+    capacity.add_argument("--clients", type=int, default=150)
+
+    experiment = sub.add_parser("experiment", help="run a paper scenario")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "table3": _cmd_table3,
+        "plan": _cmd_plan,
+        "capacity": _cmd_capacity,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""The atomic multicast client (``a-multicast``, §IV client behaviour).
+
+A client signs its message, submits it to every replica of the lowest
+common ancestor group of the destination set, and considers it delivered
+once ``f + 1`` replicas of **each** destination group acknowledged delivery
+(at most ``f`` per group are faulty, so one correct replica per group
+vouches).  Latency is measured from submission to that last confirmation —
+the figure the paper's latency plots report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.bcast.client import GroupProxy
+from repro.bcast.config import BroadcastConfig
+from repro.bcast.messages import Reply
+from repro.core.messages import MulticastReply, WireMulticast
+from repro.core.tree import OverlayTree
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.monitor import Monitor
+from repro.types import ClientId, Destination, MessageId, MulticastMessage
+
+CompletionCallback = Callable[[MulticastMessage, float], None]
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping for one not-yet-confirmed multicast."""
+
+    message: MulticastMessage
+    sent_at: float
+    needed: FrozenSet[str]
+    #: per group: result-digest -> replicas vouching for that result
+    votes: Dict[str, Dict[bytes, Set[str]]] = field(default_factory=dict)
+    #: per group: candidate results by digest
+    candidates: Dict[str, Dict[bytes, object]] = field(default_factory=dict)
+    confirmed: Set[str] = field(default_factory=set)
+    #: per group: the f+1-confirmed application result
+    group_results: Dict[str, object] = field(default_factory=dict)
+    callback: Optional[CompletionCallback] = None
+
+
+class MulticastClient(Actor):
+    """An ``a-multicast`` endpoint.
+
+    Args:
+        name: unique endpoint name; doubles as the message sender identity,
+            so it must match the key used to sign (the registry derives keys
+            per identity automatically).
+        tree: the deployment's overlay tree.
+        group_configs: all group configurations (for replica membership).
+        on_complete: default callback invoked as ``(message, latency)`` when
+            a multicast is confirmed by all destination groups.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        tree: OverlayTree,
+        group_configs: Dict[str, BroadcastConfig],
+        registry: KeyRegistry,
+        monitor: Optional[Monitor] = None,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        super().__init__(name, loop, monitor)
+        self.tree = tree
+        self.group_configs = dict(group_configs)
+        self.registry = registry
+        self.on_complete = on_complete
+        self._proxies: Dict[str, GroupProxy] = {}
+        self._next_seq = 1
+        self._inflight: Dict[Tuple[str, int], _InFlight] = {}
+        #: (message, latency) of every confirmed multicast, in completion order
+        self.completions: List[Tuple[MulticastMessage, float]] = []
+        #: (sender, seq) -> per-group confirmed application results
+        self.results: Dict[Tuple[str, int], Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------- api
+
+    def amulticast(
+        self,
+        dst: Destination,
+        payload: Tuple = (),
+        callback: Optional[CompletionCallback] = None,
+    ) -> MessageId:
+        """Atomically multicast ``payload`` to the groups in ``dst``."""
+        seq = self._next_seq
+        self._next_seq += 1
+        mid = MessageId(ClientId(self.name), seq)
+        message = MulticastMessage(mid=mid, dst=frozenset(dst), payload=tuple(payload))
+        unsigned = WireMulticast.from_message(message)
+        signature = sign(self.registry, self.name, unsigned.signed_part())
+        wire = WireMulticast.from_message(message, signature)
+
+        entry_group = self._entry_group(message)
+        self._inflight[(self.name, seq)] = _InFlight(
+            message=message,
+            sent_at=self.loop.now,
+            needed=frozenset(message.dst),
+            callback=callback,
+        )
+        self._proxy(entry_group).submit(wire)
+        self.monitor.record(self.name, "client.amulticast",
+                            seq=seq, dst=",".join(sorted(message.dst)))
+        return mid
+
+    def pending(self) -> int:
+        """Multicasts submitted but not yet confirmed by all destinations."""
+        return len(self._inflight)
+
+    def _entry_group(self, message: MulticastMessage) -> str:
+        """Where the message enters the tree: the lca of its destinations.
+
+        The Baseline protocol's client overrides this to return the root.
+        """
+        return self.tree.lca(message.dst)
+
+    # ---------------------------------------------------------------- wiring
+
+    def _proxy(self, group_id: str) -> GroupProxy:
+        if group_id not in self._proxies:
+            config = self.group_configs[group_id]
+            self._proxies[group_id] = GroupProxy(
+                owner=self,
+                group_id=group_id,
+                replicas=config.replicas,
+                f=config.f,
+                registry=self.registry,
+            )
+        return self._proxies[group_id]
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Reply):
+            for proxy in self._proxies.values():
+                if proxy.handle_reply(src, payload):
+                    return
+        elif isinstance(payload, MulticastReply):
+            self._handle_multicast_reply(src, payload)
+
+    def _handle_multicast_reply(self, src: str, reply: MulticastReply) -> None:
+        if reply.sender != self.name or reply.replica != src:
+            return
+        entry = self._inflight.get((reply.sender, reply.seq))
+        if entry is None:
+            return
+        config = self.group_configs.get(reply.group)
+        if config is None or src not in config.replicas:
+            return
+        if reply.group not in entry.needed or reply.group in entry.confirmed:
+            return
+        key = digest(("mreply", reply.result))
+        votes = entry.votes.setdefault(reply.group, {}).setdefault(key, set())
+        votes.add(src)
+        entry.candidates.setdefault(reply.group, {})[key] = reply.result
+        if len(votes) >= config.f + 1:
+            entry.confirmed.add(reply.group)
+            entry.group_results[reply.group] = entry.candidates[reply.group][key]
+            if entry.confirmed == entry.needed:
+                self._complete((reply.sender, reply.seq), entry)
+
+    def _complete(self, key: Tuple[str, int], entry: _InFlight) -> None:
+        del self._inflight[key]
+        latency = self.loop.now - entry.sent_at
+        self.completions.append((entry.message, latency))
+        #: confirmed per-group application results, by message id
+        self.results[(entry.message.mid.sender, entry.message.mid.seq)] = dict(
+            entry.group_results
+        )
+        self.monitor.record(self.name, "client.delivered", seq=key[1])
+        if entry.callback is not None:
+            entry.callback(entry.message, latency)
+        if self.on_complete is not None:
+            self.on_complete(entry.message, latency)

@@ -1,0 +1,188 @@
+"""Build a complete ByzCast system inside one simulation.
+
+A deployment owns the event loop, network, key registry, one broadcast
+group per overlay-tree node (each running :class:`ByzCastApplication`), and
+any number of :class:`~repro.core.client.MulticastClient` endpoints.
+
+Example:
+    >>> from repro.core import OverlayTree, ByzCastDeployment
+    >>> from repro.types import destination
+    >>> tree = OverlayTree.two_level(["g1", "g2"])
+    >>> dep = ByzCastDeployment(tree)
+    >>> client = dep.add_client("c1")
+    >>> _ = client.amulticast(destination("g1", "g2"), payload=("tx", 1))
+    >>> dep.run(until=5.0)
+    >>> [len(app.deliveries) for app in dep.apps("g1")]
+    [1, 1, 1, 1]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.bcast.config import BroadcastConfig, CostModel
+from repro.bcast.group import BroadcastGroup
+from repro.bcast.replica import Replica
+from repro.core.client import MulticastClient
+from repro.core.node import ByzCastApplication, DeliverCallback
+from repro.core.tree import OverlayTree
+from repro.crypto.keys import KeyRegistry
+from repro.sim.events import EventLoop
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+
+#: maps (group_id, replica_index) -> network site, for WAN placement
+SiteAssigner = Callable[[str, int], str]
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Per-group configuration overrides."""
+
+    f: int = 1
+    max_batch: int = 400
+    batch_delay: float = 0.0
+    request_timeout: float = 2.0
+    costs: Optional[CostModel] = None
+
+
+def _default_sites(group_id: str, replica_index: int) -> str:
+    return "site0"
+
+
+class ByzCastDeployment:
+    """A runnable ByzCast system: tree, groups, network, clients."""
+
+    def __init__(
+        self,
+        tree: OverlayTree,
+        f: int = 1,
+        costs: Optional[CostModel] = None,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+        specs: Optional[Dict[str, GroupSpec]] = None,
+        sites: Optional[SiteAssigner] = None,
+        replica_classes: Optional[Dict[str, Dict[str, Type[Replica]]]] = None,
+        app_overrides: Optional[Dict[str, Dict[str, Callable]]] = None,
+        trace_capacity: int = 0,
+        max_batch: int = 400,
+        batch_delay: float = 0.0,
+        request_timeout: float = 2.0,
+    ) -> None:
+        self.tree = tree
+        self.loop = EventLoop()
+        self.monitor = Monitor(trace_capacity=trace_capacity)
+        self.monitor.bind_clock(lambda: self.loop.now)
+        self.rng = SeededRng(seed)
+        self.network = Network(
+            self.loop,
+            network_config if network_config is not None else NetworkConfig(),
+            rng=self.rng,
+            monitor=self.monitor,
+        )
+        self.registry = KeyRegistry()
+        self._sites = sites if sites is not None else _default_sites
+        default_costs = costs if costs is not None else CostModel()
+
+        specs = specs or {}
+        self.group_configs: Dict[str, BroadcastConfig] = {}
+        for group_id in sorted(tree.nodes):
+            spec = specs.get(group_id, GroupSpec(
+                f=f, max_batch=max_batch, batch_delay=batch_delay,
+                request_timeout=request_timeout,
+            ))
+            n = 3 * spec.f + 1
+            self.group_configs[group_id] = BroadcastConfig(
+                group_id=group_id,
+                replicas=tuple(f"{group_id}/r{i}" for i in range(n)),
+                f=spec.f,
+                max_batch=spec.max_batch,
+                batch_delay=spec.batch_delay,
+                request_timeout=spec.request_timeout,
+                costs=spec.costs if spec.costs is not None else default_costs,
+            )
+
+        self.groups: Dict[str, BroadcastGroup] = {}
+        overrides = replica_classes or {}
+        self._app_overrides = app_overrides or {}
+        for group_id, config in self.group_configs.items():
+            group_sites = [
+                self._sites(group_id, index) for index in range(config.n)
+            ]
+            self.groups[group_id] = BroadcastGroup.build(
+                loop=self.loop,
+                network=self.network,
+                config=config,
+                registry=self.registry,
+                app_factory=lambda name, gid=group_id: self._make_app(gid, name),
+                monitor=self.monitor,
+                sites=group_sites,
+                replica_classes=overrides.get(group_id),
+            )
+
+        self.clients: List[MulticastClient] = []
+        self._started = False
+
+    def _make_app(self, group_id: str, replica_name: str) -> ByzCastApplication:
+        factory = self._app_overrides.get(group_id, {}).get(replica_name)
+        if factory is not None:
+            return factory(
+                group_id=group_id,
+                tree=self.tree,
+                group_configs=self.group_configs,
+                registry=self.registry,
+            )
+        return ByzCastApplication(
+            group_id=group_id,
+            tree=self.tree,
+            group_configs=self.group_configs,
+            registry=self.registry,
+        )
+
+    # ------------------------------------------------------------------- api
+
+    def add_client(
+        self,
+        name: str,
+        site: str = "site0",
+        on_complete: Optional[Callable] = None,
+    ) -> MulticastClient:
+        """Create and register a multicast client endpoint."""
+        client = MulticastClient(
+            name=name,
+            loop=self.loop,
+            tree=self.tree,
+            group_configs=self.group_configs,
+            registry=self.registry,
+            monitor=self.monitor,
+            on_complete=on_complete,
+        )
+        self.network.register(client, site=site)
+        self.clients.append(client)
+        return client
+
+    def start(self) -> None:
+        if not self._started:
+            for group in self.groups.values():
+                group.start()
+            self._started = True
+
+    def run(self, until: float = 10.0, max_events: Optional[int] = None) -> None:
+        """Start (if needed) and advance the simulation to ``until`` seconds."""
+        self.start()
+        self.loop.run(until=until, max_events=max_events)
+
+    # -------------------------------------------------------------- accessors
+
+    def group(self, group_id: str) -> BroadcastGroup:
+        return self.groups[group_id]
+
+    def apps(self, group_id: str) -> List[ByzCastApplication]:
+        """The ByzCast application instances of a group's replicas."""
+        return [replica.app for replica in self.groups[group_id].replicas]
+
+    def delivered_sequences(self, group_id: str) -> List[List]:
+        """Per-replica a-delivered message lists for ``group_id``."""
+        return [app.delivered_messages() for app in self.apps(group_id)]

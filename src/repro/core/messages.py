@@ -1,0 +1,81 @@
+"""Application-level wire messages of ByzCast.
+
+A multicast travels the tree as a :class:`WireMulticast` — the command
+carried inside the :class:`~repro.bcast.messages.Request` of each group's
+atomic broadcast.  It is signed once, by the originating client, over the
+message identity + destinations + payload; every group at which the message
+*enters* the tree (its lca) verifies this signature, so a Byzantine server
+cannot fabricate multicasts on behalf of clients (Integrity, §II-B).
+
+Destination groups answer the originating client with
+:class:`MulticastReply`; the client accepts a group's delivery once ``f + 1``
+of its replicas replied (§IV, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.signatures import Signature
+from repro.types import Destination, GroupId, MessageId, MulticastMessage
+
+
+@dataclass(frozen=True)
+class WireMulticast:
+    """The serialized form of an atomically multicast message.
+
+    ``dst`` is kept sorted so the canonical form (and therefore the client
+    signature and digests) is deterministic.
+    """
+
+    sender: str
+    seq: int
+    dst: Tuple[str, ...]
+    payload: Tuple
+    signature: Optional[Signature] = None
+
+    @classmethod
+    def from_message(cls, message: MulticastMessage,
+                     signature: Optional[Signature] = None) -> "WireMulticast":
+        return cls(
+            sender=str(message.mid.sender),
+            seq=message.mid.seq,
+            dst=tuple(sorted(message.dst)),
+            payload=tuple(message.payload),
+            signature=signature,
+        )
+
+    def to_message(self) -> MulticastMessage:
+        from repro.types import ClientId  # local import to avoid cycle noise
+
+        return MulticastMessage(
+            mid=MessageId(ClientId(self.sender), self.seq),
+            dst=frozenset(GroupId(g) for g in self.dst),
+            payload=self.payload,
+        )
+
+    def signed_part(self) -> Tuple:
+        """The tuple covered by the originating client's signature."""
+        return ("amcast", self.sender, self.seq, self.dst, self.payload)
+
+    def identity(self) -> Tuple:
+        """Content identity used for relay dedup/counting keys."""
+        return (self.sender, self.seq, self.dst, self.payload)
+
+
+@dataclass(frozen=True)
+class MulticastReply:
+    """Per-replica delivery acknowledgement sent to the originating client.
+
+    ``result`` optionally carries the application's (deterministic) output
+    for this message at this group — e.g. the values read by a get.  The
+    client accepts a group's result once ``f + 1`` replicas report it
+    identically.
+    """
+
+    group: str
+    replica: str
+    sender: str
+    seq: int
+    result: Any = None

@@ -1,0 +1,210 @@
+"""Algorithm 1: the ByzCast logic, run as each group's replicated service.
+
+Every replica of every group (target and auxiliary) executes a
+:class:`ByzCastApplication`.  The surrounding atomic broadcast delivers
+ordered :class:`~repro.bcast.messages.Request` objects whose command is a
+:class:`~repro.core.messages.WireMulticast`; this application decides, per
+Algorithm 1, whether the message
+
+* entered the tree here (``k = 0``: the sender is a client and this group is
+  ``lca(m.dst)`` — the client's signature is verified), or
+* was relayed by the parent group (the sender is one of the parent's
+  replicas — it is confirmed through the f+1 quorum-head merge of
+  :class:`~repro.core.relay.QuorumMerge`),
+
+and then *acts* on it: re-broadcast into every child whose reach intersects
+``m.dst`` (line 10-11) and a-deliver it if this group is a destination
+(line 12-14, with the ``A-delivered`` set preventing duplicates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.bcast.app import Application, ExecutionContext
+from repro.bcast.client import GroupProxy
+from repro.bcast.config import BroadcastConfig
+from repro.bcast.messages import Reply, Request
+from repro.core.messages import MulticastReply, WireMulticast
+from repro.core.tree import OverlayTree
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import verify
+from repro.types import Delivery, MulticastMessage
+
+DeliverCallback = Callable[[MulticastMessage, ExecutionContext], None]
+
+
+class ByzCastApplication(Application):
+    """One replica's ByzCast protocol state (Algorithm 1)."""
+
+    def __init__(
+        self,
+        group_id: str,
+        tree: OverlayTree,
+        group_configs: Mapping[str, BroadcastConfig],
+        registry: KeyRegistry,
+        on_deliver: Optional[DeliverCallback] = None,
+        send_client_replies: bool = True,
+        accept_any_ancestor: bool = False,
+    ) -> None:
+        if group_id not in tree:
+            raise ValueError(f"group {group_id!r} is not in the overlay tree")
+        self.group_id = group_id
+        self.tree = tree
+        self.group_configs = dict(group_configs)
+        self.registry = registry
+        self.on_deliver = on_deliver
+        self.send_client_replies = send_client_replies
+        #: ByzCast requires clients to enter at lca(m.dst) (partial
+        #: genuineness); the non-genuine Baseline lets clients enter at any
+        #: ancestor of the destinations (in practice: the root).
+        self.accept_any_ancestor = accept_any_ancestor
+
+        self.config = self.group_configs[group_id]
+        parent = tree.parent(group_id)
+        self._parent_replicas: Tuple[str, ...] = ()
+        self._merge = None
+        if parent is not None:
+            parent_config = self.group_configs[parent]
+            self._parent_replicas = parent_config.replicas
+            from repro.core.relay import QuorumMerge
+
+            self._merge = QuorumMerge(parent_config.replicas, parent_config.f + 1)
+
+        self._child_proxies: Dict[str, GroupProxy] = {}
+        self._acted: set = set()
+        self._a_delivered: set = set()
+        #: chronological record of local a-deliver events (tests/metrics)
+        self.deliveries: List[Delivery] = []
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, request: Request, ctx: ExecutionContext) -> Any:
+        wire = request.command
+        if not isinstance(wire, WireMulticast):
+            return ("error", "not a multicast")
+        problem = self._validate_wire(wire)
+        if problem is not None:
+            ctx.monitor.record(ctx.replica_name, "byzcast.invalid_wire", reason=problem)
+            return ("error", problem)
+        # Participation record for genuineness audits (one per ordered copy).
+        ctx.monitor.record(ctx.replica_name, "byzcast.executed_wire",
+                           origin=wire.sender, seq=wire.seq,
+                           dst=",".join(wire.dst))
+
+        if request.sender in self._parent_replicas:
+            assert self._merge is not None
+            for released in self._merge.push(request.sender, wire.identity(), wire):
+                self._act(released, ctx)
+            return ("ack",)
+
+        # Direct submission: must enter the tree at the lca (or, for the
+        # non-genuine Baseline, any ancestor) and carry a valid client
+        # signature (Integrity: only genuinely a-multicast messages).
+        if self.accept_any_ancestor:
+            entry_ok = set(wire.dst) <= self.tree.reach(self.group_id)
+        else:
+            entry_ok = self.tree.lca(wire.dst) == self.group_id
+        if not entry_ok:
+            ctx.monitor.record(ctx.replica_name, "byzcast.wrong_entry_group",
+                               sender=request.sender)
+            return ("error", "not a valid entry group for the destination set")
+        if not self._origin_signature_valid(wire):
+            ctx.monitor.record(ctx.replica_name, "byzcast.bad_origin_signature",
+                               sender=request.sender)
+            return ("error", "invalid origin signature")
+        self._act(wire, ctx)
+        return ("ack",)
+
+    def _validate_wire(self, wire: WireMulticast) -> Optional[str]:
+        if not wire.dst:
+            return "empty destination set"
+        if list(wire.dst) != sorted(set(wire.dst)):
+            return "destinations must be sorted and unique"
+        for group in wire.dst:
+            if not self.tree.is_target(group):
+                return f"unknown target group {group!r}"
+        involved = self.group_id in self.tree.involved_groups(wire.dst)
+        if self.accept_any_ancestor:
+            involved = involved or set(wire.dst) <= self.tree.reach(self.group_id)
+        if not involved:
+            return "this group is not involved in the destination set"
+        return None
+
+    def _origin_signature_valid(self, wire: WireMulticast) -> bool:
+        if wire.signature is None or wire.signature.signer != wire.sender:
+            return False
+        return verify(self.registry, wire.signed_part(), wire.signature)
+
+    # ------------------------------------------------------------------ act
+
+    def _act(self, wire: WireMulticast, ctx: ExecutionContext) -> None:
+        """Forward down the tree and a-deliver locally (Algorithm 1, 10-14)."""
+        key = wire.identity()
+        if key in self._acted:
+            return
+        self._acted.add(key)
+        for child in self.tree.route_children(self.group_id, wire.dst):
+            self._relay(child, wire, ctx)
+        if self.group_id in wire.dst and key not in self._a_delivered:
+            self._a_delivered.add(key)
+            self._a_deliver(wire, ctx)
+
+    def _relay(self, child: str, wire: WireMulticast, ctx: ExecutionContext) -> None:
+        proxy = self._child_proxy(child, ctx)
+        cost = self.config.costs.relay_per_dest * len(proxy.replicas)
+        # The CPU queue is FIFO, so relays are submitted (and numbered by the
+        # proxy) in act order — preserving FIFO into the child group.
+        ctx.replica.work(cost, lambda: proxy.submit(wire))
+        ctx.monitor.record(ctx.replica_name, "byzcast.relay", child=child)
+
+    def _child_proxy(self, child: str, ctx: ExecutionContext) -> GroupProxy:
+        if child not in self._child_proxies:
+            child_config = self.group_configs[child]
+            self._child_proxies[child] = GroupProxy(
+                owner=ctx.replica,
+                group_id=child,
+                replicas=child_config.replicas,
+                f=child_config.f,
+                registry=self.registry,
+            )
+        return self._child_proxies[child]
+
+    def _a_deliver(self, wire: WireMulticast, ctx: ExecutionContext) -> None:
+        message = wire.to_message()
+        self.deliveries.append(
+            Delivery(
+                time=ctx.time,
+                process=ctx.replica_name,
+                group=self.group_id,
+                message=message,
+            )
+        )
+        ctx.monitor.record(ctx.replica_name, "byzcast.a_deliver",
+                           sender=wire.sender, seq=wire.seq)
+        result = None
+        if self.on_deliver is not None:
+            result = self.on_deliver(message, ctx)
+        if self.send_client_replies:
+            reply = MulticastReply(
+                group=self.group_id,
+                replica=ctx.replica_name,
+                sender=wire.sender,
+                seq=wire.seq,
+                result=result,
+            )
+            ctx.replica.send(wire.sender, reply)
+
+    # ---------------------------------------------------------------- replies
+
+    def handle_reply(self, src: str, reply: Reply) -> None:
+        """Route child-group acks to the relay proxies (retransmission)."""
+        for proxy in self._child_proxies.values():
+            if proxy.handle_reply(src, reply):
+                return
+
+    # ------------------------------------------------------------ inspection
+
+    def delivered_messages(self) -> List[MulticastMessage]:
+        """Messages a-delivered here, in local delivery order."""
+        return [record.message for record in self.deliveries]

@@ -1,0 +1,89 @@
+"""Order-preserving f+1 confirmation of relayed messages (Algorithm 1, line 9).
+
+Algorithm 1 says a group handles a message from its parent once it has
+delivered it ``f + 1`` times — proof that at least one *correct* parent
+replica relayed it.  Implemented naively ("act when the (f+1)-th copy is
+ordered"), the rule is not order-preserving: up to ``f`` Byzantine parent
+replicas can relay ``m'`` while withholding ``m``, making the (f+1)-th copy
+of ``m'`` arrive before the (f+1)-th copy of ``m`` in one child group and
+after it in a sibling — violating the order the parent induced (the
+invariant behind Lemma 4 / prefix order).
+
+:class:`QuorumMerge` implements the rule the correctness argument actually
+needs: one FIFO queue per parent replica, and a message is *released* only
+when it sits at the **head** of at least ``f + 1`` queues.  All ``2f + 1``
+correct parents relay the same sequence (their group's delivery order), so
+a message reaches f+1 heads exactly in that sequence's order: Byzantine
+queues can never outvote the correct heads.  Released order therefore equals
+the parent's order at every child, restoring Lemma 4 under Byzantine
+relays.  ``tests/core/test_relay.py`` contains the adversarial scenario.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Hashable, Iterable, List, Set, Tuple
+
+
+class QuorumMerge:
+    """Per-sender FIFO merge releasing values confirmed by f+1 queue heads.
+
+    Args:
+        senders: the authorized relayers (the parent group's replicas).
+        threshold: number of distinct queue heads required (``f + 1``).
+    """
+
+    def __init__(self, senders: Iterable[str], threshold: int) -> None:
+        self.senders = frozenset(senders)
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if threshold > len(self.senders):
+            raise ValueError("threshold cannot exceed the number of senders")
+        self.threshold = threshold
+        self._queues: Dict[str, Deque[Tuple[Hashable, Any]]] = {
+            sender: deque() for sender in self.senders
+        }
+        self._released: Set[Hashable] = set()
+
+    def push(self, sender: str, key: Hashable, value: Any) -> List[Any]:
+        """Record that ``sender``'s copy of ``key`` was ordered locally.
+
+        Returns the values newly released by this push, in release order.
+        Pushes from unknown senders are ignored (the caller should have
+        validated membership; this is defense in depth).
+        """
+        if sender not in self._queues:
+            return []
+        if key in self._released:
+            return []
+        self._queues[sender].append((key, value))
+        return self._drain()
+
+    def _drain(self) -> List[Any]:
+        released: List[Any] = []
+        progress = True
+        while progress:
+            progress = False
+            heads: Dict[Hashable, List[str]] = {}
+            for sender, queue in self._queues.items():
+                while queue and queue[0][0] in self._released:
+                    queue.popleft()
+                if queue:
+                    heads.setdefault(queue[0][0], []).append(sender)
+            for key, supporters in heads.items():
+                if len(supporters) >= self.threshold:
+                    value = self._queues[supporters[0]][0][1]
+                    self._released.add(key)
+                    for sender in supporters:
+                        self._queues[sender].popleft()
+                    released.append(value)
+                    progress = True
+                    break  # re-scan heads after every release
+        return released
+
+    def is_released(self, key: Hashable) -> bool:
+        return key in self._released
+
+    def pending_counts(self) -> Dict[str, int]:
+        """Queue depths per sender (diagnostics)."""
+        return {sender: len(queue) for sender, queue in self._queues.items()}

@@ -1,0 +1,248 @@
+"""The ByzCast overlay tree (§III-B).
+
+Nodes are group ids.  Leaves must be *target* groups (groups messages can be
+addressed to); inner nodes are usually *auxiliary* groups, but — as the paper
+notes at the end of §III-B — target groups may be inner nodes too, and a
+tree may consist of target groups only.
+
+The tree answers the structural queries of Algorithm 1 and of the optimizer:
+``children``, ``parent``, ``reach`` (target groups in a subtree), ``lca`` of
+a destination set, subtree ``height`` (the ``H(T, d)`` of §III-C, counted in
+nodes: a leaf has height 1), and the set of groups involved in a multicast
+(``P(T, d)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import TreeError
+
+
+class OverlayTree:
+    """An immutable rooted tree over group ids.
+
+    Args:
+        parents: mapping child-group → parent-group; exactly one group (the
+            root) must be absent from the mapping's keys.
+        targets: the target groups Γ (addressable destinations).  Every
+            target must be a node; every leaf must be a target.
+    """
+
+    def __init__(self, parents: Mapping[str, str], targets: Iterable[str]) -> None:
+        self._parent: Dict[str, str] = dict(parents)
+        self.targets: FrozenSet[str] = frozenset(targets)
+        nodes: Set[str] = set(self._parent) | set(self._parent.values()) | set(self.targets)
+        if not nodes:
+            raise TreeError("tree has no nodes")
+        self.nodes: FrozenSet[str] = frozenset(nodes)
+
+        roots = [n for n in nodes if n not in self._parent]
+        if len(roots) != 1:
+            raise TreeError(f"tree must have exactly one root, found {sorted(roots)}")
+        self.root: str = roots[0]
+
+        self._children: Dict[str, List[str]] = {n: [] for n in nodes}
+        for child, parent in self._parent.items():
+            if parent not in nodes:
+                raise TreeError(f"parent {parent!r} of {child!r} is not a node")
+            self._children[parent].append(child)
+        for children in self._children.values():
+            children.sort()
+
+        self._depth: Dict[str, int] = {}
+        self._assign_depths()
+        self._reach: Dict[str, FrozenSet[str]] = {}
+        self._height: Dict[str, int] = {}
+        self._compute_reach_and_height(self.root)
+        self._validate()
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def two_level(cls, targets: Sequence[str], root: str = "h1") -> "OverlayTree":
+        """A root auxiliary group with all target groups as its children.
+
+        This is the 2-level tree of the evaluation (§V-B3).
+        """
+        return cls({t: root for t in targets}, targets)
+
+    @classmethod
+    def three_level(
+        cls,
+        branches: Mapping[str, Sequence[str]],
+        root: str = "h1",
+    ) -> "OverlayTree":
+        """A root over auxiliary branches, each owning some target groups.
+
+        Args:
+            branches: mapping auxiliary-group → its target-group children,
+                e.g. ``{"h2": ["g1", "g2"], "h3": ["g3", "g4"]}``.
+        """
+        parents: Dict[str, str] = {}
+        targets: List[str] = []
+        for aux, leaf_targets in branches.items():
+            parents[aux] = root
+            for target in leaf_targets:
+                parents[target] = aux
+                targets.append(target)
+        return cls(parents, targets)
+
+    @classmethod
+    def paper_tree(cls) -> "OverlayTree":
+        """The Fig. 1(a) tree: h1 over h2{g1, g2} and h3{g3, g4}."""
+        return cls.three_level({"h2": ["g1", "g2"], "h3": ["g3", "g4"]})
+
+    # -- internal construction -------------------------------------------------
+
+    def _assign_depths(self) -> None:
+        for node in self.nodes:
+            depth = 0
+            cursor: Optional[str] = node
+            seen = set()
+            while cursor is not None and cursor != self.root:
+                if cursor in seen:
+                    raise TreeError(f"cycle detected through {cursor!r}")
+                seen.add(cursor)
+                cursor = self._parent.get(cursor)
+                depth += 1
+                if depth > len(self.nodes):
+                    raise TreeError("parent chain longer than node count — cycle")
+            if cursor is None:
+                raise TreeError(f"node {node!r} is not connected to the root")
+            self._depth[node] = depth
+
+    def _compute_reach_and_height(self, node: str) -> Tuple[FrozenSet[str], int]:
+        reach: Set[str] = {node} if node in self.targets else set()
+        height = 1
+        for child in self._children[node]:
+            child_reach, child_height = self._compute_reach_and_height(child)
+            reach |= child_reach
+            height = max(height, child_height + 1)
+        self._reach[node] = frozenset(reach)
+        self._height[node] = height
+        return self._reach[node], height
+
+    def _validate(self) -> None:
+        for target in self.targets:
+            if target not in self.nodes:
+                raise TreeError(f"target group {target!r} is not in the tree")
+        for node in self.nodes:
+            if not self._children[node] and node not in self.targets:
+                raise TreeError(
+                    f"leaf {node!r} is auxiliary — leaves must be target groups"
+                )
+
+    # -- queries ----------------------------------------------------------------
+
+    def parent(self, node: str) -> Optional[str]:
+        """Parent group of ``node`` (None for the root)."""
+        return self._parent.get(node)
+
+    def children(self, node: str) -> Tuple[str, ...]:
+        """Children of ``node`` in the tree (paper: ``children(x)``)."""
+        return tuple(self._children[node])
+
+    def reach(self, node: str) -> FrozenSet[str]:
+        """Target groups reachable walking down from ``node`` (``reach(x)``)."""
+        return self._reach[node]
+
+    def depth(self, node: str) -> int:
+        """Edges from the root to ``node``."""
+        return self._depth[node]
+
+    def height(self, node: str) -> int:
+        """Nodes on the longest downward path from ``node`` (leaf = 1)."""
+        return self._height[node]
+
+    def is_target(self, node: str) -> bool:
+        return node in self.targets
+
+    def ancestors(self, node: str) -> Tuple[str, ...]:
+        """Path root → ... → ``node``, inclusive."""
+        path = [node]
+        cursor = node
+        while cursor != self.root:
+            cursor = self._parent[cursor]
+            path.append(cursor)
+        return tuple(reversed(path))
+
+    def lca(self, destination: Iterable[str]) -> str:
+        """Lowest common ancestor group of a destination set (``lca(m.dst)``)."""
+        groups = list(destination)
+        if not groups:
+            raise TreeError("destination set is empty")
+        for group in groups:
+            if group not in self.targets:
+                raise TreeError(f"destination {group!r} is not a target group")
+        paths = [self.ancestors(g) for g in groups]
+        shortest = min(len(p) for p in paths)
+        lca = self.root
+        for level in range(shortest):
+            step = paths[0][level]
+            if all(path[level] == step for path in paths):
+                lca = step
+            else:
+                break
+        return lca
+
+    def destination_height(self, destination: Iterable[str]) -> int:
+        """``H(T, d)``: the height of the lca of ``destination`` (§III-C)."""
+        return self.height(self.lca(destination))
+
+    def involved_groups(self, destination: Iterable[str]) -> FrozenSet[str]:
+        """``P(T, d)``: groups on the paths from lca(d) down to each group in d."""
+        dst = set(destination)
+        lca = self.lca(dst)
+        involved: Set[str] = set()
+        lca_depth = self._depth[lca]
+        for group in dst:
+            path = self.ancestors(group)
+            involved.update(path[lca_depth:])
+        return frozenset(involved)
+
+    def route_children(self, node: str, destination: Iterable[str]) -> Tuple[str, ...]:
+        """Children of ``node`` whose reach intersects the destination set.
+
+        This is the forwarding rule of Algorithm 1, line 10.
+        """
+        dst = set(destination)
+        return tuple(
+            child for child in self._children[node] if self._reach[child] & dst
+        )
+
+    def subtree(self, node: str) -> FrozenSet[str]:
+        """All groups in the subtree rooted at ``node`` (inclusive)."""
+        members: Set[str] = set()
+        stack = [node]
+        while stack:
+            cursor = stack.pop()
+            members.add(cursor)
+            stack.extend(self._children[cursor])
+        return frozenset(members)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering (targets as boxes, auxiliaries as ovals)."""
+        lines = ["digraph overlay {"]
+        for node in sorted(self.nodes):
+            shape = "box" if node in self.targets else "ellipse"
+            lines.append(f'  "{node}" [shape={shape}];')
+        for child in sorted(self.nodes):
+            parent = self._parent.get(child)
+            if parent is not None:
+                lines.append(f'  "{parent}" -> "{child}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- misc ----------------------------------------------------------------------
+
+    @property
+    def auxiliaries(self) -> FrozenSet[str]:
+        """Groups that are not targets (Λ)."""
+        return self.nodes - self.targets
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OverlayTree(root={self.root!r}, nodes={len(self.nodes)})"

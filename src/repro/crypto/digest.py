@@ -1,0 +1,55 @@
+"""Deterministic canonical serialization and message digests."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+from repro.errors import CryptoError
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Serialize ``obj`` into a canonical byte string.
+
+    Supports the value types used in protocol messages: None, bool, int,
+    float, str, bytes, tuples/lists, frozensets/sets (sorted by canonical
+    form), dicts (sorted by key form), and frozen dataclasses.  Type tags are
+    included so ``1`` and ``"1"`` never collide.
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"B1" if obj else b"B0"
+    if isinstance(obj, int):
+        return b"I" + str(obj).encode()
+    if isinstance(obj, float):
+        return b"F" + repr(obj).encode()
+    if isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        return b"S" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(obj, bytes):
+        return b"Y" + str(len(obj)).encode() + b":" + obj
+    if isinstance(obj, (tuple, list)):
+        parts = [canonical_bytes(item) for item in obj]
+        return b"T(" + b",".join(parts) + b")"
+    if isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in obj)
+        return b"Z(" + b",".join(parts) + b")"
+    if isinstance(obj, dict):
+        parts = sorted(
+            canonical_bytes(k) + b"=" + canonical_bytes(v) for k, v in obj.items()
+        )
+        return b"D(" + b",".join(parts) + b")"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        parts = [
+            canonical_bytes(f.name) + b"=" + canonical_bytes(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        ]
+        return b"C" + type(obj).__name__.encode() + b"(" + b",".join(parts) + b")"
+    raise CryptoError(f"cannot canonicalize object of type {type(obj).__name__}")
+
+
+def digest(obj: Any) -> bytes:
+    """16-byte BLAKE2b digest of the canonical form of ``obj``."""
+    return hashlib.blake2b(canonical_bytes(obj), digest_size=16).digest()

@@ -1,0 +1,29 @@
+"""Per-identity secret keys.
+
+A :class:`KeyRegistry` is the simulation's trusted key-distribution
+authority: it derives one secret per identity from a master seed.  Honest
+components fetch only their own secret; Byzantine behaviours in
+:mod:`repro.faults` are likewise handed only the secrets of the identities
+they control, so signature forgery is impossible by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+
+class KeyRegistry:
+    """Derives and caches per-identity secrets from a master seed."""
+
+    def __init__(self, master_seed: bytes = b"byzcast-master") -> None:
+        self._master = master_seed
+        self._cache: Dict[str, bytes] = {}
+
+    def secret(self, identity: str) -> bytes:
+        """The 32-byte secret key of ``identity`` (deterministic)."""
+        if identity not in self._cache:
+            self._cache[identity] = hashlib.blake2b(
+                self._master + b"|" + identity.encode("utf-8"), digest_size=32
+            ).digest()
+        return self._cache[identity]

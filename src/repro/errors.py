@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ByzCast reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from protocol violations detected
+at runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A deployment, tree, or workload description is invalid."""
+
+
+class TreeError(ConfigurationError):
+    """An overlay tree violates the structural rules of ByzCast."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class NetworkError(SimulationError):
+    """A message was addressed to an unknown endpoint."""
+
+
+class CryptoError(ReproError):
+    """A signature or MAC failed verification."""
+
+
+class ProtocolError(ReproError):
+    """A peer sent a message that violates the protocol specification.
+
+    Correct replicas raise (and then contain) this when validating input from
+    potentially Byzantine peers; it never crashes the simulation, it is
+    recorded by the offending replica's monitor instead.
+    """
+
+
+class OptimizationError(ReproError):
+    """The overlay-tree optimizer could not produce a feasible tree."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload specification is inconsistent."""

@@ -1,0 +1,36 @@
+"""Byzantine and benign fault injection.
+
+:mod:`repro.faults.behaviors` provides replica classes and ByzCast
+application classes exhibiting specific misbehaviours (equivocating leader,
+mute replica, corrupted votes, silent/fabricating/duplicating relays);
+:mod:`repro.faults.injector` wires them into deployments and schedules
+benign crashes and partitions.
+
+The test suite uses these to demonstrate the properties the paper claims:
+with at most ``f`` faulty replicas per group, safety (agreement, integrity,
+order) always holds, and liveness is restored after leader changes.
+"""
+
+from repro.faults.behaviors import (
+    DelayingReplica,
+    DuplicatingRelayApp,
+    EquivocatingLeaderReplica,
+    FabricatingRelayApp,
+    MuteReplica,
+    SilentRelayApp,
+    WrongVoteReplica,
+)
+from repro.faults.injector import FaultPlan, schedule_crash, schedule_partition
+
+__all__ = [
+    "EquivocatingLeaderReplica",
+    "MuteReplica",
+    "DelayingReplica",
+    "WrongVoteReplica",
+    "SilentRelayApp",
+    "FabricatingRelayApp",
+    "DuplicatingRelayApp",
+    "FaultPlan",
+    "schedule_crash",
+    "schedule_partition",
+]

@@ -1,0 +1,122 @@
+"""Concrete Byzantine behaviours.
+
+Replica-level behaviours subclass :class:`~repro.bcast.replica.Replica` and
+override a single protocol step; application-level behaviours subclass
+:class:`~repro.core.node.ByzCastApplication` and corrupt the relay logic.
+None of them can forge signatures (they hold only their own keys), which is
+exactly the §II-A adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.bcast.messages import Accept, Propose, Request, Write
+from repro.bcast.replica import Replica
+from repro.core.messages import WireMulticast
+from repro.core.node import ByzCastApplication
+from repro.crypto.digest import digest
+
+
+class EquivocatingLeaderReplica(Replica):
+    """A leader that proposes different batches to different halves.
+
+    If the batch has more than one request, one half of the peers receives
+    it reversed (a different digest); with a single request, the second
+    half receives nothing.  Correct replicas can then never assemble a
+    write quorum for either digest, and the group recovers via a regency
+    change — a liveness attack that must not compromise safety.
+    """
+
+    def _send_propose(self, cid: int, regency: int, batch: Tuple[Request, ...]) -> None:
+        if regency != self.regency.current or self.regency.in_transition:
+            self._proposing = False
+            return
+        if self.config.leader_of(regency) != self.name:
+            return
+        peers = self.peers()
+        half = len(peers) // 2
+        first, second = peers[:half], peers[half:]
+        proposal_a = Propose(self.group_id, regency, cid, batch, self.name)
+        for peer in first:
+            self.send(peer, proposal_a, size=64 * max(1, len(batch)))
+        if len(batch) > 1:
+            twisted = tuple(reversed(batch))
+            proposal_b = Propose(self.group_id, regency, cid, twisted, self.name)
+            for peer in second:
+                self.send(peer, proposal_b, size=64 * max(1, len(batch)))
+        self.monitor.record(self.name, "byzantine.equivocation", cid=cid)
+        self._process_proposal(self.name, proposal_a)
+
+
+class MuteReplica(Replica):
+    """Receives everything, says nothing (a fail-silent Byzantine replica)."""
+
+    def send(self, dst: str, payload: Any, size: int = 64) -> None:
+        self.monitor.count("byzantine.muted_send")
+
+
+class DelayingReplica(Replica):
+    """Delays every outgoing message by a fixed amount (slow adversary)."""
+
+    #: injected via class attribute so the standard build path still works
+    delay: float = 0.5
+
+    def send(self, dst: str, payload: Any, size: int = 64) -> None:
+        if self.crashed:
+            return
+        self.set_timer(self.delay, lambda: Replica.send(self, dst, payload, size))
+
+
+class WrongVoteReplica(Replica):
+    """Votes with corrupted digests (cannot affect what honest quorums decide)."""
+
+    def _broadcast(self, message: Any, size: int = 64) -> None:
+        if isinstance(message, Write):
+            message = Write(message.group, message.regency, message.cid,
+                            digest(("corrupt", message.digest)), message.sender)
+        elif isinstance(message, Accept):
+            message = Accept(message.group, message.regency, message.cid,
+                             digest(("corrupt", message.digest)), message.sender)
+        super()._broadcast(message, size)
+
+
+class SilentRelayApp(ByzCastApplication):
+    """Algorithm 1 with the relay step removed: never forwards to children.
+
+    Up to ``f`` such replicas per group cannot stop a message: the child
+    group's f+1 quorum merge only needs the 2f+1 correct relayers.
+    """
+
+    def _relay(self, child: str, wire, ctx) -> None:
+        ctx.monitor.record(ctx.replica_name, "byzantine.silent_relay", child=child)
+
+
+class FabricatingRelayApp(ByzCastApplication):
+    """Relays correctly but also injects fabricated multicasts downstream.
+
+    The fabricated message carries no valid client signature and fewer than
+    f+1 parents relay it, so correct children must never release it.
+    """
+
+    def _relay(self, child: str, wire, ctx) -> None:
+        super()._relay(child, wire, ctx)
+        fake = WireMulticast(
+            sender=wire.sender,
+            seq=wire.seq + 1_000_000,
+            dst=wire.dst,
+            payload=("fabricated",),
+            signature=None,
+        )
+        proxy = self._child_proxy(child, ctx)
+        ctx.replica.work(self.config.costs.relay_per_dest,
+                         lambda: proxy.submit(fake))
+        ctx.monitor.record(ctx.replica_name, "byzantine.fabricated_relay", child=child)
+
+
+class DuplicatingRelayApp(ByzCastApplication):
+    """Relays every message twice (duplicate suppression must hold)."""
+
+    def _relay(self, child: str, wire, ctx) -> None:
+        super()._relay(child, wire, ctx)
+        super()._relay(child, wire, ctx)

@@ -1,0 +1,90 @@
+"""Wiring faults into deployments.
+
+Two kinds of injection:
+
+* **Construction-time** (Byzantine code): pass ``replica_classes`` /
+  ``app_overrides`` to the deployment builders; the helpers here build
+  those dictionaries.
+* **Run-time** (benign events): :func:`schedule_crash`,
+  :func:`schedule_recover` and :func:`schedule_partition` arrange crashes,
+  recoveries and network partitions at chosen virtual times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.bcast.replica import Replica
+
+
+@dataclass
+class FaultPlan:
+    """Accumulates fault wiring for a ByzCast deployment.
+
+    Usage::
+
+        plan = FaultPlan()
+        plan.byzantine_replica("h1", "h1/r0", EquivocatingLeaderReplica)
+        plan.byzantine_app("h1", "h1/r1", SilentRelayApp)
+        dep = ByzCastDeployment(tree, replica_classes=plan.replica_classes,
+                                app_overrides=plan.app_overrides)
+        plan.apply_runtime(dep)   # scheduled crashes/partitions
+    """
+
+    replica_classes: Dict[str, Dict[str, Type[Replica]]] = field(default_factory=dict)
+    app_overrides: Dict[str, Dict[str, Callable]] = field(default_factory=dict)
+    _runtime: List[Callable] = field(default_factory=list)
+
+    def byzantine_replica(self, group_id: str, replica_name: str,
+                          replica_cls: Type[Replica]) -> "FaultPlan":
+        self.replica_classes.setdefault(group_id, {})[replica_name] = replica_cls
+        return self
+
+    def byzantine_app(self, group_id: str, replica_name: str,
+                      app_cls: Callable) -> "FaultPlan":
+        self.app_overrides.setdefault(group_id, {})[replica_name] = app_cls
+        return self
+
+    def crash(self, group_id: str, replica_name: str, at: float) -> "FaultPlan":
+        self._runtime.append(
+            lambda dep: schedule_crash(dep, group_id, replica_name, at)
+        )
+        return self
+
+    def recover(self, group_id: str, replica_name: str, at: float) -> "FaultPlan":
+        self._runtime.append(
+            lambda dep: schedule_recover(dep, group_id, replica_name, at)
+        )
+        return self
+
+    def partition(self, a: str, b: str, at: float,
+                  heal_at: Optional[float] = None) -> "FaultPlan":
+        self._runtime.append(
+            lambda dep: schedule_partition(dep, a, b, at, heal_at)
+        )
+        return self
+
+    def apply_runtime(self, deployment) -> None:
+        for arm in self._runtime:
+            arm(deployment)
+
+
+def schedule_crash(deployment, group_id: str, replica_name: str, at: float) -> None:
+    """Crash ``replica_name`` of ``group_id`` at virtual time ``at``."""
+    replica = deployment.groups[group_id].replica(replica_name)
+    deployment.loop.schedule_at(at, replica.crash)
+
+
+def schedule_recover(deployment, group_id: str, replica_name: str, at: float) -> None:
+    """Recover a crashed replica (state transfer) at virtual time ``at``."""
+    replica = deployment.groups[group_id].replica(replica_name)
+    deployment.loop.schedule_at(at, replica.recover)
+
+
+def schedule_partition(deployment, a: str, b: str, at: float,
+                       heal_at: Optional[float] = None) -> None:
+    """Partition endpoints ``a``/``b`` at ``at``; optionally heal later."""
+    deployment.loop.schedule_at(at, lambda: deployment.network.partition(a, b))
+    if heal_at is not None:
+        deployment.loop.schedule_at(heal_at, lambda: deployment.network.heal(a, b))

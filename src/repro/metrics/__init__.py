@@ -1,0 +1,23 @@
+"""Measurement utilities: latency statistics, CDFs, throughput windows."""
+
+from repro.metrics.stats import (
+    confidence_interval_95,
+    mean,
+    percentile,
+    summarize,
+    LatencySummary,
+)
+from repro.metrics.cdf import cdf_points, cdf_value_at
+from repro.metrics.collector import LatencyCollector, ThroughputMeter
+
+__all__ = [
+    "mean",
+    "percentile",
+    "confidence_interval_95",
+    "summarize",
+    "LatencySummary",
+    "cdf_points",
+    "cdf_value_at",
+    "LatencyCollector",
+    "ThroughputMeter",
+]

@@ -1,0 +1,36 @@
+"""Cumulative distribution functions over latency samples."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def cdf_points(samples: Sequence[float], max_points: int = 200) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF.
+
+    Down-samples evenly to at most ``max_points`` points (always keeping the
+    first and last), which is what the paper's CDF figures plot.
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    points = [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+    if n <= max_points:
+        return points
+    step = n / max_points
+    selected = [points[min(n - 1, int(i * step))] for i in range(max_points)]
+    if selected[-1] != points[-1]:
+        selected.append(points[-1])
+    return selected
+
+
+def cdf_value_at(samples: Sequence[float], fraction: float) -> float:
+    """The latency at which the CDF reaches ``fraction`` (0 < fraction <= 1)."""
+    if not samples:
+        return 0.0
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(samples)
+    index = max(0, int(round(fraction * len(ordered))) - 1)
+    return ordered[index]

@@ -1,0 +1,88 @@
+"""Plain statistics helpers (no numpy dependency at the core layer).
+
+The paper reports mean latency with 95% confidence intervals (whiskers),
+median + 95th percentile bars, and latency CDFs; these helpers compute
+exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not samples:
+        return 0.0
+    return sum(samples) / len(samples)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) by linear interpolation; 0.0 if empty."""
+    if not samples:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # This form is exact when both neighbours are equal (no float drift).
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+def stddev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for fewer than two samples."""
+    if len(samples) < 2:
+        return 0.0
+    m = mean(samples)
+    return math.sqrt(sum((x - m) ** 2 for x in samples) / (len(samples) - 1))
+
+
+def confidence_interval_95(samples: Sequence[float]) -> float:
+    """Half-width of the 95% confidence interval of the mean (normal approx)."""
+    if len(samples) < 2:
+        return 0.0
+    return 1.96 * stddev(samples) / math.sqrt(len(samples))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The latency statistics the paper plots."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    ci95: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Unit conversion helper (e.g. seconds → milliseconds)."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            median=self.median * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            ci95=self.ci95 * factor,
+        )
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    """Compute the full latency summary for a sample set."""
+    return LatencySummary(
+        count=len(samples),
+        mean=mean(samples),
+        median=percentile(samples, 50),
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+        ci95=confidence_interval_95(samples),
+    )

@@ -1,0 +1,41 @@
+"""Overlay-tree optimization (§III-C).
+
+Given the target groups Γ, the available auxiliary groups Λ, the expected
+demand ``F(d)`` per destination set and each group's capacity ``K(x)``, find
+the overlay tree minimizing the total lca height ``Σ_d H(T, d)`` subject to
+``L(T, x) ≤ K(x)`` for every group.
+
+* :mod:`repro.optimizer.model` — the objective/constraint evaluation.
+* :mod:`repro.optimizer.enumerate` — exhaustive search for small instances.
+* :mod:`repro.optimizer.heuristic` — demand-clustering heuristic for larger
+  instances.
+* :mod:`repro.optimizer.report` — regenerates the paper's Table III.
+"""
+
+from repro.optimizer.model import (
+    OptimizationInput,
+    TreeEvaluation,
+    destinations_through,
+    evaluate_tree,
+    group_load,
+    total_height,
+    weighted_height,
+)
+from repro.optimizer.enumerate import enumerate_trees, optimize_exhaustive
+from repro.optimizer.heuristic import optimize_heuristic
+from repro.optimizer.report import table3_report, format_table3
+
+__all__ = [
+    "OptimizationInput",
+    "TreeEvaluation",
+    "destinations_through",
+    "group_load",
+    "total_height",
+    "weighted_height",
+    "evaluate_tree",
+    "enumerate_trees",
+    "optimize_exhaustive",
+    "optimize_heuristic",
+    "table3_report",
+    "format_table3",
+]

@@ -1,0 +1,70 @@
+"""Deployment environments and the experiment harness.
+
+:mod:`repro.runtime.environments` holds the LAN/WAN presets (including the
+paper's Table I inter-region latency matrix) and the calibrated cost
+models.  :mod:`repro.runtime.experiment` runs one scenario — protocol ×
+workload × environment — and returns the throughput/latency rows the
+paper's figures plot.
+"""
+
+from repro.runtime.environments import (
+    BENCH_SCALE,
+    REGIONS,
+    TABLE1_RTT_MS,
+    bench_batch_delay,
+    bench_costs,
+    calibrated_costs,
+    lan_network_config,
+    scale_costs,
+    wan_network_config,
+    wan_site_assigner,
+)
+from repro.runtime.capacity import (
+    estimate_relay_capacity,
+    estimate_target_capacity,
+    plan_tree,
+)
+from repro.runtime.genuineness import (
+    GenuinenessReport,
+    audit_genuineness,
+)
+from repro.runtime.tracing import (
+    MessageTimeline,
+    extract_timelines,
+    format_timeline,
+    latency_breakdown,
+)
+from repro.runtime.experiment import (
+    ClientPlan,
+    ExperimentResult,
+    run_baseline,
+    run_bftsmart,
+    run_byzcast,
+)
+
+__all__ = [
+    "REGIONS",
+    "TABLE1_RTT_MS",
+    "BENCH_SCALE",
+    "lan_network_config",
+    "wan_network_config",
+    "wan_site_assigner",
+    "calibrated_costs",
+    "bench_batch_delay",
+    "bench_costs",
+    "scale_costs",
+    "ClientPlan",
+    "ExperimentResult",
+    "run_byzcast",
+    "run_baseline",
+    "run_bftsmart",
+    "estimate_target_capacity",
+    "estimate_relay_capacity",
+    "plan_tree",
+    "GenuinenessReport",
+    "audit_genuineness",
+    "MessageTimeline",
+    "extract_timelines",
+    "format_timeline",
+    "latency_breakdown",
+]

@@ -1,0 +1,118 @@
+"""Empirical capacity estimation — the ``K(x)`` of the §III-C model.
+
+The paper derives its optimizer input from measurements: *"Based on the
+experiments reported in §V-D, an auxiliary group can sustain approximately
+9500 messages/sec (i.e., K(h_i) = 9500 m/s)"*.  This module reproduces that
+methodology: it saturates a group with closed-loop clients and reports the
+sustained throughput, for the two roles a group can play:
+
+* ``estimate_target_capacity`` — a target group ordering local messages;
+* ``estimate_relay_capacity`` — an auxiliary group ordering *and relaying*
+  global messages down a 2-level tree.
+
+``plan_tree`` chains everything: probe capacities, build the
+:class:`~repro.optimizer.model.OptimizationInput`, and return the optimized
+overlay tree for a given demand matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.bcast.config import CostModel
+from repro.core.tree import OverlayTree
+from repro.optimizer.enumerate import MAX_TARGETS, optimize_exhaustive
+from repro.optimizer.heuristic import optimize_heuristic
+from repro.optimizer.model import OptimizationInput, TreeEvaluation
+from repro.runtime.environments import (
+    BENCH_SCALE,
+    bench_batch_delay,
+    calibrated_costs,
+    lan_network_config,
+    scale_costs,
+)
+from repro.runtime.experiment import ClientPlan, run_bftsmart, run_byzcast
+from repro.types import Destination
+from repro.workload.spec import fixed_destination, uniform_pairs
+
+
+def estimate_target_capacity(
+    scale: float = BENCH_SCALE,
+    clients: int = 150,
+    warmup: float = 1.0,
+    duration: float = 2.5,
+    costs: Optional[CostModel] = None,
+) -> float:
+    """Sustained msgs/s of one group ordering local messages (paper scale)."""
+    costs = costs if costs is not None else scale_costs(calibrated_costs(), scale)
+    result = run_bftsmart(
+        [ClientPlan(f"c{i}", fixed_destination("g1")) for i in range(clients)],
+        costs=costs,
+        network_config=lan_network_config(),
+        batch_delay=bench_batch_delay(scale),
+        warmup=warmup,
+        duration=duration,
+    )
+    return result.throughput * scale
+
+
+def estimate_relay_capacity(
+    scale: float = BENCH_SCALE,
+    clients: int = 200,
+    fanout: int = 2,
+    warmup: float = 1.0,
+    duration: float = 2.5,
+    costs: Optional[CostModel] = None,
+) -> float:
+    """Sustained msgs/s of an auxiliary group relaying global messages.
+
+    ``fanout`` is the number of destination groups per message (the paper's
+    K(h) = 9500 comes from 2-destination messages).
+    """
+    costs = costs if costs is not None else scale_costs(calibrated_costs(), scale)
+    targets = [f"g{i}" for i in range(1, max(4, fanout) + 1)]
+    dst = tuple(targets[:fanout])
+    tree = OverlayTree.two_level(targets)
+    result = run_byzcast(
+        tree,
+        [ClientPlan(f"c{i}", fixed_destination(*dst)) for i in range(clients)],
+        costs=costs,
+        network_config=lan_network_config(),
+        batch_delay=bench_batch_delay(scale),
+        warmup=warmup,
+        duration=duration,
+    )
+    return result.throughput * scale
+
+
+def plan_tree(
+    demand: Mapping[Destination, float],
+    targets: Sequence[str],
+    auxiliaries: Sequence[str],
+    aux_capacity: Optional[float] = None,
+    target_capacity: Optional[float] = None,
+    probe_scale: float = BENCH_SCALE,
+) -> TreeEvaluation:
+    """Probe capacities (unless given) and return the optimized tree.
+
+    Auxiliary groups get the relay capacity, target groups the larger local
+    capacity — matching how the paper parameterizes its model.
+    """
+    if aux_capacity is None:
+        aux_capacity = estimate_relay_capacity(scale=probe_scale)
+    if target_capacity is None:
+        target_capacity = estimate_target_capacity(scale=probe_scale)
+    capacities: Dict[str, float] = {}
+    for aux in auxiliaries:
+        capacities[aux] = aux_capacity
+    for target in targets:
+        capacities[target] = target_capacity
+    problem = OptimizationInput(
+        targets=tuple(targets),
+        auxiliaries=tuple(auxiliaries),
+        demand=dict(demand),
+        capacity=capacities,
+    )
+    if len(targets) <= MAX_TARGETS:
+        return optimize_exhaustive(problem)
+    return optimize_heuristic(problem)

@@ -1,0 +1,217 @@
+"""Run one scenario (protocol × workload × environment) and measure it.
+
+Every figure in the paper's evaluation is a set of (throughput, latency)
+observations over some configuration sweep; this module produces one
+:class:`ExperimentResult` per configuration.  Methodology: closed-loop
+clients, a warmup interval, then a measurement window — only completions
+inside the window count for throughput, and their latencies feed the
+summaries and CDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baseline.naive import BaselineDeployment
+from repro.baseline.single_group import SingleGroupDeployment
+from repro.bcast.config import CostModel
+from repro.core.deployment import ByzCastDeployment
+from repro.core.tree import OverlayTree
+from repro.metrics.collector import LatencyCollector, ThroughputMeter
+from repro.metrics.stats import LatencySummary, summarize
+from repro.sim.network import NetworkConfig
+from repro.workload.clients import ClosedLoopDriver
+from repro.workload.spec import DestinationSampler
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """One client endpoint of an experiment."""
+
+    name: str
+    sampler: DestinationSampler
+    site: str = "site0"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Steady-state measurements of one configuration."""
+
+    protocol: str
+    clients: int
+    duration: float
+    throughput: float
+    latency: LatencySummary
+    local_latency: LatencySummary
+    global_latency: LatencySummary
+    samples: Tuple[float, ...]
+    local_samples: Tuple[float, ...]
+    global_samples: Tuple[float, ...]
+
+    def row(self) -> str:
+        """A printable results row (latencies in milliseconds)."""
+        return (
+            f"{self.protocol:<10} clients={self.clients:<5} "
+            f"tput={self.throughput:>10.1f} m/s  "
+            f"lat(mean={self.latency.mean * 1000:.2f}ms "
+            f"median={self.latency.median * 1000:.2f}ms "
+            f"p95={self.latency.p95 * 1000:.2f}ms "
+            f"±{self.latency.ci95 * 1000:.2f}ms)"
+        )
+
+
+def _drive_and_measure(
+    deployment,
+    make_client: Callable[[ClientPlan], object],
+    plans: Sequence[ClientPlan],
+    protocol: str,
+    warmup: float,
+    duration: float,
+    max_events: Optional[int],
+) -> ExperimentResult:
+    collector = LatencyCollector(warmup, warmup + duration)
+    local_collector = LatencyCollector(warmup, warmup + duration)
+    global_collector = LatencyCollector(warmup, warmup + duration)
+    meter = ThroughputMeter(warmup, warmup + duration)
+    drivers: List[ClosedLoopDriver] = []
+    for plan in plans:
+        client = make_client(plan)
+        driver = ClosedLoopDriver(
+            client=client,
+            sampler=plan.sampler,
+            rng=deployment.rng.stream(f"client.{plan.name}"),
+            collector=collector,
+            meter=meter,
+            local_collector=local_collector,
+            global_collector=global_collector,
+        )
+        drivers.append(driver)
+    deployment.start()
+    for driver in drivers:
+        driver.start()
+    deployment.run(until=warmup + duration, max_events=max_events)
+    return ExperimentResult(
+        protocol=protocol,
+        clients=len(plans),
+        duration=duration,
+        throughput=meter.throughput(),
+        latency=collector.summary(),
+        local_latency=local_collector.summary(),
+        global_latency=global_collector.summary(),
+        samples=tuple(collector.in_window()),
+        local_samples=tuple(local_collector.in_window()),
+        global_samples=tuple(global_collector.in_window()),
+    )
+
+
+def run_byzcast(
+    tree: OverlayTree,
+    plans: Sequence[ClientPlan],
+    f: int = 1,
+    costs: Optional[CostModel] = None,
+    network_config: Optional[NetworkConfig] = None,
+    sites: Optional[Callable[[str, int], str]] = None,
+    warmup: float = 1.0,
+    duration: float = 4.0,
+    seed: int = 1,
+    max_batch: int = 400,
+    batch_delay: float = 0.0,
+    request_timeout: float = 2.0,
+    max_events: Optional[int] = None,
+) -> ExperimentResult:
+    """Measure ByzCast under the given workload."""
+    deployment = ByzCastDeployment(
+        tree,
+        f=f,
+        costs=costs,
+        network_config=network_config,
+        sites=sites,
+        seed=seed,
+        max_batch=max_batch,
+        batch_delay=batch_delay,
+        request_timeout=request_timeout,
+    )
+    return _drive_and_measure(
+        deployment,
+        lambda plan: deployment.add_client(plan.name, site=plan.site),
+        plans,
+        "byzcast",
+        warmup,
+        duration,
+        max_events,
+    )
+
+
+def run_baseline(
+    targets: Sequence[str],
+    plans: Sequence[ClientPlan],
+    f: int = 1,
+    costs: Optional[CostModel] = None,
+    network_config: Optional[NetworkConfig] = None,
+    sites: Optional[Callable[[str, int], str]] = None,
+    warmup: float = 1.0,
+    duration: float = 4.0,
+    seed: int = 1,
+    max_batch: int = 400,
+    batch_delay: float = 0.0,
+    request_timeout: float = 2.0,
+    max_events: Optional[int] = None,
+) -> ExperimentResult:
+    """Measure the non-genuine Baseline protocol."""
+    deployment = BaselineDeployment(
+        list(targets),
+        f=f,
+        costs=costs,
+        network_config=network_config,
+        sites=sites,
+        seed=seed,
+        max_batch=max_batch,
+        batch_delay=batch_delay,
+        request_timeout=request_timeout,
+    )
+    return _drive_and_measure(
+        deployment,
+        lambda plan: deployment.add_client(plan.name, site=plan.site),
+        plans,
+        "baseline",
+        warmup,
+        duration,
+        max_events,
+    )
+
+
+def run_bftsmart(
+    plans: Sequence[ClientPlan],
+    f: int = 1,
+    costs: Optional[CostModel] = None,
+    network_config: Optional[NetworkConfig] = None,
+    sites: Optional[Sequence[str]] = None,
+    warmup: float = 1.0,
+    duration: float = 4.0,
+    seed: int = 1,
+    max_batch: int = 400,
+    batch_delay: float = 0.0,
+    request_timeout: float = 2.0,
+    max_events: Optional[int] = None,
+) -> ExperimentResult:
+    """Measure plain BFT-SMaRt (one group orders everything)."""
+    deployment = SingleGroupDeployment(
+        f=f,
+        costs=costs,
+        network_config=network_config,
+        sites=list(sites) if sites is not None else None,
+        seed=seed,
+        max_batch=max_batch,
+        batch_delay=batch_delay,
+        request_timeout=request_timeout,
+    )
+    return _drive_and_measure(
+        deployment,
+        lambda plan: deployment.add_client(plan.name, site=plan.site),
+        plans,
+        "bft-smart",
+        warmup,
+        duration,
+        max_events,
+    )

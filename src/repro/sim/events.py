@@ -1,0 +1,116 @@
+"""Heap-ordered deterministic event loop.
+
+Time is a float in **seconds**.  Events scheduled for the same instant fire
+in insertion order, which makes every simulation run fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventLoop.schedule`.
+
+    Holding on to the instance allows cancellation via :meth:`cancel`;
+    cancelled events are skipped (and dropped) when their time comes.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = None  # break reference cycles early
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A discrete-event scheduler with a virtual clock.
+
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.schedule(1.0, lambda: fired.append(loop.now))
+    >>> loop.run()
+    >>> fired
+    [1.0]
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        return self.schedule(time - self._now, callback)
+
+    def stop(self) -> None:
+        """Make the currently running :meth:`run` return after this event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in time order.
+
+        Args:
+            until: stop once virtual time would exceed this value; the clock
+                is advanced to ``until`` and remaining events stay queued.
+            max_events: safety valve — raise :class:`SimulationError` if more
+                than this many events fire (catches livelock in protocols).
+        """
+        self._stopped = False
+        fired = 0
+        while self._heap and not self._stopped:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._heap, event)
+                self._now = until
+                return
+            self._now = event.time
+            callback, event.callback = event.callback, None
+            assert callback is not None
+            callback()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events) — livelock?"
+                )
+        if until is not None and self._now < until:
+            self._now = until

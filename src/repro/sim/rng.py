@@ -1,0 +1,34 @@
+"""Seeded random-number streams.
+
+Every stochastic component draws from its own named stream so that adding a
+new source of randomness (say, a jittery link) does not perturb the draws of
+unrelated components — runs stay comparable across code changes.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict
+
+
+class SeededRng:
+    """A factory of independent, deterministic :class:`random.Random` streams.
+
+    >>> rng = SeededRng(7)
+    >>> a = rng.stream("net").random()
+    >>> b = SeededRng(7).stream("net").random()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            mixed = (self.seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+            self._streams[name] = random.Random(mixed)
+        return self._streams[name]

@@ -1,0 +1,148 @@
+"""Closed-loop client drivers (§IV: "clients run in a closed loop").
+
+A driver owns one protocol client (ByzCast, Baseline, or single-group) and
+keeps exactly one message in flight: the next message is multicast only
+after the previous one completed.  Completions are recorded on the shared
+latency collector and throughput meter, classified as local or global.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Tuple
+
+from repro.metrics.collector import LatencyCollector, ThroughputMeter
+from repro.types import MulticastMessage
+from repro.workload.spec import DestinationSampler
+
+
+class ClosedLoopDriver:
+    """Drives one client in a closed loop.
+
+    Args:
+        client: any object with ``amulticast(dst, payload, callback)`` and a
+            ``loop`` attribute (all three protocol clients qualify).
+        sampler: destination sampler invoked per message.
+        rng: this driver's random stream.
+        collector: records (completion time, latency) for every message.
+        meter: throughput meter (counts completions in its window).
+        local_collector / global_collector: optional per-class collectors
+            for the mixed-workload CDF figures.
+        payload: payload attached to every message (64-byte stand-in).
+        think_time: seconds to wait between a completion and the next send.
+        stop_after: stop issuing new messages past this virtual time.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        sampler: DestinationSampler,
+        rng: random.Random,
+        collector: Optional[LatencyCollector] = None,
+        meter: Optional[ThroughputMeter] = None,
+        local_collector: Optional[LatencyCollector] = None,
+        global_collector: Optional[LatencyCollector] = None,
+        payload: Tuple = ("x",),
+        think_time: float = 0.0,
+        stop_after: Optional[float] = None,
+    ) -> None:
+        self.client = client
+        self.sampler = sampler
+        self.rng = rng
+        self.collector = collector
+        self.meter = meter
+        self.local_collector = local_collector
+        self.global_collector = global_collector
+        self.payload = payload
+        self.think_time = think_time
+        self.stop_after = stop_after
+        self.sent = 0
+        self.completed = 0
+
+    def start(self) -> None:
+        """Issue the first message."""
+        self._issue()
+
+    def _issue(self) -> None:
+        now = self.client.loop.now
+        if self.stop_after is not None and now >= self.stop_after:
+            return
+        dst = self.sampler(self.rng)
+        self.sent += 1
+        self.client.amulticast(dst, payload=self.payload, callback=self._on_complete)
+
+    def _on_complete(self, message: MulticastMessage, latency: float) -> None:
+        now = self.client.loop.now
+        self.completed += 1
+        if self.collector is not None:
+            self.collector.record(now, latency)
+        if self.meter is not None:
+            self.meter.record(now)
+        if message.is_local and self.local_collector is not None:
+            self.local_collector.record(now, latency)
+        if message.is_global and self.global_collector is not None:
+            self.global_collector.record(now, latency)
+        if self.think_time > 0:
+            self.client.set_timer(self.think_time, self._issue)
+        else:
+            self._issue()
+
+
+class OpenLoopDriver:
+    """Issues messages at a fixed Poisson rate, regardless of completions.
+
+    Unlike the paper's closed-loop clients, an open-loop client does not
+    throttle under load — useful for injecting an exact offered rate (e.g.
+    to validate the optimizer's ``F(d)`` against a group's ``K(x)``) and
+    for observing overload behaviour.  Use with care: past saturation the
+    backlog grows without bound.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        sampler: DestinationSampler,
+        rng: random.Random,
+        rate: float,
+        collector: Optional[LatencyCollector] = None,
+        meter: Optional[ThroughputMeter] = None,
+        payload: Tuple = ("x",),
+        stop_after: Optional[float] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.client = client
+        self.sampler = sampler
+        self.rng = rng
+        self.rate = rate
+        self.collector = collector
+        self.meter = meter
+        self.payload = payload
+        self.stop_after = stop_after
+        self.sent = 0
+        self.completed = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.rng.expovariate(self.rate)
+        self.client.set_timer(gap, self._fire)
+
+    def _fire(self) -> None:
+        now = self.client.loop.now
+        if self.stop_after is not None and now >= self.stop_after:
+            return
+        dst = self.sampler(self.rng)
+        self.sent += 1
+        self.client.amulticast(dst, payload=self.payload,
+                               callback=self._on_complete)
+        self._schedule_next()
+
+    def _on_complete(self, message: MulticastMessage, latency: float) -> None:
+        now = self.client.loop.now
+        self.completed += 1
+        if self.collector is not None:
+            self.collector.record(now, latency)
+        if self.meter is not None:
+            self.meter.record(now)

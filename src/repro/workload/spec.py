@@ -1,0 +1,150 @@
+"""Destination distributions (the workloads of §V).
+
+A *destination sampler* is a callable ``rng -> Destination``.  The samplers
+here reproduce the paper's workloads:
+
+* ``local_uniform`` — local messages, destination group chosen uniformly
+  (the Fig. 4(a)/5(a) workload);
+* ``uniform_pairs`` — global messages to a uniformly random pair of groups
+  (the *uniform workload* of Table II, Fig. 3/4(b)/5(b));
+* ``skewed_pairs`` — global messages to {g1,g2} or {g3,g4} only (the
+  *skewed workload* of Table II);
+* ``mixed_ratio`` — local and global in a given proportion (the 10:1 mixed
+  workload of Fig. 6/9/10).
+
+The module also exposes the Table II demand matrices ``F(d)`` used by the
+overlay-tree optimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.types import Destination, destination
+
+DestinationSampler = Callable[[random.Random], Destination]
+
+
+def fixed_destination(*groups: str) -> DestinationSampler:
+    """Always the same destination set."""
+    dst = destination(*groups)
+
+    def sample(rng: random.Random) -> Destination:
+        return dst
+
+    return sample
+
+
+def local_uniform(targets: Sequence[str]) -> DestinationSampler:
+    """Local messages: one target group, uniformly at random."""
+    if not targets:
+        raise WorkloadError("need at least one target group")
+    choices = [destination(t) for t in targets]
+
+    def sample(rng: random.Random) -> Destination:
+        return rng.choice(choices)
+
+    return sample
+
+
+def uniform_pairs(targets: Sequence[str]) -> DestinationSampler:
+    """Global messages to two groups, all pairs equally likely (Table II)."""
+    if len(targets) < 2:
+        raise WorkloadError("need at least two target groups for pairs")
+    pairs = [destination(a, b) for a, b in itertools.combinations(sorted(targets), 2)]
+
+    def sample(rng: random.Random) -> Destination:
+        return rng.choice(pairs)
+
+    return sample
+
+
+def skewed_pairs(pairs: Iterable[Tuple[str, str]] = (("g1", "g2"), ("g3", "g4"))
+                 ) -> DestinationSampler:
+    """Global messages restricted to the given pairs (Table II skewed)."""
+    choices = [destination(a, b) for a, b in pairs]
+    if not choices:
+        raise WorkloadError("need at least one pair")
+
+    def sample(rng: random.Random) -> Destination:
+        return rng.choice(choices)
+
+    return sample
+
+
+def mixed_ratio(
+    local: DestinationSampler,
+    global_: DestinationSampler,
+    local_parts: int = 10,
+    global_parts: int = 1,
+) -> DestinationSampler:
+    """Mix local and global messages in ``local_parts : global_parts``.
+
+    The paper's mixed workload uses 10:1 (§V-G, §V-I).
+    """
+    if local_parts < 0 or global_parts < 0 or local_parts + global_parts == 0:
+        raise WorkloadError("ratio parts must be non-negative and not both zero")
+    global_probability = global_parts / (local_parts + global_parts)
+
+    def sample(rng: random.Random) -> Destination:
+        if rng.random() < global_probability:
+            return global_(rng)
+        return local(rng)
+
+    return sample
+
+
+def zipfian_local(targets: Sequence[str], s: float = 1.0) -> DestinationSampler:
+    """Local messages with Zipf-skewed shard popularity.
+
+    §V-A2 mentions workloads "with and without locality (i.e., skewed
+    access)"; this sampler realizes the skew: shard ``i`` (0-based, in the
+    given order) is chosen with probability proportional to ``1/(i+1)^s``.
+    ``s = 0`` degenerates to uniform.
+    """
+    if not targets:
+        raise WorkloadError("need at least one target group")
+    if s < 0:
+        raise WorkloadError("zipf exponent must be non-negative")
+    weights = [1.0 / ((index + 1) ** s) for index in range(len(targets))]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    choices = [destination(t) for t in targets]
+
+    def sample(rng: random.Random) -> Destination:
+        point = rng.random()
+        for index, bound in enumerate(cumulative):
+            if point <= bound:
+                return choices[index]
+        return choices[-1]
+
+    return sample
+
+
+# -- Table II demand matrices (inputs to the optimizer) -----------------------
+
+
+def table2_uniform_demand(
+    targets: Sequence[str] = ("g1", "g2", "g3", "g4"),
+    rate: float = 1200.0,
+) -> Dict[FrozenSet[str], float]:
+    """``D_u``: every pair of groups at ``F_u(d) = 1200`` msgs/s."""
+    return {
+        destination(a, b): rate
+        for a, b in itertools.combinations(sorted(targets), 2)
+    }
+
+
+def table2_skewed_demand(
+    pairs: Iterable[Tuple[str, str]] = (("g1", "g2"), ("g3", "g4")),
+    rate: float = 9000.0,
+) -> Dict[FrozenSet[str], float]:
+    """``D_s``: only {g1,g2} and {g3,g4}, each at ``F_s(d) = 9000`` msgs/s."""
+    return {destination(a, b): rate for a, b in pairs}

@@ -1,0 +1,60 @@
+"""Batching behaviour: bursts coalesce into few consensus instances."""
+
+from __future__ import annotations
+
+from repro.core.deployment import ByzCastDeployment
+from repro.core.tree import OverlayTree
+from repro.types import destination
+from tests.helpers import FAST_COSTS, Harness, make_config
+
+
+def consensus_rounds(replica) -> int:
+    return replica.log.next_execute
+
+
+def test_burst_batches_into_few_rounds():
+    h = Harness()
+    client = h.add_client()
+    for j in range(200):
+        client.submit(("op", j))
+    h.run(until=5.0)
+    assert len(client.results) == 200
+    rounds = consensus_rounds(h.group.replicas[0])
+    assert rounds < 60  # far fewer instances than requests
+
+
+def test_max_batch_caps_round_size():
+    h = Harness(config=make_config("g1", max_batch=10))
+    client = h.add_client()
+    for j in range(100):
+        client.submit(("op", j))
+    h.run(until=5.0)
+    assert len(client.results) == 100
+    rounds = consensus_rounds(h.group.replicas[0])
+    assert rounds >= 10  # at most 10 requests per instance
+
+
+def test_batch_delay_coalesces_relay_copies():
+    """With a batch delay, the 3f+1 relayed copies of one global message
+    are ordered by the child group in a single consensus instance."""
+    tree = OverlayTree.two_level(["g1", "g2"])
+    with_delay = ByzCastDeployment(tree, costs=FAST_COSTS, batch_delay=0.002,
+                                   request_timeout=0.5)
+    client = with_delay.add_client("c1")
+    client.amulticast(destination("g1", "g2"), payload=("m",))
+    with_delay.run(until=5.0)
+    assert client.pending() == 0
+    # One instance at the root (client request), one at each child (all
+    # four relayed copies together).
+    child_rounds = consensus_rounds(with_delay.groups["g1"].replicas[0])
+    assert child_rounds == 1
+
+    without = ByzCastDeployment(tree, costs=FAST_COSTS, batch_delay=0.0,
+                                request_timeout=0.5)
+    client2 = without.add_client("c1")
+    client2.amulticast(destination("g1", "g2"), payload=("m",))
+    without.run(until=5.0)
+    assert client2.pending() == 0
+    # Without the delay the copies usually straggle over 2+ instances.
+    child_rounds_nodelay = consensus_rounds(without.groups["g1"].replicas[0])
+    assert child_rounds_nodelay >= child_rounds

@@ -1,0 +1,126 @@
+"""Unit tests for the regency (leader-change) state machine."""
+
+from __future__ import annotations
+
+from repro.bcast.consensus import WriteCertificate
+from repro.bcast.messages import StopData
+from repro.bcast.regency import RegencyManager
+
+
+def make_manager() -> RegencyManager:
+    return RegencyManager(n=4, f=1)
+
+
+def stopdata(regency, sender, cid=0, cert_regency=-1, batch=None):
+    return StopData(group="g", regency=regency, sender=sender, cid=cid,
+                    cert_regency=cert_regency, batch=batch)
+
+
+class TestStopPhase:
+    def test_join_after_f_plus_1(self):
+        m = make_manager()
+        m.add_stop(0, "r1")
+        assert not m.should_join_stop(0)
+        m.add_stop(0, "r2")
+        assert m.should_join_stop(0)
+
+    def test_no_join_for_past_regency(self):
+        m = make_manager()
+        m.current = 3
+        for sender in ("r1", "r2", "r3"):
+            m.add_stop(1, sender)
+        assert not m.should_join_stop(1)
+
+    def test_no_double_join(self):
+        m = make_manager()
+        m.add_stop(0, "r1")
+        m.add_stop(0, "r2")
+        m.note_own_stop(0)
+        assert not m.should_join_stop(0)
+
+    def test_quorum_and_transition(self):
+        m = make_manager()
+        for sender in ("r0", "r1"):
+            m.add_stop(0, sender)
+        assert not m.stop_quorum(0)
+        m.add_stop(0, "r2")
+        assert m.stop_quorum(0)
+        assert m.begin_transition(0) == 1
+        assert m.in_transition
+        assert m.current == 1
+
+    def test_duplicate_stops_not_counted(self):
+        m = make_manager()
+        for _ in range(5):
+            m.add_stop(0, "r1")
+        assert not m.stop_quorum(0)
+
+
+class TestSyncPhase:
+    def test_sync_ready_needs_quorum(self):
+        m = make_manager()
+        m.add_stopdata(stopdata(1, "r0"))
+        m.add_stopdata(stopdata(1, "r1"))
+        assert not m.sync_ready(1)
+        m.add_stopdata(stopdata(1, "r2"))
+        assert m.sync_ready(1)
+        m.mark_sync_sent(1)
+        assert not m.sync_ready(1)
+
+    def test_choose_sync_no_certificates(self):
+        m = make_manager()
+        for sender in ("r0", "r1", "r2"):
+            m.add_stopdata(stopdata(1, sender, cid=5))
+        decision = m.choose_sync(1, own_cid=5, own_cert=None)
+        assert decision.cid == 5
+        assert decision.carry is None
+
+    def test_choose_sync_prefers_highest_certificate(self):
+        m = make_manager()
+        batch_low = (("low",),)
+        batch_high = (("high",),)
+        m.add_stopdata(stopdata(1, "r0", cid=5, cert_regency=0, batch=batch_low))
+        m.add_stopdata(stopdata(1, "r1", cid=5, cert_regency=2, batch=batch_high))
+        m.add_stopdata(stopdata(1, "r2", cid=5))
+        decision = m.choose_sync(1, own_cid=5, own_cert=None)
+        assert decision.carry == batch_high
+
+    def test_choose_sync_uses_own_certificate(self):
+        m = make_manager()
+        for sender in ("r0", "r1", "r2"):
+            m.add_stopdata(stopdata(1, sender, cid=5))
+        own = WriteCertificate(regency=0, digest=b"d", batch=(("mine",),))
+        decision = m.choose_sync(1, own_cid=5, own_cert=own)
+        assert decision.carry == (("mine",),)
+
+    def test_choose_sync_ignores_stale_cid_reports(self):
+        m = make_manager()
+        m.add_stopdata(stopdata(1, "r0", cid=3, cert_regency=5, batch=(("old",),)))
+        m.add_stopdata(stopdata(1, "r1", cid=5))
+        m.add_stopdata(stopdata(1, "r2", cid=5))
+        decision = m.choose_sync(1, own_cid=5, own_cert=None)
+        assert decision.cid == 5
+        assert decision.carry is None
+
+
+class TestInstall:
+    def test_install_clears_transition(self):
+        m = make_manager()
+        m.begin_transition(0)
+        assert m.accepts_sync(1)
+        m.install(1)
+        assert m.current == 1
+        assert not m.in_transition
+
+    def test_accepts_future_sync(self):
+        m = make_manager()
+        assert m.accepts_sync(3)
+        m.install(3)
+        assert not m.accepts_sync(3)  # already installed, not in transition
+        assert not m.accepts_sync(2)
+
+    def test_update_view(self):
+        m = make_manager()
+        m.update_view(7, 2)
+        assert m.quorum == 5
+        assert m.f == 2

@@ -1,0 +1,88 @@
+"""Unit tests for the multicast client's f+1 result voting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import ByzCastDeployment
+from repro.core.messages import MulticastReply
+from repro.core.tree import OverlayTree
+from repro.types import destination
+from tests.helpers import FAST_COSTS
+
+
+@pytest.fixture
+def client_rig():
+    tree = OverlayTree.two_level(["g1", "g2"])
+    dep = ByzCastDeployment(tree, costs=FAST_COSTS)
+    client = dep.add_client("c1")
+    # Submit without running the sim: we feed replies by hand.
+    client.amulticast(destination("g1", "g2"), payload=("x",))
+    return dep, client
+
+
+def reply(group, replica, seq=1, result=("r",)):
+    return MulticastReply(group=group, replica=replica, sender="c1",
+                          seq=seq, result=result)
+
+
+class TestResultVoting:
+    def test_needs_f_plus_1_matching_per_group(self, client_rig):
+        dep, client = client_rig
+        client._handle_multicast_reply("g1/r0", reply("g1", "g1/r0"))
+        assert client.pending() == 1
+        client._handle_multicast_reply("g1/r1", reply("g1", "g1/r1"))
+        assert client.pending() == 1  # g2 still missing
+        client._handle_multicast_reply("g2/r0", reply("g2", "g2/r0"))
+        client._handle_multicast_reply("g2/r1", reply("g2", "g2/r1"))
+        assert client.pending() == 0
+        assert client.results[("c1", 1)] == {"g1": ("r",), "g2": ("r",)}
+
+    def test_byzantine_minority_result_never_confirmed(self, client_rig):
+        dep, client = client_rig
+        client._handle_multicast_reply("g1/r0", reply("g1", "g1/r0", result=("lie",)))
+        client._handle_multicast_reply("g1/r1", reply("g1", "g1/r1", result=("truth",)))
+        client._handle_multicast_reply("g1/r2", reply("g1", "g1/r2", result=("truth",)))
+        client._handle_multicast_reply("g2/r0", reply("g2", "g2/r0"))
+        client._handle_multicast_reply("g2/r1", reply("g2", "g2/r1"))
+        assert client.pending() == 0
+        assert client.results[("c1", 1)]["g1"] == ("truth",)
+
+    def test_duplicate_replica_votes_ignored(self, client_rig):
+        dep, client = client_rig
+        for __ in range(3):
+            client._handle_multicast_reply("g1/r0", reply("g1", "g1/r0"))
+        assert client.pending() == 1
+
+    def test_spoofed_source_ignored(self, client_rig):
+        dep, client = client_rig
+        # src doesn't match the claimed replica
+        client._handle_multicast_reply("g1/r3", reply("g1", "g1/r0"))
+        # claimed replica not in the group
+        client._handle_multicast_reply("impostor", reply("g1", "impostor"))
+        # reply for someone else's message
+        other = MulticastReply(group="g1", replica="g1/r0", sender="someone",
+                               seq=1, result=())
+        client._handle_multicast_reply("g1/r0", other)
+        assert client.pending() == 1
+
+    def test_reply_from_non_destination_group_ignored(self, client_rig):
+        dep, client = client_rig
+        client._handle_multicast_reply("h1/r0", reply("h1", "h1/r0"))
+        assert client.pending() == 1
+
+    def test_unknown_seq_ignored(self, client_rig):
+        dep, client = client_rig
+        client._handle_multicast_reply("g1/r0", reply("g1", "g1/r0", seq=99))
+        assert client.pending() == 1
+
+    def test_late_replies_after_completion_are_noops(self, client_rig):
+        dep, client = client_rig
+        for group in ("g1", "g2"):
+            for index in (0, 1):
+                client._handle_multicast_reply(
+                    f"{group}/r{index}", reply(group, f"{group}/r{index}"))
+        assert client.pending() == 0
+        # Extra reply after completion.
+        client._handle_multicast_reply("g1/r2", reply("g1", "g1/r2"))
+        assert len(client.completions) == 1

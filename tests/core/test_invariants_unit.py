@@ -1,0 +1,100 @@
+"""Unit tests for the invariant checkers (they must catch violations)."""
+
+from __future__ import annotations
+
+from repro.core.invariants import (
+    check_acyclic_order,
+    check_agreement,
+    check_all,
+    check_integrity,
+    check_prefix_order,
+    check_validity,
+)
+from repro.types import ClientId, MessageId, MulticastMessage, destination
+
+
+def msg(seq: int, *groups: str) -> MulticastMessage:
+    return MulticastMessage(
+        mid=MessageId(ClientId("c"), seq), dst=destination(*groups)
+    )
+
+
+M1 = msg(1, "g1", "g2")
+M2 = msg(2, "g1", "g2")
+M3 = msg(3, "g1")
+
+
+class TestAgreement:
+    def test_passes_on_identical_sequences(self):
+        assert check_agreement({"g1": [[M1, M2], [M1, M2]]}) == []
+
+    def test_flags_divergent_replicas(self):
+        violations = check_agreement({"g1": [[M1, M2], [M2, M1]]})
+        assert len(violations) == 1
+        assert "g1" in violations[0]
+
+
+class TestIntegrity:
+    def test_passes(self):
+        assert check_integrity({"g1": [[M1, M3]]}, [M1, M2, M3]) == []
+
+    def test_flags_duplicate_delivery(self):
+        violations = check_integrity({"g1": [[M1, M1]]}, [M1])
+        assert any("twice" in v for v in violations)
+
+    def test_flags_fabricated_message(self):
+        violations = check_integrity({"g1": [[M1]]}, [])
+        assert any("never-multicast" in v for v in violations)
+
+    def test_flags_wrong_destination(self):
+        violations = check_integrity({"g3": [[M1]]}, [M1])
+        assert any("not addressed" in v for v in violations)
+
+
+class TestValidity:
+    def test_passes(self):
+        sequences = {"g1": [[M1]], "g2": [[M1]]}
+        assert check_validity(sequences, [M1]) == []
+
+    def test_flags_missing_delivery(self):
+        sequences = {"g1": [[M1]], "g2": [[]]}
+        violations = check_validity(sequences, [M1])
+        assert any("missing at g2" in v for v in violations)
+
+
+class TestPrefixOrder:
+    def test_passes_on_consistent_orders(self):
+        sequences = {"g1": [[M1, M2]], "g2": [[M1, M2]]}
+        assert check_prefix_order(sequences) == []
+
+    def test_flags_inverted_orders(self):
+        sequences = {"g1": [[M1, M2]], "g2": [[M2, M1]]}
+        violations = check_prefix_order(sequences)
+        assert len(violations) == 1
+
+    def test_disjoint_sets_ok(self):
+        sequences = {"g1": [[M1]], "g2": [[M2]]}
+        assert check_prefix_order(sequences) == []
+
+
+class TestAcyclicOrder:
+    def test_passes_on_linear_order(self):
+        sequences = {"g1": [[M1, M2]], "g2": [[M2, M3]], "g3": [[M1, M3]]}
+        assert check_acyclic_order(sequences) == []
+
+    def test_flags_three_way_cycle(self):
+        a, b, c = msg(1, "g1"), msg(2, "g1"), msg(3, "g1")
+        sequences = {"g1": [[a, b]], "g2": [[b, c]], "g3": [[c, a]]}
+        violations = check_acyclic_order(sequences)
+        assert violations
+
+
+class TestCheckAll:
+    def test_clean_run(self):
+        sequences = {"g1": [[M1, M2], [M1, M2]], "g2": [[M1, M2], [M1, M2]]}
+        assert check_all(sequences, [M1, M2]) == []
+
+    def test_collects_multiple_violations(self):
+        sequences = {"g1": [[M1, M2]], "g2": [[M2, M1]]}
+        violations = check_all(sequences, [M1, M2])
+        assert len(violations) >= 1

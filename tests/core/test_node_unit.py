@@ -1,0 +1,183 @@
+"""Unit tests for the ByzCast application (Algorithm 1 node logic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcast.app import ExecutionContext
+from repro.bcast.config import BroadcastConfig
+from repro.bcast.messages import Request
+from repro.core.messages import MulticastReply, WireMulticast
+from repro.core.node import ByzCastApplication
+from repro.core.tree import OverlayTree
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.monitor import Monitor
+from tests.helpers import FAST_COSTS
+
+
+def configs_for(tree: OverlayTree, f: int = 1):
+    return {
+        gid: BroadcastConfig(
+            group_id=gid,
+            replicas=tuple(f"{gid}/r{i}" for i in range(3 * f + 1)),
+            f=f,
+            costs=FAST_COSTS,
+        )
+        for gid in tree.nodes
+    }
+
+
+class FakeReplica(Actor):
+    """A minimal actor standing in for a Replica during app unit tests."""
+
+    def __init__(self, name, loop, config):
+        super().__init__(name, loop, Monitor(trace_capacity=100))
+        self.config = config
+        self.sent = []
+
+    def send(self, dst, payload, size=64):
+        self.sent.append((dst, payload))
+
+    def work(self, cost, callback):
+        callback()  # synchronous for unit tests
+
+    def on_message(self, src, payload):  # pragma: no cover - unused
+        pass
+
+
+@pytest.fixture
+def setup():
+    tree = OverlayTree.paper_tree()
+    configs = configs_for(tree)
+    registry = KeyRegistry()
+    loop = EventLoop()
+
+    def make(group_id, replica_name=None, **kwargs):
+        app = ByzCastApplication(group_id, tree, configs, registry, **kwargs)
+        replica = FakeReplica(replica_name or f"{group_id}/r0", loop,
+                              configs[group_id])
+        return app, replica
+
+    return tree, configs, registry, loop, make
+
+
+def wire_for(registry, sender, seq, dst, payload=("p",)):
+    unsigned = WireMulticast(sender=sender, seq=seq, dst=tuple(sorted(dst)),
+                             payload=payload)
+    return WireMulticast(
+        sender=sender, seq=seq, dst=tuple(sorted(dst)), payload=payload,
+        signature=sign(registry, sender, unsigned.signed_part()),
+    )
+
+
+def execute(app, replica, request):
+    ctx = ExecutionContext(replica=replica, time=replica.loop.now)
+    return app.execute(request, ctx)
+
+
+class TestDirectSubmissions:
+    def test_local_message_delivered_and_acked(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        wire = wire_for(registry, "client", 1, ("g1",))
+        result = execute(app, replica, Request("g1", "client", 1, wire))
+        assert result == ("ack",)
+        assert [m.payload for m in app.delivered_messages()] == [("p",)]
+        # A MulticastReply went back to the client.
+        replies = [p for __, p in replica.sent if isinstance(p, MulticastReply)]
+        assert len(replies) == 1 and replies[0].sender == "client"
+
+    def test_wrong_entry_group_rejected(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        wire = wire_for(registry, "client", 1, ("g1", "g2"))  # lca is h2
+        result = execute(app, replica, Request("g1", "client", 1, wire))
+        assert result[0] == "error"
+        assert app.delivered_messages() == []
+
+    def test_missing_signature_rejected(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        wire = WireMulticast(sender="client", seq=1, dst=("g1",), payload=())
+        result = execute(app, replica, Request("g1", "client", 1, wire))
+        assert result == ("error", "invalid origin signature")
+
+    def test_signature_must_match_sender(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        wire = wire_for(registry, "mallory", 1, ("g1",))
+        # mallory's wire replayed under a different bcast sender is fine —
+        # but a wire whose signer differs from its own sender field fails.
+        tampered = WireMulticast(
+            sender="client", seq=1, dst=("g1",), payload=("p",),
+            signature=wire.signature,
+        )
+        result = execute(app, replica, Request("g1", "client", 1, tampered))
+        assert result == ("error", "invalid origin signature")
+
+    def test_bad_destinations_rejected(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        for dst in ((), ("g1", "g1"), ("g9",), ("g2", "g1")):
+            wire = WireMulticast(sender="c", seq=1, dst=dst, payload=())
+            result = execute(app, replica, Request("g1", "c", 1, wire))
+            assert result[0] == "error", dst
+
+    def test_non_multicast_command_rejected(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        result = execute(app, replica, Request("g1", "c", 1, ("raw",)))
+        assert result == ("error", "not a multicast")
+
+
+class TestRelayedCopies:
+    def test_relay_confirmed_after_f_plus_1_parents(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")  # parent of g1 is h2
+        wire = wire_for(registry, "client", 1, ("g1", "g2"))
+        execute(app, replica, Request("g1", "h2/r0", 1, wire))
+        assert app.delivered_messages() == []  # one copy is not enough
+        execute(app, replica, Request("g1", "h2/r1", 1, wire))
+        assert [m.payload for m in app.delivered_messages()] == [("p",)]
+
+    def test_root_relays_to_routed_children_only(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("h1", "h1/r0")
+        wire = wire_for(registry, "client", 1, ("g2", "g3"))
+        execute(app, replica, Request("h1", "client", 1, wire))
+        # The root forwards to h2 and h3 replicas (4 each), delivers nothing.
+        targets = {dst.split("/")[0] for dst, p in replica.sent
+                   if not isinstance(p, MulticastReply)}
+        assert targets == {"h2", "h3"}
+        assert app.delivered_messages() == []
+
+    def test_middle_group_relays_only_reached_destinations(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("h2", "h2/r0")
+        wire = wire_for(registry, "client", 1, ("g2", "g3"))
+        for parent in ("h1/r0", "h1/r1"):
+            execute(app, replica, Request("h2", parent, 1, wire))
+        targets = {dst.split("/")[0] for dst, p in replica.sent}
+        assert targets == {"g2"}  # g3 is h3's business
+
+    def test_duplicate_relays_act_once(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g2")
+        wire = wire_for(registry, "client", 1, ("g2",))
+        # Direct submission at lca == g2 (local message).
+        execute(app, replica, Request("g2", "client", 1, wire))
+        execute(app, replica, Request("g2", "client", 1, wire))
+        assert len(app.delivered_messages()) == 1
+
+    def test_relay_from_nonparent_is_not_counted_as_relay(self, setup):
+        tree, configs, registry, loop, make = setup
+        app, replica = make("g1")
+        wire = wire_for(registry, "client", 1, ("g1", "g2"))
+        # h3 replicas are NOT g1's parent: treated as direct submission
+        # and rejected (g1 is not the lca).
+        result = execute(app, replica, Request("g1", "h3/r0", 1, wire))
+        assert result[0] == "error"
+        assert app.delivered_messages() == []

@@ -1,0 +1,106 @@
+"""Unit tests for the f+1 quorum-head merge (order-preserving relay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relay import QuorumMerge
+
+PARENTS = ("p0", "p1", "p2", "p3")  # 3f+1 with f=1
+
+
+def make_merge() -> QuorumMerge:
+    return QuorumMerge(PARENTS, threshold=2)  # f+1 = 2
+
+
+def push_seq(merge: QuorumMerge, sender: str, keys) -> list:
+    released = []
+    for key in keys:
+        released.extend(merge.push(sender, key, key))
+    return released
+
+
+def test_release_requires_threshold():
+    merge = make_merge()
+    assert merge.push("p0", "m", "m") == []
+    assert merge.push("p1", "m", "m") == ["m"]
+
+
+def test_duplicate_pushes_do_not_rerelease():
+    merge = make_merge()
+    merge.push("p0", "m", "m")
+    merge.push("p1", "m", "m")
+    assert merge.push("p2", "m", "m") == []
+    assert merge.push("p0", "m", "m") == []
+
+
+def test_unknown_sender_ignored():
+    merge = make_merge()
+    assert merge.push("stranger", "m", "m") == []
+    assert merge.push("p0", "m", "m") == []
+    assert merge.push("p1", "m", "m") == ["m"]
+
+
+def test_correct_order_is_preserved():
+    merge = make_merge()
+    order = ["a", "b", "c"]
+    released = []
+    for sender in ("p0", "p1", "p2"):
+        released.extend(push_seq(merge, sender, order))
+    assert released == order
+
+
+def test_byzantine_skipping_cannot_invert_order():
+    """The adversarial scenario that breaks naive f+1 counting.
+
+    Correct parents p0..p2 relay m then m'.  Byzantine p3 relays only m',
+    and its copy is ordered *first*.  Naive counting would release m' after
+    p0's copy (2 distinct copies of m' vs 1 of m); the quorum-head merge
+    must still release m first.
+    """
+    merge = make_merge()
+    released = []
+    released.extend(merge.push("p3", "m2", "m2"))       # byzantine: skips m1
+    released.extend(merge.push("p0", "m1", "m1"))
+    released.extend(merge.push("p0", "m2", "m2"))       # naive would fire m2 here
+    assert released == []
+    released.extend(merge.push("p1", "m1", "m1"))        # m1 reaches 2 heads
+    assert released == ["m1", "m2"]
+
+
+def test_byzantine_fabrication_never_released_and_does_not_block():
+    merge = make_merge()
+    released = []
+    released.extend(merge.push("p3", "fake", "fake"))
+    for sender in ("p0", "p1", "p2"):
+        released.extend(push_seq(merge, sender, ["a", "b"]))
+    assert released == ["a", "b"]
+    assert not merge.is_released("fake")
+    assert merge.pending_counts()["p3"] == 1  # blocked garbage stays queued
+
+
+def test_interleaved_lagging_senders():
+    merge = make_merge()
+    released = []
+    released.extend(push_seq(merge, "p0", ["a", "b", "c"]))
+    assert released == []
+    released.extend(merge.push("p1", "a", "a"))
+    assert released == ["a"]
+    released = push_seq(merge, "p2", ["a", "b", "c"])
+    # p2's "a" is discarded (already released); b and c complete with p0.
+    assert released == ["b", "c"]
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        QuorumMerge(PARENTS, threshold=0)
+    with pytest.raises(ValueError):
+        QuorumMerge(PARENTS, threshold=5)
+
+
+def test_late_joiner_catches_up_cleanly():
+    merge = make_merge()
+    for sender in ("p0", "p1"):
+        push_seq(merge, sender, ["a", "b", "c"])
+    # p2 saw nothing so far; its stale copies are absorbed silently.
+    assert push_seq(merge, "p2", ["a", "b", "c"]) == []

@@ -1,0 +1,126 @@
+"""Unit tests for the overlay tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import OverlayTree
+from repro.errors import TreeError
+
+
+@pytest.fixture
+def paper_tree() -> OverlayTree:
+    return OverlayTree.paper_tree()
+
+
+def test_paper_tree_structure(paper_tree):
+    assert paper_tree.root == "h1"
+    assert paper_tree.children("h1") == ("h2", "h3")
+    assert paper_tree.children("h2") == ("g1", "g2")
+    assert paper_tree.parent("g3") == "h3"
+    assert paper_tree.parent("h1") is None
+    assert paper_tree.auxiliaries == {"h1", "h2", "h3"}
+
+
+def test_reach_matches_paper_example(paper_tree):
+    # §III-B: reach(h1) = {g1..g4}, reach(h2) = {g1, g2}, reach(h3) = {g3, g4}
+    assert paper_tree.reach("h1") == {"g1", "g2", "g3", "g4"}
+    assert paper_tree.reach("h2") == {"g1", "g2"}
+    assert paper_tree.reach("h3") == {"g3", "g4"}
+    assert paper_tree.reach("g1") == {"g1"}
+
+
+def test_lca_examples_from_fig1(paper_tree):
+    assert paper_tree.lca({"g1", "g2"}) == "h2"    # m1
+    assert paper_tree.lca({"g2", "g3"}) == "h1"    # m2
+    assert paper_tree.lca({"g3"}) == "g3"          # m3 (local)
+    assert paper_tree.lca({"g3", "g4"}) == "h3"
+
+
+def test_heights_match_table3_semantics(paper_tree):
+    # Leaves have height 1; h2/h3 height 2; root height 3.
+    assert paper_tree.height("g1") == 1
+    assert paper_tree.height("h2") == 2
+    assert paper_tree.height("h1") == 3
+    assert paper_tree.destination_height({"g1", "g2"}) == 2
+    assert paper_tree.destination_height({"g1", "g3"}) == 3
+
+
+def test_two_level_tree_heights():
+    tree = OverlayTree.two_level(["g1", "g2", "g3", "g4"])
+    assert tree.root == "h1"
+    assert tree.height("h1") == 2
+    for pair in ({"g1", "g2"}, {"g2", "g4"}):
+        assert tree.destination_height(pair) == 2
+    assert tree.destination_height({"g1"}) == 1
+
+
+def test_involved_groups(paper_tree):
+    assert paper_tree.involved_groups({"g1", "g2"}) == {"h2", "g1", "g2"}
+    assert paper_tree.involved_groups({"g2", "g3"}) == {"h1", "h2", "h3", "g2", "g3"}
+    assert paper_tree.involved_groups({"g4"}) == {"g4"}
+
+
+def test_route_children(paper_tree):
+    assert paper_tree.route_children("h1", {"g2", "g3"}) == ("h2", "h3")
+    assert paper_tree.route_children("h2", {"g2", "g3"}) == ("g2",)
+    assert paper_tree.route_children("h3", {"g3"}) == ("g3",)
+    assert paper_tree.route_children("g3", {"g3"}) == ()
+
+
+def test_ancestors(paper_tree):
+    assert paper_tree.ancestors("g4") == ("h1", "h3", "g4")
+    assert paper_tree.ancestors("h1") == ("h1",)
+
+
+def test_target_groups_can_be_inner_nodes():
+    # Last paragraph of §III-B: the tree may contain target groups only.
+    tree = OverlayTree({"g2": "g1", "g3": "g1"}, targets=["g1", "g2", "g3"])
+    assert tree.root == "g1"
+    assert tree.reach("g1") == {"g1", "g2", "g3"}
+    assert tree.lca({"g1", "g2"}) == "g1"
+    assert tree.lca({"g2", "g3"}) == "g1"
+    assert tree.destination_height({"g2"}) == 1
+
+
+def test_rejects_multiple_roots():
+    with pytest.raises(TreeError):
+        OverlayTree({"g1": "h1", "g2": "h2"}, targets=["g1", "g2"])
+
+
+def test_rejects_cycle():
+    with pytest.raises(TreeError):
+        OverlayTree({"a": "b", "b": "a", "g1": "a"}, targets=["g1"])
+
+
+def test_rejects_auxiliary_leaf():
+    with pytest.raises(TreeError):
+        OverlayTree({"g1": "h1", "h2": "h1"}, targets=["g1"])
+
+
+def test_rejects_lca_of_non_target():
+    tree = OverlayTree.paper_tree()
+    with pytest.raises(TreeError):
+        tree.lca({"h2"})
+    with pytest.raises(TreeError):
+        tree.lca(set())
+
+
+def test_rejects_empty_tree():
+    with pytest.raises(TreeError):
+        OverlayTree({}, targets=[])
+
+
+def test_subtree(paper_tree):
+    assert paper_tree.subtree("h2") == {"h2", "g1", "g2"}
+    assert paper_tree.subtree("g1") == {"g1"}
+    assert paper_tree.subtree("h1") == paper_tree.nodes
+
+
+def test_to_dot(paper_tree):
+    dot = paper_tree.to_dot()
+    assert dot.startswith("digraph overlay {")
+    assert '"h1" -> "h2";' in dot
+    assert '"g1" [shape=box];' in dot
+    assert '"h1" [shape=ellipse];' in dot
+    assert dot.endswith("}")

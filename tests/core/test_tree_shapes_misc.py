@@ -1,0 +1,61 @@
+"""Odd-but-legal tree shapes and constructor edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import OverlayTree
+from repro.errors import TreeError
+
+
+def test_single_target_tree():
+    tree = OverlayTree({}, targets=["g1"])
+    assert tree.root == "g1"
+    assert tree.lca({"g1"}) == "g1"
+    assert tree.height("g1") == 1
+    assert tree.involved_groups({"g1"}) == {"g1"}
+    assert tree.route_children("g1", {"g1"}) == ()
+
+
+def test_unbalanced_branches():
+    tree = OverlayTree.three_level({"h2": ["g1"], "h3": ["g2", "g3", "g4"]})
+    assert tree.height("h1") == 3
+    assert tree.children("h3") == ("g2", "g3", "g4")
+    assert tree.lca({"g2", "g4"}) == "h3"
+    assert tree.destination_height({"g1"}) == 1
+    assert tree.destination_height({"g1", "g2"}) == 3
+
+
+def test_star_of_singletons_rejected_when_aux_childless():
+    # An auxiliary with zero children is a leaf aux: invalid.
+    with pytest.raises(TreeError):
+        OverlayTree({"g1": "h1", "h2": "h1"}, targets=["g1"])
+
+
+def test_two_level_with_sixteen_targets():
+    targets = [f"g{i}" for i in range(16)]
+    tree = OverlayTree.two_level(targets)
+    assert len(tree.nodes) == 17
+    assert tree.destination_height(targets) == 2
+    assert tree.involved_groups({"g0", "g15"}) == {"h1", "g0", "g15"}
+
+
+def test_target_as_root_with_aux_below():
+    # Legal exotic shape: a target root over an auxiliary branch.
+    tree = OverlayTree(
+        {"h2": "g1", "g2": "h2", "g3": "h2"}, targets=["g1", "g2", "g3"]
+    )
+    assert tree.root == "g1"
+    assert tree.lca({"g1", "g2"}) == "g1"
+    assert tree.lca({"g2", "g3"}) == "h2"
+    assert tree.reach("g1") == {"g1", "g2", "g3"}
+    assert tree.auxiliaries == {"h2"}
+
+
+def test_depth_vs_height_relation():
+    tree = OverlayTree.paper_tree()
+    for node in tree.nodes:
+        # depth (from root) + height (to deepest leaf) <= total levels + 1
+        assert tree.depth(node) + tree.height(node) <= 4
+    assert tree.depth("h1") == 0 and tree.height("h1") == 3
+    assert tree.depth("g1") == 2 and tree.height("g1") == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the cryptographic substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.crypto.digest import canonical_bytes, digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.mac import mac, verify_mac
+from repro.crypto.signatures import Signature, sign, verify
+from repro.errors import CryptoError
+
+
+class TestCanonicalBytes:
+    def test_primitive_types_distinct(self):
+        values = [None, True, False, 0, 1, "1", b"1", 1.0, (), (1,), frozenset()]
+        forms = [canonical_bytes(v) for v in values]
+        assert len(set(forms)) == len(forms)
+
+    def test_sets_order_independent(self):
+        assert canonical_bytes({1, 2, 3}) == canonical_bytes({3, 1, 2})
+        assert canonical_bytes(frozenset("ab")) == canonical_bytes(frozenset("ba"))
+
+    def test_dicts_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_equivalent_but_ordered(self):
+        assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+        assert canonical_bytes((1, 2)) != canonical_bytes((2, 1))
+
+    def test_nested_structures(self):
+        a = canonical_bytes({"k": [1, (2, frozenset({"x"}))]})
+        b = canonical_bytes({"k": [1, (2, frozenset({"x"}))]})
+        assert a == b
+
+    def test_dataclasses(self):
+        @dataclass(frozen=True)
+        class Point:
+            x: int
+            y: int
+
+        assert canonical_bytes(Point(1, 2)) == canonical_bytes(Point(1, 2))
+        assert canonical_bytes(Point(1, 2)) != canonical_bytes(Point(2, 1))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CryptoError):
+            canonical_bytes(object())
+
+    def test_digest_is_16_bytes_and_stable(self):
+        assert len(digest(("a", 1))) == 16
+        assert digest(("a", 1)) == digest(("a", 1))
+        assert digest(("a", 1)) != digest(("a", 2))
+
+
+class TestKeysAndSignatures:
+    def test_secret_deterministic_per_identity(self):
+        r1, r2 = KeyRegistry(), KeyRegistry()
+        assert r1.secret("p") == r2.secret("p")
+        assert r1.secret("p") != r1.secret("q")
+
+    def test_sign_verify_roundtrip(self):
+        registry = KeyRegistry()
+        sig = sign(registry, "alice", ("msg", 1))
+        assert verify(registry, ("msg", 1), sig)
+
+    def test_verify_fails_on_tampered_object(self):
+        registry = KeyRegistry()
+        sig = sign(registry, "alice", ("msg", 1))
+        assert not verify(registry, ("msg", 2), sig)
+
+    def test_verify_fails_on_wrong_claimed_signer(self):
+        registry = KeyRegistry()
+        sig = sign(registry, "alice", ("msg", 1))
+        forged = Signature(signer="bob", tag=sig.tag)
+        assert not verify(registry, ("msg", 1), forged)
+
+    def test_cannot_forge_without_key(self):
+        registry = KeyRegistry()
+        forged = Signature(signer="alice", tag=b"\x00" * 16)
+        assert not verify(registry, ("msg", 1), forged)
+
+
+class TestMacs:
+    def test_mac_roundtrip_and_symmetry(self):
+        registry = KeyRegistry()
+        tag = mac(registry, "a", "b", ("data",))
+        assert verify_mac(registry, "a", "b", ("data",), tag)
+        assert verify_mac(registry, "b", "a", ("data",), tag)  # pairwise key
+
+    def test_mac_rejects_tampering(self):
+        registry = KeyRegistry()
+        tag = mac(registry, "a", "b", ("data",))
+        assert not verify_mac(registry, "a", "b", ("other",), tag)
+        assert not verify_mac(registry, "a", "c", ("data",), tag)

@@ -1,0 +1,235 @@
+"""Safety and liveness under Byzantine replicas (up to f per group)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import ByzCastDeployment
+from repro.core.tree import OverlayTree
+from repro.faults.behaviors import (
+    DuplicatingRelayApp,
+    EquivocatingLeaderReplica,
+    FabricatingRelayApp,
+    MuteReplica,
+    SilentRelayApp,
+    WrongVoteReplica,
+)
+from repro.faults.injector import FaultPlan
+from repro.types import destination
+from tests.helpers import FAST_COSTS, Harness
+
+
+def make_deployment(plan: FaultPlan = None, tree=None, **kwargs) -> ByzCastDeployment:
+    tree = tree if tree is not None else OverlayTree.paper_tree()
+    kwargs.setdefault("costs", FAST_COSTS)
+    kwargs.setdefault("request_timeout", 0.3)
+    plan = plan or FaultPlan()
+    dep = ByzCastDeployment(
+        tree,
+        replica_classes=plan.replica_classes,
+        app_overrides=plan.app_overrides,
+        **kwargs,
+    )
+    plan.apply_runtime(dep)
+    return dep
+
+
+def assert_agreement(dep, group_id):
+    sequences = [
+        [m.payload for m in seq] for seq in dep.delivered_sequences(group_id)
+    ]
+    assert all(seq == sequences[0] for seq in sequences), sequences
+    return sequences[0]
+
+
+class TestBroadcastLayerByzantine:
+    def test_equivocating_leader_safety_and_recovery(self):
+        h = Harness(replica_classes={"g1/r0": EquivocatingLeaderReplica})
+        client = h.add_client()
+        for j in range(5):
+            client.submit(("op", j))
+        h.run(until=30.0)
+        assert len(client.results) == 5
+        correct = h.group.replicas[1:]
+        sequences = [r.app.executed for r in correct]
+        assert all(seq == sequences[0] for seq in sequences)
+        assert sequences[0] == [("op", j) for j in range(5)]
+        # A regency change dethroned the equivocator.
+        assert all(r.regency.current >= 1 for r in correct)
+
+    def test_mute_replica_harmless(self):
+        h = Harness(replica_classes={"g1/r2": MuteReplica})
+        client = h.add_client()
+        for j in range(10):
+            client.submit(("op", j))
+        h.run(until=10.0)
+        assert len(client.results) == 10
+        correct = [h.group.replicas[i] for i in (0, 1, 3)]
+        sequences = [r.app.executed for r in correct]
+        assert all(seq == sequences[0] for seq in sequences)
+
+    def test_wrong_vote_replica_harmless(self):
+        h = Harness(replica_classes={"g1/r3": WrongVoteReplica})
+        client = h.add_client()
+        for j in range(10):
+            client.submit(("op", j))
+        h.run(until=10.0)
+        assert len(client.results) == 10
+        correct = h.group.replicas[:3]
+        sequences = [r.app.executed for r in correct]
+        assert all(seq == sequences[0] for seq in sequences)
+        assert all(r.regency.current == 0 for r in correct)
+
+
+class TestByzCastRelayFaults:
+    def test_silent_relay_does_not_block_delivery(self):
+        plan = FaultPlan().byzantine_app("h1", "h1/r0", SilentRelayApp)
+        tree = OverlayTree.two_level(["g1", "g2", "g3", "g4"])
+        dep = make_deployment(plan, tree=tree)
+        client = dep.add_client("c1")
+        for j in range(5):
+            client.amulticast(destination("g1", "g2"), payload=("m", j))
+        dep.run(until=10.0)
+        assert client.pending() == 0
+        for gid in ("g1", "g2"):
+            order = assert_agreement(dep, gid)
+            assert order == [("m", j) for j in range(5)]
+
+    def test_fabricated_relay_never_delivered(self):
+        plan = FaultPlan().byzantine_app("h1", "h1/r1", FabricatingRelayApp)
+        tree = OverlayTree.two_level(["g1", "g2", "g3", "g4"])
+        dep = make_deployment(plan, tree=tree)
+        client = dep.add_client("c1")
+        client.amulticast(destination("g1", "g2"), payload=("real",))
+        dep.run(until=10.0)
+        assert client.pending() == 0
+        for gid in ("g1", "g2"):
+            order = assert_agreement(dep, gid)
+            assert order == [("real",)]
+            for seq in dep.delivered_sequences(gid):
+                assert all(m.payload != ("fabricated",) for m in seq)
+
+    def test_duplicating_relay_delivers_once(self):
+        plan = FaultPlan().byzantine_app("h1", "h1/r2", DuplicatingRelayApp)
+        tree = OverlayTree.two_level(["g1", "g2", "g3", "g4"])
+        dep = make_deployment(plan, tree=tree)
+        client = dep.add_client("c1")
+        for j in range(5):
+            client.amulticast(destination("g1", "g3"), payload=("m", j))
+        dep.run(until=10.0)
+        assert client.pending() == 0
+        for gid in ("g1", "g3"):
+            order = assert_agreement(dep, gid)
+            assert order == [("m", j) for j in range(5)]
+
+    def test_silent_relay_in_three_level_tree(self):
+        plan = (
+            FaultPlan()
+            .byzantine_app("h1", "h1/r0", SilentRelayApp)
+            .byzantine_app("h2", "h2/r3", SilentRelayApp)
+        )
+        dep = make_deployment(plan)
+        client = dep.add_client("c1")
+        client.amulticast(destination("g1", "g3"), payload=("deep",))
+        dep.run(until=10.0)
+        assert client.pending() == 0
+        for gid in ("g1", "g3"):
+            assert assert_agreement(dep, gid) == [("deep",)]
+
+
+class TestRuntimeFaults:
+    def test_crash_and_recover_target_replica(self):
+        plan = (
+            FaultPlan()
+            .crash("g2", "g2/r3", at=0.5)
+            .recover("g2", "g2/r3", at=3.0)
+        )
+        dep = make_deployment(plan)
+        client = dep.add_client("c1")
+        for j in range(20):
+            client.amulticast(destination("g2"), payload=("op", j))
+        dep.run(until=12.0)
+        assert client.pending() == 0
+        replicas = dep.groups["g2"].replicas
+        # The recovered replica converges to the same executed prefix.
+        assert replicas[3].log.next_execute == replicas[0].log.next_execute
+
+    def test_partitioned_aux_replica_heals(self):
+        plan = FaultPlan()
+        for peer in ("h1/r1", "h1/r2", "h1/r3"):
+            plan.partition("h1/r0", peer, at=0.2, heal_at=2.0)
+        tree = OverlayTree.two_level(["g1", "g2", "g3", "g4"])
+        dep = make_deployment(plan, tree=tree)
+        client = dep.add_client("c1")
+        for j in range(10):
+            client.amulticast(destination("g1", "g4"), payload=("op", j))
+        dep.run(until=15.0)
+        assert client.pending() == 0
+        for gid in ("g1", "g4"):
+            assert assert_agreement(dep, gid) == [("op", j) for j in range(10)]
+
+
+class TestAdversarialClients:
+    def test_client_submitting_to_wrong_group_is_rejected(self):
+        """A Byzantine client submits a global message directly to a target
+        group (bypassing the lca): correct replicas refuse to act on it."""
+        dep = make_deployment()
+        client = dep.add_client("evil")
+        # Build the wire by hand and push it at g1 instead of lca h2.
+        from repro.core.messages import WireMulticast
+        from repro.crypto.signatures import sign
+
+        wire = WireMulticast(sender="evil", seq=1, dst=("g1", "g2"), payload=("x",))
+        signed = WireMulticast(
+            sender="evil", seq=1, dst=("g1", "g2"), payload=("x",),
+            signature=sign(dep.registry, "evil", wire.signed_part()),
+        )
+        proxy = client._proxy("g1")
+        proxy.submit(signed)
+        dep.run(until=5.0)
+        for gid in ("g1", "g2"):
+            for seq in dep.delivered_sequences(gid):
+                assert seq == []
+        assert dep.monitor.counters.get("byzcast.wrong_entry_group", 0) >= 3
+
+    def test_unsigned_multicast_is_rejected(self):
+        dep = make_deployment()
+        client = dep.add_client("evil")
+        from repro.core.messages import WireMulticast
+
+        wire = WireMulticast(sender="evil", seq=1, dst=("g1",), payload=("x",))
+        proxy = client._proxy("g1")
+        proxy.submit(wire)
+        dep.run(until=5.0)
+        for seq in dep.delivered_sequences("g1"):
+            assert seq == []
+        assert dep.monitor.counters.get("byzcast.bad_origin_signature", 0) >= 3
+
+
+class TestDelayingReplica:
+    def test_slow_replica_does_not_block_progress(self):
+        from repro.faults.behaviors import DelayingReplica
+
+        h = Harness(replica_classes={"g1/r2": DelayingReplica})
+        client = h.add_client()
+        for j in range(10):
+            client.submit(("op", j))
+        h.run(until=10.0)
+        assert len(client.results) == 10
+        fast = [h.group.replicas[i] for i in (0, 1, 3)]
+        sequences = [r.app.executed for r in fast]
+        assert all(seq == sequences[0] for seq in sequences)
+
+    def test_slow_leader_is_eventually_replaced(self):
+        from repro.faults.behaviors import DelayingReplica
+
+        class VerySlow(DelayingReplica):
+            delay = 5.0  # far beyond the request timeout
+
+        h = Harness(replica_classes={"g1/r0": VerySlow})
+        client = h.add_client()
+        client.submit(("x",))
+        h.run(until=30.0)
+        assert client.results and client.results[0] == ("ok", ("x",))
+        others = h.group.replicas[1:]
+        assert all(r.regency.current >= 1 for r in others)

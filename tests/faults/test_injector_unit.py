@@ -1,0 +1,57 @@
+"""Unit tests for the fault-plan builder and proxy give-up behaviour."""
+
+from __future__ import annotations
+
+from repro.faults.behaviors import MuteReplica, SilentRelayApp
+from repro.faults.injector import FaultPlan
+from tests.helpers import Harness
+
+
+class TestFaultPlan:
+    def test_builder_accumulates(self):
+        plan = (
+            FaultPlan()
+            .byzantine_replica("g1", "g1/r0", MuteReplica)
+            .byzantine_app("h1", "h1/r1", SilentRelayApp)
+            .crash("g1", "g1/r2", at=1.0)
+            .recover("g1", "g1/r2", at=2.0)
+            .partition("a", "b", at=0.5, heal_at=1.5)
+        )
+        assert plan.replica_classes == {"g1": {"g1/r0": MuteReplica}}
+        assert plan.app_overrides == {"h1": {"h1/r1": SilentRelayApp}}
+        assert len(plan._runtime) == 3
+
+    def test_apply_runtime_schedules_events(self):
+        from repro.core.deployment import ByzCastDeployment
+        from repro.core.tree import OverlayTree
+        from tests.helpers import FAST_COSTS
+
+        dep = ByzCastDeployment(OverlayTree.two_level(["g1", "g2"]),
+                                costs=FAST_COSTS)
+        plan = FaultPlan().crash("g1", "g1/r3", at=0.5).recover("g1", "g1/r3", at=1.0)
+        plan.apply_runtime(dep)
+        dep.run(until=0.7)
+        assert dep.groups["g1"].replica("g1/r3").crashed
+        dep.run(until=1.2)
+        assert not dep.groups["g1"].replica("g1/r3").crashed
+
+    def test_fluent_chaining_returns_self(self):
+        plan = FaultPlan()
+        assert plan.crash("g", "r", 1.0) is plan
+        assert plan.partition("a", "b", 1.0) is plan
+
+
+class TestProxyGiveUp:
+    def test_retransmission_stops_after_max_retries(self):
+        h = Harness()
+        # Crash the whole group: nothing will ever answer.
+        for replica in h.group.replicas:
+            replica.crash()
+        client = h.add_client(retransmit_timeout=0.05)
+        client.proxy.max_retries = 3
+        client.submit(("doomed",))
+        h.run(until=20.0)
+        assert client.results == []
+        assert client.proxy.pending() == 1  # left for the owner to inspect
+        # Retransmitted exactly max_retries times.
+        assert h.monitor.counters.get("proxy.retransmit", 0) == 3

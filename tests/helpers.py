@@ -1,0 +1,119 @@
+"""Shared test utilities: tiny harnesses around the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bcast.app import EchoApplication
+from repro.bcast.client import GroupProxy
+from repro.bcast.config import BroadcastConfig, CostModel
+from repro.bcast.group import BroadcastGroup
+from repro.bcast.messages import Reply
+from repro.crypto.keys import KeyRegistry
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.latency import JitterLatency
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+
+#: Cheap cost model for functional tests — fast but still serialized per CPU.
+FAST_COSTS = CostModel(
+    request_recv=1e-6,
+    propose_fixed=1e-5,
+    propose_per_msg=1e-6,
+    validate_fixed=1e-5,
+    validate_per_msg=1e-6,
+    vote_recv=1e-6,
+    execute_per_msg=1e-6,
+    reply_per_msg=1e-6,
+    relay_per_dest=1e-6,
+)
+
+
+def replica_names(group_id: str, n: int = 4) -> Tuple[str, ...]:
+    return tuple(f"{group_id}/r{i}" for i in range(n))
+
+
+def make_config(group_id: str = "g1", f: int = 1, **overrides: Any) -> BroadcastConfig:
+    params: Dict[str, Any] = dict(
+        group_id=group_id,
+        replicas=replica_names(group_id, 3 * f + 1),
+        f=f,
+        costs=FAST_COSTS,
+        request_timeout=0.5,
+    )
+    params.update(overrides)
+    return BroadcastConfig(**params)
+
+
+class TestClient(Actor):
+    """A scripted client driving one group through a :class:`GroupProxy`."""
+
+    __test__ = False  # not a pytest collectible
+
+    def __init__(self, name: str, loop: EventLoop, config: BroadcastConfig,
+                 registry: KeyRegistry, monitor: Optional[Monitor] = None,
+                 retransmit_timeout: Optional[float] = 4.0) -> None:
+        super().__init__(name, loop, monitor)
+        self.proxy = GroupProxy(
+            self, config.group_id, config.replicas, config.f, registry,
+            retransmit_timeout=retransmit_timeout,
+        )
+        self.results: List[Any] = []
+
+    def submit(self, command: Any, callback: Optional[Callable[[Any], None]] = None) -> int:
+        def record(result: Any) -> None:
+            self.results.append(result)
+            if callback is not None:
+                callback(result)
+
+        return self.proxy.submit(command, record)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Reply):
+            self.proxy.handle_reply(src, payload)
+
+
+class Harness:
+    """One group + clients on a LAN-like network, ready to run."""
+
+    def __init__(self, f: int = 1, seed: int = 1, group_id: str = "g1",
+                 config: Optional[BroadcastConfig] = None,
+                 replica_classes: Optional[dict] = None,
+                 trace_capacity: int = 5000) -> None:
+        self.loop = EventLoop()
+        self.monitor = Monitor(trace_capacity=trace_capacity)
+        self.monitor.bind_clock(lambda: self.loop.now)
+        self.rng = SeededRng(seed)
+        self.network = Network(
+            self.loop,
+            NetworkConfig(latency=JitterLatency(0.00005, 0.2)),
+            rng=self.rng,
+            monitor=self.monitor,
+        )
+        self.registry = KeyRegistry()
+        self.config = config if config is not None else make_config(group_id, f=f)
+        self.group = BroadcastGroup.build(
+            self.loop, self.network, self.config, self.registry,
+            app_factory=lambda name: EchoApplication(),
+            monitor=self.monitor,
+            replica_classes=replica_classes,
+        )
+        self.clients: List[TestClient] = []
+
+    def add_client(self, name: str = None, **kwargs: Any) -> TestClient:
+        name = name if name is not None else f"c{len(self.clients)}"
+        client = TestClient(name, self.loop, self.config, self.registry,
+                            self.monitor, **kwargs)
+        self.network.register(client)
+        self.clients.append(client)
+        return client
+
+    def run(self, until: float = 10.0, max_events: int = 2_000_000) -> None:
+        self.group.start()
+        self.loop.run(until=until, max_events=max_events)
+
+    def executed_commands(self) -> List[List[Any]]:
+        """Per-replica executed command sequences (EchoApplication only)."""
+        return [replica.app.executed for replica in self.group.replicas]

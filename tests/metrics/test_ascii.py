@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII renderers."""
+
+from __future__ import annotations
+
+from repro.metrics.ascii import bar_chart, cdf_plot
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart([("long", 100.0), ("short", 50.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("a", 1.0), ("bbbb", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_zero_values_do_not_crash(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in chart and "b" in chart
+
+
+class TestCdfPlot:
+    def test_plot_contains_markers_and_legend(self):
+        plot = cdf_plot({"fast": [0.001, 0.002], "slow": [0.01, 0.02]})
+        assert "* fast" in plot
+        assert "o slow" in plot
+        assert "100%" in plot or "100 %" in plot.replace("%", " %")
+
+    def test_axis_labels_in_ms(self):
+        plot = cdf_plot({"x": [0.005, 0.010]})
+        assert "5.0ms" in plot
+        assert "10.0ms" in plot
+
+    def test_empty_series_skipped(self):
+        assert cdf_plot({}) == "(no data)"
+        assert cdf_plot({"x": []}) == "(no data)"
+
+    def test_single_value_series(self):
+        plot = cdf_plot({"x": [0.001]})
+        assert "x" in plot

@@ -1,0 +1,95 @@
+"""Unit tests for statistics, CDFs, and collectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.cdf import cdf_points, cdf_value_at
+from repro.metrics.collector import LatencyCollector, ThroughputMeter
+from repro.metrics.stats import (
+    confidence_interval_95,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_percentile_basics(self):
+        data = list(range(1, 101))
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == pytest.approx(50.5)
+        assert percentile([7.0], 95) == 7.0
+        assert percentile([], 50) == 0.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_stddev_and_ci(self):
+        assert stddev([5.0]) == 0.0
+        assert stddev([2.0, 4.0]) == pytest.approx(2.0 ** 0.5)
+        assert confidence_interval_95([3.0, 3.0, 3.0]) == 0.0
+        assert confidence_interval_95([1.0]) == 0.0
+
+    def test_summarize_and_scaled(self):
+        summary = summarize([0.001, 0.002, 0.003])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.002)
+        in_ms = summary.scaled(1000)
+        assert in_ms.mean == pytest.approx(2.0)
+        assert in_ms.count == 3
+
+
+class TestCdf:
+    def test_points_monotonic_to_one(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_downsampling_keeps_last(self):
+        data = [float(i) for i in range(1000)]
+        points = cdf_points(data, max_points=50)
+        assert len(points) <= 51
+        assert points[-1] == (999.0, 1.0)
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+        assert cdf_value_at([], 0.5) == 0.0
+
+    def test_value_at_fraction(self):
+        data = [float(i) for i in range(1, 101)]
+        assert cdf_value_at(data, 0.5) == 50.0
+        assert cdf_value_at(data, 1.0) == 100.0
+        with pytest.raises(ValueError):
+            cdf_value_at(data, 0.0)
+
+
+class TestCollectors:
+    def test_latency_collector_window(self):
+        collector = LatencyCollector(window_start=1.0, window_end=2.0)
+        collector.record(0.5, 0.010)  # warmup — excluded
+        collector.record(1.5, 0.020)
+        collector.record(2.5, 0.030)  # past window — excluded
+        assert collector.in_window() == [0.020]
+        assert collector.count() == 1
+        assert len(collector.all_samples()) == 3
+
+    def test_throughput_meter(self):
+        meter = ThroughputMeter(1.0, 3.0)
+        for t in (0.5, 1.1, 1.9, 2.5, 3.5):
+            meter.record(t)
+        assert meter.completions == 3
+        assert meter.throughput() == pytest.approx(1.5)
+
+    def test_throughput_meter_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(2.0, 1.0)

@@ -1,0 +1,115 @@
+"""Tests of the §III-C optimization model against the paper's Table III."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import OverlayTree
+from repro.errors import OptimizationError
+from repro.optimizer.model import (
+    OptimizationInput,
+    evaluate_tree,
+    group_load,
+    total_height,
+)
+from repro.types import destination
+from repro.workload.spec import table2_skewed_demand, table2_uniform_demand
+
+T2 = OverlayTree.two_level(["g1", "g2", "g3", "g4"])
+T3 = OverlayTree.paper_tree()
+
+
+def problem(demand, capacity=9500.0) -> OptimizationInput:
+    return OptimizationInput(
+        targets=("g1", "g2", "g3", "g4"),
+        auxiliaries=("h1", "h2", "h3"),
+        demand=demand,
+        capacity=capacity,
+    )
+
+
+class TestUniformWorkload:
+    """Reproduces the uniform-workload half of Table III."""
+
+    DEMAND = table2_uniform_demand()
+
+    def test_t2_loads(self):
+        # L_u(T2, h1) = 7200 m/s: all six pairs at 1200 each.
+        assert group_load(T2, "h1", self.DEMAND) == pytest.approx(7200)
+
+    def test_t2_objective(self):
+        assert total_height(T2, self.DEMAND) == 12
+
+    def test_t3_loads(self):
+        assert group_load(T3, "h1", self.DEMAND) == pytest.approx(4800)
+        assert group_load(T3, "h2", self.DEMAND) == pytest.approx(6000)
+        assert group_load(T3, "h3", self.DEMAND) == pytest.approx(6000)
+
+    def test_t3_objective(self):
+        assert total_height(T3, self.DEMAND) == 16
+
+    def test_both_feasible_t2_wins(self):
+        ev2 = evaluate_tree(T2, problem(self.DEMAND))
+        ev3 = evaluate_tree(T3, problem(self.DEMAND))
+        assert ev2.feasible and ev3.feasible
+        assert ev2.objective < ev3.objective
+
+
+class TestSkewedWorkload:
+    """Reproduces the skewed-workload half of Table III."""
+
+    DEMAND = table2_skewed_demand()
+
+    def test_t2_overloaded(self):
+        # L_s(T2, h1) = 18000 > K = 9500: not viable.
+        assert group_load(T2, "h1", self.DEMAND) == pytest.approx(18000)
+        evaluation = evaluate_tree(T2, problem(self.DEMAND))
+        assert not evaluation.feasible
+        assert evaluation.overloaded_groups() == ["h1"]
+
+    def test_t3_loads(self):
+        assert group_load(T3, "h1", self.DEMAND) == pytest.approx(0)
+        assert group_load(T3, "h2", self.DEMAND) == pytest.approx(9000)
+        assert group_load(T3, "h3", self.DEMAND) == pytest.approx(9000)
+
+    def test_t3_feasible_with_objective_4(self):
+        evaluation = evaluate_tree(T3, problem(self.DEMAND))
+        assert evaluation.feasible
+        assert evaluation.objective == 4
+
+    def test_t2_objective_also_4(self):
+        # Table III: ΣH(T2) = 4 for the skewed workload — lower height does
+        # not help because the capacity constraint rules T2 out.
+        assert total_height(T2, self.DEMAND) == 4
+
+
+class TestModelValidation:
+    def test_rejects_negative_demand(self):
+        with pytest.raises(OptimizationError):
+            problem({destination("g1", "g2"): -1.0}).validate()
+
+    def test_rejects_unknown_target_in_demand(self):
+        with pytest.raises(OptimizationError):
+            problem({destination("g9"): 1.0}).validate()
+
+    def test_rejects_tree_missing_targets(self):
+        small = OverlayTree.two_level(["g1", "g2"])
+        with pytest.raises(OptimizationError):
+            evaluate_tree(small, problem(table2_uniform_demand()))
+
+    def test_capacity_forms(self):
+        demand = {destination("g1", "g2"): 100.0}
+        for capacity in (9500.0, {"h1": 9500.0}, lambda g: 9500.0):
+            p = OptimizationInput(
+                targets=("g1", "g2", "g3", "g4"),
+                auxiliaries=("h1",),
+                demand=demand,
+                capacity=capacity,
+            )
+            assert p.capacity_of("h1") == 9500.0
+
+    def test_load_counts_target_groups_too(self):
+        demand = {destination("g1", "g2"): 500.0, destination("g1"): 300.0}
+        assert group_load(T2, "g1", demand) == pytest.approx(800.0)
+        assert group_load(T2, "g2", demand) == pytest.approx(500.0)
+        assert group_load(T2, "h1", demand) == pytest.approx(500.0)

@@ -1,0 +1,161 @@
+"""Tests of exhaustive and heuristic overlay-tree search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimizer.enumerate import enumerate_trees, optimize_exhaustive
+from repro.optimizer.heuristic import optimize_heuristic
+from repro.optimizer.model import OptimizationInput
+from repro.optimizer.report import (
+    VERDICT_BEST,
+    VERDICT_NOT_VIABLE,
+    VERDICT_POOR,
+    format_table3,
+    table3_report,
+)
+from repro.types import destination
+from repro.workload.spec import table2_skewed_demand, table2_uniform_demand
+
+TARGETS = ("g1", "g2", "g3", "g4")
+AUXES = ("h1", "h2", "h3")
+
+
+def problem(demand, capacity=9500.0, auxes=AUXES) -> OptimizationInput:
+    return OptimizationInput(
+        targets=TARGETS, auxiliaries=auxes, demand=demand, capacity=capacity
+    )
+
+
+class TestEnumeration:
+    def test_trees_are_valid_and_unique(self):
+        trees = list(enumerate_trees(TARGETS, AUXES))
+        keys = set()
+        for tree in trees:
+            assert tree.targets == set(TARGETS)
+            key = tuple(sorted((n, tree.parent(n)) for n in tree.nodes))
+            assert key not in keys
+            keys.add(key)
+        assert len(trees) > 10  # flat + all clusterings with named auxes
+
+    def test_contains_flat_and_paper_tree(self):
+        def signature(tree):
+            return tuple(sorted((n, tree.parent(n)) for n in tree.nodes))
+
+        from repro.core.tree import OverlayTree
+
+        signatures = {signature(t) for t in enumerate_trees(TARGETS, AUXES)}
+        assert signature(OverlayTree.two_level(TARGETS)) in signatures
+        assert signature(OverlayTree.paper_tree()) in signatures
+
+    def test_single_target(self):
+        trees = list(enumerate_trees(("g1",), AUXES))
+        assert len(trees) == 1
+        assert trees[0].root == "g1"
+
+    def test_target_bound_enforced(self):
+        many = tuple(f"g{i}" for i in range(1, 11))
+        with pytest.raises(OptimizationError):
+            list(enumerate_trees(many, AUXES))
+
+
+class TestExhaustiveOptimization:
+    def test_uniform_picks_two_level(self):
+        best = optimize_exhaustive(problem(table2_uniform_demand()))
+        assert best.objective == 12
+        assert best.tree.height(best.tree.root) == 2
+        assert len(best.tree.auxiliaries) == 1
+
+    def test_skewed_picks_three_level_split(self):
+        best = optimize_exhaustive(problem(table2_skewed_demand()))
+        assert best.objective == 4
+        assert best.feasible
+        # The two hot pairs must live in different branches.
+        assert best.tree.lca({"g1", "g2"}) != best.tree.root
+        assert best.tree.lca({"g3", "g4"}) != best.tree.root
+
+    def test_infeasible_raises(self):
+        with pytest.raises(OptimizationError):
+            optimize_exhaustive(problem(table2_skewed_demand(), capacity=100.0))
+
+    def test_unconstrained_prefers_flat(self):
+        best = optimize_exhaustive(
+            problem(table2_uniform_demand(), capacity=float("inf"))
+        )
+        assert best.tree.height(best.tree.root) == 2
+
+
+class TestHeuristic:
+    def test_uniform_matches_exhaustive(self):
+        exact = optimize_exhaustive(problem(table2_uniform_demand()))
+        heuristic = optimize_heuristic(problem(table2_uniform_demand()))
+        assert heuristic.objective == exact.objective
+
+    def test_skewed_matches_exhaustive(self):
+        exact = optimize_exhaustive(problem(table2_skewed_demand()))
+        heuristic = optimize_heuristic(problem(table2_skewed_demand()))
+        assert heuristic.objective == exact.objective
+        assert heuristic.feasible
+
+    def test_scales_beyond_exhaustive_bound(self):
+        targets = tuple(f"g{i}" for i in range(1, 13))
+        auxes = tuple(f"h{i}" for i in range(1, 8))
+        # Hot pairs (g1,g2), (g3,g4), ... each demand 9000; needs clustering.
+        demand = {
+            destination(targets[i], targets[i + 1]): 9000.0
+            for i in range(0, 12, 2)
+        }
+        result = optimize_heuristic(
+            OptimizationInput(targets=targets, auxiliaries=auxes,
+                              demand=demand, capacity=9500.0)
+        )
+        assert result.feasible
+
+    def test_infeasible_raises(self):
+        with pytest.raises(OptimizationError):
+            optimize_heuristic(problem(table2_skewed_demand(), capacity=100.0))
+
+
+class TestTable3Report:
+    def test_verdicts_match_paper(self):
+        entries = {(e.workload, e.tree_label): e for e in table3_report()}
+        assert entries[("uniform", "T2")].verdict == VERDICT_BEST
+        assert entries[("uniform", "T3")].verdict == VERDICT_POOR
+        assert entries[("skewed", "T2")].verdict == VERDICT_NOT_VIABLE
+        assert entries[("skewed", "T3")].verdict == VERDICT_BEST
+
+    def test_numbers_match_paper(self):
+        entries = {(e.workload, e.tree_label): e for e in table3_report()}
+        uniform_t2 = entries[("uniform", "T2")]
+        assert uniform_t2.sum_heights == 12
+        assert [r.load for r in uniform_t2.auxiliaries] == [7200.0]
+        uniform_t3 = entries[("uniform", "T3")]
+        assert uniform_t3.sum_heights == 16
+        loads = {r.group: r.load for r in uniform_t3.auxiliaries}
+        assert loads == {"h1": 4800.0, "h2": 6000.0, "h3": 6000.0}
+        skewed_t2 = entries[("skewed", "T2")]
+        assert skewed_t2.sum_heights == 4
+        assert [r.load for r in skewed_t2.auxiliaries] == [18000.0]
+        skewed_t3 = entries[("skewed", "T3")]
+        assert skewed_t3.sum_heights == 4
+        loads = {r.group: r.load for r in skewed_t3.auxiliaries}
+        assert loads == {"h1": 0.0, "h2": 9000.0, "h3": 9000.0}
+
+    def test_t_sets_match_paper(self):
+        entries = {(e.workload, e.tree_label): e for e in table3_report()}
+        uniform_t3 = entries[("uniform", "T3")]
+        t_sets = {r.group: set(r.destinations) for r in uniform_t3.auxiliaries}
+        # T_u(T3, h1) = D_u \ {{g1,g2},{g3,g4}} (4 cross-branch pairs)
+        assert len(t_sets["h1"]) == 4
+        assert destination("g1", "g2") not in t_sets["h1"]
+        assert destination("g3", "g4") not in t_sets["h1"]
+        # T_u(T3, h2) = D_u \ {{g3,g4}}
+        assert len(t_sets["h2"]) == 5
+        assert destination("g3", "g4") not in t_sets["h2"]
+
+    def test_format_renders(self):
+        text = format_table3(table3_report())
+        assert "Uniform workload" in text
+        assert "Skewed workload" in text
+        assert "Not viable" in text

@@ -1,0 +1,68 @@
+"""Property tests for the exhaustive tree enumerator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.optimizer.enumerate import enumerate_trees
+
+
+@st.composite
+def instances(draw):
+    n_targets = draw(st.integers(min_value=2, max_value=5))
+    n_aux = draw(st.integers(min_value=1, max_value=3))
+    targets = tuple(f"g{i}" for i in range(n_targets))
+    auxes = tuple(f"h{i}" for i in range(n_aux))
+    return targets, auxes
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_enumerated_trees_are_valid_and_unique(case):
+    targets, auxes = case
+    seen = set()
+    for tree in enumerate_trees(targets, auxes):
+        # Valid: exactly the targets, aux-rooted, every aux used is from Λ.
+        assert tree.targets == set(targets)
+        assert tree.auxiliaries <= set(auxes)
+        assert tree.root in auxes
+        # Every auxiliary is an inner node with >= 2 children.
+        for aux in tree.auxiliaries:
+            assert len(tree.children(aux)) >= 2
+        # Every leaf is a target.
+        for node in tree.nodes:
+            if not tree.children(node):
+                assert node in targets
+        # Unique.
+        key = tuple(sorted((n, tree.parent(n)) for n in tree.nodes))
+        assert key not in seen
+        seen.add(key)
+    assert seen  # at least the flat tree exists
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_flat_tree_always_enumerated(case):
+    targets, auxes = case
+    flat_signature = tuple(sorted(
+        [(t, auxes[0]) for t in targets] + [(auxes[0], None)]
+    ))
+    signatures = {
+        tuple(sorted((n, tree.parent(n)) for n in tree.nodes))
+        for tree in enumerate_trees(targets, auxes)
+    }
+    # The flat tree appears under *some* aux naming (root may be any aux).
+    flat_shapes = {
+        tuple(sorted([(t, aux) for t in targets] + [(aux, None)]))
+        for aux in auxes
+    }
+    assert signatures & flat_shapes
+
+
+@given(instances())
+@settings(max_examples=20, deadline=None)
+def test_heights_bounded_by_aux_count(case):
+    targets, auxes = case
+    for tree in enumerate_trees(targets, auxes):
+        # A chain of k auxes gives height k+1 at most.
+        assert tree.height(tree.root) <= len(auxes) + 1

@@ -1,0 +1,44 @@
+"""Property: FIFO atomic broadcast — per-sender order holds in every run."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import Harness
+
+
+@st.composite
+def broadcast_workloads(draw):
+    n_clients = draw(st.integers(min_value=1, max_value=4))
+    counts = [draw(st.integers(min_value=1, max_value=12))
+              for __ in range(n_clients)]
+    seed = draw(st.integers(min_value=0, max_value=2000))
+    crash_follower = draw(st.booleans())
+    return n_clients, counts, seed, crash_follower
+
+
+@given(broadcast_workloads())
+@settings(max_examples=20, deadline=None)
+def test_fifo_per_sender_and_total_order(case):
+    n_clients, counts, seed, crash_follower = case
+    h = Harness(seed=seed)
+    if crash_follower:
+        h.group.replicas[3].crash()
+    clients = [h.add_client(f"cl{i}") for i in range(n_clients)]
+    for client, count in zip(clients, counts):
+        for j in range(count):
+            client.submit((client.name, j))
+    h.run(until=20.0)
+    for client, count in zip(clients, counts):
+        assert len(client.results) == count
+    sequences = [r.app.executed for r in h.group.correct_replicas()]
+    # Total order: identical sequences everywhere.
+    assert all(seq == sequences[0] for seq in sequences)
+    # FIFO: each client's commands appear in submission order.
+    reference = sequences[0]
+    for client, count in zip(clients, counts):
+        mine = [cmd[1] for cmd in reference if cmd[0] == client.name]
+        assert mine == list(range(count))
+    # Completeness: nothing lost, nothing duplicated.
+    assert len(reference) == sum(counts)
+    assert len(set(reference)) == len(reference)

@@ -1,0 +1,46 @@
+"""Property tests: the ordering service's audit passes on random workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ledger import OrderingService, cross_channel_order_consistent
+from tests.helpers import FAST_COSTS
+
+CHANNELS = ("cha", "chb", "chc")
+
+
+@st.composite
+def tx_workloads(draw):
+    n_clients = draw(st.integers(min_value=1, max_value=3))
+    txs = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=n_clients - 1),
+            st.lists(st.sampled_from(CHANNELS), min_size=1, max_size=3,
+                     unique=True),
+        ),
+        min_size=1, max_size=12,
+    ))
+    seed = draw(st.integers(min_value=0, max_value=500))
+    return n_clients, txs, seed
+
+
+@given(tx_workloads())
+@settings(max_examples=15, deadline=None)
+def test_audit_always_clean(case):
+    n_clients, txs, seed = case
+    service = OrderingService(list(CHANNELS), costs=FAST_COSTS,
+                              request_timeout=0.5, seed=seed)
+    clients = [service.client(f"c{i}") for i in range(n_clients)]
+    for index, (owner, channels) in enumerate(txs):
+        clients[owner].submit_tx(sorted(channels), ("tx", index))
+    assert service.run_until_quiescent(step=0.5, max_steps=60)
+    assert service.verify_all() == []
+    # Heights add up: each channel holds exactly the txs addressed to it.
+    for channel in CHANNELS:
+        expected = sum(1 for __, chans in txs if channel in chans)
+        assert service.ledger(channel).height == expected
+    # Pairwise cross-order holds (verify_all already checks; re-assert the
+    # helper directly for one pair).
+    assert cross_channel_order_consistent(service.ledger("cha"),
+                                          service.ledger("chb"))

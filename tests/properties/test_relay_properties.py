@@ -1,0 +1,73 @@
+"""Property-based tests of the quorum-head merge (order preservation)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.relay import QuorumMerge
+
+F = 1
+PARENTS = tuple(f"p{i}" for i in range(3 * F + 1))
+CORRECT = PARENTS[: 2 * F + 1]
+BYZANTINE = PARENTS[2 * F + 1:]
+
+
+@st.composite
+def relay_schedules(draw):
+    """A correct sequence, Byzantine (possibly skipping) streams, and a
+    global interleaving of every stream's pushes."""
+    length = draw(st.integers(min_value=1, max_value=12))
+    sequence = [f"m{i}" for i in range(length)]
+    streams = {sender: list(sequence) for sender in CORRECT}
+    for sender in BYZANTINE:
+        keep = draw(st.lists(st.booleans(), min_size=length, max_size=length))
+        stream = [m for m, k in zip(sequence, keep) if k]
+        if draw(st.booleans()):
+            stream = list(reversed(stream))  # byzantine may also reorder
+        streams[sender] = stream
+    # interleave: a shuffled list of (sender) pulls
+    pulls = []
+    for sender, stream in streams.items():
+        pulls.extend([sender] * len(stream))
+    pulls = draw(st.permutations(pulls))
+    return sequence, streams, pulls
+
+
+@given(relay_schedules())
+@settings(max_examples=200, deadline=None)
+def test_release_order_equals_correct_order(schedule):
+    sequence, streams, pulls = schedule
+    merge = QuorumMerge(PARENTS, threshold=F + 1)
+    cursors = {sender: 0 for sender in streams}
+    released = []
+    for sender in pulls:
+        stream = streams[sender]
+        key = stream[cursors[sender]]
+        cursors[sender] += 1
+        released.extend(merge.push(sender, key, key))
+    # Everything the correct parents relayed is eventually released, in
+    # exactly their order — regardless of Byzantine skipping/reordering.
+    assert released == sequence
+
+
+@given(relay_schedules(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=100, deadline=None)
+def test_fabricated_messages_never_released(schedule, fab_position):
+    sequence, streams, pulls = schedule
+    merge = QuorumMerge(PARENTS, threshold=F + 1)
+    cursors = {sender: 0 for sender in streams}
+    released = []
+    byz = BYZANTINE[0]
+    injected = False
+    for index, sender in enumerate(pulls):
+        if not injected and sender == byz and index >= fab_position:
+            released.extend(merge.push(byz, "FAKE", "FAKE"))
+            injected = True
+        stream = streams[sender]
+        key = stream[cursors[sender]]
+        cursors[sender] += 1
+        released.extend(merge.push(sender, key, key))
+    if not injected:
+        released.extend(merge.push(byz, "FAKE", "FAKE"))
+    assert "FAKE" not in released
+    assert [m for m in released if m != "FAKE"] == sequence

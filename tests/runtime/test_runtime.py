@@ -1,0 +1,165 @@
+"""Tests for environments, the experiment harness, and capacity probing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bcast.config import CostModel
+from repro.core.tree import OverlayTree
+from repro.runtime.environments import (
+    REGIONS,
+    TABLE1_RTT_MS,
+    bench_batch_delay,
+    bench_costs,
+    calibrated_costs,
+    lan_network_config,
+    scale_costs,
+    wan_latency_model,
+    wan_network_config,
+    wan_site_assigner,
+)
+from repro.runtime.experiment import (
+    ClientPlan,
+    run_baseline,
+    run_bftsmart,
+    run_byzcast,
+)
+from repro.workload.spec import fixed_destination, local_uniform
+from tests.helpers import FAST_COSTS
+
+TARGETS = ["g1", "g2", "g3", "g4"]
+
+
+class TestEnvironments:
+    def test_scale_costs_multiplies_every_field(self):
+        base = calibrated_costs()
+        scaled = scale_costs(base, 10)
+        assert scaled.propose_fixed == pytest.approx(base.propose_fixed * 10)
+        assert scaled.vote_recv == pytest.approx(base.vote_recv * 10)
+        assert scaled.relay_per_dest == pytest.approx(base.relay_per_dest * 10)
+
+    def test_bench_costs_default_scale(self):
+        assert bench_costs().propose_fixed == pytest.approx(
+            calibrated_costs().propose_fixed * 10
+        )
+
+    def test_bench_batch_delay_scales(self):
+        assert bench_batch_delay(1.0) == pytest.approx(0.0002)
+        assert bench_batch_delay(10.0) == pytest.approx(0.002)
+
+    def test_wan_latency_model_matches_table1(self):
+        model = wan_latency_model(jitter=0.0)
+        rng = random.Random(0)
+        for (a, b), rtt_ms in TABLE1_RTT_MS.items():
+            one_way = model.delay(a, b, rng)
+            assert one_way == pytest.approx(rtt_ms / 2 / 1000)
+            assert model.delay(b, a, rng) == pytest.approx(one_way)
+
+    def test_wan_sites_cover_all_regions(self):
+        sites = {wan_site_assigner("g1", i) for i in range(4)}
+        assert sites == set(REGIONS)
+
+    def test_lan_config_has_sub_ms_latency(self):
+        config = lan_network_config(jitter=0.0)
+        rng = random.Random(0)
+        assert config.latency.delay("site0", "site0", rng) < 0.001
+
+
+class TestExperimentRunners:
+    def test_run_byzcast_produces_result(self):
+        tree = OverlayTree.two_level(TARGETS)
+        result = run_byzcast(
+            tree,
+            [ClientPlan("c0", fixed_destination("g1")),
+             ClientPlan("c1", fixed_destination("g1", "g2"))],
+            costs=FAST_COSTS, warmup=0.2, duration=1.0,
+        )
+        assert result.protocol == "byzcast"
+        assert result.clients == 2
+        assert result.throughput > 0
+        assert result.latency.count == len(result.samples)
+        # Per-class splits partition the samples.
+        assert len(result.samples) == (
+            len(result.local_samples) + len(result.global_samples)
+        )
+        assert result.local_latency.mean < result.global_latency.mean
+
+    def test_run_baseline_and_bftsmart(self):
+        base = run_baseline(
+            TARGETS, [ClientPlan("c0", local_uniform(TARGETS))],
+            costs=FAST_COSTS, warmup=0.2, duration=1.0,
+        )
+        smart = run_bftsmart(
+            [ClientPlan("c0", fixed_destination("g1"))],
+            costs=FAST_COSTS, warmup=0.2, duration=1.0,
+        )
+        assert base.protocol == "baseline"
+        assert smart.protocol == "bft-smart"
+        # Baseline pays double ordering even at a single client.
+        assert base.latency.mean > 1.5 * smart.latency.mean
+
+    def test_result_row_renders(self):
+        smart = run_bftsmart(
+            [ClientPlan("c0", fixed_destination("g1"))],
+            costs=FAST_COSTS, warmup=0.2, duration=1.0,
+        )
+        row = smart.row()
+        assert "bft-smart" in row and "tput" in row
+
+
+class TestCapacityProbe:
+    def test_target_capacity_positive_and_exceeds_relay(self):
+        from repro.runtime.capacity import (
+            estimate_relay_capacity,
+            estimate_target_capacity,
+        )
+
+        # Tiny probes (few clients, short runs) — we only check ordering.
+        target = estimate_target_capacity(clients=40, warmup=0.5, duration=1.0)
+        relay = estimate_relay_capacity(clients=40, warmup=0.5, duration=1.0)
+        assert target > 0 and relay > 0
+        assert relay < target  # relaying costs extra
+
+    def test_plan_tree_uses_given_capacities(self):
+        from repro.runtime.capacity import plan_tree
+        from repro.workload.spec import table2_skewed_demand
+
+        evaluation = plan_tree(
+            table2_skewed_demand(),
+            targets=("g1", "g2", "g3", "g4"),
+            auxiliaries=("h1", "h2", "h3"),
+            aux_capacity=9500.0,
+            target_capacity=19500.0,
+        )
+        assert evaluation.feasible
+        # The skewed workload forces the 3-level split.
+        assert evaluation.tree.lca({"g1", "g2"}) != evaluation.tree.root
+
+
+class TestOpenLoopDriver:
+    def test_open_loop_injects_roughly_target_rate(self):
+        from repro.core.deployment import ByzCastDeployment
+        from repro.metrics.collector import ThroughputMeter
+        from repro.workload.clients import OpenLoopDriver
+        from repro.workload.spec import fixed_destination
+
+        tree = OverlayTree.two_level(TARGETS)
+        dep = ByzCastDeployment(tree, costs=FAST_COSTS)
+        client = dep.add_client("c0")
+        meter = ThroughputMeter(0.5, 3.0)
+        driver = OpenLoopDriver(
+            client, fixed_destination("g1"),
+            rng=random.Random(1), rate=100.0, meter=meter,
+        )
+        dep.start()
+        driver.start()
+        dep.run(until=3.0)
+        assert 60 <= meter.throughput() <= 140  # ~100 m/s Poisson
+
+    def test_open_loop_rejects_bad_rate(self):
+        from repro.workload.clients import OpenLoopDriver
+
+        with pytest.raises(ValueError):
+            OpenLoopDriver(None, None, random.Random(0), rate=0.0)

@@ -1,0 +1,80 @@
+"""Smoke tests: every paper scenario runs end-to-end with tiny parameters.
+
+The real assertions live in ``benchmarks/``; these keep the scenario
+plumbing honest inside the fast test suite (small client counts, short
+windows, coarse checks only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import scenarios
+
+FAST = dict(warmup=0.3, duration=0.8)
+
+
+def test_table1_smoke():
+    results = scenarios.table1_wan_latency()
+    assert len(results) == 6
+    assert all(row["measured_ms"] > 0 for row in results.values())
+
+
+@pytest.mark.slow
+def test_fig3_smoke():
+    results = scenarios.fig3_tree_layouts(
+        uniform_clients=6, skewed_clients=8, **FAST
+    )
+    assert set(results) == {
+        "uniform/2-level", "uniform/3-level",
+        "skewed/2-level", "skewed/3-level",
+    }
+    assert all(r.throughput > 0 for r in results.values())
+
+
+@pytest.mark.slow
+def test_fig4_smoke():
+    results = scenarios.fig4_scalability(
+        group_counts=(2,), clients_per_group=6, **FAST
+    )
+    assert results["byzcast/2"].throughput > 0
+    assert results["baseline/2"].throughput > 0
+    assert results["bftsmart"].throughput > 0
+
+
+@pytest.mark.slow
+def test_fig5_smoke():
+    curves = scenarios.fig5_throughput_latency(
+        client_counts=(2,), message_kind="local", **FAST
+    )
+    assert set(curves) == {"byzcast", "baseline", "bft-smart"}
+    assert all(len(points) == 1 for points in curves.values())
+
+
+@pytest.mark.slow
+def test_fig6_smoke():
+    results = scenarios.fig6_mixed_lan(clients=6, **FAST)
+    assert results["byzcast"].throughput > 0
+    assert len(results["byzcast"].local_samples) > 0
+
+
+@pytest.mark.slow
+def test_fig7_smoke():
+    results = scenarios.fig7_latency_lan(group_counts=(2,), **FAST)
+    assert results["byzcast/local/2"].latency.median > 0
+    assert results["bftsmart"].latency.median > 0
+
+
+@pytest.mark.slow
+def test_fig8_smoke():
+    results = scenarios.fig8_latency_wan(warmup=1.0, duration=3.0)
+    assert results["byzcast/local"].latency.median > 0.05  # WAN-scale
+
+
+@pytest.mark.slow
+def test_fig9_smoke():
+    results = scenarios.fig9_fig10_mixed_wan(
+        clients_per_group=2, warmup=1.0, duration=4.0
+    )
+    assert results["byzcast"].throughput > 0
+    assert results["baseline"].throughput > 0

@@ -1,0 +1,61 @@
+"""Tests for message-timeline extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import ByzCastDeployment
+from repro.core.tree import OverlayTree
+from repro.runtime.tracing import extract_timelines, format_timeline, latency_breakdown
+from repro.types import destination
+from tests.helpers import FAST_COSTS
+
+
+@pytest.fixture
+def traced_run():
+    tree = OverlayTree.paper_tree()
+    dep = ByzCastDeployment(tree, costs=FAST_COSTS, trace_capacity=20000)
+    client = dep.add_client("c1")
+    client.amulticast(destination("g1"), payload=("local",))
+    client.amulticast(destination("g2", "g3"), payload=("global",))
+    dep.run(until=5.0)
+    assert client.pending() == 0
+    return dep
+
+
+def test_timelines_cover_all_messages(traced_run):
+    timelines = extract_timelines(traced_run.monitor)
+    assert len(timelines) == 2
+    local, global_ = timelines
+    assert local.delivery_groups() == ["g1"]
+    assert global_.delivery_groups() == ["g2", "g3"]
+
+
+def test_latency_consistent_with_client(traced_run):
+    timelines = extract_timelines(traced_run.monitor)
+    for timeline in timelines:
+        assert timeline.latency is not None
+        assert timeline.latency > 0
+        # The last delivery hop happens before client confirmation.
+        last_hop = max(h.time for h in timeline.hops)
+        assert last_hop <= timeline.completed_at + 1e-9
+
+
+def test_global_message_slower_than_local(traced_run):
+    local, global_ = extract_timelines(traced_run.monitor)
+    assert global_.latency > local.latency
+
+
+def test_format_timeline_renders(traced_run):
+    timelines = extract_timelines(traced_run.monitor)
+    text = format_timeline(timelines[1])
+    assert "submitted by c1" in text
+    assert "a-deliver at g2" in text
+    assert "confirmed at the client" in text
+
+
+def test_latency_breakdown(traced_run):
+    timelines = extract_timelines(traced_run.monitor)
+    breakdown = latency_breakdown(timelines)
+    assert set(breakdown) == {"g1", "g2", "g3"}
+    assert all(value > 0 for value in breakdown.values())

@@ -1,0 +1,107 @@
+"""Unit tests for the actor base class (timers, CPU work, crash gating)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import SeededRng
+
+
+class Probe(Actor):
+    def __init__(self, name, loop, **kwargs):
+        super().__init__(name, loop, **kwargs)
+        self.handled = []
+
+    def on_message(self, src, payload):
+        self.handled.append((self.loop.now, src, payload))
+
+
+def wired(recv_cpu_cost=0.0):
+    loop = EventLoop()
+    network = Network(loop, rng=SeededRng(0))
+    a = Probe("a", loop, recv_cpu_cost=recv_cpu_cost)
+    b = Probe("b", loop, recv_cpu_cost=recv_cpu_cost)
+    network.register(a)
+    network.register(b)
+    return loop, a, b
+
+
+class TestTimers:
+    def test_timer_fires(self):
+        loop, a, b = wired()
+        fired = []
+        a.set_timer(1.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [1.0]
+
+    def test_cancelled_timer_does_not_fire(self):
+        loop, a, b = wired()
+        fired = []
+        timer = a.set_timer(1.0, lambda: fired.append(1))
+        timer.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_timer_suppressed_after_crash(self):
+        loop, a, b = wired()
+        fired = []
+        a.set_timer(1.0, lambda: fired.append(1))
+        a.crash()
+        loop.run()
+        assert fired == []
+
+
+class TestWork:
+    def test_work_serializes_on_cpu(self):
+        loop, a, b = wired()
+        done = []
+        a.work(1.0, lambda: done.append(loop.now))
+        a.work(0.5, lambda: done.append(loop.now))
+        loop.run()
+        assert done == [1.0, 1.5]
+
+    def test_work_suppressed_after_crash(self):
+        loop, a, b = wired()
+        done = []
+        a.work(1.0, lambda: done.append(1))
+        a.crash()
+        loop.run()
+        assert done == []
+
+    def test_recv_cpu_cost_delays_handling(self):
+        loop, a, b = wired(recv_cpu_cost=0.5)
+        a.send("b", "hello")
+        loop.run()
+        assert len(b.handled) == 1
+        assert b.handled[0][0] >= 0.5
+
+
+class TestCrashGating:
+    def test_crashed_actor_does_not_send(self):
+        loop, a, b = wired()
+        a.crash()
+        a.send("b", "x")
+        loop.run()
+        assert b.handled == []
+
+    def test_crashed_actor_ignores_arrivals(self):
+        loop, a, b = wired()
+        a.send("b", "x")
+        b.crash()
+        loop.run()
+        assert b.handled == []
+
+    def test_detached_actor_raises_on_send(self):
+        loop = EventLoop()
+        orphan = Probe("orphan", loop)
+        with pytest.raises(RuntimeError):
+            orphan.send("anyone", "x")
+
+    def test_base_on_message_is_abstract(self):
+        loop, a, b = wired()
+        bare = Actor("bare", loop)
+        with pytest.raises(NotImplementedError):
+            bare.on_message("a", "x")

@@ -1,0 +1,211 @@
+"""Unit tests for CPU queues, latency models, and the network."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.actor import Actor
+from repro.sim.cpu import CpuQueue
+from repro.sim.events import EventLoop
+from repro.sim.latency import ConstantLatency, JitterLatency, MatrixLatency
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+
+
+class Sink(Actor):
+    def __init__(self, name, loop, **kwargs):
+        super().__init__(name, loop, **kwargs)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((self.loop.now, src, payload))
+
+
+def wired_pair(config=None, sites=("site0", "site0")):
+    loop = EventLoop()
+    network = Network(loop, config or NetworkConfig(), rng=SeededRng(1))
+    a, b = Sink("a", loop), Sink("b", loop)
+    network.register(a, site=sites[0])
+    network.register(b, site=sites[1])
+    return loop, network, a, b
+
+
+class TestCpuQueue:
+    def test_jobs_serialize(self):
+        loop = EventLoop()
+        cpu = CpuQueue(loop)
+        done = []
+        cpu.submit(1.0, lambda: done.append(loop.now))
+        cpu.submit(0.5, lambda: done.append(loop.now))
+        loop.run()
+        assert done == [1.0, 1.5]
+
+    def test_idle_gap_not_counted_as_busy(self):
+        loop = EventLoop()
+        cpu = CpuQueue(loop)
+        cpu.submit(1.0, lambda: None)
+        loop.run()
+        loop.schedule(5.0, lambda: cpu.submit(1.0, lambda: None))
+        loop.run()
+        assert cpu.utilization(elapsed=7.0) == pytest.approx(2.0 / 7.0)
+
+    def test_backlog(self):
+        loop = EventLoop()
+        cpu = CpuQueue(loop)
+        cpu.submit(2.0, lambda: None)
+        assert cpu.backlog == pytest.approx(2.0)
+
+    def test_negative_service_time_rejected(self):
+        cpu = CpuQueue(EventLoop())
+        with pytest.raises(ValueError):
+            cpu.submit(-1.0, lambda: None)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.01)
+        assert model.delay("x", "y", random.Random(0)) == 0.01
+
+    def test_jitter_within_bounds(self):
+        model = JitterLatency(0.001, jitter=0.2)
+        rng = random.Random(42)
+        for _ in range(100):
+            delay = model.delay("x", "y", rng)
+            assert 0.0008 <= delay <= 0.0012
+
+    def test_matrix_symmetric_fill(self):
+        model = MatrixLatency({("A", "B"): 0.05}, local=0.0001, jitter=0.0)
+        rng = random.Random(0)
+        assert model.delay("A", "B", rng) == 0.05
+        assert model.delay("B", "A", rng) == 0.05
+        assert model.delay("A", "A", rng) == 0.0001
+
+    def test_matrix_unknown_pair_raises(self):
+        model = MatrixLatency({("A", "B"): 0.05}, jitter=0.0)
+        with pytest.raises(KeyError):
+            model.delay("A", "C", random.Random(0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+        with pytest.raises(ValueError):
+            JitterLatency(-1.0)
+        with pytest.raises(ValueError):
+            MatrixLatency({("A", "B"): -0.1})
+
+
+class TestLogNormalLatency:
+    def test_median_roughly_preserved(self):
+        from repro.sim.latency import LogNormalLatency
+
+        model = LogNormalLatency(0.001, sigma=0.2)
+        rng = random.Random(7)
+        samples = sorted(model.delay("a", "b", rng) for _ in range(2000))
+        median = samples[len(samples) // 2]
+        assert 0.0009 < median < 0.0011
+
+    def test_floor_clamp(self):
+        from repro.sim.latency import LogNormalLatency
+
+        model = LogNormalLatency(0.001, sigma=1.0, floor=0.9)
+        rng = random.Random(7)
+        assert all(model.delay("a", "b", rng) >= 0.0009 for _ in range(500))
+
+    def test_heavy_right_tail(self):
+        from repro.sim.latency import LogNormalLatency
+
+        model = LogNormalLatency(0.001, sigma=0.3)
+        rng = random.Random(7)
+        samples = [model.delay("a", "b", rng) for _ in range(2000)]
+        assert max(samples) > 0.0015  # tail well above the median
+
+    def test_zero_sigma_deterministic(self):
+        from repro.sim.latency import LogNormalLatency
+
+        model = LogNormalLatency(0.002, sigma=0.0)
+        assert model.delay("a", "b", random.Random(0)) == 0.002
+
+    def test_validation(self):
+        from repro.sim.latency import LogNormalLatency
+
+        with pytest.raises(ValueError):
+            LogNormalLatency(-1.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(0.001, floor=0.0)
+
+
+class TestNetwork:
+    def test_delivery_with_latency(self):
+        loop, network, a, b = wired_pair(NetworkConfig(latency=ConstantLatency(0.25)))
+        a.send("b", "hello")
+        loop.run()
+        assert b.received == [(0.25, "a", "hello")]
+
+    def test_unknown_destination_raises(self):
+        loop, network, a, b = wired_pair()
+        with pytest.raises(NetworkError):
+            a.send("nobody", "x")
+
+    def test_duplicate_registration_rejected(self):
+        loop, network, a, b = wired_pair()
+        with pytest.raises(NetworkError):
+            network.register(Sink("a", loop))
+
+    def test_partition_blocks_and_heals(self):
+        loop, network, a, b = wired_pair()
+        network.partition("a", "b")
+        a.send("b", "lost")
+        loop.run()
+        assert b.received == []
+        network.heal("a", "b")
+        a.send("b", "found")
+        loop.run()
+        assert [p for __, __, p in b.received] == ["found"]
+
+    def test_site_partition(self):
+        loop, network, a, b = wired_pair(sites=("east", "west"))
+        network.partition("east", "west", sites=True)
+        a.send("b", "lost")
+        loop.run()
+        assert b.received == []
+
+    def test_drop_rate_drops_roughly_expected_fraction(self):
+        loop, network, a, b = wired_pair(NetworkConfig(drop_rate=0.5))
+        for _ in range(400):
+            a.send("b", "x")
+        loop.run()
+        assert 120 <= len(b.received) <= 280
+
+    def test_bandwidth_adds_transmission_delay(self):
+        config = NetworkConfig(latency=ConstantLatency(0.0), bandwidth=1000.0)
+        loop, network, a, b = wired_pair(config)
+        a.send("b", "x", size=500)
+        loop.run()
+        assert b.received[0][0] == pytest.approx(0.5)
+
+    def test_crashed_actor_neither_sends_nor_receives(self):
+        loop, network, a, b = wired_pair()
+        a.send("b", "before")
+        b.crash()
+        a.send("b", "after")
+        loop.run()
+        assert b.received == []
+        b.crashed = False
+        a.crash()
+        a.send("b", "never")
+        loop.run()
+        assert b.received == []
+
+
+class TestRng:
+    def test_streams_independent_and_deterministic(self):
+        r1, r2 = SeededRng(5), SeededRng(5)
+        assert r1.stream("a").random() == r2.stream("a").random()
+        assert r1.stream("a").random() != r1.stream("b").random()
+
+    def test_stream_identity_cached(self):
+        rng = SeededRng(1)
+        assert rng.stream("x") is rng.stream("x")

@@ -1,0 +1,114 @@
+"""Unit tests for the event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(3.0, lambda: fired.append("c"))
+    loop.schedule(1.0, lambda: fired.append("a"))
+    loop.schedule(2.0, lambda: fired.append("b"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    loop = EventLoop()
+    fired = []
+    for label in ("a", "b", "c"):
+        loop.schedule(1.0, lambda l=label: fired.append(l))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    times = []
+    loop.schedule(0.5, lambda: times.append(loop.now))
+    loop.schedule(1.5, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [0.5, 1.5]
+    assert loop.now == 1.5
+
+
+def test_run_until_leaves_future_events_queued():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(5.0, lambda: fired.append(5))
+    loop.run(until=2.0)
+    assert fired == [1]
+    assert loop.now == 2.0
+    assert loop.pending == 1
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_without_events():
+    loop = EventLoop()
+    loop.run(until=4.0)
+    assert loop.now == 4.0
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_are_processed():
+    loop = EventLoop()
+    fired = []
+
+    def chain():
+        fired.append(loop.now)
+        if len(fired) < 3:
+            loop.schedule(1.0, chain)
+
+    loop.schedule(1.0, chain)
+    loop.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_stop_interrupts_run():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: (fired.append(1), loop.stop()))
+    loop.schedule(2.0, lambda: fired.append(2))
+    loop.run()
+    assert fired == [(1, None)] or fired == [1]  # tuple from lambda or value
+    assert loop.pending == 1
+
+
+def test_max_events_guard():
+    loop = EventLoop()
+
+    def forever():
+        loop.schedule(0.001, forever)
+
+    loop.schedule(0.001, forever)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+
+
+def test_schedule_at_absolute_time():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: loop.schedule_at(5.0, lambda: fired.append(loop.now)))
+    loop.run()
+    assert fired == [5.0]

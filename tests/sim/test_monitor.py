@@ -1,0 +1,64 @@
+"""Unit tests for counters and tracing."""
+
+from __future__ import annotations
+
+from repro.sim.monitor import Monitor, TraceRecord
+
+
+class TestCounters:
+    def test_count_and_snapshot(self):
+        monitor = Monitor()
+        monitor.count("x")
+        monitor.count("x", 4)
+        monitor.count("y")
+        assert monitor.snapshot() == {"x": 5, "y": 1}
+
+    def test_record_bumps_counter(self):
+        monitor = Monitor()
+        monitor.record("comp", "thing.happened", a=1)
+        assert monitor.counters["thing.happened"] == 1
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        monitor = Monitor()
+        monitor.record("comp", "kind", a=1)
+        assert monitor.trace == []
+
+    def test_capacity_bound(self):
+        monitor = Monitor(trace_capacity=3)
+        for index in range(10):
+            monitor.record("comp", "kind", i=index)
+        assert len(monitor.trace) == 3
+        assert monitor.counters["kind"] == 10  # counting continues
+
+    def test_record_detail_access(self):
+        monitor = Monitor(trace_capacity=10)
+        monitor.record("replica-1", "step", cid=7, extra="x")
+        record = monitor.trace[0]
+        assert record.component == "replica-1"
+        assert record.get("cid") == 7
+        assert record.get("missing", "default") == "default"
+
+    def test_records_filter_by_kind(self):
+        monitor = Monitor(trace_capacity=10)
+        monitor.record("a", "alpha")
+        monitor.record("b", "beta")
+        monitor.record("c", "alpha")
+        assert len(monitor.records("alpha")) == 2
+        assert len(monitor.records()) == 3
+
+    def test_clock_binding(self):
+        monitor = Monitor(trace_capacity=10)
+        now = [0.0]
+        monitor.bind_clock(lambda: now[0])
+        monitor.record("a", "k1")
+        now[0] = 2.5
+        monitor.record("a", "k2")
+        assert monitor.trace[0].time == 0.0
+        assert monitor.trace[1].time == 2.5
+
+    def test_unbound_clock_defaults_to_zero(self):
+        monitor = Monitor(trace_capacity=1)
+        monitor.record("a", "k")
+        assert monitor.trace[0].time == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["demo"]).command == "demo"
+        assert parser.parse_args(["table3"]).capacity == 9500.0
+        args = parser.parse_args(["plan", "{}", "--capacity", "100"])
+        assert args.capacity == 100.0
+        assert parser.parse_args(["experiment", "table1"]).name == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Uniform workload" in out
+        assert "Not viable" in out
+
+    def test_plan_skewed(self, capsys):
+        demand = json.dumps({"g1,g2": 9000, "g3,g4": 9000})
+        assert main(["plan", demand]) == 0
+        out = capsys.readouterr().out
+        assert "objective sum-of-heights = 4" in out
+        assert "h1" in out
+
+    def test_plan_heuristic_flag(self, capsys):
+        demand = json.dumps({"g1,g2": 100})
+        assert main(["plan", demand, "--heuristic"]) == 0
+        assert "objective" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CA-VA" in out or "CA-JP" in out
+        assert "measured" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "g3:" in out
+        assert "ms" in out

@@ -1,0 +1,44 @@
+"""Unit tests for the EXPERIMENTS.md generator's rendering helpers."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "run_experiments.py"
+
+
+@pytest.fixture(scope="module")
+def script_module():
+    spec = importlib.util.spec_from_file_location("run_experiments", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_ms_formatting(script_module):
+    assert script_module.ms(0.00525) == "5.25"
+    assert script_module.ms(1.0) == "1000.00"
+
+
+def test_report_renders_tables(script_module):
+    report = script_module.Report()
+    report.add("# Title")
+    report.section("Section")
+    report.table(["a", "b"], [(1, 2), ("x", "y")])
+    text = "\n".join(report.lines)
+    assert "# Title" in text
+    assert "## Section" in text
+    assert "| a | b |" in text
+    assert "| 1 | 2 |" in text
+    assert "|---|---|" in text
+
+
+def test_run_wrapper_passes_through(script_module, capsys):
+    result = script_module.run("label", lambda value: value * 2, 21)
+    assert result == 42
+    out = capsys.readouterr().out
+    assert "[label] running" in out
+    assert "[label] done" in out
