@@ -39,7 +39,7 @@ from repro.core.deployment import ByzCastDeployment
 from repro.core.node import ByzCastApplication
 from repro.core.tree import OverlayTree
 from repro.errors import ConfigurationError
-from repro.sim.network import NetworkConfig
+from repro.env import NetworkConfig
 from repro.types import Destination, MessageId, MulticastMessage, destination
 
 

@@ -33,7 +33,7 @@ from repro.core.node import ByzCastApplication
 from repro.core.tree import OverlayTree
 from repro.crypto.digest import digest
 from repro.errors import ConfigurationError
-from repro.sim.network import NetworkConfig
+from repro.env import NetworkConfig
 from repro.types import MessageId, MulticastMessage, destination
 
 GENESIS = b"genesis"

@@ -27,7 +27,7 @@ from repro.core.client import MulticastClient
 from repro.core.deployment import ByzCastDeployment
 from repro.core.node import ByzCastApplication
 from repro.core.tree import OverlayTree
-from repro.sim.network import NetworkConfig
+from repro.env import NetworkConfig
 from repro.types import MulticastMessage
 
 
@@ -81,7 +81,7 @@ class BaselineDeployment(ByzCastDeployment):
     ) -> BaselineClient:
         client = BaselineClient(
             name=name,
-            loop=self.loop,
+            loop=self.runtime,
             tree=self.tree,
             group_configs=self.group_configs,
             registry=self.registry,

@@ -21,11 +21,8 @@ from repro.bcast.messages import Reply, Request
 from repro.core.messages import WireMulticast
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign, verify
-from repro.sim.actor import Actor
-from repro.sim.events import EventLoop
-from repro.sim.monitor import Monitor
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.rng import SeededRng
+from repro.env import Actor, Monitor, NetworkConfig, Runtime, RuntimeOrClock
+from repro.env.simbackend import SimRuntime
 from repro.types import ClientId, Delivery, Destination, MessageId, MulticastMessage
 
 CompletionCallback = Callable[[MulticastMessage, float], None]
@@ -68,7 +65,7 @@ class SingleGroupClient(Actor):
     def __init__(
         self,
         name: str,
-        loop: EventLoop,
+        loop: RuntimeOrClock,
         config: BroadcastConfig,
         registry: KeyRegistry,
         monitor: Optional[Monitor] = None,
@@ -138,17 +135,19 @@ class SingleGroupDeployment:
         request_timeout: float = 2.0,
         sites: Optional[List[str]] = None,
         trace_capacity: int = 0,
+        runtime: Optional[Runtime] = None,
     ) -> None:
-        self.loop = EventLoop()
-        self.monitor = Monitor(trace_capacity=trace_capacity)
-        self.monitor.bind_clock(lambda: self.loop.now)
-        self.rng = SeededRng(seed)
-        self.network = Network(
-            self.loop,
-            network_config if network_config is not None else NetworkConfig(),
-            rng=self.rng,
-            monitor=self.monitor,
-        )
+        if runtime is None:
+            runtime = SimRuntime(
+                network_config=network_config,
+                seed=seed,
+                trace_capacity=trace_capacity,
+            )
+        self.runtime = runtime
+        self.loop = runtime.clock
+        self.monitor = runtime.monitor
+        self.rng = runtime.rng
+        self.network = runtime.transport
         self.registry = KeyRegistry()
         n = 3 * f + 1
         self.config = BroadcastConfig(
@@ -161,7 +160,7 @@ class SingleGroupDeployment:
             costs=costs if costs is not None else CostModel(),
         )
         self.group = BroadcastGroup.build(
-            loop=self.loop,
+            loop=self.runtime,
             network=self.network,
             config=self.config,
             registry=self.registry,
@@ -174,7 +173,7 @@ class SingleGroupDeployment:
 
     def add_client(self, name: str, site: str = "site0",
                    on_complete: Optional[CompletionCallback] = None) -> SingleGroupClient:
-        client = SingleGroupClient(name, self.loop, self.config, self.registry,
+        client = SingleGroupClient(name, self.runtime, self.config, self.registry,
                                    self.monitor, on_complete=on_complete)
         self.network.register(client, site=site)
         self.clients.append(client)
@@ -187,7 +186,7 @@ class SingleGroupDeployment:
 
     def run(self, until: float = 10.0, max_events: Optional[int] = None) -> None:
         self.start()
-        self.loop.run(until=until, max_events=max_events)
+        self.runtime.run(until=until, max_events=max_events)
 
     def apps(self) -> List[RecordingApplication]:
         return [replica.app for replica in self.group.replicas]

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.bcast.messages import Request
-from repro.sim.monitor import Monitor
+from repro.env import Monitor
 
 
 @dataclass

@@ -21,8 +21,7 @@ from repro.bcast.messages import Reply, Request
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign
-from repro.sim.actor import Actor
-from repro.sim.events import Event
+from repro.env import Actor, TimerHandle
 
 ResultCallback = Callable[[Any], None]
 
@@ -35,7 +34,7 @@ class _Outstanding:
     callback: Optional[ResultCallback]
     votes: Dict[bytes, Set[str]] = field(default_factory=dict)
     results: Dict[bytes, Any] = field(default_factory=dict)
-    timer: Optional[Event] = None
+    timer: Optional[TimerHandle] = None
     retries: int = 0
 
 

@@ -14,9 +14,7 @@ from repro.bcast.app import Application
 from repro.bcast.config import BroadcastConfig
 from repro.bcast.replica import Replica
 from repro.crypto.keys import KeyRegistry
-from repro.sim.events import EventLoop
-from repro.sim.monitor import Monitor
-from repro.sim.network import Network
+from repro.env import Monitor, RuntimeOrClock, Transport
 
 AppFactory = Callable[[str], Application]
 
@@ -32,8 +30,8 @@ class BroadcastGroup:
     @classmethod
     def build(
         cls,
-        loop: EventLoop,
-        network: Network,
+        loop: RuntimeOrClock,
+        network: Transport,
         config: BroadcastConfig,
         registry: KeyRegistry,
         app_factory: AppFactory,

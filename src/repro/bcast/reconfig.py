@@ -27,9 +27,7 @@ from typing import Any, Optional, Tuple
 from repro.bcast.messages import Reply
 from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigurationError
-from repro.sim.actor import Actor
-from repro.sim.events import EventLoop
-from repro.sim.monitor import Monitor
+from repro.env import Actor, Monitor, RuntimeOrClock
 
 
 @dataclass(frozen=True)
@@ -91,7 +89,7 @@ class ViewManager(Actor):
     def __init__(
         self,
         group_id: str,
-        loop: EventLoop,
+        loop: RuntimeOrClock,
         initial_view: View,
         registry: KeyRegistry,
         monitor: Optional[Monitor] = None,

@@ -44,9 +44,7 @@ from repro.bcast.regency import RegencyManager
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import verify
-from repro.sim.actor import Actor
-from repro.sim.events import EventLoop
-from repro.sim.monitor import Monitor
+from repro.env import Actor, Monitor, RuntimeOrClock
 
 #: consensus-id lead that makes a replica suspect it is missing decisions
 STATE_GAP_THRESHOLD = 2
@@ -61,7 +59,7 @@ class Replica(Actor):
         self,
         name: str,
         config: BroadcastConfig,
-        loop: EventLoop,
+        loop: RuntimeOrClock,
         registry: KeyRegistry,
         app: Application,
         monitor: Optional[Monitor] = None,

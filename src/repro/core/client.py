@@ -21,9 +21,7 @@ from repro.core.tree import OverlayTree
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign
-from repro.sim.actor import Actor
-from repro.sim.events import EventLoop
-from repro.sim.monitor import Monitor
+from repro.env import Actor, Monitor, RuntimeOrClock
 from repro.types import ClientId, Destination, MessageId, MulticastMessage
 
 CompletionCallback = Callable[[MulticastMessage, float], None]
@@ -62,7 +60,7 @@ class MulticastClient(Actor):
     def __init__(
         self,
         name: str,
-        loop: EventLoop,
+        loop: RuntimeOrClock,
         tree: OverlayTree,
         group_configs: Dict[str, BroadcastConfig],
         registry: KeyRegistry,

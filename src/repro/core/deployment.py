@@ -1,8 +1,11 @@
-"""Build a complete ByzCast system inside one simulation.
+"""Build a complete ByzCast system on an execution backend.
 
-A deployment owns the event loop, network, key registry, one broadcast
-group per overlay-tree node (each running :class:`ByzCastApplication`), and
-any number of :class:`~repro.core.client.MulticastClient` endpoints.
+A deployment owns a :class:`~repro.env.api.Runtime` (clock + transport +
+per-node executors), the key registry, one broadcast group per overlay-tree
+node (each running :class:`ByzCastApplication`), and any number of
+:class:`~repro.core.client.MulticastClient` endpoints.  By default it runs
+on the deterministic simulation backend; pass ``runtime=`` to run the same
+protocol stack in real time (see :mod:`repro.env.rtbackend`).
 
 Example:
     >>> from repro.core import OverlayTree, ByzCastDeployment
@@ -28,10 +31,8 @@ from repro.core.client import MulticastClient
 from repro.core.node import ByzCastApplication, DeliverCallback
 from repro.core.tree import OverlayTree
 from repro.crypto.keys import KeyRegistry
-from repro.sim.events import EventLoop
-from repro.sim.monitor import Monitor
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.rng import SeededRng
+from repro.env import NetworkConfig, Runtime
+from repro.env.simbackend import SimRuntime
 
 #: maps (group_id, replica_index) -> network site, for WAN placement
 SiteAssigner = Callable[[str, int], str]
@@ -70,18 +71,20 @@ class ByzCastDeployment:
         max_batch: int = 400,
         batch_delay: float = 0.0,
         request_timeout: float = 2.0,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         self.tree = tree
-        self.loop = EventLoop()
-        self.monitor = Monitor(trace_capacity=trace_capacity)
-        self.monitor.bind_clock(lambda: self.loop.now)
-        self.rng = SeededRng(seed)
-        self.network = Network(
-            self.loop,
-            network_config if network_config is not None else NetworkConfig(),
-            rng=self.rng,
-            monitor=self.monitor,
-        )
+        if runtime is None:
+            runtime = SimRuntime(
+                network_config=network_config,
+                seed=seed,
+                trace_capacity=trace_capacity,
+            )
+        self.runtime = runtime
+        self.loop = runtime.clock
+        self.monitor = runtime.monitor
+        self.rng = runtime.rng
+        self.network = runtime.transport
         self.registry = KeyRegistry()
         self._sites = sites if sites is not None else _default_sites
         default_costs = costs if costs is not None else CostModel()
@@ -112,7 +115,7 @@ class ByzCastDeployment:
                 self._sites(group_id, index) for index in range(config.n)
             ]
             self.groups[group_id] = BroadcastGroup.build(
-                loop=self.loop,
+                loop=self.runtime,
                 network=self.network,
                 config=config,
                 registry=self.registry,
@@ -152,7 +155,7 @@ class ByzCastDeployment:
         """Create and register a multicast client endpoint."""
         client = MulticastClient(
             name=name,
-            loop=self.loop,
+            loop=self.runtime,
             tree=self.tree,
             group_configs=self.group_configs,
             registry=self.registry,
@@ -170,9 +173,9 @@ class ByzCastDeployment:
             self._started = True
 
     def run(self, until: float = 10.0, max_events: Optional[int] = None) -> None:
-        """Start (if needed) and advance the simulation to ``until`` seconds."""
+        """Start (if needed) and advance the runtime to ``until`` seconds."""
         self.start()
-        self.loop.run(until=until, max_events=max_events)
+        self.runtime.run(until=until, max_events=max_events)
 
     # -------------------------------------------------------------- accessors
 

@@ -1,0 +1,96 @@
+"""Execution-environment abstraction: the protocol stack's only runtime API.
+
+``repro.env`` decouples the ByzCast protocol stack from any particular
+execution substrate.  Protocol modules (``repro.bcast``, ``repro.core``,
+``repro.workload``) import *only* from here — never from ``repro.sim``
+directly (enforced by ``tests/env/test_import_hygiene.py``) — so the same
+replicas, clients and applications run under:
+
+* the **deterministic simulator** (default):
+  ``make_runtime("sim", seed=...)`` — virtual time, calibrated CPU costs,
+  latency models, bit-identical traces per seed;
+* the **real-time asyncio runtime**:
+  ``make_runtime("asyncio")`` — wall-clock timers, in-process queue or TCP
+  transports, no CPU modeling.
+
+Shared building blocks (:class:`Actor`, :class:`Monitor`) live here;
+sim-flavoured configuration types (:class:`NetworkConfig`, the latency
+models, :class:`SeededRng`) are re-exported lazily so that importing
+``repro.env`` never drags in a backend.
+"""
+
+from repro.env.api import (
+    Clock,
+    Executor,
+    Runtime,
+    RuntimeOrClock,
+    TimerHandle,
+    Transport,
+)
+from repro.env.monitor import Monitor, TraceRecord
+from repro.env.actor import Actor
+
+#: names re-exported lazily from the simulation kernel (shared config/value
+#: types usable by either backend — latency models are pure samplers).
+_LAZY_REEXPORTS = {
+    "NetworkConfig": "repro.sim.network",
+    "LatencyModel": "repro.sim.latency",
+    "ConstantLatency": "repro.sim.latency",
+    "JitterLatency": "repro.sim.latency",
+    "LogNormalLatency": "repro.sim.latency",
+    "MatrixLatency": "repro.sim.latency",
+    "SeededRng": "repro.sim.rng",
+}
+
+#: backend name → (module, class); extendable by downstream code
+BACKENDS = {
+    "sim": ("repro.env.simbackend", "SimRuntime"),
+    "asyncio": ("repro.env.rtbackend", "RealtimeRuntime"),
+    "rt": ("repro.env.rtbackend", "RealtimeRuntime"),
+    "realtime": ("repro.env.rtbackend", "RealtimeRuntime"),
+}
+
+
+def make_runtime(backend: str = "sim", **kwargs) -> Runtime:
+    """Build an execution runtime by backend name.
+
+    >>> runtime = make_runtime("sim", seed=7)
+    >>> runtime.deterministic
+    True
+    """
+    import importlib
+
+    try:
+        module_name, class_name = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; "
+            f"choose one of {sorted(set(BACKENDS))}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return getattr(module, class_name)(**kwargs)
+
+
+def __getattr__(name):
+    module_name = _LAZY_REEXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "Actor",
+    "Clock",
+    "Executor",
+    "Monitor",
+    "Runtime",
+    "RuntimeOrClock",
+    "TimerHandle",
+    "TraceRecord",
+    "Transport",
+    "make_runtime",
+    "BACKENDS",
+    *sorted(_LAZY_REEXPORTS),
+]

@@ -1,0 +1,155 @@
+"""Wire codec: protocol messages ⇄ length-prefixed JSON frames.
+
+The real-time TCP transport needs a serialization for the protocol's frozen
+dataclasses (requests, votes, multicasts, signatures).  msgpack is not a
+hard dependency of this library, so the frame body is JSON with a small
+tagging scheme for the Python types JSON cannot express:
+
+* ``{"!b": "<base64>"}`` — ``bytes`` (digests, signature tags);
+* ``{"!t": [...]}`` — ``tuple``;
+* ``{"!fs": [...]}`` — ``frozenset`` (destination sets);
+* ``{"!m": [[k, v], ...]}`` — ``dict`` with arbitrary keys;
+* ``{"!d": "<TypeName>", "f": {...}}`` — a registered frozen dataclass.
+
+Every message type of the broadcast and multicast layers is pre-registered;
+applications with custom command dataclasses call :func:`register_wire_type`
+once at startup.  Frames are ``>I``-length-prefixed so they can be streamed
+over TCP (see :class:`repro.env.tcp.TcpTransport`).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, Tuple, Type
+
+from repro.errors import NetworkError
+
+_LENGTH = struct.Struct(">I")
+#: refuse to decode frames above this size (corrupt length prefix guard)
+MAX_FRAME = 64 * 1024 * 1024
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register_wire_type(cls: Type) -> Type:
+    """Register a frozen dataclass for wire encoding; returns ``cls``.
+
+    Usable as a decorator on application-defined command types.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    name = cls.__name__
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise NetworkError(f"wire type name collision: {name!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def _register_builtin_types() -> None:
+    from repro.bcast import messages as bmsg
+    from repro.bcast.reconfig import Reconfig, View
+    from repro.core import messages as cmsg
+    from repro.crypto.signatures import Signature
+    from repro.types import Delivery, MessageId, MulticastMessage
+
+    for cls in (
+        bmsg.Request, bmsg.Propose, bmsg.Write, bmsg.Accept, bmsg.Reply,
+        bmsg.Stop, bmsg.StopData, bmsg.Sync, bmsg.Heartbeat,
+        bmsg.StateRequest, bmsg.StateResponse,
+        cmsg.WireMulticast, cmsg.MulticastReply,
+        Reconfig, View, Signature, MessageId, MulticastMessage, Delivery,
+    ):
+        register_wire_type(cls)
+
+
+def _to_jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"!b": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"!t": [_to_jsonable(v) for v in value]}
+    if isinstance(value, (frozenset, set)):
+        # Sort for a canonical frame; protocol sets hold comparable strings.
+        return {"!fs": [_to_jsonable(v) for v in sorted(value)]}
+    if isinstance(value, list):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {"!m": [[_to_jsonable(k), _to_jsonable(v)] for k, v in value.items()]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if _REGISTRY.get(name) is not type(value):
+            raise NetworkError(
+                f"cannot encode unregistered dataclass {name!r}; "
+                f"call repro.env.codec.register_wire_type({name})"
+            )
+        fields = {
+            f.name: _to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"!d": name, "f": fields}
+    raise NetworkError(f"cannot encode value of type {type(value).__name__!r}")
+
+
+def _from_jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        if "!b" in value:
+            return base64.b64decode(value["!b"])
+        if "!t" in value:
+            return tuple(_from_jsonable(v) for v in value["!t"])
+        if "!fs" in value:
+            return frozenset(_from_jsonable(v) for v in value["!fs"])
+        if "!m" in value:
+            return {_from_jsonable(k): _from_jsonable(v) for k, v in value["!m"]}
+        if "!d" in value:
+            cls = _REGISTRY.get(value["!d"])
+            if cls is None:
+                raise NetworkError(f"unknown wire type {value['!d']!r}")
+            fields = {k: _from_jsonable(v) for k, v in value["f"].items()}
+            return cls(**fields)
+    raise NetworkError(f"malformed wire value: {value!r}")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize ``obj`` to a JSON frame body (no length prefix)."""
+    if not _REGISTRY:
+        _register_builtin_types()
+    return json.dumps(_to_jsonable(obj), separators=(",", ":")).encode("utf-8")
+
+
+def decode(body: bytes) -> Any:
+    """Inverse of :func:`encode`."""
+    if not _REGISTRY:
+        _register_builtin_types()
+    return _from_jsonable(json.loads(body.decode("utf-8")))
+
+
+def frame(obj: Any) -> bytes:
+    """Encode ``obj`` as one length-prefixed frame ready to write."""
+    body = encode(obj)
+    if len(body) > MAX_FRAME:
+        raise NetworkError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def read_frames(buffer: bytes) -> Tuple[list, bytes]:
+    """Split ``buffer`` into complete decoded frames + unconsumed remainder."""
+    out = []
+    while len(buffer) >= _LENGTH.size:
+        (length,) = _LENGTH.unpack_from(buffer)
+        if length > MAX_FRAME:
+            raise NetworkError(f"frame length {length} exceeds limit")
+        end = _LENGTH.size + length
+        if len(buffer) < end:
+            break
+        out.append(decode(buffer[_LENGTH.size:end]))
+        buffer = buffer[end:]
+    return out, buffer

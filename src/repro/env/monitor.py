@@ -1,0 +1,69 @@
+"""Counters and structured trace events for observing a run.
+
+The :class:`Monitor` is shared by all components of one deployment — on any
+execution backend.  It is a plain in-memory sink: counters for cheap
+aggregate statistics, and an optional bounded trace of structured records
+for debugging and tests that assert on protocol-level behaviour (e.g.
+"replica r2 flagged a protocol violation by the leader").  Its clock is
+bound by the owning runtime, so record timestamps are virtual seconds under
+simulation and wall-clock seconds under the real-time backend.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event."""
+
+    time: float
+    component: str
+    kind: str
+    detail: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return dict(self.detail).get(key, default)
+
+
+class Monitor:
+    """Aggregates counters and (optionally) a bounded event trace."""
+
+    def __init__(self, trace_capacity: int = 0) -> None:
+        self.counters: Counter = Counter()
+        self.trace_capacity = trace_capacity
+        self.trace: List[TraceRecord] = []
+        self._clock = None  # set by the deployment; callable () -> float
+
+    def bind_clock(self, clock) -> None:
+        """Attach a ``() -> float`` returning current virtual time."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name``."""
+        self.counters[name] += amount
+
+    def record(self, component: str, kind: str, **detail: Any) -> None:
+        """Append a trace record (if tracing is enabled) and bump a counter."""
+        self.counters[kind] += 1
+        if self.trace_capacity and len(self.trace) < self.trace_capacity:
+            self.trace.append(
+                TraceRecord(self.now, component, kind, tuple(sorted(detail.items())))
+            )
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Trace records, optionally filtered by kind."""
+        if kind is None:
+            return list(self.trace)
+        return [r for r in self.trace if r.kind == kind]
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.counters)

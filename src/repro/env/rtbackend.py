@@ -1,0 +1,269 @@
+"""Real-time asyncio backend: wall-clock timers, in-process queue transport.
+
+Where the simulation backend models CPU service times and link latencies,
+the real-time backend *is* subject to them: timers are wall-clock
+(``asyncio`` ``call_later``), CPU "costs" become accounting-only no-ops
+(the host CPU is the real resource), and messages travel through the
+asyncio ready queue (strict FIFO) — or over real TCP sockets with the
+optional :class:`~repro.env.tcp.TcpTransport`.
+
+What is and is not modeled here:
+
+* **modeled** — message passing, per-link FIFO, partitions/drops for fault
+  experiments, optional link-latency shaping (sampled from the same
+  :mod:`repro.sim.latency` models, applied as real ``call_later`` delays);
+* **not modeled** — CPU service times (jobs run back-to-back on the host)
+  and bandwidth; throughput numbers from this backend reflect the host
+  machine, not the paper's calibrated cost model.
+
+Determinism is **not** guaranteed: wall-clock timer interleavings vary run
+to run.  Use the simulation backend for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import NetworkError, SimulationError
+from repro.env.api import Clock, Executor, Runtime, TimerHandle, Transport
+from repro.env.monitor import Monitor
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import NetworkConfig
+from repro.sim.rng import SeededRng
+
+
+def realtime_network_config() -> NetworkConfig:
+    """Default shaping for real-time runs: no artificial latency or drops."""
+    return NetworkConfig(latency=ConstantLatency(0.0))
+
+
+class RealtimeClock:
+    """Monotonic wall-clock seconds since the runtime was created."""
+
+    def __init__(self, aloop: asyncio.AbstractEventLoop) -> None:
+        self._aloop = aloop
+        self._origin = aloop.time()
+
+    @property
+    def now(self) -> float:
+        return self._aloop.time() - self._origin
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self._aloop.call_later(delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> TimerHandle:
+        return self.schedule(time - self.now, callback)
+
+
+class RealtimeExecutor:
+    """Accounting-only CPU: jobs run on the next loop tick, strictly FIFO.
+
+    Service times are recorded (``jobs_done``, ``busy_time``) so capacity
+    statistics stay meaningful, but the callback is not delayed — in real
+    time the host CPU is the resource being spent.  Using ``call_soon``
+    (a deque, not the timer heap) guarantees FIFO completion order.
+    """
+
+    def __init__(self, aloop: asyncio.AbstractEventLoop, clock: RealtimeClock) -> None:
+        self._aloop = aloop
+        self._clock = clock
+        self.jobs_done = 0
+        self.busy_time = 0.0
+
+    @property
+    def backlog(self) -> float:
+        return 0.0
+
+    def submit(self, service_time: float, callback: Callable[[], None]) -> float:
+        if service_time < 0:
+            raise ValueError("service time must be non-negative")
+        self.jobs_done += 1
+        self.busy_time += service_time
+        self._aloop.call_soon(callback)
+        return self._clock.now
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class InProcessTransport:
+    """Named endpoints delivering through the asyncio ready queue.
+
+    Semantics mirror :class:`~repro.sim.network.Network`: unknown endpoints
+    raise, partitioned/dropped messages vanish silently but are counted,
+    and delivery is FIFO per link.  Latency shaping (``config.latency``)
+    is applied as real ``call_later`` delays; per-link delivery times are
+    clamped monotonically so shaped links still deliver FIFO even when the
+    sampled delays would reorder.
+    """
+
+    def __init__(
+        self,
+        aloop: asyncio.AbstractEventLoop,
+        clock: RealtimeClock,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[SeededRng] = None,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self._aloop = aloop
+        self._clock = clock
+        self.config = config if config is not None else realtime_network_config()
+        self.monitor = monitor if monitor is not None else Monitor()
+        self._rng = (rng if rng is not None else SeededRng(0)).stream("network")
+        self._endpoints: Dict[str, Tuple[Any, str]] = {}
+        self._blocked_pairs: Set[Tuple[str, str]] = set()
+        self._blocked_sites: Set[Tuple[str, str]] = set()
+        self._link_due: Dict[Tuple[str, str], float] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, actor: Any, site: str = "site0") -> None:
+        if actor.name in self._endpoints:
+            raise NetworkError(f"endpoint {actor.name!r} already registered")
+        self._endpoints[actor.name] = (actor, site)
+        actor.network = self
+
+    def site_of(self, name: str) -> str:
+        return self._endpoints[name][1]
+
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(self._endpoints)
+
+    # -- partitions --------------------------------------------------------
+
+    def partition(self, a: str, b: str, *, sites: bool = False) -> None:
+        target = self._blocked_sites if sites else self._blocked_pairs
+        target.add((a, b))
+        target.add((b, a))
+
+    def heal(self, a: str, b: str, *, sites: bool = False) -> None:
+        target = self._blocked_sites if sites else self._blocked_pairs
+        target.discard((a, b))
+        target.discard((b, a))
+
+    def heal_all(self) -> None:
+        self._blocked_pairs.clear()
+        self._blocked_sites.clear()
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 64) -> None:
+        if dst not in self._endpoints:
+            raise NetworkError(f"unknown destination endpoint {dst!r}")
+        if src not in self._endpoints:
+            raise NetworkError(f"unknown source endpoint {src!r}")
+        self.monitor.count("net.sent")
+        if (src, dst) in self._blocked_pairs:
+            self.monitor.count("net.partitioned")
+            return
+        src_site = self.site_of(src)
+        dst_site = self.site_of(dst)
+        if (src_site, dst_site) in self._blocked_sites:
+            self.monitor.count("net.partitioned")
+            return
+        if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
+            self.monitor.count("net.dropped")
+            return
+        delay = self.config.latency.delay(src_site, dst_site, self._rng)
+        if self.config.bandwidth:
+            delay += size / self.config.bandwidth
+        actor = self._endpoints[dst][0]
+        if delay <= 0:
+            # The ready queue is a plain deque — strict global FIFO.
+            self._aloop.call_soon(actor.receive, src, payload)
+            return
+        # Shaped link: clamp per-link delivery times to be strictly
+        # increasing, since asyncio's timer heap does not promise stable
+        # ordering for equal deadlines.
+        now = self._clock.now
+        due = max(now + delay, self._link_due.get((src, dst), 0.0) + 1e-9)
+        self._link_due[(src, dst)] = due
+        self._aloop.call_later(max(0.0, due - now), actor.receive, src, payload)
+
+
+class RealtimeRuntime(Runtime):
+    """Real-time execution on a private asyncio event loop.
+
+    ``run(until=...)`` interprets ``until`` on the runtime's own clock
+    (seconds since creation), mirroring the simulator's absolute-time
+    semantics; ``stop()`` may be called from any actor callback to end the
+    run early (e.g. once a workload completed).  Call :meth:`close` when
+    done to release the event loop.
+    """
+
+    deterministic = False
+
+    def __init__(
+        self,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+        trace_capacity: int = 0,
+        monitor: Optional[Monitor] = None,
+        transport_factory: Optional[Callable[..., Transport]] = None,
+    ) -> None:
+        self._aloop = asyncio.new_event_loop()
+        self._clock = RealtimeClock(self._aloop)
+        self.monitor = monitor if monitor is not None else Monitor(
+            trace_capacity=trace_capacity
+        )
+        self.monitor.bind_clock(lambda: self._clock.now)
+        self.rng = SeededRng(seed)
+        factory = transport_factory if transport_factory is not None else InProcessTransport
+        self.network = factory(
+            self._aloop,
+            self._clock,
+            config=network_config,
+            rng=self.rng,
+            monitor=self.monitor,
+        )
+        self._closed = False
+
+    @property
+    def asyncio_loop(self) -> asyncio.AbstractEventLoop:
+        """The underlying asyncio loop (for transports needing coroutines)."""
+        return self._aloop
+
+    # -- Runtime interface -------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        return self.network
+
+    def create_executor(self) -> Executor:
+        return RealtimeExecutor(self._aloop, self._clock)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        if self._closed:
+            raise RuntimeError("runtime is closed")
+        deadline = None
+        if until is not None:
+            remaining = until - self._clock.now
+            if remaining <= 0:
+                return
+            deadline = self._aloop.call_later(remaining, self._aloop.stop)
+        try:
+            self._aloop.run_forever()
+        finally:
+            if deadline is not None:
+                deadline.cancel()
+
+    def stop(self) -> None:
+        self._aloop.stop()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            started = getattr(self.network, "shutdown", None)
+            if started is not None:
+                started()
+            self._aloop.close()

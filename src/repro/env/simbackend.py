@@ -1,0 +1,90 @@
+"""Deterministic discrete-event backend: wraps the ``repro.sim`` kernel.
+
+This is the default backend.  It preserves the exact construction order of
+the historical deployments (monitor → clock binding → seeded RNG →
+network), so a given seed produces bit-identical monitor traces before and
+after the `repro.env` refactor — the golden-trace test in
+``tests/env/test_golden_trace.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.env.api import Clock, Executor, Runtime, Transport
+from repro.env.monitor import Monitor
+from repro.sim.cpu import CpuQueue
+from repro.sim.events import EventLoop
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+
+
+class SimRuntime(Runtime):
+    """Virtual time, CPU-cost accounting, simulated network.
+
+    The :class:`~repro.sim.events.EventLoop` *is* the clock and the
+    :class:`~repro.sim.network.Network` *is* the transport — both already
+    satisfy the :mod:`repro.env.api` protocols; this facade only bundles
+    them with per-node :class:`~repro.sim.cpu.CpuQueue` executors.
+    """
+
+    deterministic = True
+
+    def __init__(
+        self,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+        trace_capacity: int = 0,
+        monitor: Optional[Monitor] = None,
+        loop: Optional[EventLoop] = None,
+        network: Optional[Network] = None,
+    ) -> None:
+        self.loop = loop if loop is not None else EventLoop()
+        self.monitor = monitor if monitor is not None else Monitor(
+            trace_capacity=trace_capacity
+        )
+        self.monitor.bind_clock(lambda: self.loop.now)
+        self.rng = SeededRng(seed)
+        if network is not None:
+            self.network = network
+        else:
+            self.network = Network(
+                self.loop,
+                network_config if network_config is not None else NetworkConfig(),
+                rng=self.rng,
+                monitor=self.monitor,
+            )
+
+    @classmethod
+    def from_clock(cls, loop: EventLoop) -> "SimRuntime":
+        """Clock-only adapter for actors built around a bare event loop.
+
+        No network/monitor/rng is created; the actor's transport attaches
+        when some :class:`~repro.sim.network.Network` registers it.
+        """
+        runtime = cls.__new__(cls)
+        runtime.loop = loop
+        runtime.monitor = None
+        runtime.rng = None
+        runtime.network = None
+        return runtime
+
+    # -- Runtime interface -------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self.loop
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        return self.network
+
+    def create_executor(self) -> Executor:
+        return CpuQueue(self.loop)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.loop.run(until=until, max_events=max_events)
+
+    def stop(self) -> None:
+        self.loop.stop()

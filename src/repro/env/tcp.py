@@ -1,0 +1,191 @@
+"""Optional TCP transport for the real-time backend.
+
+A :class:`TcpTransport` plays the role of one *host*: it owns a set of
+local endpoints, one listening socket, and lazily-opened outgoing
+connections to peer hosts.  Frames are length-prefixed JSON
+(:mod:`repro.env.codec`) carrying ``(src, dst, payload)``; several hosts
+share a plain *directory* dict mapping endpoint names to ``(host, port)``
+addresses — in tests the directory is a shared in-memory dict, in a real
+deployment it would be distributed configuration.
+
+Messages to local endpoints short-circuit through the ready queue;
+messages to remote endpoints go through one ordered outbound queue per
+peer host, so per-link FIFO holds across the socket as well.  Partition
+semantics match the in-process transport (blocked traffic is dropped at
+the sender and counted).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.env.codec import frame, read_frames
+from repro.env.monitor import Monitor
+from repro.sim.network import NetworkConfig
+from repro.sim.rng import SeededRng
+
+#: how long an outbound connection keeps retrying before giving up
+CONNECT_RETRIES = 40
+CONNECT_BACKOFF = 0.05
+
+
+class TcpTransport:
+    """One host's endpoints behind a TCP listener (length-prefixed frames)."""
+
+    def __init__(
+        self,
+        aloop: asyncio.AbstractEventLoop,
+        clock: Any = None,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[SeededRng] = None,
+        monitor: Optional[Monitor] = None,
+        directory: Optional[Dict[str, Tuple[str, int]]] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self._aloop = aloop
+        self.config = config if config is not None else NetworkConfig()
+        self.monitor = monitor if monitor is not None else Monitor()
+        self._rng = (rng if rng is not None else SeededRng(0)).stream("network")
+        self.directory = directory if directory is not None else {}
+        self.host = host
+        self.port: Optional[int] = None
+        self._endpoints: Dict[str, Tuple[Any, str]] = {}
+        self._blocked_pairs: Set[Tuple[str, str]] = set()
+        self._blocked_sites: Set[Tuple[str, str]] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._out_queues: Dict[Tuple[str, int], asyncio.Queue] = {}
+        self._out_tasks: Dict[Tuple[str, int], asyncio.Task] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, port: int = 0) -> int:
+        """Bind the listening socket; publishes local endpoints and returns
+        the bound port.  Must run on the runtime's asyncio loop."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for name in self._endpoints:
+            self.directory[name] = (self.host, self.port)
+        return self.port
+
+    def shutdown(self) -> None:
+        """Cancel outbound tasks and close the listener (best effort)."""
+        for task in self._out_tasks.values():
+            task.cancel()
+        self._out_tasks.clear()
+        self._out_queues.clear()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, actor: Any, site: str = "site0") -> None:
+        if actor.name in self._endpoints:
+            raise NetworkError(f"endpoint {actor.name!r} already registered")
+        self._endpoints[actor.name] = (actor, site)
+        actor.network = self
+        if self.port is not None:
+            self.directory[actor.name] = (self.host, self.port)
+
+    def site_of(self, name: str) -> str:
+        return self._endpoints[name][1]
+
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(self._endpoints)
+
+    # -- partitions --------------------------------------------------------
+
+    def partition(self, a: str, b: str, *, sites: bool = False) -> None:
+        target = self._blocked_sites if sites else self._blocked_pairs
+        target.add((a, b))
+        target.add((b, a))
+
+    def heal(self, a: str, b: str, *, sites: bool = False) -> None:
+        target = self._blocked_sites if sites else self._blocked_pairs
+        target.discard((a, b))
+        target.discard((b, a))
+
+    def heal_all(self) -> None:
+        self._blocked_pairs.clear()
+        self._blocked_sites.clear()
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 64) -> None:
+        if src not in self._endpoints:
+            raise NetworkError(f"unknown source endpoint {src!r}")
+        local = dst in self._endpoints
+        if not local and dst not in self.directory:
+            raise NetworkError(f"unknown destination endpoint {dst!r}")
+        self.monitor.count("net.sent")
+        if (src, dst) in self._blocked_pairs:
+            self.monitor.count("net.partitioned")
+            return
+        if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
+            self.monitor.count("net.dropped")
+            return
+        if local:
+            actor = self._endpoints[dst][0]
+            self._aloop.call_soon(actor.receive, src, payload)
+            return
+        address = self.directory[dst]
+        self._outbound(address).put_nowait(frame((src, dst, payload)))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _outbound(self, address: Tuple[str, int]) -> asyncio.Queue:
+        queue = self._out_queues.get(address)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._out_queues[address] = queue
+            self._out_tasks[address] = self._aloop.create_task(
+                self._pump(address, queue)
+            )
+        return queue
+
+    async def _pump(self, address: Tuple[str, int], queue: asyncio.Queue) -> None:
+        """One ordered writer per peer host (per-link FIFO over the socket)."""
+        writer = None
+        for attempt in range(CONNECT_RETRIES):
+            try:
+                _, writer = await asyncio.open_connection(*address)
+                break
+            except OSError:
+                await asyncio.sleep(CONNECT_BACKOFF)
+        if writer is None:
+            self.monitor.count("net.connect_failed")
+            return
+        try:
+            while True:
+                data = await queue.get()
+                writer.write(data)
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        buffer = b""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                messages, buffer = read_frames(buffer)
+                for src, dst, payload in messages:
+                    entry = self._endpoints.get(dst)
+                    if entry is None:
+                        self.monitor.count("net.misrouted")
+                        continue
+                    entry[0].receive(src, payload)
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()

@@ -24,8 +24,7 @@ import dataclasses
 from typing import Callable, Dict, Tuple
 
 from repro.bcast.config import CostModel
-from repro.sim.latency import JitterLatency, MatrixLatency
-from repro.sim.network import NetworkConfig
+from repro.env import JitterLatency, MatrixLatency, NetworkConfig
 
 #: the four EC2 regions of §V-B2 (R1..R4)
 REGIONS: Tuple[str, ...] = ("CA", "VA", "EU", "JP")

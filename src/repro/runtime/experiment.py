@@ -20,7 +20,7 @@ from repro.core.deployment import ByzCastDeployment
 from repro.core.tree import OverlayTree
 from repro.metrics.collector import LatencyCollector, ThroughputMeter
 from repro.metrics.stats import LatencySummary, summarize
-from repro.sim.network import NetworkConfig
+from repro.env import NetworkConfig
 from repro.workload.clients import ClosedLoopDriver
 from repro.workload.spec import DestinationSampler
 

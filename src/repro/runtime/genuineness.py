@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.tree import OverlayTree
-from repro.sim.monitor import Monitor
+from repro.env import Monitor
 
 
 @dataclass(frozen=True)

@@ -118,14 +118,13 @@ def table1_wan_latency() -> Dict[Tuple[str, str], Dict[str, float]]:
 
     Returns {(region_a, region_b): {"paper_ms": .., "measured_ms": ..}}.
     """
+    from repro.env import Actor
+    from repro.env.simbackend import SimRuntime
     from repro.runtime.environments import TABLE1_RTT_MS
-    from repro.sim.actor import Actor
-    from repro.sim.events import EventLoop
-    from repro.sim.network import Network
-    from repro.sim.rng import SeededRng
 
-    loop = EventLoop()
-    network = Network(loop, wan_network_config(jitter=0.0), rng=SeededRng(1))
+    runtime = SimRuntime(network_config=wan_network_config(jitter=0.0), seed=1)
+    loop = runtime.clock
+    network = runtime.transport
 
     class Ping(Actor):
         def __init__(self, name, loop):

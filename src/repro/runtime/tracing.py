@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.monitor import Monitor
+from repro.env import Monitor
 
 
 @dataclass

@@ -1,104 +1,10 @@
-"""Actor base class: a simulated process with a CPU and a mailbox.
+"""Backward-compatible alias: the actor base class moved to ``repro.env``.
 
-Actors communicate exclusively through the :class:`~repro.sim.network.Network`
-(no shared memory, no global clock — matching the system model of §II-A).
-Incoming messages are funneled through :meth:`Actor.receive`, which charges
-the configured per-message CPU cost before invoking :meth:`Actor.on_message`.
-Subclasses implement ``on_message`` and may use :meth:`set_timer` for
-timeouts (leader-change timers, client retransmission, ...).
+:class:`~repro.env.actor.Actor` is backend-agnostic; constructing it with a
+bare :class:`~repro.sim.events.EventLoop` (the historical signature) still
+works — the loop is adapted into a clock-only sim runtime on the fly.
 """
 
-from __future__ import annotations
+from repro.env.actor import Actor
 
-from typing import Any, Callable, Optional
-
-from repro.sim.events import Event, EventLoop
-from repro.sim.cpu import CpuQueue
-from repro.sim.monitor import Monitor
-
-
-class Actor:
-    """A named simulated process.
-
-    Args:
-        name: globally unique endpoint name; also the network address.
-        loop: the shared event loop.
-        monitor: shared monitor for counters/trace.
-        recv_cpu_cost: CPU service time charged for every received message
-            before ``on_message`` runs (models deserialization + MAC check).
-    """
-
-    def __init__(
-        self,
-        name: str,
-        loop: EventLoop,
-        monitor: Optional[Monitor] = None,
-        recv_cpu_cost: float = 0.0,
-    ) -> None:
-        self.name = name
-        self.loop = loop
-        self.monitor = monitor if monitor is not None else Monitor()
-        self.cpu = CpuQueue(loop)
-        self.recv_cpu_cost = recv_cpu_cost
-        self.network = None  # attached by Network.register
-        self.crashed = False
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def start(self) -> None:
-        """Hook called once the deployment is wired up.  Default: no-op."""
-
-    def crash(self) -> None:
-        """Stop reacting to anything (benign crash)."""
-        self.crashed = True
-
-    # -- messaging ---------------------------------------------------------
-
-    def send(self, dst: str, payload: Any, size: int = 64) -> None:
-        """Send ``payload`` to actor named ``dst`` via the network."""
-        if self.crashed:
-            return
-        if self.network is None:
-            raise RuntimeError(f"actor {self.name} is not attached to a network")
-        self.network.send(self.name, dst, payload, size)
-
-    def receive(self, src: str, payload: Any) -> None:
-        """Called by the network on message arrival; charges CPU then handles."""
-        if self.crashed:
-            return
-        if self.recv_cpu_cost > 0:
-            self.cpu.submit(self.recv_cpu_cost, lambda: self._handle(src, payload))
-        else:
-            self._handle(src, payload)
-
-    def _handle(self, src: str, payload: Any) -> None:
-        if self.crashed:
-            return
-        self.on_message(src, payload)
-
-    def on_message(self, src: str, payload: Any) -> None:
-        """Handle a delivered message.  Subclasses must override."""
-        raise NotImplementedError
-
-    # -- timers ------------------------------------------------------------
-
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Run ``callback`` after ``delay`` seconds unless cancelled/crashed."""
-
-        def fire() -> None:
-            if not self.crashed:
-                callback()
-
-        return self.loop.schedule(delay, fire)
-
-    def work(self, service_time: float, callback: Callable[[], None]) -> None:
-        """Charge ``service_time`` of CPU, then run ``callback``."""
-
-        def fire() -> None:
-            if not self.crashed:
-                callback()
-
-        self.cpu.submit(service_time, fire)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<{type(self).__name__} {self.name}>"
+__all__ = ["Actor"]

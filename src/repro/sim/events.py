@@ -12,6 +12,10 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
+#: cancelled-event count past which the heap is compacted (and only when
+#: cancelled events are at least half the heap)
+_COMPACT_MIN = 64
+
 
 class Event:
     """A scheduled callback.  Returned by :meth:`EventLoop.schedule`.
@@ -20,18 +24,23 @@ class Event:
     cancelled events are skipped (and dropped) when their time comes.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_loop")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
+        self._loop: Optional["EventLoop"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None  # break reference cycles early
+        if self._loop is not None:
+            self._loop._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -57,6 +66,7 @@ class EventLoop:
         self._seq = itertools.count()
         self._now = 0.0
         self._stopped = False
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -65,14 +75,15 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (not cancelled) events still scheduled."""
+        return len(self._heap) - self._cancelled
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
         event = Event(self._now + delay, next(self._seq), callback)
+        event._loop = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -84,33 +95,48 @@ class EventLoop:
         """Make the currently running :meth:`run` return after this event."""
         self._stopped = True
 
+    def _note_cancelled(self) -> None:
+        """Lazy compaction: drop cancelled events once they dominate the heap.
+
+        Rebuilding preserves determinism — event order is the total order
+        (time, seq), which heapify re-establishes exactly.
+        """
+        self._cancelled += 1
+        if self._cancelled >= _COMPACT_MIN and self._cancelled * 2 >= len(self._heap):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events in time order.
 
         Args:
             until: stop once virtual time would exceed this value; the clock
                 is advanced to ``until`` and remaining events stay queued.
-            max_events: safety valve — raise :class:`SimulationError` if more
-                than this many events fire (catches livelock in protocols).
+            max_events: safety valve — raise :class:`SimulationError` once a
+                live event beyond the budget of ``max_events`` fired
+                callbacks is due (catches livelock in protocols).  Exactly
+                ``max_events`` callbacks run before the raise.
         """
         self._stopped = False
         fired = 0
         while self._heap and not self._stopped:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             if until is not None and event.time > until:
                 heapq.heappush(self._heap, event)
                 self._now = until
                 return
-            self._now = event.time
-            callback, event.callback = event.callback, None
-            assert callback is not None
-            callback()
-            fired += 1
-            if max_events is not None and fired > max_events:
+            if max_events is not None and fired >= max_events:
+                heapq.heappush(self._heap, event)
                 raise SimulationError(
                     f"event budget exhausted ({max_events} events) — livelock?"
                 )
+            self._now = event.time
+            event._loop = None  # fired: a late cancel() must not count
+            event.callback()
+            fired += 1
         if until is not None and self._now < until:
             self._now = until

@@ -13,14 +13,16 @@ delay correct processes ... but not indefinitely").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from repro.errors import NetworkError
-from repro.sim.actor import Actor
+from repro.env.monitor import Monitor
 from repro.sim.events import EventLoop
 from repro.sim.latency import ConstantLatency, LatencyModel
-from repro.sim.monitor import Monitor
 from repro.sim.rng import SeededRng
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.env
+    from repro.env.actor import Actor
 
 
 @dataclass

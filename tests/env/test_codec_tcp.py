@@ -1,0 +1,147 @@
+"""Wire codec roundtrips and the real-TCP transport of the rt backend."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.bcast.messages import Accept, Reply, Request
+from repro.core.messages import WireMulticast
+from repro.crypto.signatures import Signature
+from repro.env import codec
+from repro.env.tcp import TcpTransport
+from repro.errors import NetworkError
+from repro.types import ClientId, MessageId, MulticastMessage
+
+
+def roundtrip(obj):
+    return codec.decode(codec.encode(obj))
+
+
+def test_codec_roundtrips_scalars_and_containers():
+    for value in (None, True, 7, 3.25, "hé", b"\x00\xffraw",
+                  (1, ("a", b"b")), frozenset({"g1", "g2"}),
+                  [1, 2, [3]], {"k": 1, 2: (3,)}):
+        assert roundtrip(value) == value
+    assert isinstance(roundtrip((1, 2)), tuple)
+    assert isinstance(roundtrip(frozenset({"x"})), frozenset)
+
+
+def test_codec_roundtrips_protocol_messages():
+    signature = Signature(signer="c1", tag=b"\x01\x02")
+    request = Request("g1", "c1", 4, ("put", "k", "v"), signature)
+    assert roundtrip(request) == request
+
+    message = MulticastMessage(
+        mid=MessageId(ClientId("c1"), 9),
+        dst=frozenset({"g1", "g2"}),
+        payload=("tx", 1),
+    )
+    wire = WireMulticast.from_message(message, signature)
+    decoded = roundtrip(wire)
+    assert decoded == wire
+    assert decoded.to_message() == message
+
+    accept = Accept("g1", 0, 3, b"digest", "r0")
+    assert roundtrip(accept) == accept
+    reply = Reply("g1", "r0", "c1", 4, ("ok",))
+    assert roundtrip(reply) == reply
+
+
+def test_codec_rejects_unregistered_dataclass():
+    @dataclasses.dataclass(frozen=True)
+    class Mystery:
+        x: int
+
+    with pytest.raises(NetworkError):
+        codec.encode(Mystery(1))
+
+
+def test_register_wire_type_rejects_name_collisions():
+    @dataclasses.dataclass(frozen=True)
+    class Request:  # same name as the protocol's Request
+        x: int
+
+    with pytest.raises(NetworkError):
+        codec.register_wire_type(Request)
+
+
+def test_frames_stream_across_partial_reads():
+    objs = [("msg", i, b"x" * i) for i in range(5)]
+    stream = b"".join(codec.frame(obj) for obj in objs)
+    decoded = []
+    buffer = b""
+    # Feed the byte stream in awkward 7-byte chunks.
+    for offset in range(0, len(stream), 7):
+        buffer += stream[offset:offset + 7]
+        frames, buffer = codec.read_frames(buffer)
+        decoded.extend(frames)
+    assert decoded == objs
+    assert buffer == b""
+
+
+def test_frame_length_guard():
+    bogus = codec._LENGTH.pack(codec.MAX_FRAME + 1) + b"x"
+    with pytest.raises(NetworkError):
+        codec.read_frames(bogus)
+
+
+# -- TCP transport ----------------------------------------------------------
+
+
+class Probe:
+    """Minimal endpoint: a name and a mailbox (no runtime needed)."""
+
+    def __init__(self, name):
+        self.name = name
+        self.network = None
+        self.got = []
+
+    def receive(self, src, payload):
+        self.got.append((src, payload))
+
+
+def test_tcp_transport_delivers_fifo_between_hosts():
+    aloop = asyncio.new_event_loop()
+    directory = {}
+    host_a = TcpTransport(aloop, directory=directory)
+    host_b = TcpTransport(aloop, directory=directory)
+    a = Probe("a")
+    b = Probe("b")
+    host_a.register(a)
+    host_b.register(b)
+
+    signature = Signature(signer="a", tag=b"\x99")
+    payloads = [Request("g1", "a", i, ("cmd", i), signature) for i in range(12)]
+
+    async def scenario():
+        await host_a.start()
+        await host_b.start()
+        # local short-circuit: a -> a never touches the socket
+        host_a.send("a", "a", ("loopback",))
+        for payload in payloads:
+            host_a.send("a", "b", payload)
+        for _ in range(500):
+            if len(b.got) >= len(payloads) and a.got:
+                break
+            await asyncio.sleep(0.01)
+        # reply path opens the reverse connection
+        host_b.send("b", "a", ("ack",))
+        for _ in range(500):
+            if len(a.got) >= 2:
+                break
+            await asyncio.sleep(0.01)
+
+    try:
+        aloop.run_until_complete(scenario())
+        assert b.got == [("a", payload) for payload in payloads]
+        assert a.got == [("a", ("loopback",)), ("b", ("ack",))]
+        with pytest.raises(NetworkError):
+            host_a.send("a", "ghost", "x")
+    finally:
+        host_a.shutdown()
+        host_b.shutdown()
+        aloop.run_until_complete(asyncio.sleep(0.05))
+        aloop.close()

@@ -1,0 +1,258 @@
+"""Backend-conformance suite: every backend honours the env contracts.
+
+Each test runs against both the deterministic simulation backend and the
+real-time asyncio backend, verifying the behavioural contracts documented
+in :mod:`repro.env.api`: timer ordering, cancellation, FIFO executors,
+per-link FIFO transport delivery, crash semantics and endpoint
+registration errors.  Real-time runs use millisecond-scale delays so the
+whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env import Actor, Runtime, make_runtime
+from repro.env.rtbackend import RealtimeRuntime
+from repro.env.simbackend import SimRuntime
+from repro.errors import NetworkError, SimulationError
+
+BACKENDS = ["sim", "rt"]
+
+
+@pytest.fixture(params=BACKENDS)
+def runtime(request):
+    rt = make_runtime(request.param, seed=7)
+    yield rt
+    rt.close()
+
+
+class Probe(Actor):
+    """Records every delivered message."""
+
+    def __init__(self, name, runtime, recv_cpu_cost=0.0):
+        super().__init__(name, runtime, recv_cpu_cost=recv_cpu_cost)
+        self.got = []
+
+    def on_message(self, src, payload):
+        self.got.append((src, payload))
+
+
+def test_make_runtime_backends():
+    sim = make_runtime("sim")
+    assert isinstance(sim, SimRuntime) and sim.deterministic
+    rt = make_runtime("asyncio")
+    assert isinstance(rt, RealtimeRuntime) and not rt.deterministic
+    rt.close()
+    with pytest.raises(ValueError):
+        make_runtime("no-such-backend")
+
+
+def test_runtime_interface(runtime):
+    assert isinstance(runtime, Runtime)
+    assert runtime.clock is not None
+    assert runtime.transport is not None
+    assert runtime.monitor is not None
+
+
+# -- Clock ------------------------------------------------------------------
+
+
+def test_timers_fire_in_deadline_order(runtime):
+    fired = []
+    runtime.clock.schedule(0.030, lambda: fired.append("late"))
+    runtime.clock.schedule(0.010, lambda: fired.append("early"))
+    runtime.clock.schedule(0.020, lambda: fired.append("mid"))
+    runtime.run(until=0.2)
+    assert fired == ["early", "mid", "late"]
+
+
+def test_timer_ties_fire_in_scheduling_order(runtime):
+    fired = []
+    for label in range(5):
+        runtime.clock.schedule(0.010, lambda label=label: fired.append(label))
+    runtime.run(until=0.2)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_timer_never_fires(runtime):
+    fired = []
+    keep = runtime.clock.schedule(0.010, lambda: fired.append("keep"))
+    drop = runtime.clock.schedule(0.010, lambda: fired.append("drop"))
+    drop.cancel()
+    drop.cancel()  # idempotent
+    runtime.run(until=0.2)
+    assert fired == ["keep"]
+    assert keep is not None
+
+
+def test_negative_delay_rejected(runtime):
+    with pytest.raises(SimulationError):
+        runtime.clock.schedule(-0.5, lambda: None)
+
+
+def test_clock_advances(runtime):
+    before = runtime.clock.now
+    seen = []
+    runtime.clock.schedule(0.020, lambda: seen.append(runtime.clock.now))
+    runtime.run(until=0.2)
+    assert seen and seen[0] >= before + 0.015
+
+
+def test_schedule_at_absolute_time(runtime):
+    fired = []
+    runtime.clock.schedule_at(runtime.clock.now + 0.015, lambda: fired.append(1))
+    runtime.run(until=0.2)
+    assert fired == [1]
+
+
+def test_stop_ends_run_early(runtime):
+    fired = []
+    runtime.clock.schedule(0.005, lambda: (fired.append("a"), runtime.stop()))
+    runtime.clock.schedule(10.0, lambda: fired.append("far-future"))
+    runtime.run(until=20.0)
+    assert fired == ["a"]
+
+
+def test_run_until_predicate(runtime):
+    box = []
+    runtime.clock.schedule(0.02, lambda: box.append(1))
+    assert runtime.run_until(lambda: bool(box), timeout=1.0, poll=0.01)
+    assert not runtime.run_until(lambda: len(box) > 99, timeout=0.05, poll=0.01)
+
+
+# -- Executor ---------------------------------------------------------------
+
+
+def test_executor_completes_jobs_fifo(runtime):
+    cpu = runtime.create_executor()
+    done = []
+    # Service times deliberately out of order: FIFO queueing must win.
+    for index, cost in enumerate([0.003, 0.001, 0.002, 0.0005]):
+        cpu.submit(cost, lambda index=index: done.append(index))
+    runtime.run(until=0.2)
+    assert done == [0, 1, 2, 3]
+    assert cpu.backlog >= 0.0
+    assert 0.0 <= cpu.utilization(1.0) <= 1.0
+
+
+def test_executor_rejects_negative_service_time(runtime):
+    cpu = runtime.create_executor()
+    with pytest.raises(ValueError):
+        cpu.submit(-1.0, lambda: None)
+
+
+# -- Transport --------------------------------------------------------------
+
+
+def test_transport_per_link_fifo(runtime):
+    a = Probe("a", runtime)
+    b = Probe("b", runtime)
+    runtime.transport.register(a)
+    runtime.transport.register(b)
+    runtime.clock.schedule(
+        0.0, lambda: [a.send("b", ("msg", i)) for i in range(20)]
+    )
+    runtime.run(until=0.2)
+    assert b.got == [("a", ("msg", i)) for i in range(20)]
+
+
+def test_transport_unknown_endpoint_raises(runtime):
+    a = Probe("a", runtime)
+    runtime.transport.register(a)
+    with pytest.raises(NetworkError):
+        runtime.transport.send("a", "ghost", "x")
+    with pytest.raises(NetworkError):
+        runtime.transport.send("ghost", "a", "x")
+
+
+def test_transport_duplicate_registration_raises(runtime):
+    a = Probe("a", runtime)
+    runtime.transport.register(a)
+    with pytest.raises(NetworkError):
+        runtime.transport.register(Probe("a", runtime))
+    assert runtime.transport.endpoints() == ("a",)
+
+
+def test_transport_sites_recorded(runtime):
+    a = Probe("a", runtime)
+    runtime.transport.register(a, site="zurich")
+    assert runtime.transport.site_of("a") == "zurich"
+
+
+def test_partition_blocks_and_heal_restores(runtime):
+    a = Probe("a", runtime)
+    b = Probe("b", runtime)
+    runtime.transport.register(a)
+    runtime.transport.register(b)
+    runtime.transport.partition("a", "b")
+
+    def phase1():
+        a.send("b", "lost")
+        b.send("a", "lost-too")
+        runtime.transport.heal("a", "b")
+        a.send("b", "delivered")
+
+    runtime.clock.schedule(0.0, phase1)
+    runtime.run(until=0.2)
+    assert b.got == [("a", "delivered")]
+    assert a.got == []
+    assert runtime.monitor.counters["net.partitioned"] == 2
+
+
+# -- Crash semantics --------------------------------------------------------
+
+
+def test_timer_set_before_crash_does_not_fire(runtime):
+    a = Probe("a", runtime)
+    runtime.transport.register(a)
+    fired = []
+    a.set_timer(0.020, lambda: fired.append("boom"))
+    runtime.clock.schedule(0.005, a.crash)
+    runtime.run(until=0.2)
+    assert fired == []
+    assert a.crashed
+
+
+def test_message_in_cpu_queue_at_crash_is_dropped(runtime):
+    # recv_cpu_cost > 0 puts delivery through the CPU queue; crashing after
+    # transport delivery but before the CPU job runs must drop the message.
+    a = Probe("a", runtime, recv_cpu_cost=0.010)
+    b = Probe("b", runtime)
+    runtime.transport.register(a)
+    runtime.transport.register(b)
+
+    def deliver_then_crash():
+        b.send("a", "in-flight")
+        a.crash()  # the receive is queued on a's CPU by now (or will be)
+
+    runtime.clock.schedule(0.0, deliver_then_crash)
+    runtime.run(until=0.2)
+    assert a.got == []
+
+
+def test_crashed_actor_neither_sends_nor_receives(runtime):
+    a = Probe("a", runtime)
+    b = Probe("b", runtime)
+    runtime.transport.register(a)
+    runtime.transport.register(b)
+
+    def phase():
+        a.crash()
+        a.send("b", "never")
+        b.send("a", "ignored")
+
+    runtime.clock.schedule(0.0, phase)
+    runtime.run(until=0.2)
+    assert b.got == []
+    assert a.got == []
+
+
+def test_work_after_crash_does_not_run(runtime):
+    a = Probe("a", runtime)
+    runtime.transport.register(a)
+    done = []
+    runtime.clock.schedule(0.0, lambda: (a.work(0.010, lambda: done.append(1)),
+                                         a.crash()))
+    runtime.run(until=0.2)
+    assert done == []

@@ -1,0 +1,55 @@
+"""Determinism pin: the sim backend's trace is bit-identical per seed.
+
+The fingerprint below was captured on the pre-``repro.env`` tree (the
+protocol stack talking to ``repro.sim`` directly).  The refactored stack
+must reproduce it exactly — construction order, RNG stream draws, event
+ordering and CPU accounting all feed into it, so any accidental behaviour
+change in the abstraction layer shows up as a hash mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core import OverlayTree
+from repro.core.deployment import ByzCastDeployment
+
+GOLDEN_SHA256 = "424d7c52e53e153a46ccc95b612ff4994309545a08f3f3ecc56a4f8539e95ec7"
+GOLDEN_RECORDS = 736
+GOLDEN_COMPLETIONS = 10
+
+
+def _fingerprint() -> tuple:
+    tree = OverlayTree.two_level(["g1", "g2", "g3"])
+    dep = ByzCastDeployment(tree, seed=42, trace_capacity=20000)
+    completions = []
+    client = dep.add_client(
+        "c1", on_complete=lambda m, l: completions.append((m.mid.seq, round(l, 9)))
+    )
+    dests = [("g1",), ("g2",), ("g1", "g2"), ("g2", "g3"), ("g1", "g2", "g3")]
+    for i in range(10):
+        client.amulticast(dests[i % len(dests)], payload=("tx", i))
+    dep.run(until=8.0)
+    lines = [
+        f"{r.time:.9f}|{r.component}|{r.kind}|{sorted(r.detail)}"
+        for r in dep.monitor.trace
+    ]
+    lines += [f"{k}={v}" for k, v in sorted(dep.monitor.counters.items())]
+    lines.append(f"completions={completions}")
+    blob = "\n".join(lines).encode()
+    return (
+        hashlib.sha256(blob).hexdigest(),
+        len(dep.monitor.trace),
+        len(completions),
+    )
+
+
+def test_sim_backend_reproduces_pre_refactor_trace():
+    digest, records, completions = _fingerprint()
+    assert completions == GOLDEN_COMPLETIONS
+    assert records == GOLDEN_RECORDS
+    assert digest == GOLDEN_SHA256
+
+
+def test_sim_backend_runs_are_identical():
+    assert _fingerprint() == _fingerprint()

@@ -1,0 +1,38 @@
+"""The protocol stack must not import the simulator directly.
+
+Everything under ``repro.bcast``, ``repro.core`` and ``repro.workload``
+(plus the protocol-level consumers in ``repro.baseline``, ``repro.runtime``
+and ``repro.apps``) goes through the :mod:`repro.env` interfaces; only the
+``repro.env`` backends may touch ``repro.sim``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).parent
+PROTOCOL_PACKAGES = ["bcast", "core", "workload", "baseline", "runtime", "apps"]
+SIM_IMPORT = re.compile(r"^\s*(from|import)\s+repro\.sim\b", re.MULTILINE)
+
+
+def test_protocol_modules_do_not_import_sim():
+    offenders = []
+    for package in PROTOCOL_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            if SIM_IMPORT.search(path.read_text()):
+                offenders.append(str(path.relative_to(SRC.parent)))
+    assert offenders == [], f"direct repro.sim imports in: {offenders}"
+
+
+def test_sim_backend_is_the_only_env_module_importing_sim():
+    allowed = {"simbackend.py", "rtbackend.py", "tcp.py", "__init__.py"}
+    offenders = []
+    for path in sorted((SRC / "env").rglob("*.py")):
+        if path.name in allowed:
+            continue
+        if SIM_IMPORT.search(path.read_text()):
+            offenders.append(path.name)
+    assert offenders == []

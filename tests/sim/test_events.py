@@ -112,3 +112,73 @@ def test_schedule_at_absolute_time():
     loop.schedule(1.0, lambda: loop.schedule_at(5.0, lambda: fired.append(loop.now)))
     loop.run()
     assert fired == [5.0]
+
+
+# -- regressions: event budget and cancelled-event accounting ---------------
+
+
+def test_max_events_budget_is_exact():
+    # Regression: the budget check used to run *after* firing, so
+    # max_events=N let N+1 callbacks through.
+    loop = EventLoop()
+    fired = []
+
+    def forever():
+        fired.append(loop.now)
+        loop.schedule(0.001, forever)
+
+    loop.schedule(0.001, forever)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=5)
+    assert len(fired) == 5
+
+
+def test_max_events_budget_ignores_cancelled_events():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        event = loop.schedule(0.001 * (i + 1), lambda i=i: fired.append(i))
+        if i % 2 == 0:
+            event.cancel()
+    loop.run(max_events=5)  # exactly the 5 live events — must not raise
+    assert fired == [1, 3, 5, 7, 9]
+
+
+def test_pending_counts_live_events_only():
+    loop = EventLoop()
+    events = [loop.schedule(1.0, lambda: None) for _ in range(10)]
+    assert loop.pending == 10
+    for event in events[:4]:
+        event.cancel()
+    assert loop.pending == 6
+    events[0].cancel()  # idempotent: must not double-count
+    assert loop.pending == 6
+    loop.run()
+    assert loop.pending == 0
+
+
+def test_cancel_after_firing_does_not_corrupt_pending():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    loop.run(until=1.5)
+    event.cancel()  # already fired: a late cancel must be a no-op
+    assert loop.pending == 1
+    loop.run()
+    assert loop.pending == 0
+
+
+def test_mass_cancellation_compacts_heap():
+    loop = EventLoop()
+    keep = []
+    events = []
+    for i in range(1000):
+        events.append(loop.schedule(10.0, lambda i=i: keep.append(i)))
+    for event in events[:900]:
+        event.cancel()
+    # Compaction must have physically dropped cancelled entries...
+    assert len(loop._heap) < 200
+    assert loop.pending == 100
+    # ...while preserving deterministic insertion-order firing.
+    loop.run()
+    assert keep == list(range(900, 1000))
