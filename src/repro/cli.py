@@ -6,7 +6,9 @@ Commands:
 * ``table3``    — regenerate the paper's Table III;
 * ``plan``      — optimize an overlay tree for a demand matrix;
 * ``capacity``  — probe group capacities (the K(x) methodology of §V-C);
-* ``experiment``— run one of the paper's figure scenarios.
+* ``experiment``— run one of the paper's figure scenarios;
+* ``chaos``     — run a seeded chaos soak (nemesis faults + invariant
+  checks) on the sim and/or real-time backend.
 """
 
 from __future__ import annotations
@@ -133,6 +135,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runtime.chaos import run_chaos_soak
+
+    backends = ["sim", "rt"] if args.backend == "both" else [args.backend]
+    targets = tuple(g.strip() for g in args.groups.split(",") if g.strip())
+    failures = 0
+    for backend in backends:
+        report = run_chaos_soak(
+            backend=backend,
+            seed=args.seed,
+            intensity=args.intensity,
+            duration=args.duration,
+            settle=args.settle,
+            messages=args.messages,
+            targets=targets,
+        )
+        print(report.summary())
+        if args.timeline:
+            print(report.schedule)
+        if not report.ok:
+            failures += 1
+    if failures:
+        print(f"{failures} backend(s) FAILED — reproduce with "
+              f"--seed {args.seed} --intensity {args.intensity}")
+    return 2 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +189,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run a paper scenario")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
 
+    chaos = sub.add_parser(
+        "chaos", help="run a seeded chaos soak with invariant checks")
+    chaos.add_argument("--backend", choices=["sim", "rt", "both"],
+                       default="sim", help="execution backend(s) to soak")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="nemesis seed (same seed = same fault timeline)")
+    chaos.add_argument("--intensity", choices=["light", "medium", "heavy"],
+                       default="medium")
+    chaos.add_argument("--duration", type=float, default=6.0,
+                       help="nemesis horizon scale in runtime seconds")
+    chaos.add_argument("--settle", type=float, default=30.0,
+                       help="max extra seconds to quiesce after the final heal")
+    chaos.add_argument("--messages", type=int, default=60,
+                       help="total multicasts in the soak workload")
+    chaos.add_argument("--groups", default="g1,g2",
+                       help="comma-separated target groups of the 2-level tree")
+    chaos.add_argument("--timeline", action="store_true",
+                       help="print the expanded nemesis timeline")
+
     return parser
 
 
@@ -172,6 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "capacity": _cmd_capacity,
         "experiment": _cmd_experiment,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

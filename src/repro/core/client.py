@@ -66,12 +66,14 @@ class MulticastClient(Actor):
         registry: KeyRegistry,
         monitor: Optional[Monitor] = None,
         on_complete: Optional[CompletionCallback] = None,
+        retransmit_timeout: Optional[float] = 4.0,
     ) -> None:
         super().__init__(name, loop, monitor)
         self.tree = tree
         self.group_configs = dict(group_configs)
         self.registry = registry
         self.on_complete = on_complete
+        self.retransmit_timeout = retransmit_timeout
         self._proxies: Dict[str, GroupProxy] = {}
         self._next_seq = 1
         self._inflight: Dict[Tuple[str, int], _InFlight] = {}
@@ -131,6 +133,7 @@ class MulticastClient(Actor):
                 replicas=config.replicas,
                 f=config.f,
                 registry=self.registry,
+                retransmit_timeout=self.retransmit_timeout,
             )
         return self._proxies[group_id]
 

@@ -151,6 +151,7 @@ class ByzCastDeployment:
         name: str,
         site: str = "site0",
         on_complete: Optional[Callable] = None,
+        retransmit_timeout: Optional[float] = 4.0,
     ) -> MulticastClient:
         """Create and register a multicast client endpoint."""
         client = MulticastClient(
@@ -161,6 +162,7 @@ class ByzCastDeployment:
             registry=self.registry,
             monitor=self.monitor,
             on_complete=on_complete,
+            retransmit_timeout=retransmit_timeout,
         )
         self.network.register(client, site=site)
         self.clients.append(client)

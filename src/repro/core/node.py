@@ -37,6 +37,11 @@ DeliverCallback = Callable[[MulticastMessage, ExecutionContext], None]
 class ByzCastApplication(Application):
     """One replica's ByzCast protocol state (Algorithm 1)."""
 
+    #: first retransmission delay of the relay proxies into child groups;
+    #: class-level so harnesses (e.g. the chaos soak) can tighten it without
+    #: threading a parameter through every deployment builder.
+    relay_retransmit_timeout: Optional[float] = 4.0
+
     def __init__(
         self,
         group_id: str,
@@ -167,6 +172,7 @@ class ByzCastApplication(Application):
                 replicas=child_config.replicas,
                 f=child_config.f,
                 registry=self.registry,
+                retransmit_timeout=self.relay_retransmit_timeout,
             )
         return self._child_proxies[child]
 

@@ -31,8 +31,12 @@ from repro.env.monitor import Monitor, TraceRecord
 from repro.env.actor import Actor
 
 #: names re-exported lazily from the simulation kernel (shared config/value
-#: types usable by either backend — latency models are pure samplers).
+#: types usable by either backend — latency models are pure samplers) and
+#: from optional env extensions (the chaos layer).
 _LAZY_REEXPORTS = {
+    "ChaosConfig": "repro.env.chaos",
+    "ChaosTransport": "repro.env.chaos",
+    "install_chaos": "repro.env.chaos",
     "NetworkConfig": "repro.sim.network",
     "LatencyModel": "repro.sim.latency",
     "ConstantLatency": "repro.sim.latency",

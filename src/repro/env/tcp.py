@@ -13,6 +13,13 @@ messages to remote endpoints go through one ordered outbound queue per
 peer host, so per-link FIFO holds across the socket as well.  Partition
 semantics match the in-process transport (blocked traffic is dropped at
 the sender and counted).
+
+Robustness: outbound pumps survive connection loss — they reconnect with
+capped exponential backoff plus jitter (``net.reconnect`` counted) and
+re-send the frame that failed mid-write; inbound connections that deliver
+an oversized or undecodable frame are dropped with a ``net.bad_frame``
+count instead of killing the reader task; :meth:`TcpTransport.shutdown`
+drains pending outbound queues (bounded) before cancelling the pumps.
 """
 
 from __future__ import annotations
@@ -26,9 +33,13 @@ from repro.env.monitor import Monitor
 from repro.sim.network import NetworkConfig
 from repro.sim.rng import SeededRng
 
-#: how long an outbound connection keeps retrying before giving up
+#: how often an outbound connection (re)tries before giving up
 CONNECT_RETRIES = 40
 CONNECT_BACKOFF = 0.05
+#: reconnect backoff is capped here (seconds, before jitter)
+MAX_BACKOFF = 1.0
+#: how long shutdown() waits for outbound queues to flush
+DRAIN_TIMEOUT = 0.5
 
 
 class TcpTransport:
@@ -72,7 +83,14 @@ class TcpTransport:
         return self.port
 
     def shutdown(self) -> None:
-        """Cancel outbound tasks and close the listener (best effort)."""
+        """Drain outbound queues (bounded), cancel pumps, close the listener."""
+        if (not self._aloop.is_closed() and not self._aloop.is_running()
+                and self._out_queues):
+            try:
+                self._aloop.run_until_complete(
+                    asyncio.wait_for(self.drain(), DRAIN_TIMEOUT))
+            except (asyncio.TimeoutError, RuntimeError):
+                pass  # best effort: undelivered frames are dropped below
         for task in self._out_tasks.values():
             task.cancel()
         self._out_tasks.clear()
@@ -80,6 +98,14 @@ class TcpTransport:
         if self._server is not None:
             self._server.close()
             self._server = None
+
+    #: alias so runtimes treating transports uniformly can call close()
+    close = shutdown
+
+    async def drain(self) -> None:
+        """Wait until every outbound queue has been flushed to its socket."""
+        while any(not q.empty() for q in self._out_queues.values()):
+            await asyncio.sleep(0.01)
 
     # -- registration ------------------------------------------------------
 
@@ -147,27 +173,48 @@ class TcpTransport:
             )
         return queue
 
-    async def _pump(self, address: Tuple[str, int], queue: asyncio.Queue) -> None:
-        """One ordered writer per peer host (per-link FIFO over the socket)."""
-        writer = None
+    async def _connect(self, address: Tuple[str, int]):
+        """Open a connection with capped exponential backoff plus jitter."""
         for attempt in range(CONNECT_RETRIES):
             try:
                 _, writer = await asyncio.open_connection(*address)
-                break
+                return writer
             except OSError:
-                await asyncio.sleep(CONNECT_BACKOFF)
-        if writer is None:
-            self.monitor.count("net.connect_failed")
-            return
+                backoff = min(CONNECT_BACKOFF * (2 ** attempt), MAX_BACKOFF)
+                await asyncio.sleep(backoff * (0.5 + self._rng.random()))
+        self.monitor.count("net.connect_failed")
+        return None
+
+    async def _pump(self, address: Tuple[str, int], queue: asyncio.Queue) -> None:
+        """One ordered writer per peer host (per-link FIFO over the socket).
+
+        Survives connection loss: the frame that failed mid-write is kept
+        and re-sent over a fresh connection, so per-link FIFO holds across
+        reconnects too.
+        """
+        writer = None
+        pending: Optional[bytes] = None
         try:
             while True:
-                data = await queue.get()
-                writer.write(data)
-                await writer.drain()
-        except (asyncio.CancelledError, ConnectionError):
+                if writer is None:
+                    writer = await self._connect(address)
+                    if writer is None:
+                        return  # peer stayed unreachable; give up on this link
+                if pending is None:
+                    pending = await queue.get()
+                try:
+                    writer.write(pending)
+                    await writer.drain()
+                    pending = None
+                except ConnectionError:
+                    self.monitor.count("net.reconnect")
+                    writer.close()
+                    writer = None
+        except asyncio.CancelledError:
             pass
         finally:
-            writer.close()
+            if writer is not None:
+                writer.close()
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
@@ -178,7 +225,14 @@ class TcpTransport:
                 if not chunk:
                     break
                 buffer += chunk
-                messages, buffer = read_frames(buffer)
+                try:
+                    messages, buffer = read_frames(buffer)
+                except (NetworkError, ValueError):
+                    # Oversized length prefix or an undecodable frame body:
+                    # count it and drop this connection (the peer's pump will
+                    # reconnect) instead of dying with an unhandled error.
+                    self.monitor.count("net.bad_frame")
+                    break
                 for src, dst, payload in messages:
                     entry = self._endpoints.get(dst)
                     if entry is None:

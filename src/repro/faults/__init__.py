@@ -6,6 +6,10 @@ mute replica, corrupted votes, silent/fabricating/duplicating relays);
 :mod:`repro.faults.injector` wires them into deployments and schedules
 benign crashes and partitions.
 
+:mod:`repro.faults.nemesis` generates seeded, randomized fault timelines
+(the chaos-engineering counterpart of a hand-written :class:`FaultPlan`)
+bounded by ``f`` faults per group.
+
 The test suite uses these to demonstrate the properties the paper claims:
 with at most ``f`` faulty replicas per group, safety (agreement, integrity,
 order) always holds, and liveness is restored after leader changes.
@@ -20,7 +24,18 @@ from repro.faults.behaviors import (
     SilentRelayApp,
     WrongVoteReplica,
 )
-from repro.faults.injector import FaultPlan, schedule_crash, schedule_partition
+from repro.faults.injector import (
+    FaultPlan,
+    schedule_crash,
+    schedule_partition,
+    schedule_recover,
+)
+from repro.faults.nemesis import (
+    PROFILES,
+    IntensityProfile,
+    NemesisOp,
+    NemesisSchedule,
+)
 
 __all__ = [
     "EquivocatingLeaderReplica",
@@ -33,4 +48,9 @@ __all__ = [
     "FaultPlan",
     "schedule_crash",
     "schedule_partition",
+    "schedule_recover",
+    "NemesisOp",
+    "NemesisSchedule",
+    "IntensityProfile",
+    "PROFILES",
 ]

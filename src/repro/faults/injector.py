@@ -7,15 +7,54 @@ Two kinds of injection:
   those dictionaries.
 * **Run-time** (benign events): :func:`schedule_crash`,
   :func:`schedule_recover` and :func:`schedule_partition` arrange crashes,
-  recoveries and network partitions at chosen virtual times.
+  recoveries and network partitions at chosen times.
+
+Run-time scheduling is backend-agnostic: events route through the
+deployment's :class:`~repro.env.api.Runtime` facade (``runtime.clock`` /
+``runtime.transport``), so the same :class:`FaultPlan` runs unchanged on
+the deterministic simulator and on the real-time asyncio runtime.  Times
+are absolute on the runtime's clock (virtual seconds under simulation,
+seconds since creation under real time); times already in the past fire
+immediately.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from repro.bcast.replica import Replica
+from repro.env.api import Clock, Transport
+
+
+def fault_clock(deployment) -> Clock:
+    """The clock fault events should be scheduled on.
+
+    Prefers the deployment's runtime facade; falls back to the historical
+    ``deployment.loop`` attribute for bare sim harnesses.
+    """
+    runtime = getattr(deployment, "runtime", None)
+    if runtime is not None:
+        return runtime.clock
+    return deployment.loop
+
+
+def fault_transport(deployment) -> Transport:
+    """The transport fault events should act on (runtime facade first)."""
+    runtime = getattr(deployment, "runtime", None)
+    if runtime is not None and runtime.transport is not None:
+        return runtime.transport
+    return deployment.network
+
+
+def _at(clock: Clock, at: float, callback: Callable[[], None]) -> None:
+    """Schedule ``callback`` at absolute time ``at``, clamping past times.
+
+    The real-time clock rejects negative delays, so an ``at`` that already
+    passed (e.g. a plan applied slightly late on a wall clock) fires on the
+    next tick instead of raising.
+    """
+    clock.schedule(max(0.0, at - clock.now), callback)
 
 
 @dataclass
@@ -71,20 +110,22 @@ class FaultPlan:
 
 
 def schedule_crash(deployment, group_id: str, replica_name: str, at: float) -> None:
-    """Crash ``replica_name`` of ``group_id`` at virtual time ``at``."""
+    """Crash ``replica_name`` of ``group_id`` at time ``at``."""
     replica = deployment.groups[group_id].replica(replica_name)
-    deployment.loop.schedule_at(at, replica.crash)
+    _at(fault_clock(deployment), at, replica.crash)
 
 
 def schedule_recover(deployment, group_id: str, replica_name: str, at: float) -> None:
-    """Recover a crashed replica (state transfer) at virtual time ``at``."""
+    """Recover a crashed replica (state transfer) at time ``at``."""
     replica = deployment.groups[group_id].replica(replica_name)
-    deployment.loop.schedule_at(at, replica.recover)
+    _at(fault_clock(deployment), at, replica.recover)
 
 
 def schedule_partition(deployment, a: str, b: str, at: float,
                        heal_at: Optional[float] = None) -> None:
     """Partition endpoints ``a``/``b`` at ``at``; optionally heal later."""
-    deployment.loop.schedule_at(at, lambda: deployment.network.partition(a, b))
+    clock = fault_clock(deployment)
+    transport = fault_transport(deployment)
+    _at(clock, at, lambda: transport.partition(a, b))
     if heal_at is not None:
-        deployment.loop.schedule_at(heal_at, lambda: deployment.network.heal(a, b))
+        _at(clock, heal_at, lambda: transport.heal(a, b))

@@ -41,6 +41,11 @@ from repro.runtime.experiment import (
     run_bftsmart,
     run_byzcast,
 )
+from repro.runtime.chaos import (
+    ChaosReport,
+    SoakConfig,
+    run_chaos_soak,
+)
 
 __all__ = [
     "REGIONS",
@@ -67,4 +72,7 @@ __all__ = [
     "extract_timelines",
     "format_timeline",
     "latency_breakdown",
+    "ChaosReport",
+    "SoakConfig",
+    "run_chaos_soak",
 ]

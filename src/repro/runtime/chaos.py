@@ -1,0 +1,258 @@
+"""Chaos soak harness: randomized faults + invariant checks on any backend.
+
+:func:`run_chaos_soak` builds a ByzCast deployment on the chosen execution
+backend, wraps its transport in a :class:`~repro.env.chaos.ChaosTransport`,
+expands a seed into a :class:`~repro.faults.nemesis.NemesisSchedule`
+(crashes + recoveries, victim partitions + heals, drop/duplicate/corrupt
+bursts, leader slowdowns, link flapping — all bounded by ``f`` per group),
+drives a mixed local/global closed-loop workload through it, and then:
+
+1. waits for the system to quiesce after the schedule's final heal,
+2. asserts **liveness** — every client request was a-delivered and replied
+   (zero outstanding multicasts),
+3. checks all five atomic-multicast invariants of §II-B (agreement,
+   integrity, validity, prefix order, acyclic order), and
+4. returns a post-mortem :class:`ChaosReport` (injected-fault counts,
+   retransmissions, regency changes, recovery windows).
+
+The same seed reproduces the same nemesis timeline on every backend, and
+under the simulation backend the whole run is bit-identical — a failing
+soak is a unit test waiting to be written down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bcast.config import CostModel
+from repro.core.deployment import ByzCastDeployment
+from repro.core.invariants import check_all
+from repro.core.tree import OverlayTree
+from repro.env import make_runtime
+from repro.env.chaos import ChaosConfig, install_chaos
+from repro.faults.nemesis import NemesisSchedule, PROFILES
+
+#: cheap calibrated-shape cost model so sim soaks stay fast in wall time
+SOAK_COSTS = CostModel(
+    request_recv=2e-6,
+    propose_fixed=2e-5,
+    propose_per_msg=2e-6,
+    validate_fixed=2e-5,
+    validate_per_msg=2e-6,
+    vote_recv=2e-6,
+    execute_per_msg=2e-6,
+    reply_per_msg=2e-6,
+    relay_per_dest=2e-6,
+)
+
+
+@dataclass
+class SoakConfig:
+    """Parameters of one chaos soak run."""
+
+    backend: str = "sim"
+    seed: int = 7
+    targets: Tuple[str, ...] = ("g1", "g2")
+    intensity: str = "medium"
+    #: nemesis horizon scale: ops start after ~5% and all end by ~85%
+    duration: float = 12.0
+    #: extra time after the final heal for quiescence (liveness deadline)
+    settle: float = 30.0
+    clients: int = 3
+    messages: int = 60
+    #: concurrently outstanding multicasts per client
+    window: int = 2
+    request_timeout: float = 0.5
+    retransmit_timeout: float = 0.5
+
+    def tree(self) -> OverlayTree:
+        return OverlayTree.two_level(list(self.targets))
+
+
+@dataclass
+class ChaosReport:
+    """Post-mortem of one soak run."""
+
+    backend: str
+    seed: int
+    intensity: str
+    schedule: str                      #: the nemesis timeline, line per op
+    fault_kinds: Tuple[str, ...]
+    sent: int
+    completed: int
+    outstanding: int                   #: client requests never confirmed
+    liveness_ok: bool
+    violations: List[str] = field(default_factory=list)
+    injected: Dict[str, int] = field(default_factory=dict)   #: chaos.* counters
+    retransmissions: int = 0
+    regency_changes: int = 0
+    recoveries: int = 0
+    #: (replica, crash time, recover time) planned windows from the schedule
+    recovery_windows: List[Tuple[str, float, float]] = field(default_factory=list)
+    elapsed: float = 0.0               #: runtime-clock seconds consumed
+
+    @property
+    def ok(self) -> bool:
+        return self.liveness_ok and not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos soak [{self.backend}] seed={self.seed} "
+            f"intensity={self.intensity}: {'PASS' if self.ok else 'FAIL'}",
+            f"  workload : {self.completed}/{self.sent} confirmed, "
+            f"{self.outstanding} outstanding, {self.elapsed:.2f}s on the "
+            f"runtime clock",
+            f"  faults   : {', '.join(self.fault_kinds) or 'none'}",
+            f"  injected : " + (", ".join(
+                f"{k.split('.', 1)[1]}={v}" for k, v in sorted(self.injected.items())
+            ) or "none"),
+            f"  recovery : {self.retransmissions} retransmissions, "
+            f"{self.regency_changes} regency changes, "
+            f"{self.recoveries} replica recoveries",
+        ]
+        for name, crash_at, recover_at in self.recovery_windows:
+            lines.append(f"             {name} down {crash_at:.2f}s-{recover_at:.2f}s "
+                         f"({recover_at - crash_at:.2f}s outage)")
+        if not self.liveness_ok:
+            lines.append(f"  LIVENESS : {self.outstanding} requests still "
+                         f"outstanding after the final heal")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        if self.ok:
+            lines.append("  invariants: agreement, integrity, validity, "
+                         "prefix order, acyclic order all hold")
+        return "\n".join(lines)
+
+
+def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosReport:
+    """Run one seeded chaos soak and return its post-mortem report.
+
+    Keyword overrides are applied on top of ``config`` (or the defaults):
+    ``run_chaos_soak(backend="rt", seed=3)``.
+    """
+    if config is None:
+        config = SoakConfig()
+    if overrides:
+        config = SoakConfig(**{**config.__dict__, **overrides})
+    if config.intensity not in PROFILES:
+        raise ValueError(f"unknown intensity {config.intensity!r}; "
+                         f"choose one of {sorted(PROFILES)}")
+
+    runtime = make_runtime(config.backend, seed=config.seed)
+    try:
+        chaos = install_chaos(runtime, ChaosConfig())
+        tree = config.tree()
+        schedule = NemesisSchedule.generate(
+            groups={gid: tuple(f"{gid}/r{i}" for i in range(4))
+                    for gid in sorted(tree.nodes)},
+            seed=config.seed,
+            duration=config.duration,
+            profile=config.intensity,
+        )
+        deployment = ByzCastDeployment(
+            tree,
+            runtime=runtime,
+            costs=SOAK_COSTS,
+            request_timeout=config.request_timeout,
+            replica_classes=schedule.replica_classes,
+            app_overrides=schedule.app_overrides,
+        )
+        for gid in deployment.groups:
+            for app in deployment.apps(gid):
+                app.relay_retransmit_timeout = config.retransmit_timeout
+        schedule.apply(deployment, chaos=chaos)
+
+        clients = [
+            deployment.add_client(
+                f"c{i}", retransmit_timeout=config.retransmit_timeout)
+            for i in range(config.clients)
+        ]
+        dests = _mixed_destinations(config.targets)
+        sent_messages = []
+        state = {"issued": 0}
+
+        def issue(client) -> None:
+            if state["issued"] >= config.messages:
+                return
+            index = state["issued"]
+            state["issued"] += 1
+            dst = dests[index % len(dests)]
+            client.amulticast(
+                dst, payload=("soak", index),
+                callback=lambda message, latency, c=client: issue(c),
+            )
+
+        def kickoff() -> None:
+            for client in clients:
+                for _ in range(config.window):
+                    issue(client)
+
+        runtime.clock.schedule(0.0, kickoff)
+        deployment.start()
+
+        horizon = schedule.horizon
+        deployment.run(until=horizon)
+
+        def quiet() -> bool:
+            return (state["issued"] >= config.messages
+                    and all(c.pending() == 0 for c in clients))
+
+        runtime.run_until(quiet, timeout=config.settle, poll=0.05)
+        # One extra beat so every replica (not just the f+1 quorum that
+        # confirmed each client) finishes its trailing a-deliveries.
+        runtime.run(until=runtime.clock.now + 4 * config.request_timeout)
+
+        for client in clients:
+            sent_messages.extend(message for message, _ in client.completions)
+            sent_messages.extend(
+                entry.message for entry in client._inflight.values())
+        outstanding = sum(c.pending() for c in clients)
+        liveness_ok = outstanding == 0 and state["issued"] >= config.messages
+
+        sequences = {}
+        for gid in config.targets:
+            group = deployment.groups[gid]
+            sequences[gid] = [
+                replica.app.delivered_messages()
+                for replica in group.replicas
+                if not replica.crashed and replica.name not in
+                schedule.replica_classes.get(gid, {})
+            ]
+        violations = check_all(sequences, sent_messages, quiescent=liveness_ok)
+
+        counters = runtime.monitor.snapshot()
+        report = ChaosReport(
+            backend=config.backend,
+            seed=config.seed,
+            intensity=config.intensity,
+            schedule=schedule.describe(),
+            fault_kinds=schedule.kinds(),
+            sent=state["issued"],
+            completed=sum(len(c.completions) for c in clients),
+            outstanding=outstanding,
+            liveness_ok=liveness_ok,
+            violations=violations,
+            injected={k: v for k, v in counters.items()
+                      if k.startswith("chaos.")},
+            retransmissions=counters.get("proxy.retransmit", 0),
+            regency_changes=counters.get("regency.installed", 0),
+            recoveries=counters.get("replica.recover", 0),
+            recovery_windows=[
+                (op.target[1], op.time, op.until)
+                for op in schedule.ops if op.kind == "crash"
+            ],
+            elapsed=runtime.clock.now,
+        )
+        return report
+    finally:
+        runtime.close()
+
+
+def _mixed_destinations(targets: Sequence[str]) -> List[frozenset]:
+    """Every single target plus adjacent pairs — mixed local/global load."""
+    dests = [frozenset([t]) for t in targets]
+    for a, b in zip(targets, list(targets[1:]) + [targets[0]]):
+        if a != b:
+            dests.append(frozenset([a, b]))
+    return sorted(set(dests), key=sorted)

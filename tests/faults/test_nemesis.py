@@ -1,0 +1,162 @@
+"""Nemesis schedule generation and application.
+
+Covers: seed-determinism of the expanded timeline, the per-group victim
+budget (never more than ``f`` replicas targeted), crash/partition window
+hygiene (every crash recovers and every partition heals before the
+horizon), and applying a schedule to live deployments on both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import ByzCastDeployment
+from repro.core.tree import OverlayTree
+from repro.env import make_runtime
+from repro.env.chaos import install_chaos
+from repro.faults.injector import FaultPlan
+from repro.faults.nemesis import (
+    BYZANTINE_APPS,
+    BYZANTINE_REPLICAS,
+    PROFILES,
+    NemesisOp,
+    NemesisSchedule,
+)
+from tests.helpers import FAST_COSTS, replica_names
+
+GROUPS = {gid: list(replica_names(gid)) for gid in ("g1", "g2", "h1")}
+
+
+def test_same_seed_same_timeline():
+    a = NemesisSchedule.generate(GROUPS, seed=42, duration=10.0)
+    b = NemesisSchedule.generate(GROUPS, seed=42, duration=10.0)
+    assert a.describe() == b.describe()
+    assert a.ops == b.ops
+    assert a.victims == b.victims
+    c = NemesisSchedule.generate(GROUPS, seed=43, duration=10.0)
+    assert a.describe() != c.describe()
+
+
+def test_victim_budget_respects_f():
+    schedule = NemesisSchedule.generate(GROUPS, seed=1, duration=10.0,
+                                        profile="heavy", f=1)
+    for gid, victims in schedule.victims.items():
+        assert len(victims) <= 1
+        assert set(victims) <= set(GROUPS[gid])
+    # Every crash/partition op targets a designated victim of its group.
+    for op in schedule.ops:
+        if op.kind in ("crash", "recover", "partition", "heal"):
+            gid, victim = op.target
+            assert victim in schedule.victims[gid]
+    # Byzantine assignments also stay inside the victim set.
+    for gid, members in schedule.replica_classes.items():
+        assert set(members) <= set(schedule.victims[gid])
+        assert all(cls in BYZANTINE_REPLICAS for cls in members.values())
+    for gid, members in schedule.app_overrides.items():
+        assert set(members) <= set(schedule.victims[gid])
+        assert all(cls in BYZANTINE_APPS for cls in members.values())
+
+
+def test_small_groups_get_no_victims():
+    # A 3-replica group cannot tolerate any fault (n >= 3f + 1).
+    schedule = NemesisSchedule.generate({"g1": ["g1/r0", "g1/r1", "g1/r2"]},
+                                        seed=5, duration=10.0, profile="heavy")
+    assert schedule.victims["g1"] == ()
+    assert not any(op.kind in ("crash", "partition") for op in schedule.ops)
+    assert not schedule.replica_classes and not schedule.app_overrides
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_windows_close_before_horizon(profile):
+    for seed in range(8):
+        schedule = NemesisSchedule.generate(GROUPS, seed=seed, duration=12.0,
+                                            profile=profile)
+        crashes = {op.target for op in schedule.ops if op.kind == "crash"}
+        recovers = {op.target for op in schedule.ops if op.kind == "recover"}
+        assert crashes == recovers
+        partitions = {op.target for op in schedule.ops if op.kind == "partition"}
+        heals = {op.target for op in schedule.ops if op.kind == "heal"}
+        assert partitions == heals
+        for op in schedule.ops:
+            assert op.time <= op.until <= schedule.horizon
+        assert schedule.horizon <= schedule.duration
+        # Ops arrive sorted by time.
+        times = [op.time for op in schedule.ops]
+        assert times == sorted(times)
+
+
+def test_burst_windows_are_disjoint():
+    for seed in range(8):
+        schedule = NemesisSchedule.generate(GROUPS, seed=seed, duration=12.0,
+                                            profile="heavy")
+        bursts = sorted((op.time, op.until) for op in schedule.ops
+                        if op.kind == "burst")
+        for (_, end), (start, _) in zip(bursts, bursts[1:]):
+            assert start >= end
+
+
+def test_medium_profile_activates_many_fault_kinds():
+    schedule = NemesisSchedule.generate(GROUPS, seed=7, duration=12.0,
+                                        profile="medium")
+    kinds = set(schedule.kinds())
+    assert {"crash", "recover", "partition", "heal", "burst"} <= kinds
+    assert len(kinds) >= 3  # acceptance floor: >= 3 distinct fault kinds
+
+
+def test_generate_rejects_bad_duration():
+    with pytest.raises(ValueError):
+        NemesisSchedule.generate(GROUPS, seed=1, duration=0.0)
+
+
+def test_describe_format():
+    op = NemesisOp(0.583626, "crash", ("g1", "g1/r2"), until=1.583971)
+    assert op.describe() == "t=0.583626 crash g1/g1/r2 until=1.583971"
+    instant = NemesisOp(1.0, "recover", ("g1", "g1/r2"), until=1.0)
+    assert instant.describe() == "t=1.000000 recover g1/g1/r2"
+
+
+def test_apply_requires_chaos_for_transport_ops():
+    schedule = NemesisSchedule.generate(GROUPS, seed=7, duration=12.0,
+                                        profile="medium")
+    assert any(op.kind in ("burst", "delay", "flap") for op in schedule.ops)
+    dep = ByzCastDeployment(OverlayTree.two_level(["g1", "g2"]),
+                            costs=FAST_COSTS)
+    with pytest.raises(ValueError):
+        schedule.apply(dep, chaos=None)
+
+
+def test_apply_on_sim_deployment_runs_and_quiesces():
+    runtime = make_runtime("sim", seed=3)
+    chaos = install_chaos(runtime)
+    tree = OverlayTree.two_level(["g1", "g2"])
+    dep = ByzCastDeployment(tree, runtime=runtime, costs=FAST_COSTS)
+    schedule = NemesisSchedule.for_deployment(dep, seed=3, duration=4.0)
+    schedule.apply(dep, chaos)
+    dep.run(until=schedule.horizon + 0.5)
+    # Every crashed victim recovered by the horizon...
+    for gid, victims in schedule.victims.items():
+        for victim in victims:
+            assert not dep.groups[gid].replica(victim).crashed
+    # ...and the final heal calmed the chaos layer.
+    assert runtime.monitor.counters["chaos.calm"] == 1
+    assert chaos.config.drop_rate == 0.0
+    runtime.close()
+
+
+def test_fault_plan_is_runtime_agnostic():
+    """The same FaultPlan schedules through the Runtime facade, so it works
+    unchanged on the real-time backend."""
+    runtime = make_runtime("rt", seed=0)
+    dep = ByzCastDeployment(OverlayTree.two_level(["g1", "g2"]),
+                            runtime=runtime, costs=FAST_COSTS)
+    plan = (FaultPlan()
+            .crash("g1", "g1/r3", at=0.02)
+            .recover("g1", "g1/r3", at=0.15)
+            .partition("g2/r0", "g2/r1", at=0.02, heal_at=0.15))
+    plan.apply_runtime(dep)
+    dep.run(until=0.08)
+    replica = dep.groups["g1"].replica("g1/r3")
+    assert replica.crashed
+    dep.run(until=0.3)
+    assert not replica.crashed
+    runtime.close()

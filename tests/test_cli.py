@@ -57,3 +57,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "g3:" in out
         assert "ms" in out
+
+    def test_chaos_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "--backend", "both", "--seed", "3",
+                                  "--intensity", "heavy", "--timeline"])
+        assert args.backend == "both"
+        assert args.seed == 3
+        assert args.intensity == "heavy"
+        assert args.timeline
+        with pytest.raises(SystemExit):
+            parser.parse_args(["chaos", "--backend", "fpga"])
+
+    def test_chaos_sim_soak(self, capsys):
+        assert main(["chaos", "--backend", "sim", "--seed", "7",
+                     "--duration", "4", "--messages", "24", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos soak [sim] seed=7" in out
+        assert "PASS" in out
+        assert "invariants" in out
+        assert "# nemesis seed=7" in out  # --timeline prints the schedule
