@@ -13,6 +13,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker.
+
+    ``pytest -m "not bench"`` then skips the suite even when benchmarks/
+    is explicitly on the command line (tier-1 already excludes it via
+    ``testpaths``).
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def run_scenario(benchmark):
     """Run ``fn(*args, **kwargs)`` once under the benchmark timer."""

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the committed ``BENCH_seed.json`` baseline.
+
+Run this ONLY when the benchmark matrix itself changes (new cells, changed
+cell parameters, changed cost scale) or after an intentional, reviewed
+performance change of the *unoptimised* protocol path.  Routine refreshes
+would silently absorb regressions — the whole point of the committed
+baseline is that it does not move.
+
+The baseline is generated in seed mode (adaptive batching and crypto/codec
+memoisation off), so the default optimised run of ``python -m repro bench
+--compare BENCH_seed.json`` demonstrates the optimisation gain.  Simulated
+numbers are deterministic: two runs of this script on any host produce the
+same file except for wall-clock seconds.
+
+Usage::
+
+    PYTHONPATH=src python scripts/refresh_bench_baseline.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.perf import format_report, run_matrix, save_report
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_seed.json",
+                        help="where to write the baseline (default: "
+                             "BENCH_seed.json in the current directory)")
+    args = parser.parse_args(argv)
+
+    def progress(name, outcome):
+        print(f"  ran {name}: {outcome.throughput:.1f} m/s "
+              f"({outcome.wall_seconds:.1f}s wall)", flush=True)
+
+    report = run_matrix(rev="seed", optimised=False, progress=progress)
+    print(format_report(report))
+    save_report(args.out, report)
+    print(f"wrote {args.out} — commit it together with the change that "
+          f"justified the refresh")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

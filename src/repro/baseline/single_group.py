@@ -132,6 +132,8 @@ class SingleGroupDeployment:
         group_id: str = "g1",
         max_batch: int = 400,
         batch_delay: float = 0.0,
+        adaptive_batching: bool = False,
+        min_batch: int = 4,
         request_timeout: float = 2.0,
         sites: Optional[List[str]] = None,
         trace_capacity: int = 0,
@@ -156,6 +158,8 @@ class SingleGroupDeployment:
             f=f,
             max_batch=max_batch,
             batch_delay=batch_delay,
+            adaptive_batching=adaptive_batching,
+            min_batch=min_batch,
             request_timeout=request_timeout,
             costs=costs if costs is not None else CostModel(),
         )

@@ -1,0 +1,155 @@
+"""Adaptive batch sizing for the group leader.
+
+The paper's throughput comes from batching (§IV): the leader's fixed
+``batch_delay`` lets near-simultaneous arrivals — e.g. the ``3f + 1``
+relayed copies of one ByzCast multicast — coalesce into a single consensus
+instance, amortizing the large per-instance fixed costs (proposal assembly,
+proposal validation) over many requests.  A *fixed* delay is the wrong
+trade at both ends of the load curve, though:
+
+* under saturation one fixed delay stops collecting long before the pool
+  has stopped filling, so consensus runs far below the batch size the
+  offered load could sustain — per-instance fixed costs dominate;
+* at low load the delay is pure latency: nothing else is coming, yet the
+  leader sits on a ready request.
+
+:class:`AdaptiveBatcher` replaces the one-shot delay with a *hold loop*
+driven by two deterministic signals — an exponentially weighted moving
+average of recent batch depths, and whether the pool grew since the last
+check:
+
+* when the pool already holds a full target batch (twice the recent
+  average depth, clamped to ``[min_batch, max_batch]``), propose
+  immediately — even the initial delay is skipped;
+* while the pool is still *filling* (strictly deeper than one
+  ``batch_delay`` ago), keep holding, one ``batch_delay`` at a time, up to
+  a hard budget of :data:`HOLD_BUDGET` extra delays;
+* the moment growth stalls, propose: in a closed-loop workload a stalled
+  pool means every client is already waiting, so further delay cannot
+  improve the batch.
+
+The batcher is pure per-replica state driven only by observed pool depths
+and the simulated clock, so simulated runs remain bit-identical per seed.
+With ``config.adaptive_batching`` off (the default) it degrades to the
+static ``batch_delay`` / ``max_batch`` configuration, byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bcast.config import BroadcastConfig
+
+#: EWMA weight of the newest depth observation
+DEPTH_ALPHA = 0.25
+
+#: maximum extra ``batch_delay`` periods the hold loop may add
+HOLD_BUDGET = 4.0
+
+#: consecutive no-growth delay windows tolerated before proposing anyway —
+#: one empty window is routine at moderate arrival rates (an arrival every
+#: couple of windows), two in a row means the demand is genuinely drained
+STALL_PATIENCE = 2
+
+
+class AdaptiveBatcher:
+    """Grow/shrink the effective batch limit and delay from pool depth."""
+
+    __slots__ = ("config", "enabled", "_depth_ewma", "_observations",
+                 "_hold_deadline", "_hold_depth", "_hold_stalls")
+
+    def __init__(self, config: BroadcastConfig) -> None:
+        self.config = config
+        self.enabled = config.adaptive_batching
+        self._depth_ewma = 0.0
+        self._observations = 0
+        self._hold_deadline: Optional[float] = None
+        self._hold_depth: Optional[int] = None
+        self._hold_stalls = 0
+
+    # ------------------------------------------------------------- decisions
+
+    def proposal_delay(self, depth: int) -> float:
+        """Seconds the leader should wait before assembling the next batch.
+
+        Skips the configured delay when the pool already holds a full
+        target batch — waiting cannot improve the batch, only stall it.
+        """
+        if not self.enabled:
+            return self.config.batch_delay
+        if depth >= self.batch_limit():
+            return 0.0
+        return self.config.batch_delay
+
+    def hold(self, depth: int, now: float) -> bool:
+        """Leader at batch-assembly time: keep collecting instead?
+
+        ``True`` tells the replica to re-arm one more ``batch_delay`` and
+        ask again.  Holding continues only while the pool keeps deepening
+        and the target batch is not yet full, and never beyond
+        :data:`HOLD_BUDGET` extra delays.
+        """
+        if not self.enabled or self.config.batch_delay <= 0:
+            return False
+        if depth >= self.batch_limit():
+            self._end_hold()
+            return False
+        if self._hold_deadline is None:
+            # First check of this instance: one extra delay is always worth
+            # probing — a closed-loop burst arrives within one delay.
+            self._hold_deadline = now + HOLD_BUDGET * self.config.batch_delay
+            self._hold_depth = depth
+            self._hold_stalls = 0
+            return True
+        if now >= self._hold_deadline:
+            self._end_hold()
+            return False
+        if depth <= (self._hold_depth or 0):
+            self._hold_stalls += 1
+            if self._hold_stalls >= STALL_PATIENCE:
+                self._end_hold()
+                return False
+        else:
+            self._hold_stalls = 0
+            self._hold_depth = depth
+        return True
+
+    def _end_hold(self) -> None:
+        self._hold_deadline = None
+        self._hold_depth = None
+        self._hold_stalls = 0
+
+    def _floor(self) -> int:
+        """Effective floor: ``min_batch`` clamped into the legal batch range."""
+        return min(self.config.min_batch, self.config.max_batch)
+
+    def batch_limit(self) -> int:
+        """Current effective ``max_batch``.
+
+        Twice the recent average depth: deep enough that steady load never
+        splits batches, shallow enough that a post-stall backlog is drained
+        over a few instances instead of one validation spike.
+        """
+        if not self.enabled or self._observations == 0:
+            return self.config.max_batch
+        limit = int(2.0 * self._depth_ewma) + 1
+        return max(self._floor(), min(self.config.max_batch, limit))
+
+    # ----------------------------------------------------------- observation
+
+    def observe(self, depth: int, batch_size: int) -> None:
+        """Record the pool depth seen when a batch was assembled."""
+        self._end_hold()
+        if not self.enabled:
+            return
+        if self._observations == 0:
+            self._depth_ewma = float(depth)
+        else:
+            self._depth_ewma += DEPTH_ALPHA * (depth - self._depth_ewma)
+        self._observations += 1
+
+    def reset(self) -> None:
+        """Forget history (replica recovery wipes volatile state)."""
+        self._depth_ewma = 0.0
+        self._observations = 0
+        self._end_hold()

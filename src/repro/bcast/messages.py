@@ -35,12 +35,26 @@ class Request:
     signature: Optional[Signature] = None
 
     def signed_part(self) -> Tuple:
-        """The tuple covered by :attr:`signature`."""
-        return ("req", self.group, self.sender, self.seq, self.command)
+        """The tuple covered by :attr:`signature`.
+
+        Built once and reused: replicas call this on every admission check,
+        proposal validation and duplicate delivery, and returning the *same*
+        tuple object lets the identity-keyed verification cache
+        (:mod:`repro.crypto.cache`) recognize repeat verifications.
+        """
+        cached = self.__dict__.get("_signed_part")
+        if cached is None:
+            cached = ("req", self.group, self.sender, self.seq, self.command)
+            object.__setattr__(self, "_signed_part", cached)
+        return cached
 
     def key(self) -> Tuple[str, int]:
-        """FIFO identity: (sender, seq)."""
-        return (self.sender, self.seq)
+        """FIFO identity: (sender, seq).  Tuple is built once and reused."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (self.sender, self.seq)
+            object.__setattr__(self, "_key", cached)
+        return cached
 
 
 @dataclass(frozen=True)

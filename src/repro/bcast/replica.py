@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from repro.bcast.adaptive import AdaptiveBatcher
 from repro.bcast.app import Application, ExecutionContext
 from repro.bcast.config import BroadcastConfig
 from repro.bcast.consensus import ConsensusInstance
@@ -78,6 +79,7 @@ class Replica(Actor):
 
         self.pool = PendingPool()
         self.log = DecisionLog()
+        self.batcher = AdaptiveBatcher(config)
         self.regency = RegencyManager(self.view.n, self.view.f)
         self._consensus: Dict[int, ConsensusInstance] = {}
         self._proposing = False  # leader-side: an instance we lead is in flight
@@ -85,6 +87,8 @@ class Replica(Actor):
         self._pending_since: Dict[Tuple[str, int], float] = {}
         self._request_timer = None
         self._last_reply: Dict[str, Reply] = {}
+        #: (peer, regency) -> last time we re-sent them our old STOP vote
+        self._stop_assist_at: Dict[Tuple[str, int], float] = {}
 
         self._state_xfer_active = False
         self._state_responses: Dict[str, StateResponse] = {}
@@ -158,9 +162,11 @@ class Replica(Actor):
         self.crashed = False
         self._consensus.clear()
         self._proposing = False
+        self.batcher.reset()
         self.pool = PendingPool()
         self._pending_since.clear()
         self._request_timer = None
+        self._stop_assist_at.clear()
         self._state_xfer_active = False
         self._state_responses.clear()
         self.monitor.record(self.name, "replica.recover")
@@ -249,8 +255,9 @@ class Replica(Actor):
         if not len(self.pool):
             return
         self._proposing = True
-        if self.config.batch_delay > 0:
-            self.set_timer(self.config.batch_delay, self._begin_proposal)
+        delay = self.batcher.proposal_delay(len(self.pool))
+        if delay > 0:
+            self.set_timer(delay, self._begin_proposal)
         else:
             self._begin_proposal()
 
@@ -259,10 +266,18 @@ class Replica(Actor):
         if not self.is_leader or self._state_xfer_active:
             self._proposing = False
             return
-        batch = self.pool.admissible_batch(self.log.tracker, self.config.max_batch)
+        depth = len(self.pool)
+        if self.batcher.hold(depth, self.loop.now):
+            # Pool still filling toward the target batch: collect one more
+            # delay's worth of arrivals before burning the per-instance
+            # fixed costs on a fraction of the demand.
+            self.set_timer(self.config.batch_delay, self._begin_proposal)
+            return
+        batch = self.pool.admissible_batch(self.log.tracker, self.batcher.batch_limit())
         if not batch:
             self._proposing = False
             return
+        self.batcher.observe(depth, len(batch))
         cid = self._next_cid()
         regency = self.regency.current
         costs = self.config.costs
@@ -534,6 +549,28 @@ class Replica(Actor):
             return
         if src not in self.view.replicas:
             return
+        if (stop.regency < self.regency.current
+                and self.regency.has_sent_stop(stop.regency)):
+            # Laggard assist: the sender is still collecting STOPs for a
+            # regency we already abandoned.  Our own STOP for that regency
+            # may have been lost (drops, partitions) — without it the
+            # laggard can end up one vote short of the 2f+1 quorum forever,
+            # splitting the group across regencies (observed under a mute
+            # Byzantine leader: the up-to-date minority votes for the new
+            # regency, the laggards for the old one, and neither side
+            # reaches quorum).  Re-sending the old vote is idempotent and
+            # lets the laggard catch up to our regency.  Rate-limited per
+            # (peer, regency): two replicas both past ``stop.regency`` would
+            # otherwise treat each other's assist as stale and bounce it
+            # back forever; within the rate window the echo is suppressed
+            # and the chain dies, while a genuinely stuck laggard's
+            # timer-driven retransmits keep earning fresh assists.
+            key = (src, stop.regency)
+            last = self._stop_assist_at.get(key)
+            if last is None or self.loop.now - last >= self.config.request_timeout:
+                self._stop_assist_at[key] = self.loop.now
+                self.monitor.count("regency.stop_assist")
+                self.send(src, Stop(self.group_id, stop.regency, self.name))
         self._apply_stop(src, stop)
 
     def _apply_stop(self, sender: str, stop: Stop) -> None:

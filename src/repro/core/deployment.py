@@ -45,6 +45,8 @@ class GroupSpec:
     f: int = 1
     max_batch: int = 400
     batch_delay: float = 0.0
+    adaptive_batching: bool = False
+    min_batch: int = 4
     request_timeout: float = 2.0
     costs: Optional[CostModel] = None
 
@@ -70,6 +72,8 @@ class ByzCastDeployment:
         trace_capacity: int = 0,
         max_batch: int = 400,
         batch_delay: float = 0.0,
+        adaptive_batching: bool = False,
+        min_batch: int = 4,
         request_timeout: float = 2.0,
         runtime: Optional[Runtime] = None,
     ) -> None:
@@ -94,6 +98,7 @@ class ByzCastDeployment:
         for group_id in sorted(tree.nodes):
             spec = specs.get(group_id, GroupSpec(
                 f=f, max_batch=max_batch, batch_delay=batch_delay,
+                adaptive_batching=adaptive_batching, min_batch=min_batch,
                 request_timeout=request_timeout,
             ))
             n = 3 * spec.f + 1
@@ -103,6 +108,8 @@ class ByzCastDeployment:
                 f=spec.f,
                 max_batch=spec.max_batch,
                 batch_delay=spec.batch_delay,
+                adaptive_batching=spec.adaptive_batching,
+                min_batch=spec.min_batch,
                 request_timeout=spec.request_timeout,
                 costs=spec.costs if spec.costs is not None else default_costs,
             )

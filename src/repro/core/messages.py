@@ -56,12 +56,24 @@ class WireMulticast:
         )
 
     def signed_part(self) -> Tuple:
-        """The tuple covered by the originating client's signature."""
-        return ("amcast", self.sender, self.seq, self.dst, self.payload)
+        """The tuple covered by the originating client's signature.
+
+        Built once and reused so the ``f + 1`` duplicate verifications of a
+        relayed multicast hit the identity-keyed verification cache.
+        """
+        cached = self.__dict__.get("_signed_part")
+        if cached is None:
+            cached = ("amcast", self.sender, self.seq, self.dst, self.payload)
+            object.__setattr__(self, "_signed_part", cached)
+        return cached
 
     def identity(self) -> Tuple:
-        """Content identity used for relay dedup/counting keys."""
-        return (self.sender, self.seq, self.dst, self.payload)
+        """Content identity used for relay dedup/counting keys (reused)."""
+        cached = self.__dict__.get("_identity")
+        if cached is None:
+            cached = (self.sender, self.seq, self.dst, self.payload)
+            object.__setattr__(self, "_identity", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,12 @@ the performance model — these functions are for *correctness*, the cost
 knobs are in :mod:`repro.runtime.environments`.
 """
 
+from repro.crypto.cache import (
+    cache_stats,
+    caching_disabled,
+    clear_caches,
+    configure as configure_caching,
+)
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.digest import digest, canonical_bytes
 from repro.crypto.signatures import Signature, sign, verify
@@ -27,4 +33,8 @@ __all__ = [
     "verify",
     "mac",
     "verify_mac",
+    "cache_stats",
+    "caching_disabled",
+    "clear_caches",
+    "configure_caching",
 ]

@@ -1,0 +1,131 @@
+"""Identity-keyed memoisation for the crypto hot path.
+
+The broadcast engine repeatedly canonicalizes, digests and verifies the
+*same* message objects: every replica of a group digests the same proposal
+batch, a ByzCast child group receives ``3f + 1`` relayed copies of one
+multicast, and the simulation backend shares message objects by reference
+across actors.  Canonicalization is a recursive pure-Python walk, so it
+dominates the wall-clock cost of those steps — memoising it (and the
+verification verdicts derived from it) removes the duplicate work without
+changing a single observable result.
+
+Design constraints:
+
+* **Identity keys.**  Entries are keyed on ``id(obj)`` and hold a strong
+  reference to the object, so a key can never be reused by a different
+  object while its entry is alive.  Value-based keys would be unsound:
+  ``1 == 1.0 == True`` yet their canonical forms differ.
+* **Bounded.**  Each cache is an LRU with a fixed entry budget; a soak that
+  churns through millions of messages cannot grow memory without bound.
+* **Transparent.**  All cached functions are pure, so behaviour (and the
+  sim backend's golden traces) is bit-identical with caching on or off —
+  pinned by ``tests/crypto/test_cache_golden.py``.  The global switch below
+  exists so that test can prove it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+#: entry budgets; sized for a few in-flight consensus instances per group
+#: across a large deployment, not for a whole run's history
+CANONICAL_CACHE_SIZE = 8192
+DIGEST_CACHE_SIZE = 8192
+VERIFY_CACHE_SIZE = 4096
+ENCODE_CACHE_SIZE = 2048
+
+_MISSING = object()
+
+
+class IdentityCache:
+    """A bounded LRU cache keyed on object identity.
+
+    Holding a strong reference to the key object guarantees its ``id`` stays
+    valid for the lifetime of the entry (CPython reuses addresses only after
+    deallocation).
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        #: id(obj) -> (obj, value)
+        self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, obj: Any, default: Any = None) -> Any:
+        entry = self._entries.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            self.hits += 1
+            self._entries.move_to_end(id(obj))
+            return entry[1]
+        self.misses += 1
+        return default
+
+    def put(self, obj: Any, value: Any) -> Any:
+        key = id(obj)
+        self._entries[key] = (obj, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_enabled = True
+canonical_cache = IdentityCache(CANONICAL_CACHE_SIZE)
+digest_cache = IdentityCache(DIGEST_CACHE_SIZE)
+verify_cache = IdentityCache(VERIFY_CACHE_SIZE)
+encode_cache = IdentityCache(ENCODE_CACHE_SIZE)
+
+_ALL = (canonical_cache, digest_cache, verify_cache, encode_cache)
+
+
+def enabled() -> bool:
+    """Whether crypto/codec memoisation is active."""
+    return _enabled
+
+
+def configure(enable: bool) -> None:
+    """Turn memoisation on or off (clears all caches either way)."""
+    global _enabled
+    _enabled = enable
+    clear_caches()
+
+
+def clear_caches() -> None:
+    """Drop every cached entry (and reset hit/miss counters)."""
+    for cache in _ALL:
+        cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters per cache — surfaced in BENCH reports."""
+    names = ("canonical", "digest", "verify", "encode")
+    return {
+        name: {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
+        for name, cache in zip(names, _ALL)
+    }
+
+
+@contextmanager
+def caching_disabled() -> Iterator[None]:
+    """Temporarily disable memoisation (for equivalence tests)."""
+    previous = _enabled
+    configure(False)
+    try:
+        yield
+    finally:
+        configure(previous)

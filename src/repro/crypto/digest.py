@@ -6,7 +6,20 @@ import dataclasses
 import hashlib
 from typing import Any
 
+from repro.crypto import cache as _cache
 from repro.errors import CryptoError
+
+
+def _memoisable(obj: Any) -> bool:
+    """Containers and messages worth caching by identity.
+
+    Scalars are cheap to canonicalize and (for small ints / interned
+    strings) may be shared across unrelated values, so only compound
+    objects — batch tuples and frozen dataclass messages — are memoised.
+    """
+    return isinstance(obj, tuple) or (
+        dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+    )
 
 
 def canonical_bytes(obj: Any) -> bytes:
@@ -16,7 +29,21 @@ def canonical_bytes(obj: Any) -> bytes:
     float, str, bytes, tuples/lists, frozensets/sets (sorted by canonical
     form), dicts (sorted by key form), and frozen dataclasses.  Type tags are
     included so ``1`` and ``"1"`` never collide.
+
+    Results for tuples and dataclasses are memoised by object identity (see
+    :mod:`repro.crypto.cache`): replicas repeatedly canonicalize the same
+    request, batch and vote objects, and the recursive walk dominates the
+    crypto hot path.
     """
+    if _cache.enabled() and _memoisable(obj):
+        cached = _cache.canonical_cache.get(obj)
+        if cached is not None:
+            return cached
+        return _cache.canonical_cache.put(obj, _canonical_bytes_uncached(obj))
+    return _canonical_bytes_uncached(obj)
+
+
+def _canonical_bytes_uncached(obj: Any) -> bytes:
     if obj is None:
         return b"N"
     if isinstance(obj, bool):
@@ -51,5 +78,17 @@ def canonical_bytes(obj: Any) -> bytes:
 
 
 def digest(obj: Any) -> bytes:
-    """16-byte BLAKE2b digest of the canonical form of ``obj``."""
+    """16-byte BLAKE2b digest of the canonical form of ``obj``.
+
+    Memoised by object identity for tuples/dataclasses: every replica of a
+    group digests the same proposal batch at least twice (proposal intake +
+    write aggregation), and in the sim backend the batch tuple is shared by
+    reference across all of them.
+    """
+    if _cache.enabled() and _memoisable(obj):
+        cached = _cache.digest_cache.get(obj)
+        if cached is not None:
+            return cached
+        value = hashlib.blake2b(canonical_bytes(obj), digest_size=16).digest()
+        return _cache.digest_cache.put(obj, value)
     return hashlib.blake2b(canonical_bytes(obj), digest_size=16).digest()

@@ -14,7 +14,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any
 
-from repro.crypto.digest import canonical_bytes
+from repro.crypto import cache as _cache
+from repro.crypto.digest import _memoisable, canonical_bytes
 from repro.crypto.keys import KeyRegistry
 
 
@@ -32,9 +33,33 @@ def sign(registry: KeyRegistry, identity: str, obj: Any) -> Signature:
     return Signature(identity, tag)
 
 
-def verify(registry: KeyRegistry, obj: Any, signature: Signature) -> bool:
-    """True iff ``signature`` is a valid signature of ``obj`` by its signer."""
+def _verify_uncached(registry: KeyRegistry, obj: Any, signature: Signature) -> bool:
     expected = hmac.new(
         registry.secret(signature.signer), canonical_bytes(obj), hashlib.blake2b
     ).digest()[:16]
     return hmac.compare_digest(expected, signature.tag)
+
+
+def verify(registry: KeyRegistry, obj: Any, signature: Signature) -> bool:
+    """True iff ``signature`` is a valid signature of ``obj`` by its signer.
+
+    Verdicts are memoised per message object (see :mod:`repro.crypto.cache`):
+    a ByzCast child group receives ``3f + 1`` relayed copies of one multicast
+    and every replica of the entry group re-verifies the client signature at
+    admission *and* proposal validation — identical bytes each time.  The
+    verdict key includes the signer's derived secret, so registries with
+    different master seeds never share verdicts.
+    """
+    if not (_cache.enabled() and _memoisable(obj)):
+        return _verify_uncached(registry, obj, signature)
+    verdicts = _cache.verify_cache.get(obj)
+    key = (signature.signer, signature.tag, registry.secret(signature.signer))
+    if verdicts is not None:
+        cached = verdicts.get(key)
+        if cached is not None:
+            return cached
+    result = _verify_uncached(registry, obj, signature)
+    if verdicts is None:
+        verdicts = _cache.verify_cache.put(obj, {})
+    verdicts[key] = result
+    return result

@@ -25,6 +25,7 @@ import json
 import struct
 from typing import Any, Dict, Tuple, Type
 
+from repro.crypto import cache as _cache
 from repro.errors import NetworkError
 
 _LENGTH = struct.Struct(">I")
@@ -119,10 +120,27 @@ def _from_jsonable(value: Any) -> Any:
 
 
 def encode(obj: Any) -> bytes:
-    """Serialize ``obj`` to a JSON frame body (no length prefix)."""
+    """Serialize ``obj`` to a JSON frame body (no length prefix).
+
+    Encodings of registered dataclass messages are memoised by object
+    identity: a broadcast sends the identical Propose/Write/Accept object to
+    every peer, and without the cache each send re-walks the object graph.
+    """
     if not _REGISTRY:
         _register_builtin_types()
-    return json.dumps(_to_jsonable(obj), separators=(",", ":")).encode("utf-8")
+    cacheable = (
+        _cache.enabled()
+        and dataclasses.is_dataclass(obj)
+        and not isinstance(obj, type)
+    )
+    if cacheable:
+        cached = _cache.encode_cache.get(obj)
+        if cached is not None:
+            return cached
+    body = json.dumps(_to_jsonable(obj), separators=(",", ":")).encode("utf-8")
+    if cacheable:
+        _cache.encode_cache.put(obj, body)
+    return body
 
 
 def decode(body: bytes) -> Any:

@@ -4,6 +4,7 @@ from repro.metrics.stats import (
     confidence_interval_95,
     mean,
     percentile,
+    quantiles,
     summarize,
     LatencySummary,
 )
@@ -13,6 +14,7 @@ from repro.metrics.collector import LatencyCollector, ThroughputMeter
 __all__ = [
     "mean",
     "percentile",
+    "quantiles",
     "confidence_interval_95",
     "summarize",
     "LatencySummary",

@@ -19,13 +19,10 @@ def mean(samples: Sequence[float]) -> float:
     return sum(samples) / len(samples)
 
 
-def percentile(samples: Sequence[float], p: float) -> float:
-    """The ``p``-th percentile (0-100) by linear interpolation; 0.0 if empty."""
-    if not samples:
-        return 0.0
+def _interpolate(ordered: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of an already-sorted sample list."""
     if not 0 <= p <= 100:
         raise ValueError("percentile must be within [0, 100]")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100) * (len(ordered) - 1)
@@ -36,6 +33,32 @@ def percentile(samples: Sequence[float], p: float) -> float:
     frac = rank - low
     # This form is exact when both neighbours are equal (no float drift).
     return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) by linear interpolation; 0.0 if empty."""
+    if not samples:
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        return 0.0
+    return _interpolate(sorted(samples), p)
+
+
+def quantiles(samples: Sequence[float], ps: Sequence[float]) -> Tuple[float, ...]:
+    """Several percentiles from a single sort.
+
+    Equivalent to ``tuple(percentile(samples, p) for p in ps)`` but sorts
+    the samples once — the summaries over large benchmark windows ask for
+    median/p95/p99 together, and three sorts of the same list are pure
+    waste.
+    """
+    if not samples:
+        for p in ps:
+            if not 0 <= p <= 100:
+                raise ValueError("percentile must be within [0, 100]")
+        return tuple(0.0 for _ in ps)
+    ordered = sorted(samples)
+    return tuple(_interpolate(ordered, p) for p in ps)
 
 
 def stddev(samples: Sequence[float]) -> float:
@@ -78,11 +101,12 @@ class LatencySummary:
 
 def summarize(samples: Sequence[float]) -> LatencySummary:
     """Compute the full latency summary for a sample set."""
+    median, p95, p99 = quantiles(samples, (50, 95, 99))
     return LatencySummary(
         count=len(samples),
         mean=mean(samples),
-        median=percentile(samples, 50),
-        p95=percentile(samples, 95),
-        p99=percentile(samples, 99),
+        median=median,
+        p95=p95,
+        p99=p99,
         ci95=confidence_interval_95(samples),
     )

@@ -1,0 +1,55 @@
+"""Performance-regression harness.
+
+``python -m repro bench`` drives a fixed matrix of simulated benchmark
+scenarios (:mod:`repro.perf.runner`), writes the measurements to a
+schema-versioned ``BENCH_<rev>.json`` (:mod:`repro.perf.baseline`) and —
+given ``--compare`` — fails the run when any matrix cell regressed beyond
+tolerance against a committed baseline (``BENCH_seed.json`` anchors the
+trajectory).  :mod:`repro.perf.report` renders both the measurement table
+and the comparison verdict.
+
+All cells run on the deterministic simulation backend, so throughput and
+latency are functions of the protocol and the CPU cost model alone —
+bit-identical per seed, immune to host noise.  Wall-clock seconds per cell
+are recorded too (they track the Python hot path the crypto/codec caches
+optimise) but never gate a comparison.
+"""
+
+from repro.perf.baseline import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    CellResult,
+    Comparison,
+    Regression,
+    compare,
+    load_report,
+    save_report,
+)
+from repro.perf.runner import (
+    BENCH_MATRIX,
+    BenchCell,
+    MIXED_CELL,
+    QUICK_CELL,
+    run_cell,
+    run_matrix,
+)
+from repro.perf.report import format_comparison, format_report
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_MATRIX",
+    "BenchCell",
+    "BenchReport",
+    "CellResult",
+    "Comparison",
+    "MIXED_CELL",
+    "QUICK_CELL",
+    "Regression",
+    "compare",
+    "format_comparison",
+    "format_report",
+    "load_report",
+    "run_cell",
+    "run_matrix",
+    "save_report",
+]

@@ -1,0 +1,217 @@
+"""BENCH.json baselines: schema, persistence, regression comparison.
+
+A baseline file captures one full run of the benchmark matrix:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "rev": "abc1234",
+      "scale": 10.0,
+      "optimised": true,
+      "cells": {
+        "mixed_two_level": {
+          "throughput": 812.4,
+          "completed": 3250,
+          "latency_ms": {"mean": 21.0, "median": 19.5,
+                         "p95": 38.2, "p99": 55.1},
+          "wall_seconds": 4.8
+        }
+      }
+    }
+
+``schema`` guards against comparing incompatible formats; ``scale`` is the
+:data:`~repro.runtime.environments.BENCH_SCALE` cost multiplier the cells
+ran under (comparing runs at different scales is meaningless and refused).
+``optimised`` records whether adaptive batching was enabled — the committed
+``BENCH_seed.json`` is generated with it *off*, so the default optimised
+run must beat it.
+
+Comparison is cell-by-cell over the intersection of cell names: throughput
+may not drop by more than ``tolerance`` (default 10%), and p95 latency may
+not rise by more than ``tolerance``.  Cells present on only one side are
+reported but never fail the comparison (the matrix is allowed to grow).
+``wall_seconds`` is informational only — it measures the host, not the
+protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: bump when the JSON layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+#: latency percentiles serialized per cell, in milliseconds
+LATENCY_KEYS = ("mean", "median", "p95", "p99")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Measurements of one benchmark matrix cell."""
+
+    name: str
+    throughput: float
+    completed: int
+    latency_ms: Dict[str, float]
+    wall_seconds: float
+
+    def to_json(self) -> Dict:
+        return {
+            "throughput": round(self.throughput, 3),
+            "completed": self.completed,
+            "latency_ms": {
+                key: round(self.latency_ms.get(key, 0.0), 4)
+                for key in LATENCY_KEYS
+            },
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    @classmethod
+    def from_json(cls, name: str, raw: Dict) -> "CellResult":
+        return cls(
+            name=name,
+            throughput=float(raw["throughput"]),
+            completed=int(raw["completed"]),
+            latency_ms={key: float(value)
+                        for key, value in raw["latency_ms"].items()},
+            wall_seconds=float(raw.get("wall_seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One full run of the benchmark matrix."""
+
+    rev: str
+    scale: float
+    optimised: bool
+    cells: Dict[str, CellResult]
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "rev": self.rev,
+            "scale": self.scale,
+            "optimised": self.optimised,
+            "cells": {name: cell.to_json()
+                      for name, cell in sorted(self.cells.items())},
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict) -> "BenchReport":
+        schema = int(raw.get("schema", -1))
+        if schema != BENCH_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported BENCH schema {schema} "
+                f"(this build reads schema {BENCH_SCHEMA_VERSION})"
+            )
+        return cls(
+            rev=str(raw.get("rev", "unknown")),
+            scale=float(raw.get("scale", 0.0)),
+            optimised=bool(raw.get("optimised", True)),
+            cells={
+                name: CellResult.from_json(name, cell)
+                for name, cell in raw.get("cells", {}).items()
+            },
+            schema=schema,
+        )
+
+
+def save_report(path: str, report: BenchReport) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> BenchReport:
+    with open(path, "r", encoding="utf-8") as handle:
+        return BenchReport.from_json(json.load(handle))
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric of one cell beyond tolerance."""
+
+    cell: str
+    metric: str  # "throughput" | "p95"
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Signed relative change (negative = worse throughput / better p95)."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing a run against a baseline."""
+
+    baseline_rev: str
+    current_rev: str
+    tolerance: float
+    regressions: Tuple[Regression, ...]
+    improvements: Tuple[Regression, ...]
+    missing_cells: Tuple[str, ...]  # in baseline, absent from current
+    new_cells: Tuple[str, ...]      # in current, absent from baseline
+    compared: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float = 0.10,
+) -> Comparison:
+    """Detect per-cell regressions of ``current`` against ``baseline``.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the two reports
+    ran at different cost scales — their absolute numbers are incomparable.
+    """
+    if baseline.scale and current.scale and baseline.scale != current.scale:
+        raise ConfigurationError(
+            f"cost scale mismatch: baseline ran at ×{baseline.scale}, "
+            f"current at ×{current.scale}"
+        )
+    shared = sorted(set(current.cells) & set(baseline.cells))
+    regressions: List[Regression] = []
+    improvements: List[Regression] = []
+    for name in shared:
+        cur, base = current.cells[name], baseline.cells[name]
+        tput = Regression(cell=name, metric="throughput",
+                          baseline=base.throughput, current=cur.throughput)
+        if base.throughput > 0 and tput.change < -tolerance:
+            regressions.append(tput)
+        elif base.throughput > 0 and tput.change > tolerance:
+            improvements.append(tput)
+        p95 = Regression(cell=name, metric="p95",
+                         baseline=base.latency_ms.get("p95", 0.0),
+                         current=cur.latency_ms.get("p95", 0.0))
+        if p95.baseline > 0 and p95.change > tolerance:
+            regressions.append(p95)
+        elif p95.baseline > 0 and p95.change < -tolerance:
+            improvements.append(p95)
+    return Comparison(
+        baseline_rev=baseline.rev,
+        current_rev=current.rev,
+        tolerance=tolerance,
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        missing_cells=tuple(sorted(set(baseline.cells) - set(current.cells))),
+        new_cells=tuple(sorted(set(current.cells) - set(baseline.cells))),
+        compared=tuple(shared),
+    )

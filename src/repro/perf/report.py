@@ -1,0 +1,64 @@
+"""Human-readable rendering of benchmark reports and comparisons."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.perf.baseline import BenchReport, CellResult, Comparison
+
+
+def _cell_row(name: str, cell: CellResult) -> str:
+    lat = cell.latency_ms
+    return (
+        f"{name:<20} tput={cell.throughput:>9.1f} m/s  "
+        f"n={cell.completed:<6} "
+        f"lat(med={lat.get('median', 0.0):7.2f}ms "
+        f"p95={lat.get('p95', 0.0):7.2f}ms "
+        f"p99={lat.get('p99', 0.0):7.2f}ms)  "
+        f"wall={cell.wall_seconds:6.2f}s"
+    )
+
+
+def format_report(report: BenchReport) -> str:
+    """The measurement table for one matrix run."""
+    mode = "optimised" if report.optimised else "seed mode (optimisations off)"
+    lines = [
+        f"bench rev={report.rev} scale=x{report.scale:g} [{mode}]",
+    ]
+    for name in sorted(report.cells):
+        lines.append("  " + _cell_row(name, report.cells[name]))
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """The regression verdict against a baseline."""
+    lines: List[str] = [
+        f"compare: {comparison.current_rev} vs baseline "
+        f"{comparison.baseline_rev} "
+        f"(tolerance {comparison.tolerance:.0%}, "
+        f"{len(comparison.compared)} shared cell(s))",
+    ]
+    for item in comparison.regressions:
+        lines.append(
+            f"  REGRESSION {item.cell}.{item.metric}: "
+            f"{item.baseline:.1f} -> {item.current:.1f} "
+            f"({item.change:+.1%})"
+        )
+    for item in comparison.improvements:
+        lines.append(
+            f"  improved   {item.cell}.{item.metric}: "
+            f"{item.baseline:.1f} -> {item.current:.1f} "
+            f"({item.change:+.1%})"
+        )
+    if comparison.missing_cells:
+        lines.append(
+            "  note: baseline cells not in this run: "
+            + ", ".join(comparison.missing_cells)
+        )
+    if comparison.new_cells:
+        lines.append(
+            "  note: new cells without baseline: "
+            + ", ".join(comparison.new_cells)
+        )
+    lines.append("verdict: " + ("OK" if comparison.ok else "REGRESSED"))
+    return "\n".join(lines)

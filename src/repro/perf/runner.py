@@ -1,0 +1,170 @@
+"""The benchmark matrix: fixed scenarios measured by ``repro bench``.
+
+Each :class:`BenchCell` pins one combination of the three axes the paper's
+evaluation sweeps — workload mix (local / global / 10:1 mixed, §V),
+overlay-tree layout (2-level vs the Fig. 1(a) 3-level tree) and batch
+configuration (unbatched vs delay-batched) — onto the deterministic
+simulation backend with the benchmark cost model
+(:func:`repro.runtime.environments.bench_costs`).  Same cell + same
+``optimised`` flag ⇒ bit-identical measurements on any host.
+
+``optimised`` toggles the two hot-path optimisations as one unit: adaptive
+batch sizing (:class:`repro.bcast.adaptive.AdaptiveBatcher`) changes the
+simulated schedule, crypto/codec memoisation changes only wall-clock.  The
+committed ``BENCH_seed.json`` is generated with ``optimised=False`` so the
+default run demonstrates the gain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.tree import OverlayTree
+from repro.crypto import cache as _crypto_cache
+from repro.perf.baseline import BenchReport, CellResult
+from repro.runtime.environments import (
+    BENCH_SCALE,
+    bench_batch_delay,
+    bench_costs,
+)
+from repro.runtime.experiment import ClientPlan, ExperimentResult, run_byzcast
+from repro.workload import spec as workloads
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One point of the benchmark matrix."""
+
+    name: str
+    workload: str            # "local" | "global" | "mixed"
+    tree: str                # "two_level" | "paper"
+    clients: int
+    max_batch: int = 400
+    batch_delay: float = bench_batch_delay()
+    warmup: float = 1.0
+    duration: float = 4.0
+    seed: int = 11
+
+    def build_tree(self) -> OverlayTree:
+        if self.tree == "two_level":
+            return OverlayTree.two_level(["g1", "g2"])
+        if self.tree == "paper":
+            return OverlayTree.paper_tree()
+        raise ValueError(f"unknown tree layout {self.tree!r}")
+
+    def build_sampler(self, targets: Sequence[str]) -> workloads.DestinationSampler:
+        if self.workload == "local":
+            return workloads.local_uniform(targets)
+        if self.workload == "global":
+            return workloads.uniform_pairs(targets)
+        if self.workload == "mixed":
+            return workloads.mixed_ratio(
+                workloads.local_uniform(targets),
+                workloads.uniform_pairs(targets),
+            )
+        raise ValueError(f"unknown workload {self.workload!r}")
+
+
+#: the cell the acceptance criterion (≥15% adaptive-batching gain) gates on
+MIXED_CELL = "mixed_two_level"
+
+#: the cheapest cell — what CI's bench-smoke job runs (``--quick``)
+QUICK_CELL = "local_unbatched"
+
+BENCH_MATRIX: List[BenchCell] = [
+    # batch-config axis: no leader delay at all (latency-optimal baseline)
+    BenchCell(name="local_unbatched", workload="local", tree="two_level",
+              clients=12, batch_delay=0.0, duration=3.0),
+    # workload axis on the 2-level tree, delay-batched
+    BenchCell(name="local_two_level", workload="local", tree="two_level",
+              clients=24),
+    BenchCell(name="global_two_level", workload="global", tree="two_level",
+              clients=24),
+    BenchCell(name=MIXED_CELL, workload="mixed", tree="two_level",
+              clients=32),
+    # tree-layout axis: the paper's 3-level tree under the mixed workload
+    BenchCell(name="mixed_paper_tree", workload="mixed", tree="paper",
+              clients=32),
+]
+
+
+def _cell_by_name(name: str) -> BenchCell:
+    for cell in BENCH_MATRIX:
+        if cell.name == name:
+            return cell
+    raise KeyError(f"no benchmark cell named {name!r}")
+
+
+def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
+    """Run one matrix cell and collapse it to a :class:`CellResult`."""
+    tree = cell.build_tree()
+    targets = sorted(tree.targets)
+    sampler = cell.build_sampler(targets)
+    plans = [
+        ClientPlan(name=f"bench-c{i}", sampler=sampler)
+        for i in range(cell.clients)
+    ]
+    _crypto_cache.configure(optimised)
+    _crypto_cache.clear_caches()
+    started = time.perf_counter()
+    try:
+        result: ExperimentResult = run_byzcast(
+            tree,
+            plans,
+            costs=bench_costs(),
+            warmup=cell.warmup,
+            duration=cell.duration,
+            seed=cell.seed,
+            max_batch=cell.max_batch,
+            batch_delay=cell.batch_delay,
+            adaptive_batching=optimised,
+        )
+    finally:
+        _crypto_cache.configure(True)
+    wall = time.perf_counter() - started
+    summary = result.latency.scaled(1000.0)  # seconds -> milliseconds
+    return CellResult(
+        name=cell.name,
+        throughput=result.throughput,
+        completed=result.latency.count,
+        latency_ms={
+            "mean": summary.mean,
+            "median": summary.median,
+            "p95": summary.p95,
+            "p99": summary.p99,
+        },
+        wall_seconds=wall,
+    )
+
+
+def run_matrix(
+    rev: str,
+    optimised: bool = True,
+    cells: Optional[Sequence[str]] = None,
+    progress=None,
+) -> BenchReport:
+    """Run the matrix (or a named subset) into a :class:`BenchReport`.
+
+    Args:
+        rev: revision label stored in the report (e.g. a git short hash).
+        optimised: enable adaptive batching + memoisation (see module doc).
+        cells: cell names to run; ``None`` runs the full matrix.
+        progress: optional callable ``(cell_name, CellResult) -> None``
+            invoked after each cell (the CLI prints rows as they finish).
+    """
+    selected = (BENCH_MATRIX if cells is None
+                else [_cell_by_name(name) for name in cells])
+    results: Dict[str, CellResult] = {}
+    for cell in selected:
+        outcome = run_cell(cell, optimised=optimised)
+        results[cell.name] = outcome
+        if progress is not None:
+            progress(cell.name, outcome)
+    return BenchReport(
+        rev=rev,
+        scale=BENCH_SCALE,
+        optimised=optimised,
+        cells=results,
+    )

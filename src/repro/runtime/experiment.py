@@ -117,6 +117,8 @@ def run_byzcast(
     seed: int = 1,
     max_batch: int = 400,
     batch_delay: float = 0.0,
+    adaptive_batching: bool = False,
+    min_batch: int = 4,
     request_timeout: float = 2.0,
     max_events: Optional[int] = None,
 ) -> ExperimentResult:
@@ -130,6 +132,8 @@ def run_byzcast(
         seed=seed,
         max_batch=max_batch,
         batch_delay=batch_delay,
+        adaptive_batching=adaptive_batching,
+        min_batch=min_batch,
         request_timeout=request_timeout,
     )
     return _drive_and_measure(
@@ -155,6 +159,8 @@ def run_baseline(
     seed: int = 1,
     max_batch: int = 400,
     batch_delay: float = 0.0,
+    adaptive_batching: bool = False,
+    min_batch: int = 4,
     request_timeout: float = 2.0,
     max_events: Optional[int] = None,
 ) -> ExperimentResult:
@@ -168,6 +174,8 @@ def run_baseline(
         seed=seed,
         max_batch=max_batch,
         batch_delay=batch_delay,
+        adaptive_batching=adaptive_batching,
+        min_batch=min_batch,
         request_timeout=request_timeout,
     )
     return _drive_and_measure(
@@ -192,6 +200,8 @@ def run_bftsmart(
     seed: int = 1,
     max_batch: int = 400,
     batch_delay: float = 0.0,
+    adaptive_batching: bool = False,
+    min_batch: int = 4,
     request_timeout: float = 2.0,
     max_events: Optional[int] = None,
 ) -> ExperimentResult:
@@ -204,6 +214,8 @@ def run_bftsmart(
         seed=seed,
         max_batch=max_batch,
         batch_delay=batch_delay,
+        adaptive_batching=adaptive_batching,
+        min_batch=min_batch,
         request_timeout=request_timeout,
     )
     return _drive_and_measure(

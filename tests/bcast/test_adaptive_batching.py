@@ -1,0 +1,159 @@
+"""Adaptive batch sizing: policy unit tests + deployment-level guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcast.adaptive import AdaptiveBatcher, HOLD_BUDGET, STALL_PATIENCE
+from repro.bcast.config import BroadcastConfig
+from repro.core import OverlayTree
+from repro.core.deployment import ByzCastDeployment
+from repro.core.invariants import check_all
+from repro.errors import ConfigurationError
+
+from tests.helpers import FAST_COSTS, make_config
+
+
+def _config(**overrides) -> BroadcastConfig:
+    params = dict(max_batch=64, batch_delay=0.002, adaptive_batching=True,
+                  min_batch=4)
+    params.update(overrides)
+    return make_config(**params)
+
+
+class TestDisabledPassthrough:
+    def test_static_delay_and_limit(self):
+        batcher = AdaptiveBatcher(_config(adaptive_batching=False))
+        assert batcher.proposal_delay(0) == 0.002
+        assert batcher.proposal_delay(1000) == 0.002
+        assert batcher.batch_limit() == 64
+        assert batcher.hold(1, now=0.0) is False
+        batcher.observe(50, 50)
+        assert batcher.batch_limit() == 64  # observations ignored
+
+
+class TestDelaySkip:
+    def test_initial_delay_skipped_at_full_target(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)  # target becomes 2*10+1 = 21
+        assert batcher.proposal_delay(21) == 0.0
+        assert batcher.proposal_delay(20) == 0.002
+
+    def test_no_history_means_max_batch_target(self):
+        batcher = AdaptiveBatcher(_config())
+        assert batcher.batch_limit() == 64
+        assert batcher.proposal_delay(64) == 0.0
+        assert batcher.proposal_delay(63) == 0.002
+
+
+class TestBatchLimit:
+    def test_tracks_twice_the_ewma(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)
+        assert batcher.batch_limit() == 21
+        batcher.observe(20, 20)  # ewma = 10 + 0.25*(20-10) = 12.5
+        assert batcher.batch_limit() == 26
+
+    def test_clamped_to_min_and_max(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(1, 1)
+        assert batcher.batch_limit() == 4   # min_batch floor
+        batcher.reset()
+        batcher.observe(1000, 64)
+        assert batcher.batch_limit() == 64  # max_batch ceiling
+
+    def test_floor_clamped_when_min_exceeds_max(self):
+        batcher = AdaptiveBatcher(_config(max_batch=2, min_batch=8))
+        batcher.observe(1, 1)
+        assert batcher.batch_limit() == 2
+
+    def test_min_batch_validated(self):
+        with pytest.raises(ConfigurationError):
+            _config(min_batch=0)
+
+
+class TestHoldLoop:
+    def test_holds_while_pool_fills(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)  # target 21
+        assert batcher.hold(5, now=0.000) is True
+        assert batcher.hold(9, now=0.002) is True   # still growing
+        assert batcher.hold(14, now=0.004) is True
+
+    def test_stops_at_full_target(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)
+        assert batcher.hold(5, now=0.0) is True
+        assert batcher.hold(21, now=0.002) is False
+
+    def test_stall_patience(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)
+        assert batcher.hold(5, now=0.000) is True
+        # one empty window is tolerated, a second gives up
+        assert batcher.hold(5, now=0.002) is True
+        assert STALL_PATIENCE == 2
+        assert batcher.hold(5, now=0.004) is False
+
+    def test_growth_resets_stall_counter(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)
+        batcher.hold(5, now=0.000)
+        assert batcher.hold(5, now=0.002) is True   # 1 stall
+        assert batcher.hold(6, now=0.004) is True   # growth: counter resets
+        assert batcher.hold(6, now=0.006) is True   # 1 stall again
+        assert batcher.hold(6, now=0.008) is False
+
+    def test_deadline_caps_the_hold(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)
+        assert batcher.hold(1, now=0.0) is True
+        deadline = HOLD_BUDGET * 0.002
+        assert batcher.hold(2, now=deadline / 2) is True
+        assert batcher.hold(3, now=deadline) is False
+
+    def test_never_holds_without_a_delay_unit(self):
+        batcher = AdaptiveBatcher(_config(batch_delay=0.0))
+        batcher.observe(10, 10)
+        assert batcher.hold(1, now=0.0) is False
+
+    def test_observe_and_reset_end_the_hold(self):
+        batcher = AdaptiveBatcher(_config())
+        batcher.observe(10, 10)
+        batcher.hold(5, now=0.0)
+        batcher.observe(6, 6)
+        # a fresh hold starts from scratch (new deadline at the new now)
+        assert batcher.hold(5, now=1.0) is True
+        batcher.reset()
+        assert batcher.batch_limit() == 64  # history gone
+
+
+class TestDeploymentLevel:
+    def _run(self, adaptive: bool, seed: int = 5):
+        tree = OverlayTree.two_level(["g1", "g2"])
+        dep = ByzCastDeployment(
+            tree, seed=seed, costs=FAST_COSTS,
+            batch_delay=0.002, adaptive_batching=adaptive,
+        )
+        completions = []
+        client = dep.add_client(
+            "c1", on_complete=lambda m, l: completions.append((m.mid.seq, round(l, 9)))
+        )
+        for i in range(12):
+            client.amulticast(("g1",) if i % 3 else ("g1", "g2"), payload=("tx", i))
+        dep.run(until=10.0)
+        return dep, completions
+
+    def test_adaptive_run_is_deterministic(self):
+        _, first = self._run(adaptive=True)
+        _, second = self._run(adaptive=True)
+        assert len(first) == 12
+        assert first == second
+
+    def test_adaptive_run_upholds_invariants(self):
+        dep, completions = self._run(adaptive=True)
+        assert len(completions) == 12
+        sent = [m for m, __ in dep.clients[0].completions]
+        assert len(sent) == 12
+        sequences = {g: dep.delivered_sequences(g) for g in ("g1", "g2")}
+        assert check_all(sequences, sent, quiescent=True) == []

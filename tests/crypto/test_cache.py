@@ -1,0 +1,113 @@
+"""Unit tests for the identity-keyed memoisation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import cache as cache_mod
+from repro.crypto.cache import IdentityCache, caching_disabled
+from repro.crypto.digest import canonical_bytes, digest
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign, verify
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    cache_mod.clear_caches()
+    yield
+    cache_mod.configure(True)
+
+
+class TestIdentityCache:
+    def test_get_put_roundtrip(self):
+        cache = IdentityCache(maxsize=4)
+        obj = ("a", 1)
+        assert cache.get(obj) is None
+        cache.put(obj, b"value")
+        assert cache.get(obj) == b"value"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_identity_not_equality(self):
+        """Equal-but-distinct objects never share an entry."""
+        cache = IdentityCache(maxsize=4)
+        a = (1, 2)
+        b = tuple([1, 2])  # same value, distinct object (no constant folding)
+        assert a == b and a is not b
+        cache.put(a, "for-a")
+        assert cache.get(b) is None
+
+    def test_lru_eviction_order(self):
+        cache = IdentityCache(maxsize=2)
+        x, y, z = ("x",), ("y",), ("z",)
+        cache.put(x, 1)
+        cache.put(y, 2)
+        cache.get(x)       # refresh x: y is now least-recent
+        cache.put(z, 3)    # evicts y
+        assert cache.get(x) == 1
+        assert cache.get(y) is None
+        assert cache.get(z) == 3
+        assert len(cache) == 2
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            IdentityCache(maxsize=0)
+
+    def test_clear_resets_counters(self):
+        cache = IdentityCache(maxsize=4)
+        obj = ("a",)
+        cache.put(obj, 1)
+        cache.get(obj)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.get(obj) is None
+
+
+class TestMemoisedFunctions:
+    def test_canonical_bytes_hits_cache(self):
+        obj = ("payload", 42, (1, 2, 3))
+        first = canonical_bytes(obj)
+        hits_before = cache_mod.canonical_cache.hits
+        assert canonical_bytes(obj) == first
+        assert cache_mod.canonical_cache.hits > hits_before
+
+    def test_value_equal_objects_not_conflated(self):
+        """1 == 1.0 == True, but their canonical forms must differ."""
+        assert canonical_bytes((1,)) != canonical_bytes((1.0,))
+        assert canonical_bytes((1,)) != canonical_bytes((True,))
+
+    def test_digest_stable_across_cache_states(self):
+        obj = ("msg", 7)
+        with caching_disabled():
+            uncached = digest(obj)
+        assert digest(obj) == uncached
+        assert digest(obj) == uncached  # second call served from cache
+
+    def test_verify_verdict_not_shared_across_registries(self):
+        """Two registries with different master seeds must not share verdicts."""
+        reg_a = KeyRegistry(master_seed=b"seed-a")
+        reg_b = KeyRegistry(master_seed=b"seed-b")
+        payload = ("vote", 1)
+        signature = sign(reg_a, "p1", payload)
+        assert verify(reg_a, payload, signature)
+        assert not verify(reg_b, payload, signature)
+        # repeat in the other order to exercise the cached verdicts
+        assert not verify(reg_b, payload, signature)
+        assert verify(reg_a, payload, signature)
+
+    def test_caching_disabled_context(self):
+        obj = ("x", 1)
+        canonical_bytes(obj)
+        with caching_disabled():
+            assert not cache_mod.enabled()
+            size_inside = len(cache_mod.canonical_cache)
+            canonical_bytes(obj)
+            assert len(cache_mod.canonical_cache) == size_inside
+        assert cache_mod.enabled()
+
+    def test_cache_stats_shape(self):
+        stats = cache_mod.cache_stats()
+        assert set(stats) == {"canonical", "digest", "verify", "encode"}
+        for entry in stats.values():
+            assert set(entry) == {"hits", "misses", "size"}

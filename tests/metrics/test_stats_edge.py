@@ -1,0 +1,115 @@
+"""Edge cases of the statistics helpers: empty series, singletons, ties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.cdf import cdf_points, cdf_value_at
+from repro.metrics.stats import (
+    confidence_interval_95,
+    mean,
+    percentile,
+    quantiles,
+    stddev,
+    summarize,
+)
+
+
+class TestEmptySeries:
+    def test_all_scalars_zero(self):
+        assert mean([]) == 0.0
+        assert stddev([]) == 0.0
+        assert confidence_interval_95([]) == 0.0
+        assert percentile([], 50) == 0.0
+        assert quantiles([], (50, 95, 99)) == (0.0, 0.0, 0.0)
+
+    def test_summary_of_nothing(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == summary.median == summary.p99 == 0.0
+
+    def test_bounds_still_validated_when_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 101)
+        with pytest.raises(ValueError):
+            quantiles([], (50, -1))
+
+
+class TestSingleSample:
+    def test_every_percentile_is_the_sample(self):
+        assert percentile([7.5], 0) == 7.5
+        assert percentile([7.5], 50) == 7.5
+        assert percentile([7.5], 100) == 7.5
+        assert quantiles([7.5], (1, 99)) == (7.5, 7.5)
+
+    def test_dispersion_is_zero(self):
+        assert stddev([7.5]) == 0.0
+        assert confidence_interval_95([7.5]) == 0.0
+        summary = summarize([7.5])
+        assert summary.count == 1
+        assert summary.mean == summary.p95 == 7.5
+        assert summary.ci95 == 0.0
+
+
+class TestTies:
+    def test_p99_on_all_equal_samples_is_exact(self):
+        samples = [3.0] * 1000
+        assert percentile(samples, 99) == 3.0
+        assert percentile(samples, 99.9) == 3.0
+
+    def test_interpolation_between_tied_neighbours_has_no_drift(self):
+        # rank for p99 of 101 samples lands between two equal neighbours
+        samples = [1.0] * 100 + [2.0]
+        assert percentile(samples, 50) == 1.0
+        assert percentile(samples, 100) == 2.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+
+class TestQuantilesAgreesWithPercentile:
+    def test_single_sort_matches_repeated_sorts(self):
+        samples = [5.0, 1.0, 4.0, 4.0, 2.0, 9.0, 0.5]
+        ps = (0, 10, 50, 90, 95, 99, 100)
+        assert quantiles(samples, ps) == tuple(
+            percentile(samples, p) for p in ps
+        )
+
+    def test_input_order_irrelevant(self):
+        assert quantiles([3, 1, 2], (50,)) == quantiles([1, 2, 3], (50,))
+
+    def test_summarize_uses_interpolated_quantiles(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.median == 2.5
+        assert summary.p95 == pytest.approx(3.85)
+
+
+class TestCdfEdgeCases:
+    def test_empty(self):
+        assert cdf_points([]) == []
+        assert cdf_value_at([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert cdf_points([4.0]) == [(4.0, 1.0)]
+        assert cdf_value_at([4.0], 0.01) == 4.0
+        assert cdf_value_at([4.0], 1.0) == 4.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            cdf_value_at([1.0], 0.0)
+        with pytest.raises(ValueError):
+            cdf_value_at([1.0], 1.1)
+
+    def test_downsampling_keeps_extremes(self):
+        samples = [float(i) for i in range(1000)]
+        points = cdf_points(samples, max_points=10)
+        assert len(points) <= 11
+        assert points[0][0] == 0.0
+        assert points[-1] == (999.0, 1.0)
+
+    def test_ties_reach_full_fraction(self):
+        points = cdf_points([2.0, 2.0, 2.0])
+        assert points[-1] == (2.0, 1.0)

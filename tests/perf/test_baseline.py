@@ -1,0 +1,141 @@
+"""BENCH.json schema round-trips and regression detection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.baseline import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    CellResult,
+    compare,
+    load_report,
+    save_report,
+)
+from repro.perf.report import format_comparison, format_report
+
+
+def _cell(name: str, throughput: float, p95: float = 50.0) -> CellResult:
+    return CellResult(
+        name=name,
+        throughput=throughput,
+        completed=1000,
+        latency_ms={"mean": p95 / 2, "median": p95 / 2, "p95": p95,
+                    "p99": p95 * 1.2},
+        wall_seconds=1.0,
+    )
+
+
+def _report(rev: str, cells, optimised: bool = True,
+            scale: float = 10.0) -> BenchReport:
+    return BenchReport(rev=rev, scale=scale, optimised=optimised,
+                       cells={c.name: c for c in cells})
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        report = _report("abc123", [_cell("a", 500.0), _cell("b", 250.0)])
+        save_report(path, report)
+        loaded = load_report(path)
+        assert loaded.rev == "abc123"
+        assert loaded.schema == BENCH_SCHEMA_VERSION
+        assert loaded.scale == 10.0
+        assert set(loaded.cells) == {"a", "b"}
+        assert loaded.cells["a"].throughput == 500.0
+        assert loaded.cells["a"].latency_ms["p95"] == 50.0
+
+    def test_file_is_schema_versioned_json(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        save_report(path, _report("r", [_cell("a", 1.0)]))
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw["schema"] == BENCH_SCHEMA_VERSION
+        assert "cells" in raw
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchReport.from_json({"schema": 999, "cells": {}})
+
+
+class TestCompare:
+    def test_identical_reports_are_ok(self):
+        report = _report("now", [_cell("a", 500.0)])
+        base = _report("seed", [_cell("a", 500.0)], optimised=False)
+        outcome = compare(report, base)
+        assert outcome.ok
+        assert outcome.compared == ("a",)
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        outcome = compare(
+            _report("now", [_cell("a", 445.0)]),      # -11%
+            _report("seed", [_cell("a", 500.0)]),
+        )
+        assert not outcome.ok
+        assert outcome.regressions[0].metric == "throughput"
+        assert outcome.regressions[0].change == pytest.approx(-0.11)
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        outcome = compare(
+            _report("now", [_cell("a", 460.0)]),      # -8%
+            _report("seed", [_cell("a", 500.0)]),
+        )
+        assert outcome.ok
+
+    def test_p95_rise_beyond_tolerance_fails(self):
+        outcome = compare(
+            _report("now", [_cell("a", 500.0, p95=60.0)]),  # +20%
+            _report("seed", [_cell("a", 500.0, p95=50.0)]),
+        )
+        assert not outcome.ok
+        assert outcome.regressions[0].metric == "p95"
+
+    def test_improvements_reported_not_failed(self):
+        outcome = compare(
+            _report("now", [_cell("a", 600.0, p95=40.0)]),
+            _report("seed", [_cell("a", 500.0, p95=50.0)]),
+        )
+        assert outcome.ok
+        metrics = {item.metric for item in outcome.improvements}
+        assert metrics == {"throughput", "p95"}
+
+    def test_cell_intersection(self):
+        outcome = compare(
+            _report("now", [_cell("a", 500.0), _cell("new", 1.0)]),
+            _report("seed", [_cell("a", 500.0), _cell("gone", 1.0)]),
+        )
+        assert outcome.ok  # non-shared cells never fail the comparison
+        assert outcome.compared == ("a",)
+        assert outcome.new_cells == ("new",)
+        assert outcome.missing_cells == ("gone",)
+
+    def test_custom_tolerance(self):
+        current = _report("now", [_cell("a", 475.0)])  # -5%
+        base = _report("seed", [_cell("a", 500.0)])
+        assert compare(current, base, tolerance=0.10).ok
+        assert not compare(current, base, tolerance=0.02).ok
+
+    def test_scale_mismatch_refused(self):
+        with pytest.raises(ConfigurationError):
+            compare(
+                _report("now", [_cell("a", 500.0)], scale=10.0),
+                _report("seed", [_cell("a", 500.0)], scale=1.0),
+            )
+
+
+class TestRendering:
+    def test_report_lists_every_cell(self):
+        text = format_report(_report("r1", [_cell("a", 500.0), _cell("b", 2.0)]))
+        assert "a" in text and "b" in text and "r1" in text
+
+    def test_comparison_shows_verdict(self):
+        ok = compare(_report("n", [_cell("a", 500.0)]),
+                     _report("s", [_cell("a", 500.0)]))
+        assert "OK" in format_comparison(ok)
+        bad = compare(_report("n", [_cell("a", 100.0)]),
+                      _report("s", [_cell("a", 500.0)]))
+        text = format_comparison(bad)
+        assert "REGRESSED" in text and "REGRESSION" in text

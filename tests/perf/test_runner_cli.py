@@ -1,0 +1,131 @@
+"""The bench runner end-to-end: matrix integrity, determinism, CLI exit codes.
+
+To keep this inside the tier-1 budget the expensive paths run a single
+miniature cell rather than the full matrix; the full matrix is exercised
+by CI's ``bench-smoke`` job and by ``python -m repro bench`` itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf.baseline import load_report, save_report
+from repro.perf.runner import (
+    BENCH_MATRIX,
+    MIXED_CELL,
+    QUICK_CELL,
+    BenchCell,
+    run_cell,
+    run_matrix,
+)
+
+#: a sub-second cell for tests — not part of the committed matrix
+TINY_CELL = BenchCell(
+    name="tiny", workload="mixed", tree="two_level",
+    clients=4, warmup=0.3, duration=0.8,
+)
+
+
+class TestMatrixDefinition:
+    def test_cell_names_unique(self):
+        names = [cell.name for cell in BENCH_MATRIX]
+        assert len(names) == len(set(names))
+
+    def test_required_cells_present(self):
+        names = {cell.name for cell in BENCH_MATRIX}
+        assert MIXED_CELL in names
+        assert QUICK_CELL in names
+
+    def test_axes_covered(self):
+        workloads = {cell.workload for cell in BENCH_MATRIX}
+        trees = {cell.tree for cell in BENCH_MATRIX}
+        delays = {cell.batch_delay for cell in BENCH_MATRIX}
+        assert workloads == {"local", "global", "mixed"}
+        assert trees == {"two_level", "paper"}
+        assert len(delays) > 1  # batched and unbatched configs
+
+    def test_cells_build(self):
+        for cell in BENCH_MATRIX:
+            tree = cell.build_tree()
+            sampler = cell.build_sampler(sorted(tree.targets))
+            assert callable(sampler)
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TINY_CELL, tree="ring").build_tree()
+        with pytest.raises(ValueError):
+            dataclasses.replace(TINY_CELL, workload="write-heavy"
+                                ).build_sampler(["g1", "g2"])
+
+
+class TestRunCell:
+    def test_deterministic_across_runs(self):
+        first = run_cell(TINY_CELL, optimised=True)
+        second = run_cell(TINY_CELL, optimised=True)
+        assert first.throughput == second.throughput
+        assert first.completed == second.completed
+        assert first.latency_ms == second.latency_ms
+
+    def test_result_shape(self):
+        outcome = run_cell(TINY_CELL, optimised=False)
+        assert outcome.name == "tiny"
+        assert outcome.completed > 0
+        assert outcome.throughput > 0
+        assert set(outcome.latency_ms) == {"mean", "median", "p95", "p99"}
+        assert outcome.wall_seconds > 0
+
+
+class TestRunMatrixAndCli:
+    def test_run_matrix_subset_and_progress(self):
+        seen = []
+        report = run_matrix(
+            rev="t", cells=[QUICK_CELL],
+            progress=lambda name, outcome: seen.append(name),
+        )
+        assert seen == [QUICK_CELL]
+        assert set(report.cells) == {QUICK_CELL}
+        assert report.optimised
+
+    def test_unknown_cell_name(self):
+        with pytest.raises(KeyError):
+            run_matrix(rev="t", cells=["no-such-cell"])
+
+    def test_cli_writes_report_and_compares_clean(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_now.json")
+        base = str(tmp_path / "BENCH_base.json")
+        code = cli_main(["bench", "--quick", "--rev", "now", "--out", out])
+        assert code == 0
+        report = load_report(out)
+        assert set(report.cells) == {QUICK_CELL}
+        # comparing a run against itself is clean
+        save_report(base, report)
+        code = cli_main(["bench", "--quick", "--rev", "now", "--out", out,
+                         "--compare", base])
+        assert code == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_cli_exits_nonzero_on_regression(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_now.json")
+        base = str(tmp_path / "BENCH_base.json")
+        assert cli_main(["bench", "--quick", "--rev", "now", "--out", out]) == 0
+        report = load_report(out)
+        cell = report.cells[QUICK_CELL]
+        inflated = dataclasses.replace(cell, throughput=cell.throughput * 1.5)
+        save_report(base, dataclasses.replace(
+            report, cells={QUICK_CELL: inflated}))
+        code = cli_main(["bench", "--quick", "--rev", "now", "--out", out,
+                         "--compare", base])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_bad_baseline_is_exit_2(self, tmp_path):
+        out = str(tmp_path / "BENCH_now.json")
+        bad = tmp_path / "broken.json"
+        bad.write_text(json.dumps({"schema": 999}))
+        code = cli_main(["bench", "--quick", "--rev", "now", "--out", out,
+                         "--compare", str(bad)])
+        assert code == 2
