@@ -91,6 +91,15 @@ class ShardStateMachine:
             ))
         return ("error", f"unknown op {kind!r}")
 
+    def snapshot(self) -> Tuple:
+        """Deterministic state capture for checkpointing (sorted items)."""
+        return (tuple(sorted(self.data.items())), self.ops_applied)
+
+    def restore(self, state: Tuple) -> None:
+        items, ops_applied = state
+        self.data = dict(items)
+        self.ops_applied = ops_applied
+
 
 class StoreClient(MulticastClient):
     """A store client: key-level operations over the multicast client.
@@ -199,6 +208,7 @@ class ShardedStore:
             return ByzCastApplication(
                 group_id=group_id, tree=tree, group_configs=group_configs,
                 registry=registry, on_deliver=on_deliver,
+                on_snapshot=machine.snapshot, on_restore=machine.restore,
             )
 
         overrides = {

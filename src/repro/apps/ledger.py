@@ -98,6 +98,13 @@ class ChannelLedger:
     def txids(self) -> List[Tuple[str, int]]:
         return [entry.txid for entry in self.entries]
 
+    def snapshot(self) -> Tuple[LedgerEntry, ...]:
+        """Deterministic chain capture for checkpointing."""
+        return tuple(self.entries)
+
+    def restore(self, state: Tuple[LedgerEntry, ...]) -> None:
+        self.entries = list(state)
+
 
 def cross_channel_order_consistent(a: "ChannelLedger", b: "ChannelLedger") -> bool:
     """True iff transactions shared by both chains appear in the same order."""
@@ -157,6 +164,7 @@ class OrderingService:
             return ByzCastApplication(
                 group_id=group_id, tree=tree, group_configs=group_configs,
                 registry=registry, on_deliver=on_deliver,
+                on_snapshot=ledger.snapshot, on_restore=ledger.restore,
             )
 
         overrides = {

@@ -43,7 +43,22 @@ class ExecutionContext:
 
 
 class Application:
-    """Interface implemented by replicated services."""
+    """Interface implemented by replicated services.
+
+    **Checkpointable contract (duck-typed).**  An application that also
+    implements ``snapshot() -> Any`` and ``restore(state) -> None`` opts
+    into checkpointing (``BroadcastConfig.checkpoint_interval``): the
+    replica periodically calls :meth:`snapshot` to capture the full
+    application state and may later call :meth:`restore` with a snapshot
+    taken by a *peer* replica.  Snapshots must be deterministic — two
+    correct replicas that executed the same request prefix must return
+    values with identical canonical bytes (sort sets/dicts!), because
+    checkpoints are accepted on ``f + 1`` matching digests — and must be
+    canonicalizable by :func:`repro.crypto.digest.canonical_bytes`.
+    An application may additionally expose a ``checkpointable`` attribute;
+    when present and false, the replica skips checkpointing even though
+    the methods exist (see ``docs/CHECKPOINTS.md``).
+    """
 
     def execute(self, request: Request, ctx: ExecutionContext) -> Any:
         """Apply one ordered request; the return value is sent as the reply.
@@ -64,6 +79,12 @@ class EchoApplication(Application):
         self.executed.append(request.command)
         return ("ok", request.command)
 
+    def snapshot(self) -> Any:
+        return tuple(self.executed)
+
+    def restore(self, state: Any) -> None:
+        self.executed = list(state)
+
 
 class KeyValueApplication(Application):
     """A small deterministic key-value store.
@@ -74,6 +95,12 @@ class KeyValueApplication(Application):
 
     def __init__(self) -> None:
         self.store = {}
+
+    def snapshot(self) -> Any:
+        return tuple(sorted(self.store.items()))
+
+    def restore(self, state: Any) -> None:
+        self.store = dict(state)
 
     def execute(self, request: Request, ctx: ExecutionContext) -> Any:
         command = request.command

@@ -99,10 +99,16 @@ class GroupProxy:
         for replica in self.replicas:
             self.owner.send(replica, request)
 
+    #: exponential backoff ceiling: the delay never exceeds 64× the initial
+    #: timeout, so long outages keep probing instead of arming hour-long
+    #: timers (and ``2 ** retries`` can never overflow into absurd floats)
+    MAX_BACKOFF_MULTIPLIER = 64
+
     def _arm_retransmit(self, entry: _Outstanding) -> None:
         if self.retransmit_timeout is None:
             return
-        delay = self.retransmit_timeout * (2 ** entry.retries)
+        multiplier = min(2 ** entry.retries, self.MAX_BACKOFF_MULTIPLIER)
+        delay = self.retransmit_timeout * multiplier
         entry.timer = self.owner.set_timer(delay, lambda: self._retransmit(entry))
 
     def _retransmit(self, entry: _Outstanding) -> None:
@@ -110,7 +116,7 @@ class GroupProxy:
             return
         if entry.retries >= self.max_retries:
             return  # give up quietly; the owner may inspect pending()
-        entry.retries += 1
+        entry.retries = min(entry.retries + 1, self.max_retries)
         self.owner.monitor.count("proxy.retransmit")
         self._send_to_all(entry.request)
         self._arm_retransmit(entry)

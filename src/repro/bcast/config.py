@@ -31,6 +31,10 @@ class CostModel:
         reply_per_msg: cost of building + sending one reply.
         relay_per_dest: cost, at a ByzCast replica, of re-broadcasting one
             ordered global message to one replica of a child group.
+        checkpoint_fixed: cost of snapshotting application state + hashing
+            it when a checkpoint interval completes (amortized over
+            ``checkpoint_interval`` consensus instances; see
+            ``docs/CHECKPOINTS.md``).
     """
 
     request_recv: float = 5e-6
@@ -42,6 +46,7 @@ class CostModel:
     execute_per_msg: float = 7e-6
     reply_per_msg: float = 4e-6
     relay_per_dest: float = 6e-6
+    checkpoint_fixed: float = 5e-4
 
 
 @dataclass(frozen=True)
@@ -69,6 +74,12 @@ class BroadcastConfig:
         heartbeat_interval: seconds between leader progress beacons
             (0 disables); lets quiesced laggards detect that they are
             behind the quorum.
+        checkpoint_interval: executed consensus ids between application
+            checkpoints (0 disables).  With an interval set, each replica
+            periodically snapshots its application, truncates the executed
+            log below the checkpoint, and serves lagging peers behind the
+            truncation horizon from the checkpoint — bounding per-replica
+            memory by the interval (see ``docs/CHECKPOINTS.md``).
         costs: the CPU cost model.
         verify_client_signatures: charge + perform signature verification of
             client requests (disabled only in focused microbenchmarks).
@@ -83,6 +94,7 @@ class BroadcastConfig:
     min_batch: int = 4
     request_timeout: float = 2.0
     heartbeat_interval: float = 1.0
+    checkpoint_interval: int = 0
     costs: CostModel = field(default_factory=CostModel)
     verify_client_signatures: bool = True
 
@@ -105,6 +117,8 @@ class BroadcastConfig:
             raise ConfigurationError("batch_delay must be non-negative")
         if self.heartbeat_interval < 0:
             raise ConfigurationError("heartbeat_interval must be non-negative")
+        if self.checkpoint_interval < 0:
+            raise ConfigurationError("checkpoint_interval must be non-negative")
 
     @property
     def n(self) -> int:

@@ -2,8 +2,16 @@
 
 Consensus instances may decide out of order relative to execution (e.g.
 while a replica is catching up), so the log buffers decided batches by
-consensus id and releases them strictly in order.  The executed prefix is
-retained to serve state transfer to lagging peers.
+consensus id and releases them strictly in order.
+
+The executed prefix is retained to serve state transfer to lagging peers —
+but only up to the last checkpoint: every ``checkpoint_interval`` executed
+consensus ids the replica snapshots its application state (see
+:meth:`~repro.bcast.replica.Replica._take_checkpoint`), records the
+checkpoint here, and the log truncates everything at or below the
+checkpoint cid.  Memory is therefore bounded by the interval instead of
+growing with the run (``docs/CHECKPOINTS.md``); peers behind the
+truncation horizon are served the checkpoint plus the retained suffix.
 """
 
 from __future__ import annotations
@@ -11,17 +19,30 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.bcast.fifo import SenderTracker
-from repro.bcast.messages import Request
+from repro.bcast.messages import CheckpointData, Request
 
 
 class DecisionLog:
-    """Ordered record of decided and executed batches for one replica."""
+    """Ordered record of decided and executed batches for one replica.
 
-    def __init__(self) -> None:
+    Args:
+        checkpoint_interval: executed cids between checkpoints; ``0``
+            disables checkpointing (the full executed prefix is retained,
+            the pre-checkpoint behaviour).
+    """
+
+    def __init__(self, checkpoint_interval: int = 0) -> None:
         self._decided: Dict[int, Tuple[Request, ...]] = {}
         self._executed: List[Tuple[int, Tuple[Request, ...]]] = []
         self.next_execute = 0  # lowest consensus id not yet executed
         self.tracker = SenderTracker()
+        self.checkpoint_interval = checkpoint_interval
+        #: the last checkpoint taken locally or installed from peers
+        self.checkpoint: Optional[CheckpointData] = None
+        #: high-water mark of retained executed batches (memory-bound proof)
+        self.max_retained = 0
+        #: total batches dropped by checkpoint truncation over the log's life
+        self.truncated_total = 0
 
     # -- decisions ---------------------------------------------------------
 
@@ -43,6 +64,8 @@ class DecisionLog:
             cid = self.next_execute
             batch = self._decided.pop(cid)
             self._executed.append((cid, batch))
+            if len(self._executed) > self.max_retained:
+                self.max_retained = len(self._executed)
             self.next_execute += 1
             yield cid, batch
 
@@ -55,10 +78,65 @@ class DecisionLog:
         self.tracker.advance(request.sender, request.seq)
         return True
 
+    # -- checkpoints -------------------------------------------------------
+
+    def checkpoint_due(self, cid: int) -> bool:
+        """True when executing ``cid`` completes a checkpoint interval."""
+        return (self.checkpoint_interval > 0
+                and (cid + 1) % self.checkpoint_interval == 0)
+
+    @property
+    def horizon(self) -> int:
+        """Lowest cid whose executed batch is still retained.
+
+        Requests for anything older must be answered with the checkpoint,
+        never with a partial suffix.
+        """
+        return self.checkpoint.cid + 1 if self.checkpoint is not None else 0
+
+    def note_checkpoint(self, checkpoint: CheckpointData) -> int:
+        """Record a locally taken checkpoint and truncate below it.
+
+        Returns the number of executed batches dropped.  Stale checkpoints
+        (at or below the current one) are ignored.
+        """
+        if self.checkpoint is not None and checkpoint.cid <= self.checkpoint.cid:
+            return 0
+        self.checkpoint = checkpoint
+        return self._truncate(checkpoint.cid)
+
+    def install_checkpoint(self, checkpoint: CheckpointData) -> None:
+        """Adopt a peer-verified checkpoint ahead of the local cursor.
+
+        The caller is responsible for digest verification and for restoring
+        the application state; this installs the log-side effects: the
+        cursor jumps past the checkpoint, the FIFO tracker is replaced, and
+        everything the checkpoint covers is dropped.
+        """
+        if checkpoint.cid < self.next_execute:
+            raise ValueError(
+                f"checkpoint cid {checkpoint.cid} is behind the cursor "
+                f"{self.next_execute}"
+            )
+        self.checkpoint = checkpoint
+        self.next_execute = checkpoint.cid + 1
+        self.tracker.restore(dict(checkpoint.tracker))
+        self._truncate(checkpoint.cid)
+        for cid in [c for c in self._decided if c <= checkpoint.cid]:
+            del self._decided[cid]
+
+    def _truncate(self, below_cid: int) -> int:
+        before = len(self._executed)
+        self._executed = [(cid, batch) for cid, batch in self._executed
+                          if cid > below_cid]
+        dropped = before - len(self._executed)
+        self.truncated_total += dropped
+        return dropped
+
     # -- state transfer ----------------------------------------------------
 
     def executed_suffix(self, from_cid: int) -> Tuple[Tuple[int, Tuple[Request, ...]], ...]:
-        """Executed (cid, batch) pairs with cid >= from_cid."""
+        """Retained executed (cid, batch) pairs with cid >= from_cid."""
         return tuple((cid, batch) for cid, batch in self._executed if cid >= from_cid)
 
     def install_suffix(
@@ -69,14 +147,26 @@ class DecisionLog:
         Returns the list of (cid, batch) pairs newly installed (in order) so
         the replica can run them through the application.  Batches at or
         beyond the local cursor are installed; earlier ones are ignored.
+        Entries are ordered by cid only — a Byzantine peer may send
+        duplicate cids with unorderable payloads, and falling back to
+        comparing ``Request`` tuples would crash with a ``TypeError`` —
+        and for a duplicated cid the first entry wins (later copies are at
+        best redundant and at worst forged; the caller verified f+1 support
+        for what it passes in).
         """
         installed: List[Tuple[int, Tuple[Request, ...]]] = []
-        for cid, batch in sorted(batches):
+        last_cid: Optional[int] = None
+        for cid, batch in sorted(batches, key=lambda pair: pair[0]):
+            if cid == last_cid:
+                continue  # duplicate cid from a Byzantine peer
+            last_cid = cid
             if cid < self.next_execute:
                 continue
             if cid != self.next_execute:
                 break  # refuse to install with gaps
             self._executed.append((cid, batch))
+            if len(self._executed) > self.max_retained:
+                self.max_retained = len(self._executed)
             self._decided.pop(cid, None)
             self.next_execute += 1
             installed.append((cid, batch))
@@ -84,6 +174,7 @@ class DecisionLog:
 
     @property
     def executed_count(self) -> int:
+        """Number of executed batches currently retained (post-truncation)."""
         return len(self._executed)
 
     def highest_decided(self) -> Optional[int]:

@@ -165,10 +165,37 @@ class StateRequest:
 
 
 @dataclass(frozen=True)
+class CheckpointData:
+    """One replica's application-state checkpoint at consensus ``cid``.
+
+    ``state_digest`` covers ``(cid, state, tracker, view)``; a receiver
+    installs a checkpoint only once ``f + 1`` distinct peers vouch for the
+    same digest *and* the carried payload re-hashes to it, so at least one
+    correct replica stands behind the state (see ``docs/CHECKPOINTS.md``).
+
+    The FIFO tracker and the active view travel with the state: a replica
+    that installs a checkpoint skips executing the truncated prefix, so it
+    would otherwise miss both the per-sender sequence floors (and re-accept
+    duplicates) and any ``Reconfig`` ordered inside that prefix.
+    """
+
+    cid: int                                #: highest cid covered by the state
+    state_digest: bytes                     #: digest of the fields below
+    state: Any                              #: application snapshot (canonicalizable)
+    tracker: Tuple[Tuple[str, int], ...]    #: sorted (sender, last ordered seq)
+    view_replicas: Tuple[str, ...]          #: membership at cid
+    view_f: int
+
+
+@dataclass(frozen=True)
 class StateResponse:
     """A peer's executed log suffix (f+1 matching responses are applied).
 
     ``regency`` lets a recovering replica rejoin the current leader epoch.
+    ``horizon`` is the lowest cid the responder still retains a batch for;
+    when the requester asked for anything older, ``checkpoint`` carries the
+    responder's last checkpoint and ``batches`` hold only the retained
+    suffix above it — never a partial suffix with a silent gap.
     """
 
     group: str
@@ -177,3 +204,5 @@ class StateResponse:
     next_cid: int
     regency: int
     batches: Tuple[Tuple[int, Tuple[Request, ...]], ...]
+    checkpoint: Optional[CheckpointData] = None
+    horizon: int = 0

@@ -29,6 +29,7 @@ from repro.bcast.fifo import PendingPool
 from repro.bcast.log import DecisionLog
 from repro.bcast.messages import (
     Accept,
+    CheckpointData,
     Heartbeat,
     Propose,
     Reply,
@@ -78,7 +79,16 @@ class Replica(Actor):
         self.active = name in self.view
 
         self.pool = PendingPool()
-        self.log = DecisionLog()
+        self.log = DecisionLog(config.checkpoint_interval)
+        #: apps without snapshot()/restore() cannot checkpoint — the log
+        #: then retains the full prefix (pre-checkpoint behaviour); an app
+        #: may also veto via a false ``checkpointable`` attribute (e.g. a
+        #: ByzCast node whose delivery callback feeds un-snapshotted state)
+        self._app_checkpointable = (
+            callable(getattr(app, "snapshot", None))
+            and callable(getattr(app, "restore", None))
+            and bool(getattr(app, "checkpointable", True))
+        )
         self.batcher = AdaptiveBatcher(config)
         self.regency = RegencyManager(self.view.n, self.view.f)
         self._consensus: Dict[int, ConsensusInstance] = {}
@@ -461,11 +471,25 @@ class Replica(Actor):
             self.pool.prune_ordered(self.log.tracker)
             costs = self.config.costs
             cost = (costs.execute_per_msg + costs.reply_per_msg) * len(ordered)
-            self.work(cost, lambda b=tuple(ordered): self._execute_batch(b))
+            # The FIFO tracker and the view advance synchronously (above)
+            # while application execution is CPU-deferred, so a checkpoint's
+            # tracker/view must be captured *here* — at the cursor — or a
+            # later batch's Reconfig/ordering could leak into the snapshot
+            # and break digest agreement across replicas.
+            boundary = None
+            if self.log.checkpoint_due(cid) and self._app_checkpointable:
+                boundary = (cid, self.log.tracker.snapshot(), self.view)
+                cost += costs.checkpoint_fixed
+            self.work(cost, lambda b=tuple(ordered), m=boundary:
+                      self._execute_batch(b, m))
         self._drain_future_proposals()
         self._maybe_propose()
 
-    def _execute_batch(self, batch: Tuple[Request, ...]) -> None:
+    def _execute_batch(
+        self,
+        batch: Tuple[Request, ...],
+        checkpoint_boundary: Optional[Tuple[int, Dict[str, int], View]] = None,
+    ) -> None:
         ctx = ExecutionContext(replica=self, time=self.loop.now)
         for request in batch:
             if isinstance(request.command, Reconfig):
@@ -482,6 +506,9 @@ class Replica(Actor):
                 reply = Reply(self.group_id, self.name, request.sender, request.seq, result)
                 self._last_reply[request.sender] = reply
                 self._send_reply(request, reply)
+        if checkpoint_boundary is not None:
+            cid, tracker_state, view = checkpoint_boundary
+            self._take_checkpoint(cid, tracker_state, view)
         self._maybe_propose()
 
     def _drain_future_proposals(self) -> None:
@@ -678,15 +705,25 @@ class Replica(Actor):
     def _handle_state_request(self, src: str, request: StateRequest) -> None:
         if request.group != self.group_id:
             return
+        horizon = self.log.horizon
+        checkpoint = self.log.checkpoint if request.from_cid < horizon else None
+        # Behind the truncation horizon the answer is checkpoint + retained
+        # suffix — never a partial suffix with a silent gap the requester
+        # would misread as "nothing in between".
         response = StateResponse(
             group=self.group_id,
             sender=self.name,
             from_cid=request.from_cid,
             next_cid=self.log.next_execute,
             regency=self.regency.current,
-            batches=self.log.executed_suffix(request.from_cid),
+            batches=self.log.executed_suffix(max(request.from_cid, horizon)),
+            checkpoint=checkpoint,
+            horizon=horizon,
         )
-        self.send(src, response, size=64 * max(1, len(response.batches)))
+        size = 64 * max(1, len(response.batches))
+        if checkpoint is not None:
+            size += 64 * max(1, self.config.checkpoint_interval)
+        self.send(src, response, size=size)
 
     def _handle_state_response(self, src: str, response: StateResponse) -> None:
         if response.group != self.group_id or response.sender != src:
@@ -710,7 +747,13 @@ class Replica(Actor):
         self._maybe_propose()
 
     def _try_adopt_state(self) -> bool:
-        """Install every log position vouched for by f+1 identical responses."""
+        """Install every log position vouched for by f+1 identical responses.
+
+        A checkpoint, when one is vouched for ahead of the local cursor, is
+        installed first (jumping the cursor past the peers' truncation
+        horizon); the retained suffix is then replayed batch by batch.
+        """
+        installed_any = self._try_adopt_checkpoint()
         per_cid: Dict[int, Dict[bytes, Tuple[int, Tuple[Request, ...]]]] = {}
         counts: Dict[Tuple[int, bytes], int] = {}
         regencies = []
@@ -720,7 +763,6 @@ class Replica(Actor):
                 d = digest(batch)
                 per_cid.setdefault(cid, {})[d] = (cid, batch)
                 counts[(cid, d)] = counts.get((cid, d), 0) + 1
-        installed_any = False
         while True:
             cid = self.log.next_execute
             options = per_cid.get(cid)
@@ -734,7 +776,7 @@ class Replica(Actor):
             if chosen is None:
                 break
             for installed_cid, batch in self.log.install_suffix(((cid, chosen),)):
-                self._run_installed_batch(batch)
+                self._run_installed_batch(installed_cid, batch)
                 installed_any = True
         if installed_any:
             target = max(regencies)
@@ -742,7 +784,62 @@ class Replica(Actor):
                 self.regency.install(target)
         return installed_any
 
-    def _run_installed_batch(self, batch: Tuple[Request, ...]) -> None:
+    def _try_adopt_checkpoint(self) -> bool:
+        """Install the highest checkpoint backed by f+1 verified digests."""
+        if not self._app_checkpointable:
+            return False
+        votes: Dict[Tuple[int, bytes], set] = {}
+        payloads: Dict[Tuple[int, bytes], CheckpointData] = {}
+        for src, response in self._state_responses.items():
+            ckpt = response.checkpoint
+            if ckpt is None or ckpt.cid < self.log.next_execute:
+                continue
+            # The claimed digest must match the carried payload — a
+            # Byzantine peer echoing the correct digest over forged state
+            # must not poison the vote for that digest.
+            if self._checkpoint_digest(ckpt) != ckpt.state_digest:
+                self.monitor.record(self.name, "checkpoint.bad_digest", src=src)
+                continue
+            key = (ckpt.cid, ckpt.state_digest)
+            votes.setdefault(key, set()).add(src)
+            payloads[key] = ckpt
+        chosen: Optional[CheckpointData] = None
+        for key, supporters in votes.items():
+            if len(supporters) < self.view.f + 1:
+                continue
+            candidate = payloads[key]
+            if chosen is None or candidate.cid > chosen.cid:
+                chosen = candidate
+        if chosen is None:
+            return False
+        self._install_checkpoint(chosen)
+        return True
+
+    def _install_checkpoint(self, checkpoint: CheckpointData) -> None:
+        """Jump the replica's state to a verified peer checkpoint."""
+        new_view = View(tuple(checkpoint.view_replicas), checkpoint.view_f)
+        was_active = self.active
+        self.app.restore(checkpoint.state)
+        self.log.install_checkpoint(checkpoint)
+        for cid in [c for c in self._consensus if c <= checkpoint.cid]:
+            del self._consensus[cid]
+        if new_view.replicas != self.view.replicas:
+            # The truncated prefix contained Reconfigs we will never
+            # execute; the checkpoint carries the resulting view instead.
+            self.view = new_view
+            self.regency.update_view(new_view.n, new_view.f)
+            self.active = self.name in new_view
+            self._proposing = False
+        self.pool.prune_ordered(self.log.tracker)
+        for key in [k for k in self._pending_since
+                    if self.log.tracker.last(k[0]) >= k[1]]:
+            del self._pending_since[key]
+        self.monitor.record(self.name, "checkpoint.installed",
+                            cid=checkpoint.cid, active=self.active)
+        if self.active and not was_active:
+            self._maybe_propose()
+
+    def _run_installed_batch(self, cid: int, batch: Tuple[Request, ...]) -> None:
         """Execute a state-transferred batch (no replies for stale requests)."""
         ctx = ExecutionContext(replica=self, time=self.loop.now)
         for request in batch:
@@ -758,3 +855,34 @@ class Replica(Actor):
             self.monitor.record(self.name, "replica.executed_catchup",
                                 sender=request.sender, seq=request.seq)
         self.pool.prune_ordered(self.log.tracker)
+        if self.log.checkpoint_due(cid) and self._app_checkpointable:
+            # Catch-up runs synchronously, so tracker and view are exactly
+            # the post-``cid`` state here.
+            self._take_checkpoint(cid, self.log.tracker.snapshot(), self.view)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def _take_checkpoint(self, cid: int, tracker_state: Dict[str, int],
+                         view: View) -> None:
+        """Snapshot the application at ``cid`` and truncate the log."""
+        tracker = tuple(sorted(tracker_state.items()))
+        state = self.app.snapshot()
+        checkpoint = CheckpointData(
+            cid=cid,
+            state_digest=digest(("ckpt", cid, state, tracker,
+                                 view.replicas, view.f)),
+            state=state,
+            tracker=tracker,
+            view_replicas=view.replicas,
+            view_f=view.f,
+        )
+        dropped = self.log.note_checkpoint(checkpoint)
+        self.monitor.record(self.name, "checkpoint.taken", cid=cid,
+                            dropped=dropped)
+
+    @staticmethod
+    def _checkpoint_digest(checkpoint: CheckpointData) -> bytes:
+        """Digest over everything a checkpoint installs (not the claim)."""
+        return digest(("ckpt", checkpoint.cid, checkpoint.state,
+                       checkpoint.tracker, checkpoint.view_replicas,
+                       checkpoint.view_f))

@@ -153,6 +153,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             settle=args.settle,
             messages=args.messages,
             targets=targets,
+            checkpoint_interval=args.checkpoint_interval,
         )
         print(report.summary())
         if args.timeline:
@@ -265,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max extra seconds to quiesce after the final heal")
     chaos.add_argument("--messages", type=int, default=60,
                        help="total multicasts in the soak workload")
+    chaos.add_argument("--checkpoint-interval", type=int, default=0,
+                       dest="checkpoint_interval",
+                       help="executed cids between application checkpoints "
+                            "(0 disables); also asserts retention stays "
+                            "within 2x the interval")
     chaos.add_argument("--groups", default="g1,g2",
                        help="comma-separated target groups of the 2-level tree")
     chaos.add_argument("--timeline", action="store_true",

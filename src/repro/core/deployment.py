@@ -48,6 +48,7 @@ class GroupSpec:
     adaptive_batching: bool = False
     min_batch: int = 4
     request_timeout: float = 2.0
+    checkpoint_interval: int = 0
     costs: Optional[CostModel] = None
 
 
@@ -75,6 +76,7 @@ class ByzCastDeployment:
         adaptive_batching: bool = False,
         min_batch: int = 4,
         request_timeout: float = 2.0,
+        checkpoint_interval: int = 0,
         runtime: Optional[Runtime] = None,
     ) -> None:
         self.tree = tree
@@ -100,6 +102,7 @@ class ByzCastDeployment:
                 f=f, max_batch=max_batch, batch_delay=batch_delay,
                 adaptive_batching=adaptive_batching, min_batch=min_batch,
                 request_timeout=request_timeout,
+                checkpoint_interval=checkpoint_interval,
             ))
             n = 3 * spec.f + 1
             self.group_configs[group_id] = BroadcastConfig(
@@ -111,6 +114,7 @@ class ByzCastDeployment:
                 adaptive_batching=spec.adaptive_batching,
                 min_batch=spec.min_batch,
                 request_timeout=spec.request_timeout,
+                checkpoint_interval=spec.checkpoint_interval,
                 costs=spec.costs if spec.costs is not None else default_costs,
             )
 

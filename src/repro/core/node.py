@@ -27,6 +27,7 @@ from repro.bcast.config import BroadcastConfig
 from repro.bcast.messages import Reply, Request
 from repro.core.messages import MulticastReply, WireMulticast
 from repro.core.tree import OverlayTree
+from repro.crypto.digest import canonical_bytes
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import verify
 from repro.types import Delivery, MulticastMessage
@@ -51,6 +52,8 @@ class ByzCastApplication(Application):
         on_deliver: Optional[DeliverCallback] = None,
         send_client_replies: bool = True,
         accept_any_ancestor: bool = False,
+        on_snapshot: Optional[Callable[[], Any]] = None,
+        on_restore: Optional[Callable[[Any], None]] = None,
     ) -> None:
         if group_id not in tree:
             raise ValueError(f"group {group_id!r} is not in the overlay tree")
@@ -59,6 +62,11 @@ class ByzCastApplication(Application):
         self.group_configs = dict(group_configs)
         self.registry = registry
         self.on_deliver = on_deliver
+        #: optional hooks capturing/restoring the state ``on_deliver``
+        #: mutates, so checkpoints cover the business-level state machine
+        #: too (see :meth:`snapshot`).
+        self.on_snapshot = on_snapshot
+        self.on_restore = on_restore
         self.send_client_replies = send_client_replies
         #: ByzCast requires clients to enter at lca(m.dst) (partial
         #: genuineness); the non-genuine Baseline lets clients enter at any
@@ -208,6 +216,58 @@ class ByzCastApplication(Application):
         for proxy in self._child_proxies.values():
             if proxy.handle_reply(src, reply):
                 return
+
+    # --------------------------------------------------------- checkpointing
+
+    @property
+    def checkpointable(self) -> bool:
+        """Whether checkpoints would capture the *whole* replica state.
+
+        When ``on_deliver`` feeds an external state machine, a checkpoint
+        restore would skip deliveries that machine never saw — so
+        checkpointing is enabled only if ``on_snapshot``/``on_restore``
+        cover that external state (or there is none).
+        """
+        return self.on_deliver is None or (
+            self.on_snapshot is not None and self.on_restore is not None
+        )
+
+    def snapshot(self) -> Tuple:
+        """Deterministic capture of the Algorithm-1 state at one cid.
+
+        Covers the acted/a-delivered dedup sets, the parent quorum-merge
+        queues, the a-delivered message sequence, and (via ``on_snapshot``)
+        the business state the delivery callback maintains.  Dedup keys are
+        sorted by canonical bytes — identity tuples from different origins
+        need not be mutually orderable.  Child relay proxies are *not*
+        captured: their retransmission state is per-replica (timers, local
+        sequence numbers), and a restored replica skipping some relays is
+        exactly the fault the f+1 quorum-head merge already tolerates.
+        """
+        acted = tuple(sorted(self._acted, key=canonical_bytes))
+        a_delivered = tuple(sorted(self._a_delivered, key=canonical_bytes))
+        merge = self._merge.snapshot() if self._merge is not None else None
+        delivered = tuple(record.message for record in self.deliveries)
+        payload = self.on_snapshot() if self.on_snapshot is not None else None
+        return ("byzcast", acted, a_delivered, merge, delivered, payload)
+
+    def restore(self, state: Tuple) -> None:
+        """Adopt a peer's :meth:`snapshot` (checkpoint install path)."""
+        __, acted, a_delivered, merge, delivered, payload = state
+        self._acted = set(acted)
+        self._a_delivered = set(a_delivered)
+        if self._merge is not None and merge is not None:
+            self._merge.restore(merge)
+        # Rebuild the delivery record so the a-delivery *sequence* survives
+        # the restore; timestamps/process are local observations, not
+        # replicated state, so they reflect the restore itself.
+        self.deliveries = [
+            Delivery(time=0.0, process="<checkpoint>", group=self.group_id,
+                     message=message)
+            for message in delivered
+        ]
+        if self.on_restore is not None:
+            self.on_restore(payload)
 
     # ------------------------------------------------------------ inspection
 

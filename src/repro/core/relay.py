@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, Hashable, Iterable, List, Set, Tuple
 
+from repro.crypto.digest import canonical_bytes
+
 
 class QuorumMerge:
     """Per-sender FIFO merge releasing values confirmed by f+1 queue heads.
@@ -87,3 +89,30 @@ class QuorumMerge:
     def pending_counts(self) -> Dict[str, int]:
         """Queue depths per sender (diagnostics)."""
         return {sender: len(queue) for sender, queue in self._queues.items()}
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        """Deterministic, canonicalizable capture of the merge state.
+
+        Queues are keyed by sender name (sorted); the released set is
+        sorted by canonical bytes because identity keys from distinct
+        senders need not be mutually orderable.  Replicas that ordered the
+        same request prefix hold identical merge state (pushes happen only
+        during ordered execution), so this snapshot is digest-stable.
+        """
+        queues = tuple(
+            (sender, tuple(self._queues[sender]))
+            for sender in sorted(self._queues)
+        )
+        released = tuple(sorted(self._released, key=canonical_bytes))
+        return (queues, released)
+
+    def restore(self, state: Tuple) -> None:
+        """Adopt a peer's :meth:`snapshot` (membership must match)."""
+        queues, released = state
+        self._queues = {sender: deque() for sender in self.senders}
+        for sender, entries in queues:
+            if sender in self._queues:
+                self._queues[sender] = deque(entries)
+        self._released = set(released)

@@ -11,9 +11,9 @@ simulation and wall-clock seconds under the real-time backend.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -35,7 +35,12 @@ class Monitor:
     def __init__(self, trace_capacity: int = 0) -> None:
         self.counters: Counter = Counter()
         self.trace_capacity = trace_capacity
-        self.trace: List[TraceRecord] = []
+        #: ring buffer of the *last* ``trace_capacity`` records — late-run
+        #: events stay observable in long runs; evictions are counted under
+        #: the ``trace.dropped`` counter
+        self.trace: Deque[TraceRecord] = deque(
+            maxlen=trace_capacity if trace_capacity else None
+        )
         self._clock = None  # set by the deployment; callable () -> float
 
     def bind_clock(self, clock) -> None:
@@ -51,9 +56,15 @@ class Monitor:
         self.counters[name] += amount
 
     def record(self, component: str, kind: str, **detail: Any) -> None:
-        """Append a trace record (if tracing is enabled) and bump a counter."""
+        """Append a trace record (if tracing is enabled) and bump a counter.
+
+        The trace is a ring: once ``trace_capacity`` records accumulate,
+        each append evicts the oldest record (counted as ``trace.dropped``).
+        """
         self.counters[kind] += 1
-        if self.trace_capacity and len(self.trace) < self.trace_capacity:
+        if self.trace_capacity:
+            if len(self.trace) == self.trace_capacity:
+                self.counters["trace.dropped"] += 1
             self.trace.append(
                 TraceRecord(self.now, component, kind, tuple(sorted(detail.items())))
             )

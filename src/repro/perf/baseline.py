@@ -59,6 +59,10 @@ class CellResult:
     completed: int
     latency_ms: Dict[str, float]
     wall_seconds: float
+    #: high-water mark of retained executed batches across all replicas of
+    #: the cell's deployment (memory-bound metric; 0 in pre-checkpoint
+    #: baselines, which is why it is informational and never compared)
+    max_retained: int = 0
 
     def to_json(self) -> Dict:
         return {
@@ -69,6 +73,7 @@ class CellResult:
                 for key in LATENCY_KEYS
             },
             "wall_seconds": round(self.wall_seconds, 3),
+            "max_retained": self.max_retained,
         }
 
     @classmethod
@@ -80,6 +85,7 @@ class CellResult:
             latency_ms={key: float(value)
                         for key, value in raw["latency_ms"].items()},
             wall_seconds=float(raw.get("wall_seconds", 0.0)),
+            max_retained=int(raw.get("max_retained", 0)),
         )
 
 

@@ -15,7 +15,8 @@ def _cell_row(name: str, cell: CellResult) -> str:
         f"lat(med={lat.get('median', 0.0):7.2f}ms "
         f"p95={lat.get('p95', 0.0):7.2f}ms "
         f"p99={lat.get('p99', 0.0):7.2f}ms)  "
-        f"wall={cell.wall_seconds:6.2f}s"
+        f"wall={cell.wall_seconds:6.2f}s  "
+        f"retained={cell.max_retained}"
     )
 
 

@@ -46,6 +46,10 @@ class BenchCell:
     warmup: float = 1.0
     duration: float = 4.0
     seed: int = 11
+    #: checkpointing is always on in the bench matrix so the comparison
+    #: against BENCH_seed.json bounds its overhead (and ``max_retained``
+    #: proves memory stays bounded under benchmark load)
+    checkpoint_interval: int = 64
 
     def build_tree(self) -> OverlayTree:
         if self.tree == "two_level":
@@ -120,6 +124,7 @@ def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
             max_batch=cell.max_batch,
             batch_delay=cell.batch_delay,
             adaptive_batching=optimised,
+            checkpoint_interval=cell.checkpoint_interval,
         )
     finally:
         _crypto_cache.configure(True)
@@ -136,6 +141,7 @@ def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
             "p99": summary.p99,
         },
         wall_seconds=wall,
+        max_retained=result.max_retained,
     )
 
 

@@ -65,6 +65,11 @@ class SoakConfig:
     window: int = 2
     request_timeout: float = 0.5
     retransmit_timeout: float = 0.5
+    #: executed cids between application checkpoints (0 = checkpointing
+    #: off); with an interval the soak also asserts the memory bound:
+    #: no replica may retain more than ``2 × checkpoint_interval``
+    #: executed batches at any point of the run
+    checkpoint_interval: int = 0
 
     def tree(self) -> OverlayTree:
         return OverlayTree.two_level(list(self.targets))
@@ -91,10 +96,20 @@ class ChaosReport:
     #: (replica, crash time, recover time) planned windows from the schedule
     recovery_windows: List[Tuple[str, float, float]] = field(default_factory=list)
     elapsed: float = 0.0               #: runtime-clock seconds consumed
+    #: configured checkpoint interval (0 = checkpointing off)
+    checkpoint_interval: int = 0
+    #: high-water mark of retained executed batches across all replicas
+    max_retained: int = 0
+    #: checkpoints taken + installed across all replicas
+    checkpoints_taken: int = 0
+    checkpoints_installed: int = 0
+    #: True iff retention stayed within 2 × checkpoint_interval (always
+    #: True with checkpointing off — there is no bound to enforce)
+    retention_ok: bool = True
 
     @property
     def ok(self) -> bool:
-        return self.liveness_ok and not self.violations
+        return self.liveness_ok and not self.violations and self.retention_ok
 
     def summary(self) -> str:
         lines = [
@@ -111,6 +126,20 @@ class ChaosReport:
             f"{self.regency_changes} regency changes, "
             f"{self.recoveries} replica recoveries",
         ]
+        if self.checkpoint_interval > 0:
+            lines.append(
+                f"  memory   : interval={self.checkpoint_interval}, "
+                f"max retained={self.max_retained} "
+                f"(bound {2 * self.checkpoint_interval}), "
+                f"{self.checkpoints_taken} checkpoints taken, "
+                f"{self.checkpoints_installed} installed"
+            )
+        if not self.retention_ok:
+            lines.append(
+                f"  RETENTION: {self.max_retained} executed batches "
+                f"retained, exceeds 2 × interval = "
+                f"{2 * self.checkpoint_interval}"
+            )
         for name, crash_at, recover_at in self.recovery_windows:
             lines.append(f"             {name} down {crash_at:.2f}s-{recover_at:.2f}s "
                          f"({recover_at - crash_at:.2f}s outage)")
@@ -155,6 +184,7 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             runtime=runtime,
             costs=SOAK_COSTS,
             request_timeout=config.request_timeout,
+            checkpoint_interval=config.checkpoint_interval,
             replica_classes=schedule.replica_classes,
             app_overrides=schedule.app_overrides,
         )
@@ -221,6 +251,13 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             ]
         violations = check_all(sequences, sent_messages, quiescent=liveness_ok)
 
+        max_retained = 0
+        for gid in deployment.groups:
+            for replica in deployment.groups[gid].replicas:
+                max_retained = max(max_retained, replica.log.max_retained)
+        retention_ok = (config.checkpoint_interval <= 0
+                        or max_retained <= 2 * config.checkpoint_interval)
+
         counters = runtime.monitor.snapshot()
         report = ChaosReport(
             backend=config.backend,
@@ -243,6 +280,11 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
                 for op in schedule.ops if op.kind == "crash"
             ],
             elapsed=runtime.clock.now,
+            checkpoint_interval=config.checkpoint_interval,
+            max_retained=max_retained,
+            checkpoints_taken=counters.get("checkpoint.taken", 0),
+            checkpoints_installed=counters.get("checkpoint.installed", 0),
+            retention_ok=retention_ok,
         )
         return report
     finally:

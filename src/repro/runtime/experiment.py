@@ -48,6 +48,9 @@ class ExperimentResult:
     samples: Tuple[float, ...]
     local_samples: Tuple[float, ...]
     global_samples: Tuple[float, ...]
+    #: high-water mark of retained executed batches across all replicas
+    #: (the memory-bound metric; 0 when the deployment exposes no groups)
+    max_retained: int = 0
 
     def row(self) -> str:
         """A printable results row (latencies in milliseconds)."""
@@ -91,6 +94,14 @@ def _drive_and_measure(
     for driver in drivers:
         driver.start()
     deployment.run(until=warmup + duration, max_events=max_events)
+    groups = list(getattr(deployment, "groups", {}).values())
+    single = getattr(deployment, "group", None)
+    if single is not None and not callable(single):
+        groups.append(single)
+    max_retained = 0
+    for group in groups:
+        for replica in group.replicas:
+            max_retained = max(max_retained, replica.log.max_retained)
     return ExperimentResult(
         protocol=protocol,
         clients=len(plans),
@@ -102,6 +113,7 @@ def _drive_and_measure(
         samples=tuple(collector.in_window()),
         local_samples=tuple(local_collector.in_window()),
         global_samples=tuple(global_collector.in_window()),
+        max_retained=max_retained,
     )
 
 
@@ -120,6 +132,7 @@ def run_byzcast(
     adaptive_batching: bool = False,
     min_batch: int = 4,
     request_timeout: float = 2.0,
+    checkpoint_interval: int = 0,
     max_events: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure ByzCast under the given workload."""
@@ -135,6 +148,7 @@ def run_byzcast(
         adaptive_batching=adaptive_batching,
         min_batch=min_batch,
         request_timeout=request_timeout,
+        checkpoint_interval=checkpoint_interval,
     )
     return _drive_and_measure(
         deployment,

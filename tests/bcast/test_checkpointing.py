@@ -1,0 +1,380 @@
+"""Checkpointing: log truncation, digest quorums, checkpoint state transfer.
+
+Covers the bounded-memory mechanism end to end — periodic snapshots with
+log truncation, the f+1 matching-digest install rule (including forged
+payloads from Byzantine peers), catch-up of a replica that fell behind the
+truncation horizon, and composition with ordered reconfiguration — plus
+unit coverage of the `DecisionLog` suffix/checkpoint edge cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcast.app import EchoApplication
+from repro.bcast.log import DecisionLog
+from repro.bcast.messages import CheckpointData, Request, StateRequest, StateResponse
+from repro.bcast.reconfig import View, ViewManager
+from repro.bcast.replica import Replica
+from repro.crypto.digest import digest
+from tests.helpers import Harness, make_config
+
+
+def req(seq: int, command=None, sender: str = "c0") -> Request:
+    return Request("g1", sender, seq, command if command is not None else ("op", seq))
+
+
+def make_checkpoint(cid: int, state, tracker, replicas, f) -> CheckpointData:
+    """A well-formed checkpoint whose digest matches its payload."""
+    tracker = tuple(sorted(tracker))
+    return CheckpointData(
+        cid=cid,
+        state_digest=digest(("ckpt", cid, state, tracker, tuple(replicas), f)),
+        state=state,
+        tracker=tracker,
+        view_replicas=tuple(replicas),
+        view_f=f,
+    )
+
+
+# ---------------------------------------------------------------- DecisionLog
+
+
+class TestDecisionLogSuffix:
+    def test_install_suffix_refuses_gaps(self):
+        log = DecisionLog()
+        installed = log.install_suffix(((0, (req(1),)), (2, (req(3),))))
+        assert [cid for cid, __ in installed] == [0]
+        assert log.next_execute == 1  # stopped at the gap
+
+    def test_install_suffix_skips_entries_below_cursor(self):
+        log = DecisionLog()
+        log.record_decision(0, (req(1),))
+        list(log.ready_batches())
+        assert log.next_execute == 1
+        installed = log.install_suffix(((0, (req(1),)), (1, (req(2),))))
+        assert [cid for cid, __ in installed] == [1]
+        assert log.next_execute == 2
+
+    def test_install_suffix_duplicate_cids_no_typeerror(self):
+        # A Byzantine peer duplicates a cid with a different (unorderable)
+        # payload: sorting must key on the cid alone and the first entry
+        # wins — the old sorted(batches) fell back to comparing Request
+        # tuples and crashed with a TypeError.
+        log = DecisionLog()
+        good = (req(1, ("x",)),)
+        forged = (req(1, 12345),)
+        installed = log.install_suffix(((0, good), (0, forged)))
+        assert [cid for cid, __ in installed] == [0]
+        assert installed[0][1] == good
+        assert log.next_execute == 1
+
+    def test_install_suffix_unsorted_input(self):
+        log = DecisionLog()
+        installed = log.install_suffix(((1, (req(2),)), (0, (req(1),))))
+        assert [cid for cid, __ in installed] == [0, 1]
+
+
+class TestDecisionLogCheckpoints:
+    def test_checkpoint_due_boundaries(self):
+        log = DecisionLog(checkpoint_interval=4)
+        assert [cid for cid in range(10) if log.checkpoint_due(cid)] == [3, 7]
+        assert not DecisionLog().checkpoint_due(3)  # interval 0 = off
+
+    def test_note_checkpoint_truncates_and_counts(self):
+        log = DecisionLog(checkpoint_interval=4)
+        for cid in range(4):
+            log.record_decision(cid, (req(cid + 1),))
+        list(log.ready_batches())
+        assert log.executed_count == 4
+        ckpt = make_checkpoint(3, (), (("c0", 4),), (), 1)
+        dropped = log.note_checkpoint(ckpt)
+        assert dropped == 4
+        assert log.executed_count == 0
+        assert log.horizon == 4
+        assert log.truncated_total == 4
+        # Stale checkpoints are ignored.
+        assert log.note_checkpoint(make_checkpoint(2, (), (), (), 1)) == 0
+        assert log.horizon == 4
+
+    def test_install_checkpoint_jumps_cursor_and_tracker(self):
+        log = DecisionLog(checkpoint_interval=4)
+        log.record_decision(9, (req(99),))  # covered by the checkpoint
+        ckpt = make_checkpoint(11, ("state",), (("c0", 12),), (), 1)
+        log.install_checkpoint(ckpt)
+        assert log.next_execute == 12
+        assert log.tracker.last("c0") == 12
+        assert log.highest_decided() is None
+        with pytest.raises(ValueError):
+            log.install_checkpoint(make_checkpoint(5, (), (), (), 1))
+
+    def test_max_retained_high_water(self):
+        log = DecisionLog(checkpoint_interval=2)
+        for cid in range(8):
+            log.record_decision(cid, (req(cid + 1),))
+            list(log.ready_batches())
+            if log.checkpoint_due(cid):
+                log.note_checkpoint(
+                    make_checkpoint(cid, (), (("c0", cid + 1),), (), 1))
+        assert log.max_retained <= 2 * log.checkpoint_interval
+        assert log.truncated_total == 8
+
+
+# --------------------------------------------------------- live group runs
+
+
+class TestCheckpointingLive:
+    def test_retention_bounded_and_digests_agree(self):
+        h = Harness(config=make_config("g1", checkpoint_interval=4, max_batch=1))
+        client = h.add_client()
+        for j in range(18):
+            client.submit(("op", j))
+        h.run(until=5.0)
+        assert len(client.results) == 18
+        checkpoints = [r.log.checkpoint for r in h.group.replicas]
+        assert all(c is not None for c in checkpoints)
+        top = max(c.cid for c in checkpoints)
+        at_top = [c for c in checkpoints if c.cid == top]
+        assert len(at_top) >= h.config.quorum
+        # The digest quorum rule only works if identical prefixes produce
+        # identical digests on every replica.
+        assert len({c.state_digest for c in at_top}) == 1
+        for replica in h.group.replicas:
+            assert replica.log.max_retained <= 2 * 4
+            assert replica.log.executed_count < 18
+        assert h.monitor.counters["checkpoint.taken"] > 0
+
+    def test_laggard_rejoins_via_checkpoint_transfer(self):
+        h = Harness(config=make_config("g1", checkpoint_interval=4, max_batch=1))
+        client = h.add_client()
+        lagger = h.group.replicas[2]
+        lagger.crash()
+        for j in range(20):
+            client.submit(("op", j))
+        h.run(until=5.0)
+        assert len(client.results) == 20
+        # Peers truncated well past the laggard's cursor (0): the retained
+        # suffix alone can no longer catch it up.
+        assert all(r.log.horizon > 0 for r in h.group.replicas
+                   if r is not lagger)
+        lagger.recover()
+        h.loop.run(until=20.0)
+        reference = h.group.replicas[0]
+        assert lagger.log.next_execute == reference.log.next_execute
+        assert lagger.app.executed == reference.app.executed
+        assert lagger.log.tracker.snapshot() == reference.log.tracker.snapshot()
+        assert h.monitor.counters["checkpoint.installed"] >= 1
+        # The rejoined replica keeps the memory bound too.
+        assert lagger.log.max_retained <= 2 * 4
+
+    def test_truncated_log_answers_with_checkpoint_not_partial_suffix(self):
+        h = Harness(config=make_config("g1", checkpoint_interval=4, max_batch=1))
+        client = h.add_client()
+        for j in range(10):
+            client.submit(("op", j))
+        h.run(until=5.0)
+        r0 = h.group.replicas[0]
+        horizon = r0.log.horizon
+        assert horizon > 0
+        sent = []
+        r0.send = lambda dst, payload, **kw: sent.append((dst, payload))
+        # A request from behind the horizon gets checkpoint + full retained
+        # suffix — never a suffix with a silent gap.
+        r0._handle_state_request("g1/r3", StateRequest("g1", "g1/r3", 0))
+        __, response = sent[-1]
+        assert response.checkpoint is not None
+        assert response.checkpoint.cid == horizon - 1
+        assert response.horizon == horizon
+        assert all(cid >= horizon for cid, __ in response.batches)
+        assert [cid for cid, __ in response.batches] == list(
+            range(horizon, r0.log.next_execute))
+        # At or above the horizon, no checkpoint is attached.
+        r0._handle_state_request("g1/r3", StateRequest("g1", "g1/r3", horizon))
+        __, response = sent[-1]
+        assert response.checkpoint is None
+
+
+# ------------------------------------------------- digest quorum unit tests
+
+
+class TestCheckpointQuorum:
+    def _fresh_replica(self):
+        h = Harness(config=make_config("g1", checkpoint_interval=4))
+        r0 = h.group.replicas[0]
+        r0.send = lambda dst, payload, **kw: None
+        r0._broadcast = lambda payload, **kw: None
+        return h, r0
+
+    def _response(self, sender: str, ckpt: CheckpointData) -> StateResponse:
+        return StateResponse(
+            group="g1", sender=sender, from_cid=0,
+            next_cid=ckpt.cid + 1, regency=0, batches=(),
+            checkpoint=ckpt, horizon=ckpt.cid + 1,
+        )
+
+    def test_f_plus_one_matching_digests_install(self):
+        h, r0 = self._fresh_replica()
+        state = (("op", 0), ("op", 1))
+        ckpt = make_checkpoint(7, state, (("c0", 2),),
+                               h.config.replicas, h.config.f)
+        r0._state_xfer_active = True
+        r0._handle_state_response("g1/r1", self._response("g1/r1", ckpt))
+        assert r0.log.next_execute == 0  # one vote is not enough
+        r0._handle_state_response("g1/r2", self._response("g1/r2", ckpt))
+        assert r0.log.next_execute == 8
+        assert r0.app.executed == [("op", 0), ("op", 1)]
+        assert r0.log.tracker.last("c0") == 2
+        assert h.monitor.counters["checkpoint.installed"] == 1
+
+    def test_forged_payload_cannot_poison_the_vote(self):
+        # A Byzantine peer echoes the *correct* digest over forged state;
+        # the payload re-hash must disqualify its vote, leaving the honest
+        # checkpoint one vote short.
+        h, r0 = self._fresh_replica()
+        honest = make_checkpoint(7, (("op", 0),), (("c0", 1),),
+                                 h.config.replicas, h.config.f)
+        forged = CheckpointData(
+            cid=honest.cid, state_digest=honest.state_digest,
+            state=(("evil", 666),), tracker=honest.tracker,
+            view_replicas=honest.view_replicas, view_f=honest.view_f,
+        )
+        r0._state_xfer_active = True
+        r0._handle_state_response("g1/r1", self._response("g1/r1", honest))
+        r0._handle_state_response("g1/r3", self._response("g1/r3", forged))
+        assert r0.log.next_execute == 0
+        assert r0.app.executed == []
+        assert h.monitor.counters["checkpoint.bad_digest"] == 1
+        assert h.monitor.counters["checkpoint.installed"] == 0
+
+    def test_highest_verified_checkpoint_wins(self):
+        h, r0 = self._fresh_replica()
+        low = make_checkpoint(3, (("op", 0),), (("c0", 1),),
+                              h.config.replicas, h.config.f)
+        high = make_checkpoint(7, (("op", 0), ("op", 1)), (("c0", 2),),
+                               h.config.replicas, h.config.f)
+        r0._state_xfer_active = True
+        r0._handle_state_response("g1/r1", self._response("g1/r1", high))
+        r0._handle_state_response("g1/r2", self._response("g1/r2", high))
+        r0._handle_state_response("g1/r3", self._response("g1/r3", low))
+        assert r0.log.next_execute == 8
+        assert r0.app.executed == [("op", 0), ("op", 1)]
+
+    def test_stale_checkpoint_not_installed(self):
+        h, r0 = self._fresh_replica()
+        # Locally execute past the offered checkpoint first.
+        for cid in range(10):
+            r0.log.record_decision(cid, (req(cid + 1),))
+        list(r0.log.ready_batches())
+        stale = make_checkpoint(7, (("op", 0),), (("c0", 8),),
+                                h.config.replicas, h.config.f)
+        r0._state_xfer_active = True
+        r0._handle_state_response("g1/r1", self._response("g1/r1", stale))
+        r0._handle_state_response("g1/r2", self._response("g1/r2", stale))
+        assert r0.log.next_execute == 10
+        assert h.monitor.counters["checkpoint.installed"] == 0
+
+
+# --------------------------------------------- composition with reconfig
+
+
+class LateJoinerHarness(Harness):
+    """A group with checkpointing, a cold standby replica, and an admin."""
+
+    def __init__(self, **kwargs):
+        super().__init__(
+            config=make_config("g1", checkpoint_interval=4, max_batch=1),
+            **kwargs,
+        )
+        initial = View(self.config.replicas, self.config.f)
+        self.joiner = Replica(
+            name="g1/r4",
+            config=self.config,
+            loop=self.loop,
+            registry=self.registry,
+            app=EchoApplication(),
+            monitor=self.monitor,
+            view=initial,
+        )
+        self.network.register(self.joiner)
+        self.admin = ViewManager("g1", self.loop, initial, self.registry,
+                                 self.monitor)
+        self.network.register(self.admin)
+
+
+def test_joiner_behind_truncated_reconfig_installs_checkpoint():
+    """The Reconfig that admitted the joiner is itself truncated away; the
+    joiner must learn the membership from the checkpoint's carried view."""
+    h = LateJoinerHarness()
+    client = h.add_client()
+    for j in range(5):
+        client.submit(("pre", j))
+    h.group.start()  # the joiner stays down
+    h.loop.run(until=2.0)
+    assert len(client.results) == 5
+
+    new_members = ("g1/r0", "g1/r1", "g1/r2", "g1/r4")
+    confirmed = []
+    h.admin.reconfigure(new_members, callback=lambda r: confirmed.append(r))
+    h.loop.run(until=6.0)
+    assert confirmed, "reconfiguration was not acknowledged"
+    client.proxy.update_replicas(new_members, h.config.f)
+    for j in range(10):
+        client.submit(("post", j))
+    h.loop.run(until=12.0)
+    assert len(client.results) == 15
+    # The prefix containing the Reconfig is gone from every live member.
+    for replica in h.group.replicas[:3]:
+        assert replica.log.horizon > 6
+
+    h.joiner.start()
+    h.loop.run(until=30.0)
+    assert h.joiner.active
+    assert h.joiner.view.replicas == new_members
+    reference = h.group.replicas[0]
+    assert h.joiner.app.executed == reference.app.executed
+    assert h.monitor.counters["checkpoint.installed"] >= 1
+    assert h.joiner.log.max_retained <= 2 * 4
+
+    # The joiner participates in ordering new traffic.
+    for j in range(4):
+        client.submit(("after", j))
+    h.loop.run(until=40.0)
+    assert len(client.results) == 19
+    assert h.joiner.app.executed == reference.app.executed
+
+
+def test_checkpoint_install_races_concurrent_reconfig():
+    """A second Reconfig is ordered while the joiner is still installing a
+    checkpoint carrying the first; the suffix replay must apply it."""
+    h = LateJoinerHarness()
+    client = h.add_client()
+    for j in range(5):
+        client.submit(("pre", j))
+    h.group.start()
+    h.loop.run(until=2.0)
+
+    members_a = ("g1/r0", "g1/r1", "g1/r2", "g1/r4")
+    h.admin.reconfigure(members_a)
+    h.loop.run(until=6.0)
+    client.proxy.update_replicas(members_a, h.config.f)
+    for j in range(10):
+        client.submit(("mid", j))
+    h.loop.run(until=12.0)
+
+    # Start the joiner and immediately order another membership change —
+    # the install and the Reconfig race on the runtime clock.
+    h.joiner.start()
+    members_b = ("g1/r0", "g1/r1", "g1/r3", "g1/r4")
+    h.admin.reconfigure(members_b)
+    h.loop.run(until=30.0)
+    client.proxy.update_replicas(members_b, h.config.f)
+    for j in range(4):
+        client.submit(("after", j))
+    h.loop.run(until=45.0)
+
+    assert len(client.results) == 19
+    assert h.joiner.active
+    assert h.joiner.view.replicas == members_b
+    reference = h.group.replicas[0]
+    assert h.joiner.app.executed == reference.app.executed
+    assert reference.view.replicas == members_b

@@ -120,6 +120,36 @@ class TestGroupProxy:
         assert client.proxy.submit(("b",)) == 2  # sequence continues
         assert client.proxy.replicas == reordered
 
+    def test_retransmit_backoff_is_clamped(self):
+        h = Harness()
+        client = h.add_client(retransmit_timeout=1.0)
+        delays = []
+        client.set_timer = lambda delay, cb: delays.append(delay) or None
+        seq = client.proxy.submit(("cmd",))
+        entry = client.proxy._outstanding[seq]
+        # Drive retries far past where 2**retries would explode: the delay
+        # must plateau at MAX_BACKOFF_MULTIPLIER × the initial timeout.
+        for __ in range(200):
+            client.proxy._retransmit(entry)
+        cap = client.proxy.retransmit_timeout * client.proxy.MAX_BACKOFF_MULTIPLIER
+        assert max(delays) <= cap
+        assert delays[-1] == cap
+        # retries itself is capped too (no unbounded counter growth).
+        assert entry.retries <= client.proxy.max_retries
+
+    def test_retransmit_gives_up_after_max_retries(self):
+        h = Harness()
+        client = h.add_client(retransmit_timeout=1.0)
+        client.set_timer = lambda delay, cb: None
+        seq = client.proxy.submit(("cmd",))
+        entry = client.proxy._outstanding[seq]
+        before = h.monitor.counters["proxy.retransmit"]
+        for __ in range(client.proxy.max_retries + 10):
+            client.proxy._retransmit(entry)
+        sent = h.monitor.counters["proxy.retransmit"] - before
+        assert sent == client.proxy.max_retries
+        assert entry.retries == client.proxy.max_retries
+
 
 class TestBroadcastGroup:
     def test_build_registers_all_replicas(self):

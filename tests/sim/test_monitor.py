@@ -23,7 +23,8 @@ class TestTrace:
     def test_disabled_by_default(self):
         monitor = Monitor()
         monitor.record("comp", "kind", a=1)
-        assert monitor.trace == []
+        assert list(monitor.trace) == []
+        assert monitor.counters["trace.dropped"] == 0
 
     def test_capacity_bound(self):
         monitor = Monitor(trace_capacity=3)
@@ -31,6 +32,21 @@ class TestTrace:
             monitor.record("comp", "kind", i=index)
         assert len(monitor.trace) == 3
         assert monitor.counters["kind"] == 10  # counting continues
+
+    def test_ring_keeps_latest_records(self):
+        monitor = Monitor(trace_capacity=3)
+        for index in range(10):
+            monitor.record("comp", "kind", i=index)
+        # the ring retains the *last* capacity records, not the first
+        assert [r.get("i") for r in monitor.trace] == [7, 8, 9]
+        assert monitor.counters["trace.dropped"] == 7
+
+    def test_no_drops_under_capacity(self):
+        monitor = Monitor(trace_capacity=5)
+        for index in range(5):
+            monitor.record("comp", "kind", i=index)
+        assert monitor.counters["trace.dropped"] == 0
+        assert [r.get("i") for r in monitor.trace] == [0, 1, 2, 3, 4]
 
     def test_record_detail_access(self):
         monitor = Monitor(trace_capacity=10)
