@@ -95,6 +95,51 @@ def test_bench_consensus_vote_counting(benchmark):
     assert benchmark(run_instance)
 
 
+def test_bench_codec_roundtrip(benchmark):
+    from repro.bcast.messages import Propose
+    from repro.crypto.signatures import Signature
+    from repro.env import codec
+
+    registry = KeyRegistry()
+    batch = tuple(
+        Request("g1", f"c{i}", 1, ("op", i), Signature(f"c{i}", b"\x01" * 16))
+        for i in range(32)
+    )
+    proposal = Propose("g1", 0, 7, batch, "g1/r0")
+
+    def roundtrip():
+        decoded, rest = codec.read_frames(codec.frame(proposal))
+        assert not rest
+        return decoded[0]
+
+    assert benchmark(roundtrip) == proposal
+
+
+def test_bench_frame_route_broadcast(benchmark):
+    """The rt-backend broadcast hot path: one payload, n-1 spliced frames.
+
+    Tracks the gain of :func:`repro.env.codec.frame_route` over re-framing
+    the full routing tuple per recipient (the payload body is memoised and
+    spliced, not re-encoded).
+    """
+    from repro.bcast.messages import Propose
+    from repro.crypto.signatures import Signature
+    from repro.env import codec
+
+    batch = tuple(
+        Request("g1", f"c{i}", 1, ("op", i), Signature(f"c{i}", b"\x01" * 16))
+        for i in range(32)
+    )
+    proposal = Propose("g1", 0, 7, batch, "g1/r0")
+    peers = tuple(f"g1/r{i}" for i in range(1, 4))
+
+    def broadcast():
+        return sum(len(codec.frame_route("g1/r0", peer, proposal))
+                   for peer in peers)
+
+    assert benchmark(broadcast) > 0
+
+
 def test_bench_event_loop_throughput(benchmark):
     def run_ten_thousand():
         loop = EventLoop()

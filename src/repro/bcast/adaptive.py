@@ -69,11 +69,16 @@ class AdaptiveBatcher:
 
     # ------------------------------------------------------------- decisions
 
-    def proposal_delay(self, depth: int) -> float:
+    def proposal_delay(self, depth: int, in_flight: int = 0) -> float:
         """Seconds the leader should wait before assembling the next batch.
 
         Skips the configured delay when the pool already holds a full
         target batch — waiting cannot improve the batch, only stall it.
+        Open pipelined instances (``in_flight > 0``) do not shorten the
+        delay: per-instance fixed costs dominate the CPU model, so the
+        pipeline must never trade batch size for launch rate — it wins by
+        *overlapping* well-batched instances, not by launching slivers
+        (docs/PIPELINE.md).
         """
         if not self.enabled:
             return self.config.batch_delay
@@ -81,13 +86,16 @@ class AdaptiveBatcher:
             return 0.0
         return self.config.batch_delay
 
-    def hold(self, depth: int, now: float) -> bool:
+    def hold(self, depth: int, now: float, in_flight: int = 0) -> bool:
         """Leader at batch-assembly time: keep collecting instead?
 
         ``True`` tells the replica to re-arm one more ``batch_delay`` and
         ask again.  Holding continues only while the pool keeps deepening
-        and the target batch is not yet full, and never beyond
-        :data:`HOLD_BUDGET` extra delays.
+        and the target batch is not yet full, and never beyond the hold
+        budget.  With open pipelined instances the budget stretches to
+        ``HOLD_BUDGET * max_in_flight`` delays: the in-flight instances
+        cover the round trip, so a later launch costs little latency while
+        every extra arrival amortizes the per-instance fixed costs.
         """
         if not self.enabled or self.config.batch_delay <= 0:
             return False
@@ -97,7 +105,8 @@ class AdaptiveBatcher:
         if self._hold_deadline is None:
             # First check of this instance: one extra delay is always worth
             # probing — a closed-loop burst arrives within one delay.
-            self._hold_deadline = now + HOLD_BUDGET * self.config.batch_delay
+            budget = HOLD_BUDGET * (self.config.max_in_flight if in_flight > 0 else 1)
+            self._hold_deadline = now + budget * self.config.batch_delay
             self._hold_depth = depth
             self._hold_stalls = 0
             return True
@@ -128,7 +137,11 @@ class AdaptiveBatcher:
 
         Twice the recent average depth: deep enough that steady load never
         splits batches, shallow enough that a post-stall backlog is drained
-        over a few instances instead of one validation spike.
+        over a few instances instead of one validation spike.  The target
+        is deliberately *not* divided across the pipeline window: fixed
+        per-instance costs dominate, so pipelined instances must each stay
+        fully batched and the window fills only when the offered load
+        genuinely exceeds one batch per round trip.
         """
         if not self.enabled or self._observations == 0:
             return self.config.max_batch

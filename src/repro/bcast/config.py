@@ -80,6 +80,12 @@ class BroadcastConfig:
             log below the checkpoint, and serves lagging peers behind the
             truncation horizon from the checkpoint — bounding per-replica
             memory by the interval (see ``docs/CHECKPOINTS.md``).
+        max_in_flight: maximum concurrently open consensus instances the
+            leader may drive (the pipeline depth, see ``docs/PIPELINE.md``).
+            ``1`` reproduces the strictly sequential pre-pipeline engine
+            byte-for-byte on the golden traces; deeper windows overlap the
+            PROPOSE→WRITE→ACCEPT round trips of consecutive instances while
+            execution stays strictly in consensus order.
         costs: the CPU cost model.
         verify_client_signatures: charge + perform signature verification of
             client requests (disabled only in focused microbenchmarks).
@@ -95,6 +101,7 @@ class BroadcastConfig:
     request_timeout: float = 2.0
     heartbeat_interval: float = 1.0
     checkpoint_interval: int = 0
+    max_in_flight: int = 4
     costs: CostModel = field(default_factory=CostModel)
     verify_client_signatures: bool = True
 
@@ -119,6 +126,8 @@ class BroadcastConfig:
             raise ConfigurationError("heartbeat_interval must be non-negative")
         if self.checkpoint_interval < 0:
             raise ConfigurationError("checkpoint_interval must be non-negative")
+        if self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be at least 1")
 
     @property
     def n(self) -> int:

@@ -92,7 +92,12 @@ class PendingPool:
                 del per_sender[seq]
                 self._size -= 1
 
-    def admissible_batch(self, tracker: SenderTracker, max_batch: int) -> Tuple[Request, ...]:
+    def admissible_batch(
+        self,
+        tracker: SenderTracker,
+        max_batch: int,
+        reserved: Optional[Dict[str, int]] = None,
+    ) -> Tuple[Request, ...]:
         """Select up to ``max_batch`` requests respecting per-sender FIFO.
 
         Requests are taken in arrival order; a request is admitted only when
@@ -101,6 +106,13 @@ class PendingPool:
         out-of-order arrivals become admissible as soon as their predecessor
         is picked, so repeated passes over the arrival list are performed
         until the batch stops growing.
+
+        ``reserved`` raises the per-sender floor above the tracker: with a
+        consensus pipeline, requests claimed by still-open in-flight
+        instances are not yet ordered (the tracker ignores them) but must
+        not be proposed a second time; the pipelined leader passes the
+        highest claimed seq per sender here so the next batch extends the
+        claimed prefix instead of overlapping it.
         """
         batch: List[Request] = []
         virtual: Dict[str, int] = {}
@@ -116,7 +128,12 @@ class PendingPool:
                 per_sender = self._by_sender.get(sender, {})
                 if seq not in per_sender:
                     continue  # removed meanwhile
-                expected = virtual.get(sender, tracker.last(sender)) + 1
+                floor = tracker.last(sender)
+                if reserved is not None:
+                    claimed = reserved.get(sender)
+                    if claimed is not None and claimed > floor:
+                        floor = claimed
+                expected = virtual.get(sender, floor) + 1
                 if seq == expected:
                     batch.append(per_sender[seq])
                     admitted.add((sender, seq))

@@ -16,10 +16,14 @@ truncation horizon are served the checkpoint plus the retained suffix.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.bcast.fifo import SenderTracker
 from repro.bcast.messages import CheckpointData, Request
+
+#: bounded journals of decided / executed cids kept for invariant checks
+JOURNAL_CAP = 4096
 
 
 class DecisionLog:
@@ -43,16 +47,34 @@ class DecisionLog:
         self.max_retained = 0
         #: total batches dropped by checkpoint truncation over the log's life
         self.truncated_total = 0
+        #: cids in the order their decisions were first recorded — with a
+        #: consensus pipeline this may be out of cid order
+        self.decided_order: Deque[int] = deque(maxlen=JOURNAL_CAP)
+        #: cids in execution order — must be gap-free ascending (the chaos
+        #: soak's sixth invariant); jumps are legal only across an installed
+        #: checkpoint, every other discontinuity bumps ``order_violations``
+        self.executed_order: Deque[int] = deque(maxlen=JOURNAL_CAP)
+        self.order_violations = 0
+        self._last_executed: Optional[int] = None
 
     # -- decisions ---------------------------------------------------------
 
     def record_decision(self, cid: int, batch: Tuple[Request, ...]) -> None:
         """Buffer the decided ``batch`` for consensus ``cid`` (idempotent)."""
-        if cid >= self.next_execute:
-            self._decided.setdefault(cid, batch)
+        if cid >= self.next_execute and cid not in self._decided:
+            self._decided[cid] = batch
+            self.decided_order.append(cid)
 
     def has_decision(self, cid: int) -> bool:
         return cid in self._decided or cid < self.next_execute
+
+    def decided_batch(self, cid: int) -> Optional[Tuple[Request, ...]]:
+        """The buffered (not yet executed) decided batch for ``cid``."""
+        return self._decided.get(cid)
+
+    def buffered_decisions(self):
+        """(cid, batch) view of decided-but-not-yet-executed instances."""
+        return self._decided.items()
 
     def ready_batches(self):
         """Yield (cid, batch) pairs executable now, advancing the cursor.
@@ -67,7 +89,15 @@ class DecisionLog:
             if len(self._executed) > self.max_retained:
                 self.max_retained = len(self._executed)
             self.next_execute += 1
+            self._note_executed(cid)
             yield cid, batch
+
+    def _note_executed(self, cid: int) -> None:
+        """Journal an execution step and enforce gap-free ascending order."""
+        if self._last_executed is not None and cid != self._last_executed + 1:
+            self.order_violations += 1
+        self._last_executed = cid
+        self.executed_order.append(cid)
 
     # -- FIFO accounting (called by the replica during execution) ----------
 
@@ -120,6 +150,9 @@ class DecisionLog:
             )
         self.checkpoint = checkpoint
         self.next_execute = checkpoint.cid + 1
+        # The truncated prefix is never executed locally — the cursor may
+        # legally jump here, so re-seat the order journal at the boundary.
+        self._last_executed = checkpoint.cid
         self.tracker.restore(dict(checkpoint.tracker))
         self._truncate(checkpoint.cid)
         for cid in [c for c in self._decided if c <= checkpoint.cid]:
@@ -169,6 +202,7 @@ class DecisionLog:
                 self.max_retained = len(self._executed)
             self._decided.pop(cid, None)
             self.next_execute += 1
+            self._note_executed(cid)
             installed.append((cid, batch))
         return installed
 

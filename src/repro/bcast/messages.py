@@ -111,34 +111,59 @@ class Stop:
 
 
 @dataclass(frozen=True)
-class StopData:
-    """Sent to the new leader after a regency change.
+class CertReport:
+    """One open consensus instance reported in a STOPDATA message.
 
-    Carries the replica's highest write-certified but undecided value so the
-    new leader cannot revert a potentially decided batch.
+    ``cert_regency >= 0`` means the sender holds a write certificate from
+    that regency for ``batch`` — the strongest evidence that the value may
+    already have decided somewhere.  ``cert_regency == -1`` is an
+    uncertified report: the sender merely knows a proposal (or a buffered
+    decision it re-asserts at the current regency) for ``cid``; the new
+    leader may use it as a deterministic gap filler but owes it nothing.
     """
 
-    group: str
-    regency: int
-    sender: str
     cid: int
     cert_regency: int
     batch: Optional[Tuple[Request, ...]]
 
 
 @dataclass(frozen=True)
+class StopData:
+    """Sent to the new leader after a regency change.
+
+    With a consensus pipeline there may be up to ``max_in_flight`` open
+    instances, so the report covers a *range*: ``cid`` is the sender's
+    execution cursor and ``certs`` carries one :class:`CertReport` per open
+    instance at or above it, so the new leader cannot revert any potentially
+    decided batch in the window.
+    """
+
+    group: str
+    regency: int
+    sender: str
+    cid: int
+    certs: Tuple[CertReport, ...]
+
+
+@dataclass(frozen=True)
 class Sync:
     """New leader's installation message for ``regency``.
 
-    ``carry`` is the write-certified batch (if any) the leader must
-    re-propose for the pending consensus instance.
+    ``cid`` is the highest execution cursor among the collected STOPDATA;
+    ``carries`` are the (cid, batch) pairs — ascending by cid — the leader
+    re-proposes for the open window: every write-certified value, plus
+    deterministic fillers for uncertified gaps *below* a certified cid
+    (a gap below a certified instance is provably undecided, but the
+    certified instance above it may have decided, so the gap must be filled
+    rather than abandoned).  Uncertified batches above the last certified
+    cid are recycled to the pool instead of being carried.
     """
 
     group: str
     regency: int
     leader: str
     cid: int
-    carry: Optional[Tuple[Request, ...]]
+    carries: Tuple[Tuple[int, Tuple[Request, ...]], ...]
 
 
 @dataclass(frozen=True)

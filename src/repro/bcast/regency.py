@@ -4,8 +4,10 @@ A *regency* is a leader epoch; the leader of regency ``r`` is replica
 ``r mod n``.  When requests time out, replicas vote STOP for the current
 regency.  ``f + 1`` STOPs make a replica join the vote (a correct replica
 detected a problem), ``2f + 1`` STOPs install the next regency: replicas
-send STOPDATA (their strongest write certificate for the pending consensus)
-to the new leader, which re-proposes any certified value in a SYNC message.
+send STOPDATA (their strongest write certificate *per open consensus
+instance* of the pipeline window, see ``docs/PIPELINE.md``) to the new
+leader, which re-proposes every certified value — and deterministic fillers
+for uncertified gaps below a certified cid — in a SYNC message.
 
 This module holds the vote-counting state machine; the replica drives it
 and performs the actual sends.
@@ -14,18 +16,23 @@ and performs the actual sends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.bcast.consensus import WriteCertificate
-from repro.bcast.messages import Request, StopData
+from repro.bcast.messages import CertReport, Request, StopData
 
 
 @dataclass
 class SyncDecision:
-    """What the new leader must re-propose after collecting STOPDATA."""
+    """What the new leader must re-propose after collecting STOPDATA.
+
+    ``cid`` is the highest execution cursor among the reports; ``carries``
+    are the (cid, batch) pairs to re-propose, ascending by cid, covering
+    every certified instance of the open window plus deterministic fillers
+    for uncertified gaps below the highest certified cid.
+    """
 
     cid: int
-    carry: Optional[Tuple[Request, ...]]
+    carries: Tuple[Tuple[int, Tuple[Request, ...]], ...]
 
 
 class RegencyManager:
@@ -93,25 +100,60 @@ class RegencyManager:
         self._sync_sent.add(regency)
 
     def choose_sync(self, regency: int, own_cid: int,
-                    own_cert: Optional[WriteCertificate]) -> SyncDecision:
-        """Pick the value the new leader must carry into ``regency``.
+                    own_certs: Tuple[CertReport, ...]) -> SyncDecision:
+        """Pick the values the new leader must carry into ``regency``.
 
-        The rule mirrors Paxos: among all reported write certificates for the
-        highest pending consensus id, re-propose the one from the highest
-        regency; if none exists the leader is free to propose fresh batches.
+        The rule extends Paxos recovery across the in-flight window.  The
+        base cursor is the highest ``next_execute`` any reporter claims —
+        instances below it are executed at some correct replica and are
+        recovered by state transfer, not re-proposal.  Per open cid at or
+        above the base, among all reported write certificates, the one from
+        the highest regency wins (quorum intersection: any decided value is
+        write-certified at f+1 correct replicas, so a 2f+1 STOPDATA quorum
+        sees it).  An uncertified cid *below* the highest certified cid is
+        provably undecided (no write quorum formed, or a reporter would
+        carry the cert) — but it cannot be skipped either, because the
+        certified instance above it may already have decided and execution
+        is gap-free in cid order.  Such gaps are filled with a
+        deterministic uncertified report (first by sender order), or left
+        to the new leader to fill with a fresh batch when no reporter knows
+        any value.  Uncertified batches above the last certified cid are
+        *not* carried: their requests remain un-ordered, fall back into the
+        pool, and are re-proposed fresh.
         """
-        reports = list(self._stopdata.get(regency, {}).values())
-        cid = max([own_cid] + [r.cid for r in reports])
-        best_regency = -1
-        carry: Optional[Tuple[Request, ...]] = None
-        if own_cert is not None and own_cid == cid and own_cert.batch:
-            best_regency = own_cert.regency
-            carry = own_cert.batch
-        for report in reports:
-            if report.cid == cid and report.batch and report.cert_regency > best_regency:
-                best_regency = report.cert_regency
-                carry = report.batch
-        return SyncDecision(cid=cid, carry=carry)
+        by_sender = self._stopdata.get(regency, {})
+        reports = [by_sender[s] for s in sorted(by_sender)]
+        base = max([own_cid] + [r.cid for r in reports])
+        best: Dict[int, CertReport] = {}
+        fillers: Dict[int, Tuple[Request, ...]] = {}
+        certified: Set[int] = set()
+        all_certs: List[Tuple[CertReport, ...]] = [own_certs]
+        all_certs.extend(r.certs for r in reports)
+        for certs in all_certs:
+            for cert in certs:
+                if cert.cid < base:
+                    continue
+                if cert.cert_regency >= 0:
+                    certified.add(cert.cid)
+                    if cert.batch:
+                        current = best.get(cert.cid)
+                        if current is None or cert.cert_regency > current.cert_regency:
+                            best[cert.cid] = cert
+                elif cert.batch and cert.cid not in fillers:
+                    fillers[cert.cid] = cert.batch
+        if not certified:
+            return SyncDecision(cid=base, carries=())
+        carries: List[Tuple[int, Tuple[Request, ...]]] = []
+        for cid in range(base, max(certified) + 1):
+            chosen = best.get(cid)
+            if chosen is not None and chosen.batch:
+                carries.append((cid, chosen.batch))
+            elif cid in fillers:
+                carries.append((cid, fillers[cid]))
+            # else: no reporter knows a batch for this cid (digest-only
+            # certificate or a pure hole) — the leader proposes fresh once
+            # installed, and state transfer covers any already-decided value.
+        return SyncDecision(cid=base, carries=tuple(carries))
 
     # -- SYNC installation ----------------------------------------------------
 

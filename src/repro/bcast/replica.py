@@ -7,10 +7,16 @@ A replica stitches together the pure sub-machines of this package:
 * :class:`~repro.bcast.regency.RegencyManager` — leader-change voting;
 * :class:`~repro.bcast.log.DecisionLog` — ordered execution + state.
 
-Consensus instances run sequentially (one in flight), exactly as the paper
-describes BFT-SMaRt: "the leader starts a consensus instance every time
-there are pending client requests ... and there are no consensus being
-executed" (§IV).  Throughput comes from batching, not pipelining.
+Consensus instances are *pipelined*: the leader may keep up to
+``config.max_in_flight`` instances open concurrently (proposing
+``highest started + 1`` while earlier instances are still voting), while
+decisions arriving out of order are buffered in the
+:class:`~repro.bcast.log.DecisionLog` and executed strictly in consensus
+order (see ``docs/PIPELINE.md``).  With ``max_in_flight=1`` the engine
+degrades byte-for-byte to the sequential BFT-SMaRt schedule the paper
+describes ("the leader starts a consensus instance every time there are
+pending client requests ... and there are no consensus being executed",
+§IV), which is what the pinned golden traces run.
 
 Methods are deliberately fine-grained so :mod:`repro.faults` can subclass
 this actor and override individual steps (e.g. send an equivocating
@@ -19,7 +25,7 @@ proposal) without duplicating the rest of the protocol.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bcast.adaptive import AdaptiveBatcher
 from repro.bcast.app import Application, ExecutionContext
@@ -29,6 +35,7 @@ from repro.bcast.fifo import PendingPool
 from repro.bcast.log import DecisionLog
 from repro.bcast.messages import (
     Accept,
+    CertReport,
     CheckpointData,
     Heartbeat,
     Propose,
@@ -48,10 +55,16 @@ from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import verify
 from repro.env import Actor, Monitor, RuntimeOrClock
 
-#: consensus-id lead that makes a replica suspect it is missing decisions
-STATE_GAP_THRESHOLD = 2
+#: consensus-id lead *beyond the pipeline window* that makes a replica
+#: suspect it is missing decisions (the effective threshold is
+#: ``max_in_flight + STATE_GAP_SLACK``; at depth 1 this reproduces the
+#: historical threshold of 2)
+STATE_GAP_SLACK = 1
 #: how long a state-transfer round may take before it is retried
 STATE_RETRY_TIMEOUT = 1.0
+#: refuse STOPDATA whose per-cid certificate list exceeds this bound
+#: (a Byzantine reporter must not make the new leader buffer unbounded data)
+MAX_STOPDATA_CERTS = 64
 
 
 class Replica(Actor):
@@ -92,7 +105,12 @@ class Replica(Actor):
         self.batcher = AdaptiveBatcher(config)
         self.regency = RegencyManager(self.view.n, self.view.f)
         self._consensus: Dict[int, ConsensusInstance] = {}
-        self._proposing = False  # leader-side: an instance we lead is in flight
+        #: leader-side: one batch assembly (delay + hold + CPU) at a time
+        self._assembling = False
+        #: leader-side: cid -> regency of our own still-open proposals; the
+        #: live entries (cid >= execution cursor, undecided) are the
+        #: pipeline's in-flight window
+        self._started: Dict[int, int] = {}
 
         self._pending_since: Dict[Tuple[str, int], float] = {}
         self._request_timer = None
@@ -129,7 +147,7 @@ class Replica(Actor):
         self.view = new_view
         self.regency.update_view(new_view.n, new_view.f)
         self.active = self.name in new_view
-        self._proposing = False
+        self._started.clear()
         self.monitor.record(self.name, "replica.reconfigured",
                             members=",".join(new_view.replicas),
                             active=self.active)
@@ -171,7 +189,8 @@ class Replica(Actor):
         """Rejoin after a benign crash: wipe volatile state, catch up."""
         self.crashed = False
         self._consensus.clear()
-        self._proposing = False
+        self._assembling = False
+        self._started.clear()
         self.batcher.reset()
         self.pool = PendingPool()
         self._pending_since.clear()
@@ -253,19 +272,73 @@ class Replica(Actor):
 
     # ----------------------------------------------------------- proposing
 
+    def _open_count(self) -> int:
+        """Our own proposals still undecided — the in-flight window depth."""
+        cursor = self.log.next_execute
+        return sum(1 for cid in self._started if cid >= cursor)
+
+    def _cid_open(self, cid: int) -> bool:
+        """True iff ``cid`` is already claimed by a live consensus instance."""
+        if cid in self._started:
+            return True
+        instance = self._consensus.get(cid)
+        if instance is None:
+            return False
+        return instance.decided or (
+            instance.proposed_digest is not None
+            and instance.proposal_regency == self.regency.current
+        )
+
     def _next_cid(self) -> int:
-        highest = self.log.highest_decided()
-        floor = self.log.next_execute if highest is None else highest + 1
-        return floor
+        """Lowest cid that is neither decided nor claimed by an open instance.
+
+        Scanning from the execution cursor (instead of jumping to
+        ``highest_decided + 1``) makes the pipelined leader naturally fill
+        holes left by a regency change before extending the window.
+        """
+        cid = self.log.next_execute
+        while self.log.has_decision(cid) or self._cid_open(cid):
+            cid += 1
+        return cid
+
+    def _reserved_floors(self) -> Optional[Dict[str, int]]:
+        """Per-sender highest seq claimed by open instances + buffered decisions.
+
+        Requests in those batches are not yet ordered (the FIFO tracker only
+        advances at execution), but proposing them again would double-propose;
+        the pool must batch strictly *above* these floors.  Returns ``None``
+        when nothing is claimed — the sequential depth-1 fast path.
+        """
+        floors: Dict[str, int] = {}
+
+        def claim(batch: Tuple[Request, ...]) -> None:
+            for request in batch:
+                if request.seq > floors.get(request.sender, 0):
+                    floors[request.sender] = request.seq
+
+        cursor = self.log.next_execute
+        for cid, regency in self._started.items():
+            if cid < cursor:
+                continue
+            instance = self._consensus.get(cid)
+            if (instance is not None and instance.proposed_batch is not None
+                    and instance.proposal_regency == regency):
+                claim(instance.proposed_batch)
+        for cid, batch in self.log.buffered_decisions():
+            claim(batch)
+        return floors or None
 
     def _maybe_propose(self) -> None:
-        """Leader: start a consensus if none is running and work is pending."""
-        if not self.is_leader or self._proposing or self._state_xfer_active:
+        """Leader: open another consensus instance if the window has room."""
+        if not self.is_leader or self._assembling or self._state_xfer_active:
+            return
+        in_flight = self._open_count()
+        if in_flight >= self.config.max_in_flight:
             return
         if not len(self.pool):
             return
-        self._proposing = True
-        delay = self.batcher.proposal_delay(len(self.pool))
+        self._assembling = True
+        delay = self.batcher.proposal_delay(len(self.pool), in_flight)
         if delay > 0:
             self.set_timer(delay, self._begin_proposal)
         else:
@@ -274,18 +347,20 @@ class Replica(Actor):
     def _begin_proposal(self) -> None:
         """Select the batch (after any batch delay) and charge the CPU."""
         if not self.is_leader or self._state_xfer_active:
-            self._proposing = False
+            self._assembling = False
             return
         depth = len(self.pool)
-        if self.batcher.hold(depth, self.loop.now):
+        if self.batcher.hold(depth, self.loop.now, self._open_count()):
             # Pool still filling toward the target batch: collect one more
             # delay's worth of arrivals before burning the per-instance
             # fixed costs on a fraction of the demand.
             self.set_timer(self.config.batch_delay, self._begin_proposal)
             return
-        batch = self.pool.admissible_batch(self.log.tracker, self.batcher.batch_limit())
+        batch = self.pool.admissible_batch(
+            self.log.tracker, self.batcher.batch_limit(), self._reserved_floors()
+        )
         if not batch:
-            self._proposing = False
+            self._assembling = False
             return
         self.batcher.observe(depth, len(batch))
         cid = self._next_cid()
@@ -297,36 +372,50 @@ class Replica(Actor):
     def _send_propose(self, cid: int, regency: int, batch: Tuple[Request, ...]) -> None:
         """Emit the proposal (overridden by Byzantine behaviours)."""
         if regency != self.regency.current or self.regency.in_transition:
-            self._proposing = False  # a regency change raced with us
+            self._assembling = False  # a regency change raced with us
             return
         if not self.is_leader:
-            self._proposing = False  # a reconfiguration changed the schedule
+            self._assembling = False  # a reconfiguration changed the schedule
             return
         proposal = Propose(self.group_id, regency, cid, batch, self.name)
+        self._started[cid] = regency
+        self._assembling = False
         self.monitor.record(self.name, "consensus.propose", cid=cid, batch=len(batch))
         self._broadcast(proposal, size=64 * max(1, len(batch)))
         # Local processing of our own proposal (no network hop for self).
         self._process_proposal(self.name, proposal)
+        self._update_inflight_gauge()
+        # Pipeline fill: with window room left, start assembling the next
+        # instance immediately (a no-op at max_in_flight=1).
+        self._maybe_propose()
+
+    def _update_inflight_gauge(self) -> None:
+        self.monitor.gauge(f"consensus.in_flight.{self.name}",
+                           float(self._open_count()))
 
     # ------------------------------------------------------ proposal intake
 
     def _handle_propose(self, src: str, proposal: Propose) -> None:
         self._note_progress_gap(proposal.cid)
-        self._process_proposal(src, proposal)
+        if self._process_proposal(src, proposal):
+            # Accepting this proposal may have completed the chain a stashed
+            # later proposal was waiting for.
+            self._drain_future_proposals()
 
-    def _process_proposal(self, src: str, proposal: Propose) -> None:
+    def _process_proposal(self, src: str, proposal: Propose) -> bool:
         if not self._validate_proposal(src, proposal):
-            return
+            return False
         d = digest(proposal.batch)
         instance = self._instance(proposal.cid)
         if not instance.note_proposal(proposal.regency, d, proposal.batch):
             self.monitor.record(self.name, "consensus.equivocation", cid=proposal.cid)
-            return
+            return False
         if instance.should_write(proposal.regency):
             instance.mark_write_sent(proposal.regency)
             write = Write(self.group_id, proposal.regency, proposal.cid, d, self.name)
             self._broadcast(write)
             self._apply_write(self.name, write)
+        return True
 
     def _validate_proposal(self, src: str, proposal: Propose) -> bool:
         """All the checks a correct replica performs before echoing a batch."""
@@ -343,17 +432,32 @@ class Replica(Actor):
         if not 1 <= len(proposal.batch) <= self.config.max_batch:
             record(self.name, "propose.bad_batch_size", size=len(proposal.batch))
             return False
-        if proposal.cid != self.log.next_execute:
-            # Stale (already executed) or ahead (we are behind): never echo
-            # now, but stash a slightly-ahead proposal so a lagging replica
-            # can vote as soon as it catches up.
+        cursor = self.log.next_execute
+        window = self.config.max_in_flight
+        if proposal.cid < cursor or proposal.cid >= cursor + window:
+            # Stale (already executed) or beyond the window (we are behind):
+            # never echo now, but stash a slightly-ahead proposal so a
+            # lagging replica can vote as soon as it catches up.
             if (
-                proposal.cid > self.log.next_execute
-                and proposal.cid - self.log.next_execute <= 8
+                proposal.cid >= cursor + window
+                and proposal.cid - cursor <= self._stash_bound()
             ):
                 self._future_proposals[proposal.cid] = (src, proposal)
             record(self.name, "propose.wrong_cid", cid=proposal.cid)
             return False
+        floors: Dict[str, int] = {}
+        if proposal.cid > cursor:
+            # Pipelined proposal: per-sender FIFO must chain through the
+            # batches of every instance between the cursor and this cid.
+            chained = self._chain_floors(proposal.cid, proposal.regency)
+            if chained is None:
+                # A link of the chain is unknown here (its PROPOSE is still
+                # in flight): stash and re-validate once it lands.
+                if proposal.cid - cursor <= self._stash_bound():
+                    self._future_proposals[proposal.cid] = (src, proposal)
+                record(self.name, "propose.missing_link", cid=proposal.cid)
+                return False
+            floors = chained
         virtual: Dict[str, int] = {}
         seen = set()
         for request in proposal.batch:
@@ -364,7 +468,9 @@ class Replica(Actor):
                 record(self.name, "propose.duplicate_request")
                 return False
             seen.add(request.key())
-            expected = virtual.get(request.sender, self.log.tracker.last(request.sender)) + 1
+            floor = max(self.log.tracker.last(request.sender),
+                        floors.get(request.sender, 0))
+            expected = virtual.get(request.sender, floor) + 1
             if request.seq != expected:
                 record(self.name, "propose.fifo_violation", sender=request.sender)
                 return False
@@ -377,6 +483,39 @@ class Replica(Actor):
                     record(self.name, "propose.bad_signature", sender=request.sender)
                     return False
         return True
+
+    def _stash_bound(self) -> int:
+        """How far ahead of the cursor a proposal may be stashed."""
+        return max(8, 2 * self.config.max_in_flight)
+
+    def _chain_floors(self, cid: int, regency: int) -> Optional[Dict[str, int]]:
+        """Per-sender FIFO floors implied by instances below ``cid``.
+
+        A pipelined proposal at ``cid > next_execute`` must extend the
+        sender sequences claimed by every instance in ``[next_execute,
+        cid)``: decided batches (buffered or still in their instance) count
+        unconditionally, undecided instances count through their proposal
+        of the *same* regency (the leader's own chain — each link was
+        FIFO-validated before being recorded, so the floors compose).
+        Returns ``None`` when any link is unknown locally.
+        """
+        floors: Dict[str, int] = {}
+        for link in range(self.log.next_execute, cid):
+            batch = self.log.decided_batch(link)
+            if batch is None:
+                instance = self._consensus.get(link)
+                if instance is not None:
+                    if instance.decided:
+                        batch = instance.decided_batch()
+                    elif (instance.proposed_batch is not None
+                          and instance.proposal_regency == regency):
+                        batch = instance.proposed_batch
+            if batch is None:
+                return None
+            for request in batch:
+                if request.seq > floors.get(request.sender, 0):
+                    floors[request.sender] = request.seq
+        return floors
 
     def _reconfig_authorized(self, request: Request) -> bool:
         """Only the group's view manager may change membership.
@@ -442,19 +581,20 @@ class Replica(Actor):
     def _on_decided(self, instance: ConsensusInstance) -> None:
         batch = instance.decided_batch()
         self.monitor.record(self.name, "consensus.decided", cid=instance.cid)
+        self._started.pop(instance.cid, None)
         if batch is None:
             # We know *that* cid decided but not *what* — fetch from peers.
             self.monitor.record(self.name, "consensus.decided_unknown", cid=instance.cid)
             self._request_state()
             return
         self.log.record_decision(instance.cid, batch)
-        if self._proposing and self.is_leader:
-            self._proposing = False
+        self._update_inflight_gauge()
         self._execute_ready()
 
     def _execute_ready(self) -> None:
         for cid, batch in self.log.ready_batches():
             self._consensus.pop(cid, None)
+            self._started.pop(cid, None)
             # FIFO/ordering state advances *synchronously* at decision time:
             # a proposal for cid+1 may be validated before the (CPU-deferred)
             # execution job runs, and it must see the up-to-date tracker.
@@ -512,13 +652,25 @@ class Replica(Actor):
         self._maybe_propose()
 
     def _drain_future_proposals(self) -> None:
-        """Re-process stashed proposals that became current."""
+        """Re-process stashed proposals that fell inside the window.
+
+        A drained proposal may immediately re-stash itself (its chain link
+        is still missing), so each cid is attempted at most once per drain
+        to guarantee termination.
+        """
         stale = [cid for cid in self._future_proposals if cid < self.log.next_execute]
         for cid in stale:
             del self._future_proposals[cid]
-        entry = self._future_proposals.pop(self.log.next_execute, None)
-        if entry is not None:
-            src, proposal = entry
+        attempted: set = set()
+        while True:
+            window_end = self.log.next_execute + self.config.max_in_flight
+            ready = [cid for cid in self._future_proposals
+                     if cid < window_end and cid not in attempted]
+            if not ready:
+                return
+            cid = min(ready)
+            attempted.add(cid)
+            src, proposal = self._future_proposals.pop(cid)
             self._process_proposal(src, proposal)
 
     def _send_reply(self, request: Request, reply: Reply) -> None:
@@ -611,19 +763,45 @@ class Replica(Actor):
             new_regency = self.regency.begin_transition(stop.regency)
             self._on_regency_transition(new_regency)
 
+    def _cert_reports(self, new_regency: int) -> Tuple[CertReport, ...]:
+        """Per-open-cid evidence for STOPDATA / the leader's own sync input.
+
+        Covers the pipeline window ``[next_execute, next_execute + depth)``:
+        a buffered decision outranks any write certificate (reported with
+        ``cert_regency = new_regency - 1``, the highest regency any honest
+        cert could carry), a write certificate is reported at its own
+        regency, and a merely-proposed batch is reported uncertified
+        (``cert_regency = -1``) so the new leader can use it as a
+        deterministic gap filler below a certified cid.
+        """
+        reports: List[CertReport] = []
+        cursor = self.log.next_execute
+        for cid in range(cursor, cursor + self.config.max_in_flight):
+            decided = self.log.decided_batch(cid)
+            if decided is not None:
+                reports.append(CertReport(cid, new_regency - 1, decided))
+                continue
+            instance = self._consensus.get(cid)
+            if instance is None:
+                continue
+            cert = instance.write_cert
+            if cert is not None:
+                reports.append(CertReport(cid, cert.regency,
+                                          cert.batch if cert.batch else None))
+            elif instance.proposed_batch is not None:
+                reports.append(CertReport(cid, -1, instance.proposed_batch))
+        return tuple(reports)
+
     def _on_regency_transition(self, new_regency: int) -> None:
         self.monitor.record(self.name, "regency.transition", regency=new_regency)
-        self._proposing = False
-        cid = self.log.next_execute
-        instance = self._consensus.get(cid)
-        cert = instance.write_cert if instance is not None else None
+        self._assembling = False
+        self._started.clear()
         data = StopData(
             group=self.group_id,
             regency=new_regency,
             sender=self.name,
-            cid=cid,
-            cert_regency=cert.regency if cert is not None else -1,
-            batch=cert.batch if (cert is not None and cert.batch) else None,
+            cid=self.log.next_execute,
+            certs=self._cert_reports(new_regency),
         )
         new_leader = self.view.leader_of(new_regency)
         if new_leader == self.name:
@@ -636,6 +814,11 @@ class Replica(Actor):
             return
         if src not in self.view.replicas:
             return
+        if len(data.certs) > MAX_STOPDATA_CERTS:
+            # A Byzantine peer cannot force unbounded sync work: honest
+            # reports never exceed the pipeline window.
+            self.monitor.count("regency.stopdata_oversize")
+            return
         self._apply_stopdata(src, data)
 
     def _apply_stopdata(self, sender: str, data: StopData) -> None:
@@ -645,20 +828,19 @@ class Replica(Actor):
             return
         self.regency.add_stopdata(data)
         if self.regency.sync_ready(data.regency):
-            cid = self.log.next_execute
-            instance = self._consensus.get(cid)
-            cert = instance.write_cert if instance is not None else None
-            decision = self.regency.choose_sync(data.regency, cid, cert)
+            decision = self.regency.choose_sync(
+                data.regency, self.log.next_execute,
+                self._cert_reports(data.regency))
             self.regency.mark_sync_sent(data.regency)
             sync = Sync(
                 group=self.group_id,
                 regency=data.regency,
                 leader=self.name,
                 cid=decision.cid,
-                carry=decision.carry,
+                carries=decision.carries,
             )
             self.monitor.record(self.name, "regency.sync", regency=data.regency,
-                                carry=decision.carry is not None)
+                                carries=len(decision.carries))
             self._broadcast(sync)
             self._apply_sync(self.name, sync)
 
@@ -677,16 +859,23 @@ class Replica(Actor):
         now = self.loop.now
         for key in self._pending_since:
             self._pending_since[key] = now
-        if sync.carry is not None and sync.cid == self.log.next_execute:
-            carried = Propose(self.group_id, sync.regency, sync.cid, sync.carry, sender)
+        for cid, batch in sync.carries:
+            if cid < self.log.next_execute or not batch:
+                continue
+            carried = Propose(self.group_id, sync.regency, cid, batch, sender)
+            if sender == self.name:
+                # The new leader's carries are its own open instances.
+                self._started.setdefault(cid, sync.regency)
             self._process_proposal(sender, carried)
+        self._update_inflight_gauge()
         self._drain_future_proposals()
         self._maybe_propose()
 
     # ------------------------------------------------------- state transfer
 
     def _note_progress_gap(self, cid: int) -> None:
-        if cid >= self.log.next_execute + STATE_GAP_THRESHOLD:
+        threshold = self.config.max_in_flight + STATE_GAP_SLACK
+        if cid >= self.log.next_execute + threshold:
             self._request_state()
 
     def _request_state(self) -> None:
@@ -823,13 +1012,15 @@ class Replica(Actor):
         self.log.install_checkpoint(checkpoint)
         for cid in [c for c in self._consensus if c <= checkpoint.cid]:
             del self._consensus[cid]
+        for cid in [c for c in self._started if c <= checkpoint.cid]:
+            del self._started[cid]
         if new_view.replicas != self.view.replicas:
             # The truncated prefix contained Reconfigs we will never
             # execute; the checkpoint carries the resulting view instead.
             self.view = new_view
             self.regency.update_view(new_view.n, new_view.f)
             self.active = self.name in new_view
-            self._proposing = False
+            self._assembling = False
         self.pool.prune_ordered(self.log.tracker)
         for key in [k for k in self._pending_since
                     if self.log.tracker.last(k[0]) >= k[1]]:

@@ -154,6 +154,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             messages=args.messages,
             targets=targets,
             checkpoint_interval=args.checkpoint_interval,
+            max_in_flight=args.max_in_flight,
         )
         print(report.summary())
         if args.timeline:
@@ -190,6 +191,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_report,
         run_matrix,
         save_report,
+        speedup_gates,
     )
 
     rev = args.rev if args.rev else _git_rev()
@@ -217,7 +219,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     try:
         baseline = load_report(args.compare)
-        comparison = compare(report, baseline, tolerance=args.tolerance)
+        comparison = compare(report, baseline, tolerance=args.tolerance,
+                             speedup_gates=speedup_gates())
     except (OSError, ValueError, KeyError, ConfigurationError) as exc:
         print(f"cannot compare against {args.compare}: {exc}")
         return 2
@@ -271,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="executed cids between application checkpoints "
                             "(0 disables); also asserts retention stays "
                             "within 2x the interval")
+    chaos.add_argument("--max-in-flight", type=int, default=4,
+                       dest="max_in_flight",
+                       help="consensus pipeline depth (1 = unpipelined; "
+                            "see docs/PIPELINE.md)")
     chaos.add_argument("--groups", default="g1,g2",
                        help="comma-separated target groups of the 2-level tree")
     chaos.add_argument("--timeline", action="store_true",

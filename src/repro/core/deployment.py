@@ -49,6 +49,7 @@ class GroupSpec:
     min_batch: int = 4
     request_timeout: float = 2.0
     checkpoint_interval: int = 0
+    max_in_flight: int = 4
     costs: Optional[CostModel] = None
 
 
@@ -77,6 +78,7 @@ class ByzCastDeployment:
         min_batch: int = 4,
         request_timeout: float = 2.0,
         checkpoint_interval: int = 0,
+        max_in_flight: int = 4,
         runtime: Optional[Runtime] = None,
     ) -> None:
         self.tree = tree
@@ -103,6 +105,7 @@ class ByzCastDeployment:
                 adaptive_batching=adaptive_batching, min_batch=min_batch,
                 request_timeout=request_timeout,
                 checkpoint_interval=checkpoint_interval,
+                max_in_flight=max_in_flight,
             ))
             n = 3 * spec.f + 1
             self.group_configs[group_id] = BroadcastConfig(
@@ -115,6 +118,7 @@ class ByzCastDeployment:
                 min_batch=spec.min_batch,
                 request_timeout=spec.request_timeout,
                 checkpoint_interval=spec.checkpoint_interval,
+                max_in_flight=spec.max_in_flight,
                 costs=spec.costs if spec.costs is not None else default_costs,
             )
 

@@ -35,12 +35,20 @@ class Monitor:
     def __init__(self, trace_capacity: int = 0) -> None:
         self.counters: Counter = Counter()
         self.trace_capacity = trace_capacity
+        #: fast-path guard for :meth:`record` — hot protocol paths check it
+        #: before building keyword details, so a traceless run allocates no
+        #: trace entries at all
+        self.enabled = bool(trace_capacity)
         #: ring buffer of the *last* ``trace_capacity`` records — late-run
         #: events stay observable in long runs; evictions are counted under
         #: the ``trace.dropped`` counter
         self.trace: Deque[TraceRecord] = deque(
             maxlen=trace_capacity if trace_capacity else None
         )
+        #: current-value metrics (e.g. ``consensus.in_flight.<replica>``)
+        #: with a ``<name>.peak`` high-water companion; kept apart from
+        #: ``counters`` so gauge churn never perturbs counter fingerprints
+        self.gauges: Dict[str, float] = {}
         self._clock = None  # set by the deployment; callable () -> float
 
     def bind_clock(self, clock) -> None:
@@ -62,12 +70,20 @@ class Monitor:
         each append evicts the oldest record (counted as ``trace.dropped``).
         """
         self.counters[kind] += 1
-        if self.trace_capacity:
-            if len(self.trace) == self.trace_capacity:
-                self.counters["trace.dropped"] += 1
-            self.trace.append(
-                TraceRecord(self.now, component, kind, tuple(sorted(detail.items())))
-            )
+        if not self.enabled:
+            return
+        if len(self.trace) == self.trace_capacity:
+            self.counters["trace.dropped"] += 1
+        self.trace.append(
+            TraceRecord(self.now, component, kind, tuple(sorted(detail.items())))
+        )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` and track its ``.peak``."""
+        self.gauges[name] = value
+        peak = name + ".peak"
+        if value > self.gauges.get(peak, float("-inf")):
+            self.gauges[peak] = value
 
     def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
         """Trace records, optionally filtered by kind."""

@@ -28,7 +28,7 @@ import asyncio
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import NetworkError
-from repro.env.codec import frame, read_frames
+from repro.env.codec import frame_route, read_frames
 from repro.env.monitor import Monitor
 from repro.sim.network import NetworkConfig
 from repro.sim.rng import SeededRng
@@ -159,7 +159,10 @@ class TcpTransport:
             self._aloop.call_soon(actor.receive, src, payload)
             return
         address = self.directory[dst]
-        self._outbound(address).put_nowait(frame((src, dst, payload)))
+        # frame_route encodes the payload once (identity-memoised) and only
+        # splices the per-recipient route strings — a broadcast no longer
+        # re-walks the payload object graph for each of the n - 1 peers.
+        self._outbound(address).put_nowait(frame_route(src, dst, payload))
 
     # -- plumbing ----------------------------------------------------------
 

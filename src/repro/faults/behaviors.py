@@ -30,10 +30,13 @@ class EquivocatingLeaderReplica(Replica):
 
     def _send_propose(self, cid: int, regency: int, batch: Tuple[Request, ...]) -> None:
         if regency != self.regency.current or self.regency.in_transition:
-            self._proposing = False
+            self._assembling = False
             return
         if self.config.leader_of(regency) != self.name:
+            self._assembling = False
             return
+        self._started[cid] = regency
+        self._assembling = False
         peers = self.peers()
         half = len(peers) // 2
         first, second = peers[:half], peers[half:]

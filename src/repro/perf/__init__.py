@@ -29,9 +29,11 @@ from repro.perf.runner import (
     BENCH_MATRIX,
     BenchCell,
     MIXED_CELL,
+    PIPELINE_SPEEDUP,
     QUICK_CELL,
     run_cell,
     run_matrix,
+    speedup_gates,
 )
 from repro.perf.report import format_comparison, format_report
 
@@ -43,9 +45,11 @@ __all__ = [
     "CellResult",
     "Comparison",
     "MIXED_CELL",
+    "PIPELINE_SPEEDUP",
     "QUICK_CELL",
     "Regression",
     "compare",
+    "speedup_gates",
     "format_comparison",
     "format_report",
     "load_report",

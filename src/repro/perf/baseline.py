@@ -182,8 +182,19 @@ def compare(
     current: BenchReport,
     baseline: BenchReport,
     tolerance: float = 0.10,
+    speedup_gates: Optional[Dict[str, Tuple[str, float]]] = None,
 ) -> Comparison:
     """Detect per-cell regressions of ``current`` against ``baseline``.
+
+    ``speedup_gates`` maps a current-cell name to ``(baseline_cell,
+    min_speedup)``: the named cell must reach at least ``min_speedup``
+    times the *baseline cell's* throughput, and its p95 latency may exceed
+    the baseline cell's by at most ``tolerance``.  This is how pipelined
+    matrix cells are held to the docs/PIPELINE.md acceptance bar against
+    their depth-1 baselines (cross-name, so the intersection rule above
+    cannot see them).  Gates whose cells are absent on either side are
+    skipped — a ``--cells`` subset run should not fail on what it did not
+    measure.
 
     Raises :class:`~repro.errors.ConfigurationError` when the two reports
     ran at different cost scales — their absolute numbers are incomparable.
@@ -211,6 +222,27 @@ def compare(
             regressions.append(p95)
         elif p95.baseline > 0 and p95.change < -tolerance:
             improvements.append(p95)
+    gated: List[str] = []
+    for name, (base_name, min_speedup) in sorted((speedup_gates or {}).items()):
+        cur = current.cells.get(name)
+        base = baseline.cells.get(base_name)
+        if cur is None or base is None or base.throughput <= 0:
+            continue
+        gated.append(f"{name} vs {base_name}")
+        tput = Regression(cell=f"{name} vs {base_name}",
+                          metric=f"throughput(x{min_speedup:g} gate)",
+                          baseline=base.throughput * min_speedup,
+                          current=cur.throughput)
+        if cur.throughput < base.throughput * min_speedup:
+            regressions.append(tput)
+        else:
+            improvements.append(tput)
+        base_p95 = base.latency_ms.get("p95", 0.0)
+        p95 = Regression(cell=f"{name} vs {base_name}", metric="p95",
+                         baseline=base_p95,
+                         current=cur.latency_ms.get("p95", 0.0))
+        if p95.baseline > 0 and p95.change > tolerance:
+            regressions.append(p95)
     return Comparison(
         baseline_rev=baseline.rev,
         current_rev=current.rev,
@@ -219,5 +251,5 @@ def compare(
         improvements=tuple(improvements),
         missing_cells=tuple(sorted(set(baseline.cells) - set(current.cells))),
         new_cells=tuple(sorted(set(current.cells) - set(baseline.cells))),
-        compared=tuple(shared),
+        compared=tuple(shared) + tuple(gated),
     )

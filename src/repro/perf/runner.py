@@ -1,9 +1,10 @@
 """The benchmark matrix: fixed scenarios measured by ``repro bench``.
 
-Each :class:`BenchCell` pins one combination of the three axes the paper's
+Each :class:`BenchCell` pins one combination of the four axes the paper's
 evaluation sweeps — workload mix (local / global / 10:1 mixed, §V),
-overlay-tree layout (2-level vs the Fig. 1(a) 3-level tree) and batch
-configuration (unbatched vs delay-batched) — onto the deterministic
+overlay-tree layout (2-level vs the Fig. 1(a) 3-level tree), batch
+configuration (unbatched vs delay-batched) and consensus pipeline depth
+(``max_in_flight``, docs/PIPELINE.md) — onto the deterministic
 simulation backend with the benchmark cost model
 (:func:`repro.runtime.environments.bench_costs`).  Same cell + same
 ``optimised`` flag ⇒ bit-identical measurements on any host.
@@ -50,6 +51,14 @@ class BenchCell:
     #: against BENCH_seed.json bounds its overhead (and ``max_retained``
     #: proves memory stays bounded under benchmark load)
     checkpoint_interval: int = 64
+    #: consensus pipeline depth; the base cells stay at 1 so they remain
+    #: comparable against pre-pipeline baselines (BENCH_seed.json), the
+    #: ``*_pipe4`` cells measure the depth-4 gain
+    max_in_flight: int = 1
+    #: name of the baseline-report cell this cell must beat (pipelined
+    #: cells gate on >=1.5x that cell's throughput at <=1.1x its p95);
+    #: ``None`` compares same-name cells with the regression thresholds
+    baseline: Optional[str] = None
 
     def build_tree(self) -> OverlayTree:
         if self.tree == "two_level":
@@ -74,6 +83,10 @@ class BenchCell:
 #: the cell the acceptance criterion (≥15% adaptive-batching gain) gates on
 MIXED_CELL = "mixed_two_level"
 
+#: minimum throughput multiple a pipelined cell must reach over its
+#: depth-1 baseline cell (docs/PIPELINE.md acceptance bar)
+PIPELINE_SPEEDUP = 1.5
+
 #: the cheapest cell — what CI's bench-smoke job runs (``--quick``)
 QUICK_CELL = "local_unbatched"
 
@@ -91,7 +104,31 @@ BENCH_MATRIX: List[BenchCell] = [
     # tree-layout axis: the paper's 3-level tree under the mixed workload
     BenchCell(name="mixed_paper_tree", workload="mixed", tree="paper",
               clients=32),
+    # pipeline axis: the same scenarios with four in-flight instances and
+    # higher offered load — pipelining raises the saturation point, so the
+    # closed-loop client count rises with it; the gate in ``compare`` holds
+    # these cells to >=1.5x the throughput of their depth-1 baseline cell
+    # at no more than +10% p95 (docs/PIPELINE.md)
+    BenchCell(name="global_two_level_pipe4", workload="global",
+              tree="two_level", clients=48, max_in_flight=4,
+              baseline="global_two_level"),
+    BenchCell(name="mixed_paper_tree_pipe4", workload="mixed", tree="paper",
+              clients=64, max_in_flight=4,
+              baseline="mixed_paper_tree"),
 ]
+
+
+def speedup_gates() -> Dict[str, tuple]:
+    """Cross-cell gates for :func:`repro.perf.baseline.compare`.
+
+    Every matrix cell that names a ``baseline`` cell must beat that cell's
+    throughput by :data:`PIPELINE_SPEEDUP`.
+    """
+    return {
+        cell.name: (cell.baseline, PIPELINE_SPEEDUP)
+        for cell in BENCH_MATRIX
+        if cell.baseline is not None
+    }
 
 
 def _cell_by_name(name: str) -> BenchCell:
@@ -125,6 +162,7 @@ def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
             batch_delay=cell.batch_delay,
             adaptive_batching=optimised,
             checkpoint_interval=cell.checkpoint_interval,
+            max_in_flight=cell.max_in_flight,
         )
     finally:
         _crypto_cache.configure(True)

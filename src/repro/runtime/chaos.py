@@ -70,6 +70,10 @@ class SoakConfig:
     #: no replica may retain more than ``2 × checkpoint_interval``
     #: executed batches at any point of the run
     checkpoint_interval: int = 0
+    #: consensus pipeline depth (docs/PIPELINE.md); the soak's sixth
+    #: invariant — executed order is gap-free and equals decided-cid
+    #: order — is what makes soaking at depth > 1 meaningful
+    max_in_flight: int = 4
 
     def tree(self) -> OverlayTree:
         return OverlayTree.two_level(list(self.targets))
@@ -106,6 +110,8 @@ class ChaosReport:
     #: True iff retention stayed within 2 × checkpoint_interval (always
     #: True with checkpointing off — there is no bound to enforce)
     retention_ok: bool = True
+    #: configured consensus pipeline depth
+    max_in_flight: int = 1
 
     @property
     def ok(self) -> bool:
@@ -150,7 +156,8 @@ class ChaosReport:
             lines.append(f"  VIOLATION: {violation}")
         if self.ok:
             lines.append("  invariants: agreement, integrity, validity, "
-                         "prefix order, acyclic order all hold")
+                         "prefix order, acyclic order, execution order "
+                         f"all hold (pipeline depth {self.max_in_flight})")
         return "\n".join(lines)
 
 
@@ -185,6 +192,7 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             costs=SOAK_COSTS,
             request_timeout=config.request_timeout,
             checkpoint_interval=config.checkpoint_interval,
+            max_in_flight=config.max_in_flight,
             replica_classes=schedule.replica_classes,
             app_overrides=schedule.app_overrides,
         )
@@ -250,6 +258,7 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
                 schedule.replica_classes.get(gid, {})
             ]
         violations = check_all(sequences, sent_messages, quiescent=liveness_ok)
+        violations.extend(_execution_order_violations(deployment, schedule))
 
         max_retained = 0
         for gid in deployment.groups:
@@ -285,10 +294,52 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             checkpoints_taken=counters.get("checkpoint.taken", 0),
             checkpoints_installed=counters.get("checkpoint.installed", 0),
             retention_ok=retention_ok,
+            max_in_flight=config.max_in_flight,
         )
         return report
     finally:
         runtime.close()
+
+
+def _execution_order_violations(deployment, schedule) -> List[str]:
+    """The soak's sixth invariant: execution follows decided-cid order.
+
+    With a consensus pipeline, instances may *decide* out of cid order but
+    must *execute* gap-free in ascending cid order (docs/PIPELINE.md).
+    Each replica's :class:`~repro.bcast.log.DecisionLog` journals both
+    sequences; here we assert, for every correct running replica, that the
+    executed journal never jumped (except across an installed checkpoint)
+    and that every journaled decision below the cursor was in fact
+    executed.  Byzantine and crashed replicas are exempt — their logs are
+    allowed to be arbitrary / truncated.
+    """
+    problems: List[str] = []
+    for gid in sorted(deployment.groups):
+        byzantine = schedule.replica_classes.get(gid, {})
+        for replica in deployment.groups[gid].replicas:
+            if replica.name in byzantine or replica.crashed:
+                continue
+            log = replica.log
+            if log.order_violations:
+                problems.append(
+                    f"{replica.name}: executed journal jumped "
+                    f"{log.order_violations} time(s) (not gap-free)")
+            executed = set(log.executed_order)
+            # A checkpoint install legally skips executing the truncated
+            # prefix; journals are bounded deques, so only compare above
+            # both the checkpoint horizon and the journal's own floor.
+            floor = log.checkpoint.cid if log.checkpoint is not None else -1
+            if log.executed_order:
+                floor = max(floor, log.executed_order[0] - 1)
+            missing = sorted(
+                cid for cid in set(log.decided_order)
+                if floor < cid < log.next_execute and cid not in executed
+            )
+            if missing:
+                problems.append(
+                    f"{replica.name}: decided cids {missing[:5]} missing "
+                    f"from the executed journal")
+    return problems
 
 
 def _mixed_destinations(targets: Sequence[str]) -> List[frozenset]:

@@ -133,6 +133,7 @@ def run_byzcast(
     min_batch: int = 4,
     request_timeout: float = 2.0,
     checkpoint_interval: int = 0,
+    max_in_flight: int = 4,
     max_events: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure ByzCast under the given workload."""
@@ -149,6 +150,7 @@ def run_byzcast(
         min_batch=min_batch,
         request_timeout=request_timeout,
         checkpoint_interval=checkpoint_interval,
+        max_in_flight=max_in_flight,
     )
     return _drive_and_measure(
         deployment,

@@ -121,19 +121,22 @@ class EventLoop:
         self._stopped = False
         fired = 0
         while self._heap and not self._stopped:
-            event = heapq.heappop(self._heap)
+            # Peek: budget/pause checks must not pop-then-re-push (that
+            # churns the heap on every stop); the event is only removed
+            # once it is certain to fire.
+            event = self._heap[0]
             if event.cancelled:
+                heapq.heappop(self._heap)
                 self._cancelled -= 1
                 continue
             if until is not None and event.time > until:
-                heapq.heappush(self._heap, event)
                 self._now = until
                 return
             if max_events is not None and fired >= max_events:
-                heapq.heappush(self._heap, event)
                 raise SimulationError(
                     f"event budget exhausted ({max_events} events) — livelock?"
                 )
+            heapq.heappop(self._heap)
             self._now = event.time
             event._loop = None  # fired: a late cancel() must not count
             event.callback()

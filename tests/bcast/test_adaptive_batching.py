@@ -15,8 +15,10 @@ from tests.helpers import FAST_COSTS, make_config
 
 
 def _config(**overrides) -> BroadcastConfig:
+    # depth 1: these tests pin the single-instance policy; the pipelined
+    # batch-limit split is covered by TestPipelineInteraction below
     params = dict(max_batch=64, batch_delay=0.002, adaptive_batching=True,
-                  min_batch=4)
+                  min_batch=4, max_in_flight=1)
     params.update(overrides)
     return make_config(**params)
 
@@ -126,6 +128,51 @@ class TestHoldLoop:
         assert batcher.hold(5, now=1.0) is True
         batcher.reset()
         assert batcher.batch_limit() == 64  # history gone
+
+
+class TestPipelineInteraction:
+    """Pipelining must never trade batch size for launch rate.
+
+    Per-instance fixed costs dominate the CPU model, so a pipelined
+    leader still collects full batches; the open instances only make
+    *waiting* cheaper (they cover the round trip), which shows up as a
+    stretched hold budget — not as skipped delays or split batch limits.
+    """
+
+    def test_delay_unaffected_by_open_instances(self):
+        batcher = AdaptiveBatcher(_config(max_in_flight=4))
+        assert batcher.proposal_delay(1, in_flight=1) == 0.002
+        assert batcher.proposal_delay(1, in_flight=0) == 0.002
+        # the full-target skip still applies regardless of in-flight count
+        batcher.observe(10, 10)  # target 21
+        assert batcher.proposal_delay(21, in_flight=3) == 0.0
+        static = AdaptiveBatcher(_config(adaptive_batching=False, max_in_flight=4))
+        assert static.proposal_delay(1, in_flight=2) == 0.002
+
+    def test_hold_budget_stretches_with_open_instances(self):
+        batcher = AdaptiveBatcher(_config(max_in_flight=4))
+        batcher.observe(10, 10)  # target 21
+        assert batcher.hold(1, now=0.0, in_flight=1) is True
+        plain = HOLD_BUDGET * 0.002
+        # keeps holding past the unpipelined deadline (pool kept growing)...
+        assert batcher.hold(2, now=plain) is True
+        assert batcher.hold(3, now=2 * plain) is True
+        # ...up to max_in_flight times the plain budget
+        assert batcher.hold(4, now=4 * plain) is False
+
+    def test_hold_budget_plain_without_open_instances(self):
+        batcher = AdaptiveBatcher(_config(max_in_flight=4))
+        batcher.observe(10, 10)
+        assert batcher.hold(1, now=0.0, in_flight=0) is True
+        assert batcher.hold(2, now=HOLD_BUDGET * 0.002) is False
+
+    def test_batch_limit_not_split_across_window(self):
+        deep = AdaptiveBatcher(_config(max_in_flight=4))
+        flat = AdaptiveBatcher(_config(max_in_flight=1))
+        deep.observe(40, 40)
+        flat.observe(40, 40)
+        assert flat.batch_limit() == 64  # clamped at max_batch
+        assert deep.batch_limit() == 64  # same target: instances stay full
 
 
 class TestDeploymentLevel:

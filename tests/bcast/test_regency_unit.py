@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from repro.bcast.consensus import WriteCertificate
-from repro.bcast.messages import StopData
+from repro.bcast.messages import CertReport, StopData
 from repro.bcast.regency import RegencyManager
 
 
@@ -11,9 +10,13 @@ def make_manager() -> RegencyManager:
     return RegencyManager(n=4, f=1)
 
 
-def stopdata(regency, sender, cid=0, cert_regency=-1, batch=None):
+def stopdata(regency, sender, cid=0, certs=()):
     return StopData(group="g", regency=regency, sender=sender, cid=cid,
-                    cert_regency=cert_regency, batch=batch)
+                    certs=tuple(certs))
+
+
+def cert(cid, cert_regency, batch):
+    return CertReport(cid=cid, cert_regency=cert_regency, batch=batch)
 
 
 class TestStopPhase:
@@ -71,36 +74,74 @@ class TestSyncPhase:
         m = make_manager()
         for sender in ("r0", "r1", "r2"):
             m.add_stopdata(stopdata(1, sender, cid=5))
-        decision = m.choose_sync(1, own_cid=5, own_cert=None)
+        decision = m.choose_sync(1, own_cid=5, own_certs=())
         assert decision.cid == 5
-        assert decision.carry is None
+        assert decision.carries == ()
 
     def test_choose_sync_prefers_highest_certificate(self):
         m = make_manager()
         batch_low = (("low",),)
         batch_high = (("high",),)
-        m.add_stopdata(stopdata(1, "r0", cid=5, cert_regency=0, batch=batch_low))
-        m.add_stopdata(stopdata(1, "r1", cid=5, cert_regency=2, batch=batch_high))
+        m.add_stopdata(stopdata(1, "r0", cid=5, certs=[cert(5, 0, batch_low)]))
+        m.add_stopdata(stopdata(1, "r1", cid=5, certs=[cert(5, 2, batch_high)]))
         m.add_stopdata(stopdata(1, "r2", cid=5))
-        decision = m.choose_sync(1, own_cid=5, own_cert=None)
-        assert decision.carry == batch_high
+        decision = m.choose_sync(1, own_cid=5, own_certs=())
+        assert decision.carries == ((5, batch_high),)
 
     def test_choose_sync_uses_own_certificate(self):
         m = make_manager()
         for sender in ("r0", "r1", "r2"):
             m.add_stopdata(stopdata(1, sender, cid=5))
-        own = WriteCertificate(regency=0, digest=b"d", batch=(("mine",),))
-        decision = m.choose_sync(1, own_cid=5, own_cert=own)
-        assert decision.carry == (("mine",),)
+        own = (cert(5, 0, (("mine",),)),)
+        decision = m.choose_sync(1, own_cid=5, own_certs=own)
+        assert decision.carries == ((5, (("mine",),)),)
 
     def test_choose_sync_ignores_stale_cid_reports(self):
         m = make_manager()
-        m.add_stopdata(stopdata(1, "r0", cid=3, cert_regency=5, batch=(("old",),)))
+        m.add_stopdata(stopdata(1, "r0", cid=3, certs=[cert(3, 5, (("old",),))]))
         m.add_stopdata(stopdata(1, "r1", cid=5))
         m.add_stopdata(stopdata(1, "r2", cid=5))
-        decision = m.choose_sync(1, own_cid=5, own_cert=None)
+        decision = m.choose_sync(1, own_cid=5, own_certs=())
         assert decision.cid == 5
-        assert decision.carry is None
+        assert decision.carries == ()
+
+    def test_choose_sync_fills_uncertified_gap_below_certified(self):
+        # Open window [5, 8): only the *middle* cid (6) is certified.  The
+        # gap at 5 must be filled from an uncertified report (it may not be
+        # skipped: 6 may have decided and execution is gap-free), while the
+        # uncertified batch at 7 — above the last certified cid — is
+        # recycled into fresh proposals, not carried.
+        m = make_manager()
+        gap_filler = (("gap5",),)
+        certified_mid = (("mid6",),)
+        recycled = (("tail7",),)
+        m.add_stopdata(stopdata(1, "r0", cid=5, certs=[
+            cert(5, -1, gap_filler), cert(6, 1, certified_mid),
+            cert(7, -1, recycled)]))
+        m.add_stopdata(stopdata(1, "r1", cid=5, certs=[cert(5, -1, gap_filler)]))
+        m.add_stopdata(stopdata(1, "r2", cid=5))
+        decision = m.choose_sync(1, own_cid=5, own_certs=())
+        assert decision.cid == 5
+        assert decision.carries == ((5, gap_filler), (6, certified_mid))
+
+    def test_choose_sync_filler_is_deterministic_first_by_sender(self):
+        m = make_manager()
+        m.add_stopdata(stopdata(1, "r2", cid=0, certs=[cert(0, -1, (("z",),))]))
+        m.add_stopdata(stopdata(1, "r0", cid=0, certs=[cert(0, -1, (("a",),))]))
+        m.add_stopdata(stopdata(1, "r1", cid=0, certs=[cert(1, 0, (("c1",),))]))
+        decision = m.choose_sync(1, own_cid=0, own_certs=())
+        # r0 sorts first, so its uncertified batch fills the gap at 0
+        assert decision.carries == ((0, (("a",),)), (1, (("c1",),)))
+
+    def test_choose_sync_leaves_unknown_holes_to_the_leader(self):
+        m = make_manager()
+        m.add_stopdata(stopdata(1, "r0", cid=2, certs=[cert(4, 1, (("c4",),))]))
+        m.add_stopdata(stopdata(1, "r1", cid=2))
+        m.add_stopdata(stopdata(1, "r2", cid=2))
+        decision = m.choose_sync(1, own_cid=2, own_certs=())
+        # cids 2 and 3 have no known batch anywhere: the carry list skips
+        # them (fresh proposals / state transfer recover those slots)
+        assert decision.carries == ((4, (("c4",),)),)
 
 
 class TestInstall:

@@ -88,6 +88,40 @@ def test_frame_length_guard():
         codec.read_frames(bogus)
 
 
+def test_frame_route_is_byte_identical_to_generic_framing():
+    signature = Signature(signer="c1", tag=b"\x01\x02")
+    payloads = [
+        Request("g1", "c1", 4, ("put", "k", "v"), signature),
+        Accept("g1", 0, 7, b"\xde\xad", "g1/r2"),
+        ("plain", ["tuple", 1]),
+        None,
+    ]
+    for payload in payloads:
+        for src, dst in (("g1/r0", "g1/r1"), ("hé-src", "dst\"quoted\"")):
+            spliced = codec.frame_route(src, dst, payload)
+            assert spliced == codec.frame((src, dst, payload))
+            frames, rest = codec.read_frames(spliced)
+            assert rest == b""
+            assert frames == [(src, dst, payload)]
+
+
+def test_frame_route_reuses_the_memoised_payload_body():
+    request = Request("g1", "c1", 9, ("op",), Signature("c1", b"\x03"))
+    codec.encode(request)  # populate the identity-keyed encode cache
+    # Splicing to two different destinations yields two distinct frames
+    # around the same payload bytes.
+    a = codec.frame_route("g1/r0", "g1/r1", request)
+    b = codec.frame_route("g1/r0", "g1/r2", request)
+    assert a != b
+    body = codec.encode(request)
+    assert body in a and body in b
+
+
+def test_frame_route_respects_the_frame_limit():
+    with pytest.raises(NetworkError):
+        codec.frame_route("s", "d", "x" * (codec.MAX_FRAME + 1))
+
+
 # -- TCP transport ----------------------------------------------------------
 
 

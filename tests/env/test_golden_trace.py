@@ -21,7 +21,10 @@ GOLDEN_COMPLETIONS = 10
 
 def _fingerprint() -> tuple:
     tree = OverlayTree.two_level(["g1", "g2", "g3"])
-    dep = ByzCastDeployment(tree, seed=42, trace_capacity=20000)
+    # max_in_flight=1 pins the pre-pipeline proposal schedule: the golden
+    # fingerprint predates pipelined consensus and depth 1 must reproduce
+    # it byte-for-byte (docs/PIPELINE.md).
+    dep = ByzCastDeployment(tree, seed=42, trace_capacity=20000, max_in_flight=1)
     completions = []
     client = dep.add_client(
         "c1", on_complete=lambda m, l: completions.append((m.mid.seq, round(l, 9)))

@@ -78,3 +78,46 @@ class TestTrace:
         monitor = Monitor(trace_capacity=1)
         monitor.record("a", "k")
         assert monitor.trace[0].time == 0.0
+
+
+class TestDisabledFastPath:
+    def test_enabled_mirrors_trace_capacity(self):
+        assert Monitor().enabled is False
+        assert Monitor(trace_capacity=0).enabled is False
+        assert Monitor(trace_capacity=1).enabled is True
+
+    def test_disabled_record_allocates_no_trace_entries(self, monkeypatch):
+        """Hot protocol paths guard on ``enabled``; with tracing off,
+        ``record`` must return before ever constructing a TraceRecord."""
+        import repro.env.monitor as monitor_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("TraceRecord built on the disabled path")
+
+        monkeypatch.setattr(monitor_module, "TraceRecord", explode)
+        monitor = monitor_module.Monitor()  # trace_capacity=0
+        for index in range(100):
+            monitor.record("comp", "kind", i=index)
+        assert monitor.counters["kind"] == 100  # counting still works
+        assert list(monitor.trace) == []
+
+    def test_callers_can_skip_detail_building(self):
+        # The documented idiom: check ``enabled`` before assembling kwargs.
+        monitor = Monitor()
+        if monitor.enabled:  # pragma: no cover - exercised when tracing on
+            raise AssertionError("capacity 0 must read as disabled")
+
+
+class TestGauges:
+    def test_gauge_tracks_value_and_peak(self):
+        monitor = Monitor()
+        monitor.gauge("consensus.in_flight.r0", 2.0)
+        monitor.gauge("consensus.in_flight.r0", 4.0)
+        monitor.gauge("consensus.in_flight.r0", 1.0)
+        assert monitor.gauges["consensus.in_flight.r0"] == 1.0
+        assert monitor.gauges["consensus.in_flight.r0.peak"] == 4.0
+
+    def test_gauges_do_not_perturb_counters(self):
+        monitor = Monitor()
+        monitor.gauge("depth", 3.0)
+        assert monitor.snapshot() == {}
