@@ -4,129 +4,79 @@
 This is the application class the paper motivates (§II-D): service state
 sharded over replicated state machines, with atomic multicast ordering the
 requests — single-shard operations go to one group (fast, genuine path),
-cross-shard transactions are atomically multicast to every involved shard
-and applied consistently everywhere.
+cross-shard transfers are atomically multicast to every involved shard and
+applied consistently everywhere.
 
-The store runs 4 shards of 4 replicas each under the Fig. 1 tree, executes
-a mix of single-shard writes and cross-shard transfers from several
-clients, then verifies that (a) all replicas of a shard converged to the
-same state and (b) money is conserved across shards despite concurrent
-cross-shard transfers.
+The store itself is a library now — :mod:`repro.apps.sharded_kv` — and
+this example is a thin wrapper: declare a scenario (``app: "sharded_kv"``
+over the Fig. 1 tree), build the deployment from it, run a mix of
+single-shard deposits and cross-shard transfers, then verify that (a) all
+replicas of a shard converged to the same state and (b) money is conserved
+across shards despite concurrent cross-shard transfers.
 
 Run:  python examples/sharded_kv_store.py
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from repro.scenario import ScenarioSpec
+from repro.scenario.spec import ProtocolSpec, TopologySpec, WorkloadSpec
+from repro.types import destination
 
-from repro import ByzCastDeployment, OverlayTree, destination
-from repro.core.node import ByzCastApplication
-
-SHARDS = ["g1", "g2", "g3", "g4"]
-ACCOUNTS = [f"acct{i}" for i in range(16)]
 INITIAL_BALANCE = 100
 
-
-def shard_of(key: str) -> str:
-    """Deterministic key → shard placement."""
-    return SHARDS[sum(key.encode()) % len(SHARDS)]
-
-
-class ShardStateMachine:
-    """The deterministic per-replica state of one shard."""
-
-    def __init__(self, shard: str) -> None:
-        self.shard = shard
-        self.balances: Dict[str, int] = {
-            account: INITIAL_BALANCE
-            for account in ACCOUNTS if shard_of(account) == shard
-        }
-        self.applied: List[tuple] = []
-
-    def apply(self, op: tuple) -> None:
-        """Apply one a-delivered operation (only the local-shard side)."""
-        self.applied.append(op)
-        kind = op[0]
-        if kind == "deposit":
-            __, account, amount = op
-            if account in self.balances:
-                self.balances[account] += amount
-        elif kind == "transfer":
-            __, src, dst, amount = op
-            # Each shard applies its side of the transfer; atomic multicast
-            # guarantees both shards see the transfer, in consistent order.
-            if src in self.balances:
-                self.balances[src] -= amount
-            if dst in self.balances:
-                self.balances[dst] += amount
-
-
-def make_app_factory(stores: Dict[str, List[ShardStateMachine]]):
-    """A per-replica application factory wiring a ShardStateMachine."""
-
-    def factory(group_id, tree, group_configs, registry):
-        machine = ShardStateMachine(group_id)
-        stores.setdefault(group_id, []).append(machine)
-
-        def on_deliver(message, ctx):
-            machine.apply(message.payload)
-
-        return ByzCastApplication(
-            group_id=group_id, tree=tree, group_configs=group_configs,
-            registry=registry, on_deliver=on_deliver,
-        )
-
-    return factory
+SPEC = ScenarioSpec(
+    name="sharded-kv-example",
+    topology=TopologySpec(groups=4, layout="paper"),
+    workload=WorkloadSpec(clients=3, keys=16),
+    protocol=ProtocolSpec(costs="soak", checkpoint_interval=64,
+                          max_in_flight=4),
+    app="sharded_kv",
+    seed=42,
+)
 
 
 def main() -> None:
-    tree = OverlayTree.paper_tree()
-    stores: Dict[str, List[ShardStateMachine]] = {}
-    factory = make_app_factory(stores)
-    overrides = {
-        group: {f"{group}/r{i}": factory for i in range(4)}
-        for group in tree.nodes
-    }
-    deployment = ByzCastDeployment(tree, app_overrides=overrides)
-    clients = [deployment.add_client(f"c{i}") for i in range(3)]
+    deployment = SPEC.build_deployment()
+    kv = deployment.kv
+    clients = [deployment.add_client(f"c{i}")
+               for i in range(SPEC.workload.clients)]
 
-    # Phase 1: single-shard deposits (local messages — the genuine path).
-    for index, account in enumerate(ACCOUNTS):
+    # Phase 1: fund every account (local messages — the genuine path).
+    for index, key in enumerate(kv.keys):
         client = clients[index % len(clients)]
-        client.amulticast(destination(shard_of(account)),
-                          payload=("deposit", account, 10))
+        client.amulticast(destination(kv.shard_of(key)),
+                          payload=("put", key, INITIAL_BALANCE))
 
-    # Phase 2: cross-shard transfers (global messages).
+    # Phase 2: cross-shard transfers (global messages, atomically multicast
+    # to both owning shards).
     transfers = [
-        ("acct0", "acct1", 30), ("acct1", "acct2", 20),
-        ("acct3", "acct7", 50), ("acct9", "acct0", 25),
-        ("acct5", "acct12", 40), ("acct14", "acct3", 15),
+        ("key0", "key1", 30), ("key1", "key2", 20),
+        ("key3", "key7", 50), ("key9", "key0", 25),
+        ("key5", "key12", 40), ("key14", "key3", 15),
     ]
     for index, (src, dst, amount) in enumerate(transfers):
-        groups = {shard_of(src), shard_of(dst)}
+        groups = {kv.shard_of(src), kv.shard_of(dst)}
         clients[index % len(clients)].amulticast(
-            destination(*groups), payload=("transfer", src, dst, amount)
-        )
+            destination(*groups), payload=("transfer", src, dst, amount))
 
     deployment.run(until=10.0)
     assert all(c.pending() == 0 for c in clients), "not all requests completed"
 
     print("Shard states (every replica of a shard must agree):")
-    total = 0
-    for shard in SHARDS:
-        machines = stores[shard]
-        reference = machines[0].balances
-        for machine in machines[1:]:
-            assert machine.balances == reference, f"divergence in {shard}!"
-        print(f"  {shard}: {len(reference)} accounts, "
-              f"{len(machines[0].applied)} ops applied -> {reference}")
-        total += sum(reference.values())
+    divergence = kv.check_consistency()
+    assert not divergence, divergence
+    for shard in kv.shards:
+        state = kv.shard_state(shard)
+        ops = kv.machines(shard)[0].ops_applied
+        print(f"  {shard}: {len(state)} keys, {ops} ops applied -> {state}")
 
-    expected = len(ACCOUNTS) * (INITIAL_BALANCE + 10)
+    total = kv.total_of()
+    expected = len(kv.keys) * INITIAL_BALANCE
     print(f"\nTotal balance across shards: {total} (expected {expected})")
     assert total == expected, "conservation violated!"
-    print("OK: replicas agree within every shard and transfers conserved money.")
+    print("OK: replicas agree within every shard and transfers conserved "
+          "money.")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,9 @@ Commands:
   checks) on the sim and/or real-time backend;
 * ``bench``     — run the performance-regression matrix, write a
   ``BENCH_<rev>.json``, optionally fail against a committed baseline
-  (see ``docs/PERF.md``).
+  (see ``docs/PERF.md``);
+* ``scenario``  — validate or run a declarative scenario spec file
+  (see ``docs/SCENARIOS.md`` and ``examples/scenarios/``).
 """
 
 from __future__ import annotations
@@ -228,6 +230,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenario import ScenarioSpec, run_scenario
+
+    try:
+        spec = ScenarioSpec.load(args.file)
+    except (OSError, ConfigurationError) as exc:
+        print(f"cannot load {args.file}: {exc}")
+        return 2
+    problems = spec.validate()
+    if problems:
+        print(f"scenario {spec.name!r}: INVALID")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    if args.action == "validate":
+        tree = spec.build_tree()
+        auxiliaries = len(tree.nodes) - len(tree.targets)
+        print(f"scenario {spec.name!r}: OK")
+        print(f"  topology : {len(tree.targets)} target group(s) + "
+              f"{auxiliaries} auxiliary ({spec.topology.layout}), "
+              f"f={spec.topology.f}, latency {spec.topology.latency}")
+        print(f"  workload : {spec.workload.clients} {spec.workload.loop}-loop "
+              f"client(s), {spec.workload.destinations} destinations, "
+              f"horizon {spec.horizon:g}s")
+        print(f"  app      : {spec.app}   backend: {spec.backend}   "
+              f"costs: {spec.protocol.costs}")
+        print(f"  faults   : "
+              f"{spec.faults.intensity if spec.faults else 'none'}")
+        return 0
+    result = run_scenario(spec)
+    print(result.row())
+    print(f"  local  p95 = {result.local_latency.p95 * 1000:8.2f} ms "
+          f"({result.local_latency.count} in window)")
+    print(f"  global p95 = {result.global_latency.p95 * 1000:8.2f} ms "
+          f"({result.global_latency.count} in window)")
+    print(f"  completed {result.completed}/{result.sent} sent")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -302,6 +344,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rev", default=None,
                        help="revision label (default: git short hash)")
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="validate or run a declarative scenario spec "
+             "(docs/SCENARIOS.md)")
+    scenario.add_argument("action", choices=["validate", "run"],
+                          help="validate: lint the spec; run: execute it "
+                               "and print throughput/latency")
+    scenario.add_argument("file",
+                          help="scenario JSON file (see examples/scenarios/)")
+
     return parser
 
 
@@ -316,6 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)
 

@@ -93,6 +93,44 @@ class OverlayTree:
         """The Fig. 1(a) tree: h1 over h2{g1, g2} and h3{g3, g4}."""
         return cls.three_level({"h2": ["g1", "g2"], "h3": ["g3", "g4"]})
 
+    @classmethod
+    def balanced(
+        cls,
+        targets: Sequence[str],
+        fanout: int = 8,
+        aux_prefix: str = "h",
+    ) -> "OverlayTree":
+        """A balanced tree of auxiliary groups over many target groups.
+
+        Built bottom-up: target groups are chunked ``fanout`` at a time
+        under fresh auxiliary groups, then those auxiliaries are chunked in
+        turn until a single root remains.  With ``len(targets) <= fanout``
+        this degenerates to :meth:`two_level`.  Auxiliary names are
+        ``{aux_prefix}1``, ``{aux_prefix}2``, ... in construction order
+        (the root gets the highest number), so the same inputs always
+        produce the same tree — scale scenarios stay deterministic.
+        """
+        targets = list(targets)
+        if not targets:
+            raise TreeError("need at least one target group")
+        if fanout < 2:
+            raise TreeError("fanout must be at least 2")
+        if len(targets) == 1:
+            return cls({}, targets)
+        parents: Dict[str, str] = {}
+        aux_count = 0
+        level: List[str] = list(targets)
+        while len(level) > 1:
+            next_level: List[str] = []
+            for start in range(0, len(level), fanout):
+                aux_count += 1
+                parent = f"{aux_prefix}{aux_count}"
+                for node in level[start:start + fanout]:
+                    parents[node] = parent
+                next_level.append(parent)
+            level = next_level
+        return cls(parents, targets)
+
     # -- internal construction -------------------------------------------------
 
     def _assign_depths(self) -> None:

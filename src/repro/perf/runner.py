@@ -1,13 +1,23 @@
 """The benchmark matrix: fixed scenarios measured by ``repro bench``.
 
-Each :class:`BenchCell` pins one combination of the four axes the paper's
-evaluation sweeps — workload mix (local / global / 10:1 mixed, §V),
-overlay-tree layout (2-level vs the Fig. 1(a) 3-level tree), batch
-configuration (unbatched vs delay-batched) and consensus pipeline depth
-(``max_in_flight``, docs/PIPELINE.md) — onto the deterministic
-simulation backend with the benchmark cost model
-(:func:`repro.runtime.environments.bench_costs`).  Same cell + same
-``optimised`` flag ⇒ bit-identical measurements on any host.
+Each :class:`BenchCell` is a thin, named view over a
+:class:`~repro.scenario.ScenarioSpec` — the cell axes (workload mix, tree
+layout, batch configuration, pipeline depth, arrival process, application)
+map onto the declarative scenario schema via :meth:`BenchCell.to_scenario`,
+and :func:`run_cell` executes the spec through the one shared
+:func:`~repro.scenario.build.run_scenario` path.  Same cell + same
+``optimised`` flag ⇒ bit-identical measurements on any host (sim backend).
+
+The classic cells sweep the paper's axes — workload mix (local / global /
+10:1 mixed, §V), overlay-tree layout (2-level vs the Fig. 1(a) 3-level
+tree), batching and consensus pipeline depth (docs/PIPELINE.md) — with the
+benchmark cost model (:func:`repro.runtime.environments.bench_costs`).
+The ``scale16_*`` cells are the ROADMAP's scale-out suite: 16 target
+groups on a balanced tree, open-loop zipfian traffic and the sharded-KV
+cross-shard mix (docs/SCENARIOS.md).  ``SCALE_EXTRA_CELLS`` holds the
+larger/nondeterministic variants (64 groups, the rt best-effort cell)
+reachable via ``repro bench --cells`` but excluded from the default matrix
+and its regression baselines.
 
 ``optimised`` toggles the two hot-path optimisations as one unit: adaptive
 batch sizing (:class:`repro.bcast.adaptive.AdaptiveBatcher`) changes the
@@ -18,19 +28,19 @@ default run demonstrates the gain.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.tree import OverlayTree
 from repro.crypto import cache as _crypto_cache
 from repro.perf.baseline import BenchReport, CellResult
-from repro.runtime.environments import (
-    BENCH_SCALE,
-    bench_batch_delay,
-    bench_costs,
+from repro.runtime.environments import BENCH_SCALE, bench_batch_delay
+from repro.scenario import (
+    ScenarioSpec,
+    build_destination_sampler,
+    run_scenario,
 )
-from repro.runtime.experiment import ClientPlan, ExperimentResult, run_byzcast
+from repro.scenario.spec import ProtocolSpec, TopologySpec, WorkloadSpec
 from repro.workload import spec as workloads
 
 
@@ -39,9 +49,18 @@ class BenchCell:
     """One point of the benchmark matrix."""
 
     name: str
-    workload: str            # "local" | "global" | "mixed"
-    tree: str                # "two_level" | "paper"
+    workload: str            # "local" | "global" | "mixed" | "zipfian" | "kv"
+    tree: str                # "two_level" | "paper" | "balanced"
     clients: int
+    #: balanced trees only: number of target groups and tree fanout
+    groups: int = 2
+    fanout: int = 8
+    #: arrival process: "closed" (paper §IV) or "open" (Poisson at ``rate``)
+    loop: str = "closed"
+    rate: float = 100.0
+    #: "none" or "sharded_kv" (the ``kv`` workload's cross-shard mix)
+    app: str = "none"
+    backend: str = "sim"
     max_batch: int = 400
     batch_delay: float = bench_batch_delay()
     warmup: float = 1.0
@@ -60,24 +79,39 @@ class BenchCell:
     #: ``None`` compares same-name cells with the regression thresholds
     baseline: Optional[str] = None
 
+    def to_scenario(self, optimised: bool = False) -> ScenarioSpec:
+        """This cell as a runnable scenario spec."""
+        groups = 4 if self.tree == "paper" else self.groups
+        destinations = "local" if self.workload == "kv" else self.workload
+        return ScenarioSpec(
+            name=self.name,
+            topology=TopologySpec(
+                groups=groups, layout=self.tree, fanout=self.fanout),
+            workload=WorkloadSpec(
+                clients=self.clients, client_prefix="bench-c",
+                loop=self.loop, rate=self.rate,
+                destinations=destinations,
+                warmup=self.warmup, duration=self.duration,
+            ),
+            protocol=ProtocolSpec(
+                max_batch=self.max_batch,
+                batch_delay=self.batch_delay,
+                adaptive_batching=optimised,
+                checkpoint_interval=self.checkpoint_interval,
+                max_in_flight=self.max_in_flight,
+                costs="bench",
+            ),
+            app=self.app,
+            backend=self.backend,
+            seed=self.seed,
+        )
+
     def build_tree(self) -> OverlayTree:
-        if self.tree == "two_level":
-            return OverlayTree.two_level(["g1", "g2"])
-        if self.tree == "paper":
-            return OverlayTree.paper_tree()
-        raise ValueError(f"unknown tree layout {self.tree!r}")
+        return self.to_scenario().build_tree()
 
     def build_sampler(self, targets: Sequence[str]) -> workloads.DestinationSampler:
-        if self.workload == "local":
-            return workloads.local_uniform(targets)
-        if self.workload == "global":
-            return workloads.uniform_pairs(targets)
-        if self.workload == "mixed":
-            return workloads.mixed_ratio(
-                workloads.local_uniform(targets),
-                workloads.uniform_pairs(targets),
-            )
-        raise ValueError(f"unknown workload {self.workload!r}")
+        return build_destination_sampler(
+            self.to_scenario().workload, targets)
 
 
 #: the cell the acceptance criterion (≥15% adaptive-batching gain) gates on
@@ -89,6 +123,9 @@ PIPELINE_SPEEDUP = 1.5
 
 #: the cheapest cell — what CI's bench-smoke job runs (``--quick``)
 QUICK_CELL = "local_unbatched"
+
+#: the 16-group cell CI's scale-smoke job runs (``--cells scale16_zipf_open``)
+SCALE_SMOKE_CELL = "scale16_zipf_open"
 
 BENCH_MATRIX: List[BenchCell] = [
     # batch-config axis: no leader delay at all (latency-optimal baseline)
@@ -115,6 +152,30 @@ BENCH_MATRIX: List[BenchCell] = [
     BenchCell(name="mixed_paper_tree_pipe4", workload="mixed", tree="paper",
               clients=64, max_in_flight=4,
               baseline="mixed_paper_tree"),
+    # scale axis: 16 target groups on a balanced fanout-4 tree — zipfian
+    # open-loop traffic (skewed group popularity at a fixed offered rate)
+    # and the sharded-KV cross-shard transaction mix; shorter windows keep
+    # the default matrix's wall time in budget
+    BenchCell(name=SCALE_SMOKE_CELL, workload="zipfian", tree="balanced",
+              groups=16, fanout=4, clients=24, loop="open", rate=20.0,
+              duration=3.0, max_in_flight=4),
+    BenchCell(name="scale16_kv_mix", workload="kv", tree="balanced",
+              groups=16, fanout=4, clients=24, app="sharded_kv",
+              duration=3.0, max_in_flight=4),
+]
+
+#: scale variants outside the default matrix (and its baselines): the
+#: 64-group sim scenario is wall-clock-expensive, the rt cell is
+#: best-effort by nature (wall-clock timing ⇒ not bit-reproducible, and
+#: its duration is real seconds).  Run them via ``repro bench --cells``.
+SCALE_EXTRA_CELLS: List[BenchCell] = [
+    BenchCell(name="scale64_zipf_open", workload="zipfian", tree="balanced",
+              groups=64, fanout=4, clients=48, loop="open", rate=10.0,
+              duration=2.0, max_in_flight=4),
+    BenchCell(name="scale16_rt_best_effort", workload="zipfian",
+              tree="balanced", groups=16, fanout=4, clients=8, loop="open",
+              rate=10.0, backend="rt", warmup=0.5, duration=1.5,
+              max_in_flight=4),
 ]
 
 
@@ -132,7 +193,7 @@ def speedup_gates() -> Dict[str, tuple]:
 
 
 def _cell_by_name(name: str) -> BenchCell:
-    for cell in BENCH_MATRIX:
+    for cell in [*BENCH_MATRIX, *SCALE_EXTRA_CELLS]:
         if cell.name == name:
             return cell
     raise KeyError(f"no benchmark cell named {name!r}")
@@ -140,33 +201,13 @@ def _cell_by_name(name: str) -> BenchCell:
 
 def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
     """Run one matrix cell and collapse it to a :class:`CellResult`."""
-    tree = cell.build_tree()
-    targets = sorted(tree.targets)
-    sampler = cell.build_sampler(targets)
-    plans = [
-        ClientPlan(name=f"bench-c{i}", sampler=sampler)
-        for i in range(cell.clients)
-    ]
+    spec = cell.to_scenario(optimised=optimised)
     _crypto_cache.configure(optimised)
     _crypto_cache.clear_caches()
-    started = time.perf_counter()
     try:
-        result: ExperimentResult = run_byzcast(
-            tree,
-            plans,
-            costs=bench_costs(),
-            warmup=cell.warmup,
-            duration=cell.duration,
-            seed=cell.seed,
-            max_batch=cell.max_batch,
-            batch_delay=cell.batch_delay,
-            adaptive_batching=optimised,
-            checkpoint_interval=cell.checkpoint_interval,
-            max_in_flight=cell.max_in_flight,
-        )
+        result = run_scenario(spec)
     finally:
         _crypto_cache.configure(True)
-    wall = time.perf_counter() - started
     summary = result.latency.scaled(1000.0)  # seconds -> milliseconds
     return CellResult(
         name=cell.name,
@@ -178,7 +219,7 @@ def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
             "p95": summary.p95,
             "p99": summary.p99,
         },
-        wall_seconds=wall,
+        wall_seconds=result.wall_seconds,
         max_retained=result.max_retained,
     )
 
@@ -194,7 +235,8 @@ def run_matrix(
     Args:
         rev: revision label stored in the report (e.g. a git short hash).
         optimised: enable adaptive batching + memoisation (see module doc).
-        cells: cell names to run; ``None`` runs the full matrix.
+        cells: cell names to run (may include ``SCALE_EXTRA_CELLS``);
+            ``None`` runs the full default matrix.
         progress: optional callable ``(cell_name, CellResult) -> None``
             invoked after each cell (the CLI prints rows as they finish).
     """

@@ -25,31 +25,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bcast.config import CostModel
-from repro.core.deployment import ByzCastDeployment
 from repro.core.invariants import check_all
 from repro.core.tree import OverlayTree
 from repro.env import make_runtime
 from repro.env.chaos import ChaosConfig, install_chaos
 from repro.faults.nemesis import NemesisSchedule, PROFILES
+from repro.runtime.environments import soak_costs
+from repro.scenario import ScenarioSpec, build_deployment
+from repro.scenario.build import scenario_membership
+from repro.scenario.spec import FaultSpec, ProtocolSpec, TopologySpec, WorkloadSpec
 
 #: cheap calibrated-shape cost model so sim soaks stay fast in wall time
-SOAK_COSTS = CostModel(
-    request_recv=2e-6,
-    propose_fixed=2e-5,
-    propose_per_msg=2e-6,
-    validate_fixed=2e-5,
-    validate_per_msg=2e-6,
-    vote_recv=2e-6,
-    execute_per_msg=2e-6,
-    reply_per_msg=2e-6,
-    relay_per_dest=2e-6,
-)
+#: (the scenario schema names it ``protocol.costs: "soak"``)
+SOAK_COSTS = soak_costs()
 
 
 @dataclass
 class SoakConfig:
-    """Parameters of one chaos soak run."""
+    """Parameters of one chaos soak run.
+
+    A thin view over :class:`~repro.scenario.ScenarioSpec`
+    (:meth:`to_scenario`): the soak's deployment is built exclusively
+    through the shared scenario path, this class only keeps the harness's
+    historical keyword surface plus the soak-specific workload knobs
+    (``messages``/``window`` — the soak drives a fixed message budget, not
+    a timed driver workload).
+    """
 
     backend: str = "sim"
     seed: int = 7
@@ -75,8 +76,27 @@ class SoakConfig:
     #: order — is what makes soaking at depth > 1 meaningful
     max_in_flight: int = 4
 
+    def to_scenario(self) -> ScenarioSpec:
+        """This soak as a declarative scenario spec."""
+        return ScenarioSpec(
+            name=f"soak-{self.intensity}-{self.seed}",
+            topology=TopologySpec(names=tuple(self.targets)),
+            workload=WorkloadSpec(
+                clients=self.clients, warmup=0.0, duration=self.duration),
+            protocol=ProtocolSpec(
+                request_timeout=self.request_timeout,
+                retransmit_timeout=self.retransmit_timeout,
+                checkpoint_interval=self.checkpoint_interval,
+                max_in_flight=self.max_in_flight,
+                costs="soak",
+            ),
+            faults=FaultSpec(intensity=self.intensity, settle=self.settle),
+            backend=self.backend,
+            seed=self.seed,
+        )
+
     def tree(self) -> OverlayTree:
-        return OverlayTree.two_level(list(self.targets))
+        return self.to_scenario().build_tree()
 
 
 @dataclass
@@ -175,30 +195,23 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
         raise ValueError(f"unknown intensity {config.intensity!r}; "
                          f"choose one of {sorted(PROFILES)}")
 
-    runtime = make_runtime(config.backend, seed=config.seed)
+    spec = config.to_scenario().check()
+    runtime = make_runtime(spec.backend, seed=spec.seed)
     try:
         chaos = install_chaos(runtime, ChaosConfig())
-        tree = config.tree()
         schedule = NemesisSchedule.generate(
-            groups={gid: tuple(f"{gid}/r{i}" for i in range(4))
-                    for gid in sorted(tree.nodes)},
-            seed=config.seed,
-            duration=config.duration,
-            profile=config.intensity,
+            groups=scenario_membership(spec),
+            seed=spec.fault_seed(),
+            duration=spec.fault_duration(),
+            profile=spec.faults.intensity,
+            f=spec.topology.f,
         )
-        deployment = ByzCastDeployment(
-            tree,
+        deployment = build_deployment(
+            spec,
             runtime=runtime,
-            costs=SOAK_COSTS,
-            request_timeout=config.request_timeout,
-            checkpoint_interval=config.checkpoint_interval,
-            max_in_flight=config.max_in_flight,
             replica_classes=schedule.replica_classes,
             app_overrides=schedule.app_overrides,
         )
-        for gid in deployment.groups:
-            for app in deployment.apps(gid):
-                app.relay_retransmit_timeout = config.retransmit_timeout
         schedule.apply(deployment, chaos=chaos)
 
         clients = [

@@ -86,6 +86,25 @@ def bench_costs(scale: float = BENCH_SCALE) -> CostModel:
     return scale_costs(calibrated_costs(), scale)
 
 
+def soak_costs() -> CostModel:
+    """Cheap calibrated-shape cost model so sim soaks stay fast in wall time.
+
+    (The chaos harness's model — exposed here so scenario specs can name
+    it with ``protocol.costs: "soak"`` without importing the harness.)
+    """
+    return CostModel(
+        request_recv=2e-6,
+        propose_fixed=2e-5,
+        propose_per_msg=2e-6,
+        validate_fixed=2e-5,
+        validate_per_msg=2e-6,
+        vote_recv=2e-6,
+        execute_per_msg=2e-6,
+        reply_per_msg=2e-6,
+        relay_per_dest=2e-6,
+    )
+
+
 def bench_batch_delay(scale: float = BENCH_SCALE) -> float:
     """Leader batch delay matched to a cost scale.
 

@@ -1,0 +1,50 @@
+"""Declarative scenario specs: one topology + workload model for everything.
+
+A :class:`ScenarioSpec` describes a complete run — the overlay topology
+(group count, tree layout, latency model), the workload (client count,
+closed- vs open-loop arrival process, destination and key distributions,
+duration), protocol tuning (batching, checkpointing, pipeline depth), the
+application (plain ByzCast or the sharded KV store) and an optional
+nemesis fault plan — as plain data that round-trips through JSON.
+
+Every harness in the repo builds from the same spec:
+
+* ``python -m repro bench`` — each :class:`~repro.perf.runner.BenchCell`
+  is a thin view over a spec (:meth:`BenchCell.to_scenario`);
+* ``python -m repro chaos`` — the soak derives its deployment from a spec
+  (:meth:`~repro.runtime.chaos.SoakConfig.to_scenario`);
+* ``ByzCastDeployment.from_scenario`` — direct programmatic use;
+* ``python -m repro scenario validate|run`` — lint or execute a spec file.
+
+See ``docs/SCENARIOS.md`` for the schema and examples.
+"""
+
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    FaultSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.scenario.build import (
+    ScenarioResult,
+    build_deployment,
+    build_destination_sampler,
+    build_tree,
+    run_scenario,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "FaultSpec",
+    "ProtocolSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_deployment",
+    "build_destination_sampler",
+    "build_tree",
+    "run_scenario",
+]

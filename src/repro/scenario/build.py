@@ -1,0 +1,389 @@
+"""Materialize a :class:`~repro.scenario.spec.ScenarioSpec`.
+
+This is the **one** tree/deployment/driver construction path of the repo:
+``repro.perf`` cells, the ``repro.runtime.chaos`` soak, the CLI and the
+examples all call into these builders instead of wiring deployments by
+hand.  Everything is derived from the spec plus its seed, so a scenario on
+the sim backend is bit-identical across runs and hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bcast.config import CostModel
+from repro.core.deployment import ByzCastDeployment, SiteAssigner
+from repro.core.tree import OverlayTree
+from repro.env import NetworkConfig, Runtime, make_runtime
+from repro.errors import ConfigurationError
+from repro.metrics.collector import LatencyCollector, ThroughputMeter
+from repro.metrics.stats import LatencySummary
+from repro.runtime.environments import (
+    bench_costs,
+    calibrated_costs,
+    lan_network_config,
+    soak_costs,
+    wan_network_config,
+    wan_site_assigner,
+)
+from repro.scenario.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.workload import spec as workloads
+from repro.workload.clients import (
+    BurstOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+)
+
+#: cost-model factories by ``protocol.costs`` name
+_COST_MODELS: Dict[str, Callable[[], CostModel]] = {
+    "calibrated": calibrated_costs,
+    "bench": bench_costs,
+    "soak": soak_costs,
+}
+
+
+def build_tree(topology: TopologySpec) -> OverlayTree:
+    """The overlay tree of a topology spec."""
+    targets = list(topology.target_names())
+    if topology.layout == "two_level":
+        return OverlayTree.two_level(targets)
+    if topology.layout == "paper":
+        return OverlayTree.paper_tree()
+    if topology.layout == "balanced":
+        return OverlayTree.balanced(targets, fanout=topology.fanout)
+    raise ConfigurationError(f"unknown tree layout {topology.layout!r}")
+
+
+def build_network_config(topology: TopologySpec) -> Optional[NetworkConfig]:
+    if topology.latency == "default":
+        return None
+    if topology.latency == "lan":
+        return lan_network_config()
+    if topology.latency == "wan":
+        return wan_network_config()
+    raise ConfigurationError(f"unknown latency model {topology.latency!r}")
+
+
+def build_site_assigner(topology: TopologySpec) -> Optional[SiteAssigner]:
+    if topology.sites == "single":
+        return None
+    if topology.sites == "wan_spread":
+        return wan_site_assigner
+    raise ConfigurationError(f"unknown site model {topology.sites!r}")
+
+
+def build_costs(spec: ScenarioSpec) -> CostModel:
+    try:
+        return _COST_MODELS[spec.protocol.costs]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cost model {spec.protocol.costs!r}; "
+            f"choose one of {sorted(_COST_MODELS)}") from None
+
+
+def scenario_membership(spec: ScenarioSpec) -> Dict[str, Tuple[str, ...]]:
+    """Group id → replica endpoint names, derived from the spec alone.
+
+    Matches the deployment's ``BroadcastConfig.replicas`` naming, so fault
+    schedules can be generated *before* the deployment exists (Byzantine
+    assignments are construction-time).
+    """
+    count = 3 * spec.topology.f + 1
+    return {
+        gid: tuple(f"{gid}/r{i}" for i in range(count))
+        for gid in build_tree(spec.topology).nodes
+    }
+
+
+def build_deployment(
+    spec: ScenarioSpec,
+    runtime: Optional[Runtime] = None,
+    replica_classes: Optional[Dict] = None,
+    app_overrides: Optional[Dict] = None,
+    trace_capacity: int = 0,
+    kv=None,
+) -> ByzCastDeployment:
+    """The deployment of a scenario (tree, groups, network, app wiring).
+
+    ``replica_classes`` / ``app_overrides`` compose nemesis Byzantine
+    assignments on top of the scenario's own application: when the spec
+    names ``app: "sharded_kv"``, every replica runs the store except the
+    victims the overrides claim.  Pass a prepared :class:`ShardedKVApp`
+    as ``kv`` to keep a handle on its machines; otherwise one is created
+    on demand (reachable via ``deployment.kv``).
+    """
+    tree = build_tree(spec.topology)
+    proto = spec.protocol
+    overrides = dict(app_overrides or {})
+    if spec.app == "sharded_kv":
+        from repro.apps.sharded_kv import ShardedKVApp
+
+        if kv is None:
+            kv = ShardedKVApp(tree, f=spec.topology.f,
+                              keys=spec.workload.keys)
+        merged = {gid: dict(factories)
+                  for gid, factories in kv.app_overrides().items()}
+        for gid, factories in overrides.items():
+            merged.setdefault(gid, {}).update(factories)
+        overrides = merged
+    if runtime is None and spec.backend != "sim":
+        runtime = make_runtime(spec.backend, seed=spec.seed)
+    deployment = ByzCastDeployment(
+        tree,
+        f=spec.topology.f,
+        costs=build_costs(spec),
+        network_config=build_network_config(spec.topology),
+        sites=build_site_assigner(spec.topology),
+        seed=spec.seed,
+        replica_classes=replica_classes,
+        app_overrides=overrides or None,
+        trace_capacity=trace_capacity,
+        max_batch=proto.max_batch,
+        batch_delay=proto.batch_delay,
+        adaptive_batching=proto.adaptive_batching,
+        min_batch=proto.min_batch,
+        request_timeout=proto.request_timeout,
+        checkpoint_interval=proto.checkpoint_interval,
+        max_in_flight=proto.max_in_flight,
+        runtime=runtime,
+    )
+    # the relay proxies' retransmit pace follows the clients' (the soak
+    # harness runs both at sub-second timeouts)
+    for gid in deployment.groups:
+        for app in deployment.apps(gid):
+            app.relay_retransmit_timeout = proto.retransmit_timeout
+    deployment.kv = kv
+    return deployment
+
+
+def build_destination_sampler(
+    workload: WorkloadSpec,
+    targets,
+    clock: Optional[Callable[[], float]] = None,
+) -> workloads.DestinationSampler:
+    """The destination distribution of a workload spec over ``targets``."""
+    targets = list(targets)
+    if workload.destinations == "local":
+        return workloads.local_uniform(targets)
+    if workload.destinations == "global":
+        return workloads.uniform_pairs(targets)
+    if workload.destinations == "mixed":
+        return workloads.mixed_ratio(
+            workloads.local_uniform(targets),
+            workloads.uniform_pairs(targets),
+            workload.local_parts, workload.global_parts,
+        )
+    if workload.destinations == "zipfian":
+        return workloads.mixed_ratio(
+            workloads.zipfian_local(targets, s=workload.zipf_s),
+            workloads.zipfian_pairs(targets, s=workload.zipf_s),
+            workload.local_parts, workload.global_parts,
+        )
+    if workload.destinations == "hotspot":
+        return workloads.mixed_ratio(
+            workloads.hotspot_migration(
+                targets, hot_weight=workload.hotspot_weight,
+                period=workload.hotspot_period, clock=clock,
+            ),
+            workloads.uniform_pairs(targets),
+            workload.local_parts, workload.global_parts,
+        )
+    raise ConfigurationError(
+        f"unknown destination distribution {workload.destinations!r}")
+
+
+def build_key_sampler(workload: WorkloadSpec) -> workloads.KeySampler:
+    """The key distribution of a sharded-KV workload spec."""
+    if workload.key_dist == "uniform":
+        return workloads.uniform_keys(workload.keys)
+    if workload.key_dist == "zipfian":
+        return workloads.zipfian_keys(workload.keys, s=workload.zipf_s)
+    if workload.key_dist == "hotspot":
+        return workloads.hotspot_keys(workload.keys)
+    raise ConfigurationError(
+        f"unknown key distribution {workload.key_dist!r}")
+
+
+def build_drivers(
+    spec: ScenarioSpec,
+    deployment: ByzCastDeployment,
+    collector: Optional[LatencyCollector] = None,
+    meter: Optional[ThroughputMeter] = None,
+    local_collector: Optional[LatencyCollector] = None,
+    global_collector: Optional[LatencyCollector] = None,
+) -> List:
+    """One driver per client of the workload, wired to the deployment."""
+    workload = spec.workload
+    targets = sorted(deployment.tree.targets)
+    clock = lambda: deployment.loop.now  # noqa: E731 - tiny adaptor
+    op_sampler = None
+    sampler = None
+    if spec.app == "sharded_kv":
+        op_sampler = deployment.kv.op_sampler(
+            build_key_sampler(workload),
+            cross_ratio=workload.kv_cross_ratio,
+            read_ratio=workload.kv_read_ratio,
+        )
+    else:
+        sampler = build_destination_sampler(workload, targets, clock=clock)
+    stop_after = spec.horizon
+    drivers = []
+    for index in range(workload.clients):
+        name = f"{workload.client_prefix}{index}"
+        client = deployment.add_client(
+            name, retransmit_timeout=spec.protocol.retransmit_timeout)
+        common = dict(
+            sampler=sampler,
+            rng=deployment.rng.stream(f"client.{name}"),
+            collector=collector,
+            meter=meter,
+            local_collector=local_collector,
+            global_collector=global_collector,
+            stop_after=stop_after,
+            op_sampler=op_sampler,
+        )
+        if workload.loop == "closed":
+            drivers.append(ClosedLoopDriver(
+                client, think_time=workload.think_time, **common))
+        elif workload.loop == "open":
+            drivers.append(OpenLoopDriver(
+                client, rate=workload.rate, **common))
+        elif workload.loop == "burst":
+            drivers.append(BurstOpenLoopDriver(
+                client, rate=workload.rate, burst_on=workload.burst_on,
+                burst_off=workload.burst_off, **common))
+        else:
+            raise ConfigurationError(f"unknown loop {workload.loop!r}")
+    return drivers
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Measurements of one scenario run."""
+
+    name: str
+    backend: str
+    protocol: str
+    clients: int
+    duration: float
+    throughput: float
+    latency: LatencySummary
+    local_latency: LatencySummary
+    global_latency: LatencySummary
+    sent: int
+    completed: int
+    #: wall-clock seconds the run took on the host (informational)
+    wall_seconds: float
+    #: high-water mark of retained executed batches across all replicas
+    max_retained: int = 0
+    #: Monitor counter snapshot — the determinism fingerprint on sim
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: the run's :class:`~repro.apps.sharded_kv.ShardedKVApp` handle
+    #: (``app: "sharded_kv"`` scenarios only) for post-run inspection
+    kv: Optional[object] = None
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<28} clients={self.clients:<5} "
+            f"tput={self.throughput:>10.1f} m/s  "
+            f"p95={self.latency.p95 * 1000:8.2f} ms "
+            f"({self.wall_seconds:.1f}s wall)"
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    runtime: Optional[Runtime] = None,
+    max_events: Optional[int] = None,
+) -> ScenarioResult:
+    """Build, run and measure one scenario.
+
+    The measurement methodology matches the paper's harness: a warmup
+    interval, then a measurement window of ``workload.duration`` seconds —
+    only completions inside the window count.  When the spec carries a
+    :class:`~repro.scenario.spec.FaultSpec`, the nemesis schedule is
+    expanded from the fault seed and armed before the run (measurement
+    under faults; the invariant-checked post-mortem lives in
+    ``repro.runtime.chaos``).
+    """
+    spec.check()
+    workload = spec.workload
+    window = (workload.warmup, spec.horizon)
+    collector = LatencyCollector(*window)
+    local_collector = LatencyCollector(*window)
+    global_collector = LatencyCollector(*window)
+    meter = ThroughputMeter(*window)
+
+    started = time.perf_counter()
+    owns_runtime = runtime is None
+    chaos = None
+    schedule = None
+    if spec.faults is not None:
+        # Chaos must wrap the transport before any actor registers, and
+        # Byzantine assignments are construction-time — so expand the
+        # schedule from the spec's deterministic membership first.
+        from repro.env.chaos import ChaosConfig, install_chaos
+        from repro.faults.nemesis import NemesisSchedule
+
+        if runtime is None:
+            runtime = make_runtime(
+                spec.backend,
+                **({"network_config": build_network_config(spec.topology),
+                    "seed": spec.seed}
+                   if spec.backend == "sim" else {"seed": spec.seed}),
+            )
+        chaos = install_chaos(runtime, ChaosConfig())
+        schedule = NemesisSchedule.generate(
+            groups=scenario_membership(spec),
+            seed=spec.fault_seed(),
+            duration=spec.fault_duration(),
+            profile=spec.faults.intensity,
+            f=spec.topology.f,
+        )
+    deployment = build_deployment(
+        spec, runtime=runtime,
+        replica_classes=schedule.replica_classes if schedule else None,
+        app_overrides=schedule.app_overrides if schedule else None,
+    )
+    try:
+        if schedule is not None:
+            schedule.apply(deployment, chaos=chaos)
+        drivers = build_drivers(
+            spec, deployment,
+            collector=collector, meter=meter,
+            local_collector=local_collector, global_collector=global_collector,
+        )
+        deployment.start()
+        for driver in drivers:
+            driver.start()
+        deployment.run(until=spec.horizon, max_events=max_events)
+        for driver in drivers:
+            driver.stop()
+
+        max_retained = 0
+        for group in deployment.groups.values():
+            for replica in group.replicas:
+                max_retained = max(max_retained, replica.log.max_retained)
+        wall = time.perf_counter() - started
+        return ScenarioResult(
+            name=spec.name,
+            backend=spec.backend,
+            protocol="byzcast",
+            clients=workload.clients,
+            duration=workload.duration,
+            throughput=meter.throughput(),
+            latency=collector.summary(),
+            local_latency=local_collector.summary(),
+            global_latency=global_collector.summary(),
+            sent=sum(d.sent for d in drivers),
+            completed=sum(d.completed for d in drivers),
+            wall_seconds=wall,
+            max_retained=max_retained,
+            counters=deployment.monitor.snapshot(),
+            kv=deployment.kv,
+        )
+    finally:
+        if owns_runtime:
+            deployment.runtime.close()

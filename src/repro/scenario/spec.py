@@ -1,0 +1,416 @@
+"""The scenario schema: frozen dataclasses + dict/JSON round-trip + linting.
+
+Everything here is plain data.  Construction of trees, deployments and
+drivers lives in :mod:`repro.scenario.build`; this module only describes
+*what* to build, validates it, and serializes it losslessly —
+``ScenarioSpec.from_dict(spec.to_dict()) == spec`` holds for every valid
+spec (pinned by a hypothesis property test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: bump when the serialized layout changes incompatibly
+SCENARIO_SCHEMA_VERSION = 1
+
+#: enumerated axis values (also the vocabulary ``validate`` lints against)
+LAYOUTS = ("two_level", "paper", "balanced")
+LATENCIES = ("default", "lan", "wan")
+SITES = ("single", "wan_spread")
+LOOPS = ("closed", "open", "burst")
+DESTINATIONS = ("local", "global", "mixed", "zipfian", "hotspot")
+KEY_DISTS = ("uniform", "zipfian", "hotspot")
+COSTS = ("calibrated", "bench", "soak")
+APPS = ("none", "sharded_kv")
+BACKENDS = ("sim", "rt")
+INTENSITIES = ("light", "medium", "heavy")
+
+
+def _plain(value: Any) -> Any:
+    """Dataclass field value -> JSON-friendly value (tuples become lists)."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _section_to_dict(section: Any) -> Dict[str, Any]:
+    return {f.name: _plain(getattr(section, f.name)) for f in fields(section)}
+
+
+def _section_from_dict(cls, raw: Dict[str, Any], where: str):
+    """Build a section dataclass, rejecting unknown keys loudly."""
+    if not isinstance(raw, dict):
+        raise ConfigurationError(f"{where} must be an object, got {type(raw).__name__}")
+    known = {f.name: f for f in fields(cls)}
+    unknown = sorted(set(raw) - set(known))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {where}; known: {sorted(known)}"
+        )
+    kwargs = {}
+    for name, value in raw.items():
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Groups, overlay-tree layout and network geometry."""
+
+    #: number of target groups (ignored when ``names`` is given)
+    groups: int = 2
+    #: explicit target-group names; empty = ``{prefix}1..{prefix}N``
+    names: Tuple[str, ...] = ()
+    prefix: str = "g"
+    #: ``two_level`` | ``paper`` (the Fig. 1(a) tree) | ``balanced``
+    layout: str = "two_level"
+    #: targets/auxiliaries per inner node of a ``balanced`` tree
+    fanout: int = 8
+    #: per-group fault threshold (3f+1 replicas per group)
+    f: int = 1
+    #: ``default`` (uniform sim latency) | ``lan`` | ``wan`` (Table I)
+    latency: str = "default"
+    #: ``single`` site or ``wan_spread`` (§V-B3 one replica per region)
+    sites: str = "single"
+
+    def target_names(self) -> Tuple[str, ...]:
+        if self.names:
+            return tuple(self.names)
+        return tuple(f"{self.prefix}{i + 1}" for i in range(self.groups))
+
+    def lint(self) -> List[str]:
+        problems = []
+        if self.layout not in LAYOUTS:
+            problems.append(
+                f"topology.layout {self.layout!r} not in {list(LAYOUTS)}")
+        if self.latency not in LATENCIES:
+            problems.append(
+                f"topology.latency {self.latency!r} not in {list(LATENCIES)}")
+        if self.sites not in SITES:
+            problems.append(
+                f"topology.sites {self.sites!r} not in {list(SITES)}")
+        if not self.names and self.groups < 1:
+            problems.append("topology.groups must be >= 1")
+        if self.names and len(set(self.names)) != len(self.names):
+            problems.append("topology.names contains duplicates")
+        if self.layout == "paper" and self.target_names() != ("g1", "g2", "g3", "g4"):
+            problems.append(
+                "topology.layout 'paper' is the fixed Fig. 1(a) tree over "
+                "g1..g4; leave names empty and set groups=4, prefix='g'")
+        if self.layout == "balanced" and self.fanout < 2:
+            problems.append("topology.fanout must be >= 2")
+        if self.f < 1:
+            problems.append("topology.f must be >= 1")
+        return problems
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Clients, arrival process, destination + key distributions, timing."""
+
+    clients: int = 8
+    #: client endpoint names are ``{client_prefix}{index}``
+    client_prefix: str = "c"
+    #: ``closed`` (paper §IV) | ``open`` (Poisson) | ``burst`` (on/off Poisson)
+    loop: str = "closed"
+    #: per-client arrival rate in msgs/s (open & burst loops)
+    rate: float = 100.0
+    #: burst loop: seconds of the on-phase / off-phase per cycle
+    burst_on: float = 0.5
+    burst_off: float = 0.5
+    #: closed loop: seconds between a completion and the next send
+    think_time: float = 0.0
+    #: ``local`` | ``global`` | ``mixed`` | ``zipfian`` | ``hotspot``
+    destinations: str = "mixed"
+    #: zipf exponent for ``zipfian`` destinations / keys
+    zipf_s: float = 1.0
+    #: local:global ratio of the mixed-style distributions
+    local_parts: int = 10
+    global_parts: int = 1
+    #: hotspot destinations: probability mass on the hot group and the
+    #: dwell (seconds of virtual time) before the hot spot migrates
+    hotspot_weight: float = 0.8
+    hotspot_period: float = 1.0
+    warmup: float = 1.0
+    duration: float = 4.0
+    #: sharded-KV workloads only: key-space size and key distribution
+    keys: int = 64
+    key_dist: str = "uniform"
+    #: fraction of KV ops that are cross-shard transfers / reads
+    kv_cross_ratio: float = 0.1
+    kv_read_ratio: float = 0.2
+
+    def lint(self, app: str = "none") -> List[str]:
+        problems = []
+        if self.clients < 1:
+            problems.append("workload.clients must be >= 1")
+        if self.loop not in LOOPS:
+            problems.append(f"workload.loop {self.loop!r} not in {list(LOOPS)}")
+        if self.loop in ("open", "burst") and self.rate <= 0:
+            problems.append("workload.rate must be positive for open/burst loops")
+        if self.loop == "burst" and (self.burst_on <= 0 or self.burst_off < 0):
+            problems.append("workload.burst_on must be > 0 and burst_off >= 0")
+        if self.destinations not in DESTINATIONS:
+            problems.append(
+                f"workload.destinations {self.destinations!r} "
+                f"not in {list(DESTINATIONS)}")
+        if self.zipf_s < 0:
+            problems.append("workload.zipf_s must be non-negative")
+        if self.local_parts < 0 or self.global_parts < 0 \
+                or self.local_parts + self.global_parts == 0:
+            problems.append("workload local/global parts must be non-negative "
+                            "and not both zero")
+        if not 0.0 < self.hotspot_weight <= 1.0:
+            problems.append("workload.hotspot_weight must be in (0, 1]")
+        if self.hotspot_period <= 0:
+            problems.append("workload.hotspot_period must be positive")
+        if self.warmup < 0 or self.duration <= 0:
+            problems.append("workload.warmup must be >= 0 and duration > 0")
+        if self.think_time < 0:
+            problems.append("workload.think_time must be >= 0")
+        if app == "sharded_kv":
+            if self.keys < 1:
+                problems.append("workload.keys must be >= 1 for sharded_kv")
+            if self.key_dist not in KEY_DISTS:
+                problems.append(
+                    f"workload.key_dist {self.key_dist!r} not in {list(KEY_DISTS)}")
+            if not 0.0 <= self.kv_cross_ratio <= 1.0 \
+                    or not 0.0 <= self.kv_read_ratio <= 1.0:
+                problems.append("workload.kv_cross_ratio and kv_read_ratio "
+                                "must be in [0, 1]")
+            if self.kv_cross_ratio + self.kv_read_ratio > 1.0:
+                problems.append("workload.kv_cross_ratio + kv_read_ratio "
+                                "must not exceed 1")
+        return problems
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Broadcast-engine tuning shared by every group of the deployment."""
+
+    max_batch: int = 400
+    batch_delay: float = 0.0
+    adaptive_batching: bool = False
+    min_batch: int = 4
+    request_timeout: float = 2.0
+    retransmit_timeout: float = 4.0
+    #: executed cids between application checkpoints (0 = off)
+    checkpoint_interval: int = 0
+    #: consensus pipeline depth (docs/PIPELINE.md)
+    max_in_flight: int = 1
+    #: CPU cost model: ``calibrated`` (paper scale) | ``bench``
+    #: (×BENCH_SCALE, what the perf matrix uses) | ``soak`` (cheap shape
+    #: for chaos soaks)
+    costs: str = "calibrated"
+
+    def lint(self) -> List[str]:
+        problems = []
+        if self.max_batch < 1 or self.min_batch < 1:
+            problems.append("protocol.max_batch and min_batch must be >= 1")
+        if self.batch_delay < 0:
+            problems.append("protocol.batch_delay must be >= 0")
+        if self.request_timeout <= 0:
+            problems.append("protocol.request_timeout must be positive")
+        if self.checkpoint_interval < 0:
+            problems.append("protocol.checkpoint_interval must be >= 0")
+        if self.max_in_flight < 1:
+            problems.append("protocol.max_in_flight must be >= 1")
+        if self.costs not in COSTS:
+            problems.append(f"protocol.costs {self.costs!r} not in {list(COSTS)}")
+        return problems
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An optional nemesis plan riding along with the scenario."""
+
+    intensity: str = "medium"
+    #: nemesis seed; 0 = inherit the scenario seed
+    seed: int = 0
+    #: nemesis horizon scale; 0 = the workload's warmup + duration
+    duration: float = 0.0
+    #: extra seconds to quiesce after the final heal (soak harness)
+    settle: float = 30.0
+
+    def lint(self) -> List[str]:
+        problems = []
+        if self.intensity not in INTENSITIES:
+            problems.append(
+                f"faults.intensity {self.intensity!r} not in {list(INTENSITIES)}")
+        if self.duration < 0:
+            problems.append("faults.duration must be >= 0")
+        if self.settle < 0:
+            problems.append("faults.settle must be >= 0")
+        return problems
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable scenario."""
+
+    name: str
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    faults: Optional[FaultSpec] = None
+    #: ``none`` (opaque payloads) | ``sharded_kv`` (repro.apps.sharded_kv)
+    app: str = "none"
+    backend: str = "sim"
+    seed: int = 1
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "name": self.name,
+            "app": self.app,
+            "backend": self.backend,
+            "seed": self.seed,
+            "topology": _section_to_dict(self.topology),
+            "workload": _section_to_dict(self.workload),
+            "protocol": _section_to_dict(self.protocol),
+            "faults": _section_to_dict(self.faults) if self.faults else None,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ScenarioSpec":
+        if not isinstance(raw, dict):
+            raise ConfigurationError(
+                f"scenario must be an object, got {type(raw).__name__}")
+        schema = int(raw.get("schema", SCENARIO_SCHEMA_VERSION))
+        if schema != SCENARIO_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario schema {schema} "
+                f"(this build reads schema {SCENARIO_SCHEMA_VERSION})")
+        known = {"schema", "name", "app", "backend", "seed",
+                 "topology", "workload", "protocol", "faults"}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown key(s) {unknown} in scenario; known: {sorted(known)}")
+        if "name" not in raw or not str(raw["name"]):
+            raise ConfigurationError("scenario needs a non-empty 'name'")
+        faults_raw = raw.get("faults")
+        return cls(
+            name=str(raw["name"]),
+            app=str(raw.get("app", "none")),
+            backend=str(raw.get("backend", "sim")),
+            seed=int(raw.get("seed", 1)),
+            topology=_section_from_dict(
+                TopologySpec, raw.get("topology", {}), "topology"),
+            workload=_section_from_dict(
+                WorkloadSpec, raw.get("workload", {}), "workload"),
+            protocol=_section_from_dict(
+                ProtocolSpec, raw.get("protocol", {}), "protocol"),
+            faults=(_section_from_dict(FaultSpec, faults_raw, "faults")
+                    if faults_raw is not None else None),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    # -- linting --------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """All semantic problems of this spec (empty = runnable)."""
+        problems: List[str] = []
+        if not self.name:
+            problems.append("scenario needs a non-empty name")
+        if self.app not in APPS:
+            problems.append(f"app {self.app!r} not in {list(APPS)}")
+        if self.backend not in BACKENDS:
+            problems.append(f"backend {self.backend!r} not in {list(BACKENDS)}")
+        problems.extend(self.topology.lint())
+        problems.extend(self.workload.lint(app=self.app))
+        problems.extend(self.protocol.lint())
+        if self.faults is not None:
+            problems.extend(self.faults.lint())
+        needs_pairs = (
+            self.workload.destinations == "global"
+            or (self.workload.destinations in ("mixed", "zipfian", "hotspot")
+                and self.workload.global_parts > 0)
+        )
+        if needs_pairs and len(self.target_names()) < 2:
+            problems.append(
+                "global destinations need at least two target groups")
+        if self.app == "sharded_kv" and self.workload.keys < len(self.target_names()):
+            problems.append(
+                "workload.keys should be >= the shard count so every shard "
+                "owns at least one key")
+        return problems
+
+    def check(self) -> "ScenarioSpec":
+        """Raise :class:`ConfigurationError` on the first lint problem."""
+        problems = self.validate()
+        if problems:
+            raise ConfigurationError(
+                f"scenario {self.name!r} is invalid: " + "; ".join(problems))
+        return self
+
+    # -- convenience ----------------------------------------------------------
+
+    def target_names(self) -> Tuple[str, ...]:
+        return self.topology.target_names()
+
+    @property
+    def horizon(self) -> float:
+        """Virtual end of the measured run (warmup + duration)."""
+        return self.workload.warmup + self.workload.duration
+
+    def fault_seed(self) -> int:
+        if self.faults is None or self.faults.seed == 0:
+            return self.seed
+        return self.faults.seed
+
+    def fault_duration(self) -> float:
+        if self.faults is None or self.faults.duration == 0.0:
+            return self.horizon
+        return self.faults.duration
+
+    def with_(self, **changes) -> "ScenarioSpec":
+        """A copy with top-level fields replaced (sections stay shared)."""
+        return dataclasses.replace(self, **changes)
+
+    # the heavy lifting lives in repro.scenario.build; these delegates keep
+    # call sites (`spec.build_tree()`) free of an extra import
+
+    def build_tree(self):
+        from repro.scenario.build import build_tree
+
+        return build_tree(self.topology)
+
+    def build_deployment(self, **kwargs):
+        from repro.scenario.build import build_deployment
+
+        return build_deployment(self, **kwargs)
+
+    def run(self, **kwargs):
+        from repro.scenario.build import run_scenario
+
+        return run_scenario(self, **kwargs)

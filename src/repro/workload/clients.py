@@ -1,22 +1,149 @@
-"""Closed-loop client drivers (§IV: "clients run in a closed loop").
+"""Client drivers: closed-loop (§IV) and open-loop arrival processes.
 
 A driver owns one protocol client (ByzCast, Baseline, or single-group) and
-keeps exactly one message in flight: the next message is multicast only
-after the previous one completed.  Completions are recorded on the shared
-latency collector and throughput meter, classified as local or global.
+issues multicasts according to an arrival discipline:
+
+* :class:`ClosedLoopDriver` — the paper's clients: exactly one message in
+  flight, the next is sent only after the previous completed (optionally
+  after a think time);
+* :class:`OpenLoopDriver` — Poisson arrivals at a fixed rate, regardless
+  of completions (offered load does not throttle under pressure);
+* :class:`BurstOpenLoopDriver` — on/off-modulated Poisson arrivals (flash
+  crowds: bursts at a high rate separated by idle gaps).
+
+Completions are recorded on the shared latency collector and throughput
+meter, classified as local or global.  All drivers stop *cleanly* at
+``stop_after``: pending think/arrival timers are cancelled rather than
+left to fire into a drained EventLoop, so scale scenarios with thousands
+of drivers quiesce without stragglers.
+
+Instead of a destination sampler plus fixed payload, a driver may be given
+an ``op_sampler`` — a callable ``rng -> (Destination, payload)`` — which
+application workloads (e.g. :mod:`repro.apps.sharded_kv`) use to vary the
+operation per message.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from repro.metrics.collector import LatencyCollector, ThroughputMeter
-from repro.types import MulticastMessage
+from repro.types import Destination, MulticastMessage
 from repro.workload.spec import DestinationSampler
 
+#: ``rng -> (destination, payload)`` — one sampled operation
+OpSampler = Callable[[random.Random], Tuple[Destination, Tuple]]
 
-class ClosedLoopDriver:
+
+class _DriverBase:
+    """Shared plumbing: sampling, metrics, clean stop."""
+
+    def __init__(
+        self,
+        client: Any,
+        sampler: Optional[DestinationSampler],
+        rng: random.Random,
+        collector: Optional[LatencyCollector] = None,
+        meter: Optional[ThroughputMeter] = None,
+        local_collector: Optional[LatencyCollector] = None,
+        global_collector: Optional[LatencyCollector] = None,
+        payload: Tuple = ("x",),
+        stop_after: Optional[float] = None,
+        op_sampler: Optional[OpSampler] = None,
+    ) -> None:
+        if sampler is None and op_sampler is None:
+            raise ValueError("need a destination sampler or an op_sampler")
+        self.client = client
+        self.sampler = sampler
+        self.rng = rng
+        self.collector = collector
+        self.meter = meter
+        self.local_collector = local_collector
+        self.global_collector = global_collector
+        self.payload = payload
+        self.stop_after = stop_after
+        self.op_sampler = op_sampler
+        self.sent = 0
+        self.completed = 0
+        self._stopped = False
+        self._timer = None  # the one pending think/arrival timer, if any
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Stop issuing immediately and cancel any pending timer."""
+        self._stopped = True
+        self._cancel_timer()
+
+    @property
+    def now(self) -> float:
+        return self.client.loop.now
+
+    def _done(self, at: Optional[float] = None) -> bool:
+        if self._stopped:
+            return True
+        if self.stop_after is None:
+            return False
+        return (at if at is not None else self.now) >= self.stop_after
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            try:
+                self._timer.cancel()
+            finally:
+                self._timer = None
+
+    def _set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Arm the driver's single pending timer — but never past the stop.
+
+        A timer that would only fire after ``stop_after`` is pointless
+        work for the EventLoop (its callback would return immediately);
+        skipping it is what lets long scale scenarios quiesce without
+        straggler events.
+        """
+        if self._done() or self._done(at=self.now + delay):
+            return
+        self._timer = self.client.set_timer(delay, self._fire_timer(callback))
+
+    def _fire_timer(self, callback: Callable[[], None]) -> Callable[[], None]:
+        def fire() -> None:
+            self._timer = None
+            if not self._done():
+                callback()
+
+        return fire
+
+    # -- issuing and accounting ------------------------------------------------
+
+    def _send(self) -> None:
+        if self.op_sampler is not None:
+            dst, payload = self.op_sampler(self.rng)
+        else:
+            dst, payload = self.sampler(self.rng), self.payload
+        self.sent += 1
+        self.client.amulticast(dst, payload=payload, callback=self._on_complete)
+
+    def _record(self, message: MulticastMessage, latency: float) -> None:
+        now = self.now
+        self.completed += 1
+        if self.collector is not None:
+            self.collector.record(now, latency)
+        if self.meter is not None:
+            self.meter.record(now)
+        if message.is_local and self.local_collector is not None:
+            self.local_collector.record(now, latency)
+        if message.is_global and self.global_collector is not None:
+            self.global_collector.record(now, latency)
+
+    def _on_complete(self, message: MulticastMessage, latency: float) -> None:
+        self._record(message, latency)
+
+
+class ClosedLoopDriver(_DriverBase):
     """Drives one client in a closed loop.
 
     Args:
@@ -31,13 +158,15 @@ class ClosedLoopDriver:
         payload: payload attached to every message (64-byte stand-in).
         think_time: seconds to wait between a completion and the next send.
         stop_after: stop issuing new messages past this virtual time.
+        op_sampler: per-message ``rng -> (destination, payload)``; overrides
+            ``sampler``/``payload`` when given.
     """
 
     def __init__(
         self,
         client: Any,
-        sampler: DestinationSampler,
-        rng: random.Random,
+        sampler: Optional[DestinationSampler] = None,
+        rng: Optional[random.Random] = None,
         collector: Optional[LatencyCollector] = None,
         meter: Optional[ThroughputMeter] = None,
         local_collector: Optional[LatencyCollector] = None,
@@ -45,104 +174,116 @@ class ClosedLoopDriver:
         payload: Tuple = ("x",),
         think_time: float = 0.0,
         stop_after: Optional[float] = None,
+        op_sampler: Optional[OpSampler] = None,
     ) -> None:
-        self.client = client
-        self.sampler = sampler
-        self.rng = rng
-        self.collector = collector
-        self.meter = meter
-        self.local_collector = local_collector
-        self.global_collector = global_collector
-        self.payload = payload
+        super().__init__(
+            client, sampler, rng if rng is not None else random.Random(0),
+            collector=collector, meter=meter,
+            local_collector=local_collector,
+            global_collector=global_collector,
+            payload=payload, stop_after=stop_after, op_sampler=op_sampler,
+        )
         self.think_time = think_time
-        self.stop_after = stop_after
-        self.sent = 0
-        self.completed = 0
 
     def start(self) -> None:
         """Issue the first message."""
         self._issue()
 
     def _issue(self) -> None:
-        now = self.client.loop.now
-        if self.stop_after is not None and now >= self.stop_after:
+        if self._done():
             return
-        dst = self.sampler(self.rng)
-        self.sent += 1
-        self.client.amulticast(dst, payload=self.payload, callback=self._on_complete)
+        self._send()
 
     def _on_complete(self, message: MulticastMessage, latency: float) -> None:
-        now = self.client.loop.now
-        self.completed += 1
-        if self.collector is not None:
-            self.collector.record(now, latency)
-        if self.meter is not None:
-            self.meter.record(now)
-        if message.is_local and self.local_collector is not None:
-            self.local_collector.record(now, latency)
-        if message.is_global and self.global_collector is not None:
-            self.global_collector.record(now, latency)
+        self._record(message, latency)
         if self.think_time > 0:
-            self.client.set_timer(self.think_time, self._issue)
+            self._set_timer(self.think_time, self._issue)
         else:
             self._issue()
 
 
-class OpenLoopDriver:
+class OpenLoopDriver(_DriverBase):
     """Issues messages at a fixed Poisson rate, regardless of completions.
 
     Unlike the paper's closed-loop clients, an open-loop client does not
     throttle under load — useful for injecting an exact offered rate (e.g.
-    to validate the optimizer's ``F(d)`` against a group's ``K(x)``) and
-    for observing overload behaviour.  Use with care: past saturation the
-    backlog grows without bound.
+    to validate the optimizer's ``F(d)`` against a group's ``K(x)``), for
+    the scale suite's arrival processes, and for observing overload
+    behaviour.  Use with care: past saturation the backlog grows without
+    bound.
     """
 
     def __init__(
         self,
         client: Any,
-        sampler: DestinationSampler,
-        rng: random.Random,
-        rate: float,
+        sampler: Optional[DestinationSampler] = None,
+        rng: Optional[random.Random] = None,
+        rate: float = 1.0,
         collector: Optional[LatencyCollector] = None,
         meter: Optional[ThroughputMeter] = None,
+        local_collector: Optional[LatencyCollector] = None,
+        global_collector: Optional[LatencyCollector] = None,
         payload: Tuple = ("x",),
         stop_after: Optional[float] = None,
+        op_sampler: Optional[OpSampler] = None,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
-        self.client = client
-        self.sampler = sampler
-        self.rng = rng
+        super().__init__(
+            client, sampler, rng if rng is not None else random.Random(0),
+            collector=collector, meter=meter,
+            local_collector=local_collector,
+            global_collector=global_collector,
+            payload=payload, stop_after=stop_after, op_sampler=op_sampler,
+        )
         self.rate = rate
-        self.collector = collector
-        self.meter = meter
-        self.payload = payload
-        self.stop_after = stop_after
-        self.sent = 0
-        self.completed = 0
 
     def start(self) -> None:
         self._schedule_next()
 
     def _schedule_next(self) -> None:
-        gap = self.rng.expovariate(self.rate)
-        self.client.set_timer(gap, self._fire)
+        self._set_timer(self.rng.expovariate(self.rate), self._fire)
 
     def _fire(self) -> None:
-        now = self.client.loop.now
-        if self.stop_after is not None and now >= self.stop_after:
-            return
-        dst = self.sampler(self.rng)
-        self.sent += 1
-        self.client.amulticast(dst, payload=self.payload,
-                               callback=self._on_complete)
+        self._send()
         self._schedule_next()
 
-    def _on_complete(self, message: MulticastMessage, latency: float) -> None:
-        now = self.client.loop.now
-        self.completed += 1
-        if self.collector is not None:
-            self.collector.record(now, latency)
-        if self.meter is not None:
-            self.meter.record(now)
+
+class BurstOpenLoopDriver(OpenLoopDriver):
+    """On/off-modulated Poisson arrivals: flash crowds, diurnal shifts.
+
+    The driver alternates between an *on* phase of ``burst_on`` seconds —
+    Poisson arrivals at ``rate`` — and an *off* phase of ``burst_off``
+    seconds with no arrivals at all.  ``burst_off = 0`` degenerates to the
+    plain :class:`OpenLoopDriver`.  Phases are anchored at :meth:`start`,
+    so drivers started together burst together (the interesting case for
+    convoy effects at the root group).
+    """
+
+    def __init__(self, *args, burst_on: float = 0.5, burst_off: float = 0.5,
+                 **kwargs) -> None:
+        if burst_on <= 0:
+            raise ValueError("burst_on must be positive")
+        if burst_off < 0:
+            raise ValueError("burst_off must be non-negative")
+        super().__init__(*args, **kwargs)
+        self.burst_on = burst_on
+        self.burst_off = burst_off
+        self._phase_start = 0.0
+
+    def start(self) -> None:
+        self._phase_start = self.now
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.rng.expovariate(self.rate)
+        cycle = self.burst_on + self.burst_off
+        if self.burst_off > 0:
+            # Position of the *next* arrival inside the on/off cycle; if it
+            # lands in an off phase, defer it to the start of the next on
+            # phase (arrivals are suppressed, not queued, while off).
+            at = (self.now - self._phase_start) + gap
+            offset = at % cycle
+            if offset > self.burst_on:
+                gap += cycle - offset
+        self._set_timer(gap, self._fire)

@@ -1,4 +1,4 @@
-"""Destination distributions (the workloads of §V).
+"""Destination and key distributions (the workloads of §V and beyond).
 
 A *destination sampler* is a callable ``rng -> Destination``.  The samplers
 here reproduce the paper's workloads:
@@ -10,7 +10,18 @@ here reproduce the paper's workloads:
 * ``skewed_pairs`` — global messages to {g1,g2} or {g3,g4} only (the
   *skewed workload* of Table II);
 * ``mixed_ratio`` — local and global in a given proportion (the 10:1 mixed
-  workload of Fig. 6/9/10).
+  workload of Fig. 6/9/10);
+
+and the skewed/shifting distributions the scale suite adds on top
+(docs/SCENARIOS.md):
+
+* ``zipfian_local`` / ``zipfian_pairs`` — Zipf-skewed group popularity;
+* ``hotspot_migration`` — one hot group holds most of the probability
+  mass and the hot spot migrates over (virtual) time.
+
+A *key sampler* is a callable ``rng -> str`` over a fixed key space —
+``uniform_keys`` / ``zipfian_keys`` / ``hotspot_keys`` feed the sharded-KV
+workloads of :mod:`repro.apps.sharded_kv`.
 
 The module also exposes the Table II demand matrices ``F(d)`` used by the
 overlay-tree optimizer.
@@ -20,12 +31,37 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.types import Destination, destination
 
 DestinationSampler = Callable[[random.Random], Destination]
+KeySampler = Callable[[random.Random], str]
+
+
+def _zipf_cumulative(count: int, s: float) -> List[float]:
+    """Cumulative Zipf(s) distribution over ``count`` ranks."""
+    if count < 1:
+        raise WorkloadError("need at least one element")
+    if s < 0:
+        raise WorkloadError("zipf exponent must be non-negative")
+    weights = [1.0 / ((index + 1) ** s) for index in range(count)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    return cumulative
+
+
+def _zipf_index(cumulative: Sequence[float], rng: random.Random) -> int:
+    point = rng.random()
+    for index, bound in enumerate(cumulative):
+        if point <= bound:
+            return index
+    return len(cumulative) - 1
 
 
 def fixed_destination(*groups: str) -> DestinationSampler:
@@ -107,23 +143,138 @@ def zipfian_local(targets: Sequence[str], s: float = 1.0) -> DestinationSampler:
     """
     if not targets:
         raise WorkloadError("need at least one target group")
-    if s < 0:
-        raise WorkloadError("zipf exponent must be non-negative")
-    weights = [1.0 / ((index + 1) ** s) for index in range(len(targets))]
-    total = sum(weights)
-    cumulative = []
-    acc = 0.0
-    for weight in weights:
-        acc += weight / total
-        cumulative.append(acc)
+    cumulative = _zipf_cumulative(len(targets), s)
     choices = [destination(t) for t in targets]
 
     def sample(rng: random.Random) -> Destination:
-        point = rng.random()
-        for index, bound in enumerate(cumulative):
-            if point <= bound:
-                return choices[index]
-        return choices[-1]
+        return choices[_zipf_index(cumulative, rng)]
+
+    return sample
+
+
+def zipfian_pairs(targets: Sequence[str], s: float = 1.0) -> DestinationSampler:
+    """Global messages to a Zipf-skewed pair of groups.
+
+    Both members of the pair are drawn from the same Zipf(s) marginal over
+    the given target order (re-drawing until distinct), so popular shards
+    co-occur in cross-group messages the way skewed real workloads make
+    them — the distribution FlexCast-style adaptive trees feed on.
+    ``s = 0`` degenerates to uniform pairs.
+    """
+    if len(targets) < 2:
+        raise WorkloadError("need at least two target groups for pairs")
+    cumulative = _zipf_cumulative(len(targets), s)
+    names = list(targets)
+
+    def sample(rng: random.Random) -> Destination:
+        first = _zipf_index(cumulative, rng)
+        second = first
+        while second == first:
+            second = _zipf_index(cumulative, rng)
+        return destination(names[first], names[second])
+
+    return sample
+
+
+def hotspot_migration(
+    targets: Sequence[str],
+    hot_weight: float = 0.8,
+    period: float = 1.0,
+    clock: Optional[Callable[[], float]] = None,
+) -> DestinationSampler:
+    """Local messages with a migrating hot group (flash-crowd shape).
+
+    At any instant one target is *hot* and receives ``hot_weight`` of the
+    probability mass; the rest is spread uniformly over the other targets.
+    The hot spot advances to the next target every ``period``:
+
+    * with a ``clock`` (a ``() -> float`` of virtual seconds), migration
+      follows time — drivers at any rate see the same dwell per group;
+    * without one, migration counts samples — every ``ceil(period)``
+      draws — keeping the sampler deterministic in unit tests.
+    """
+    if not targets:
+        raise WorkloadError("need at least one target group")
+    if not 0.0 < hot_weight <= 1.0:
+        raise WorkloadError("hot_weight must be in (0, 1]")
+    if period <= 0:
+        raise WorkloadError("period must be positive")
+    choices = [destination(t) for t in targets]
+    if len(choices) == 1:
+        return fixed_destination(*targets)
+    sample_period = max(1, int(period))
+    drawn = 0
+
+    def sample(rng: random.Random) -> Destination:
+        nonlocal drawn
+        if clock is not None:
+            hot = int(clock() / period) % len(choices)
+        else:
+            hot = (drawn // sample_period) % len(choices)
+            drawn += 1
+        if rng.random() < hot_weight:
+            return choices[hot]
+        cold = rng.randrange(len(choices) - 1)
+        return choices[cold if cold < hot else cold + 1]
+
+    return sample
+
+
+# -- key distributions (sharded-KV workloads) ---------------------------------
+
+
+def key_space(count: int, prefix: str = "key") -> Tuple[str, ...]:
+    """The fixed key universe ``{prefix}0 .. {prefix}{count-1}``."""
+    if count < 1:
+        raise WorkloadError("need at least one key")
+    return tuple(f"{prefix}{i}" for i in range(count))
+
+
+def uniform_keys(count: int, prefix: str = "key") -> KeySampler:
+    """Every key equally popular."""
+    keys = key_space(count, prefix)
+
+    def sample(rng: random.Random) -> str:
+        return keys[rng.randrange(len(keys))]
+
+    return sample
+
+
+def zipfian_keys(count: int, s: float = 1.0, prefix: str = "key") -> KeySampler:
+    """Zipf-skewed key popularity (key ``{prefix}0`` is the most popular)."""
+    keys = key_space(count, prefix)
+    cumulative = _zipf_cumulative(len(keys), s)
+
+    def sample(rng: random.Random) -> str:
+        return keys[_zipf_index(cumulative, rng)]
+
+    return sample
+
+
+def hotspot_keys(
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    prefix: str = "key",
+) -> KeySampler:
+    """A small hot set absorbs most accesses (90/10-style skew).
+
+    ``hot_fraction`` of the key space (at least one key) receives
+    ``hot_weight`` of the draws; the cold remainder shares the rest.
+    """
+    keys = key_space(count, prefix)
+    if not 0.0 < hot_fraction <= 1.0:
+        raise WorkloadError("hot_fraction must be in (0, 1]")
+    if not 0.0 < hot_weight <= 1.0:
+        raise WorkloadError("hot_weight must be in (0, 1]")
+    hot_count = max(1, int(len(keys) * hot_fraction))
+    hot, cold = keys[:hot_count], keys[hot_count:]
+    if not cold:
+        return uniform_keys(count, prefix)
+
+    def sample(rng: random.Random) -> str:
+        pool = hot if rng.random() < hot_weight else cold
+        return pool[rng.randrange(len(pool))]
 
     return sample
 

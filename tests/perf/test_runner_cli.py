@@ -13,12 +13,16 @@ import json
 import pytest
 
 from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
 from repro.perf.baseline import load_report, save_report
 from repro.perf.runner import (
     BENCH_MATRIX,
     MIXED_CELL,
     QUICK_CELL,
+    SCALE_EXTRA_CELLS,
+    SCALE_SMOKE_CELL,
     BenchCell,
+    _cell_by_name,
     run_cell,
     run_matrix,
 )
@@ -44,20 +48,33 @@ class TestMatrixDefinition:
         workloads = {cell.workload for cell in BENCH_MATRIX}
         trees = {cell.tree for cell in BENCH_MATRIX}
         delays = {cell.batch_delay for cell in BENCH_MATRIX}
-        assert workloads == {"local", "global", "mixed"}
-        assert trees == {"two_level", "paper"}
+        assert workloads == {"local", "global", "mixed", "zipfian", "kv"}
+        assert trees == {"two_level", "paper", "balanced"}
         assert len(delays) > 1  # batched and unbatched configs
 
+    def test_scale_cells_present(self):
+        by_name = {cell.name: cell for cell in BENCH_MATRIX}
+        zipf = by_name[SCALE_SMOKE_CELL]
+        kv = by_name["scale16_kv_mix"]
+        assert zipf.groups >= 16 and zipf.loop == "open"
+        assert kv.groups >= 16 and kv.app == "sharded_kv"
+        # the extras stay out of the default matrix (64-group cost, rt
+        # nondeterminism) but resolve by name
+        for cell in SCALE_EXTRA_CELLS:
+            assert cell.name not in by_name
+            assert _cell_by_name(cell.name) is cell
+
     def test_cells_build(self):
-        for cell in BENCH_MATRIX:
+        for cell in [*BENCH_MATRIX, *SCALE_EXTRA_CELLS]:
             tree = cell.build_tree()
-            sampler = cell.build_sampler(sorted(tree.targets))
-            assert callable(sampler)
+            assert len(tree.targets) >= cell.groups
+            spec = cell.to_scenario()
+            assert spec.validate() == []
 
     def test_unknown_axis_values_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             dataclasses.replace(TINY_CELL, tree="ring").build_tree()
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             dataclasses.replace(TINY_CELL, workload="write-heavy"
                                 ).build_sampler(["g1", "g2"])
 

@@ -1,0 +1,232 @@
+"""Scenario builders: one construction path, deterministic end to end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree import OverlayTree
+from repro.errors import ConfigurationError, TreeError
+from repro.scenario import ScenarioSpec, build_destination_sampler, run_scenario
+from repro.scenario.build import (
+    build_costs,
+    build_key_sampler,
+    scenario_membership,
+)
+from repro.scenario.spec import (
+    FaultSpec,
+    ProtocolSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+#: cheap two-group spec most tests run variations of
+TINY = ScenarioSpec(
+    name="tiny",
+    topology=TopologySpec(groups=2),
+    workload=WorkloadSpec(clients=3, warmup=0.3, duration=0.8),
+    protocol=ProtocolSpec(costs="soak"),
+)
+
+
+class TestBalancedTree:
+    def test_balanced_structure_16_groups(self):
+        targets = [f"g{i + 1}" for i in range(16)]
+        tree = OverlayTree.balanced(targets, fanout=4)
+        assert set(tree.targets) == set(targets)
+        # 16 leaves / fanout 4 -> 4 inner + 1 root auxiliary
+        assert len(tree.nodes) == 16 + 5
+        assert tree.height(tree.root) == 3
+        for target in targets:
+            assert tree.height(target) == 1
+            assert len(tree.ancestors(target)) == 3
+
+    def test_balanced_single_target_needs_no_auxiliary(self):
+        tree = OverlayTree.balanced(["g1"])
+        assert set(tree.nodes) == {"g1"}
+
+    def test_balanced_validation(self):
+        with pytest.raises(TreeError):
+            OverlayTree.balanced([])
+        with pytest.raises(TreeError):
+            OverlayTree.balanced(["g1", "g2"], fanout=1)
+
+    def test_spec_layouts_build(self):
+        two = ScenarioSpec(name="a").build_tree()
+        assert set(two.targets) == {"g1", "g2"}
+        paper = ScenarioSpec(
+            name="b", topology=TopologySpec(groups=4, layout="paper")
+        ).build_tree()
+        assert set(paper.targets) == {"g1", "g2", "g3", "g4"}
+        big = ScenarioSpec(
+            name="c",
+            topology=TopologySpec(groups=64, layout="balanced", fanout=4),
+        ).build_tree()
+        assert len(big.targets) == 64
+
+    def test_unknown_layout_rejected(self):
+        from repro.scenario.build import build_tree
+
+        with pytest.raises(ConfigurationError):
+            build_tree(TopologySpec(layout="ring"))
+
+
+class TestSamplers:
+    def test_every_destination_kind_builds(self):
+        targets = [f"g{i + 1}" for i in range(4)]
+        rng = random.Random(5)
+        for kind in ("local", "global", "mixed", "zipfian", "hotspot"):
+            sampler = build_destination_sampler(
+                WorkloadSpec(destinations=kind), targets)
+            dst = sampler(rng)
+            assert set(dst) <= set(targets)
+
+    def test_every_key_dist_builds(self):
+        rng = random.Random(5)
+        for kind in ("uniform", "zipfian", "hotspot"):
+            sampler = build_key_sampler(WorkloadSpec(keys=16, key_dist=kind))
+            assert sampler(rng).startswith("key")
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_destination_sampler(
+                WorkloadSpec(destinations="nope"), ["g1"])
+        with pytest.raises(ConfigurationError):
+            build_key_sampler(WorkloadSpec(key_dist="nope"))
+        with pytest.raises(ConfigurationError):
+            build_costs(TINY.with_(protocol=ProtocolSpec(costs="free")))
+
+
+class TestMembership:
+    def test_matches_deployment_naming(self):
+        spec = TINY.with_(topology=TopologySpec(groups=3))
+        deployment = spec.build_deployment()
+        assert scenario_membership(spec) == {
+            gid: config.replicas
+            for gid, config in deployment.group_configs.items()
+        }
+
+    def test_scales_with_f(self):
+        spec = TINY.with_(topology=TopologySpec(groups=2, f=2))
+        members = scenario_membership(spec)
+        assert all(len(names) == 7 for names in members.values())
+
+
+class TestDeterminism:
+    def test_same_spec_same_fingerprint(self):
+        first = run_scenario(TINY)
+        second = run_scenario(TINY)
+        assert first.counters == second.counters
+        assert first.throughput == second.throughput
+        assert first.latency == second.latency
+
+    def test_seed_changes_fingerprint(self):
+        base = run_scenario(TINY)
+        other = run_scenario(TINY.with_(seed=2))
+        assert base.counters != other.counters
+
+    def test_open_loop_deterministic(self):
+        spec = TINY.with_(workload=WorkloadSpec(
+            clients=3, loop="open", rate=40.0, warmup=0.3, duration=0.8))
+        assert run_scenario(spec).counters == run_scenario(spec).counters
+
+    def test_faulty_scenario_deterministic(self):
+        spec = TINY.with_(
+            workload=WorkloadSpec(clients=2, warmup=0.0, duration=4.0),
+            protocol=ProtocolSpec(costs="soak", request_timeout=0.5,
+                                  retransmit_timeout=0.5),
+            faults=FaultSpec(intensity="light"),
+        )
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.counters == second.counters
+        assert first.completed == second.completed
+
+
+class TestDrivers:
+    def test_burst_loop_sends_less_than_open(self):
+        open_spec = TINY.with_(
+            name="open",
+            workload=WorkloadSpec(clients=4, loop="open", rate=60.0,
+                                  warmup=0.3, duration=1.2))
+        burst_spec = open_spec.with_(
+            name="burst",
+            workload=WorkloadSpec(clients=4, loop="burst", rate=60.0,
+                                  burst_on=0.3, burst_off=0.6,
+                                  warmup=0.3, duration=1.2))
+        open_result = run_scenario(open_spec)
+        burst_result = run_scenario(burst_spec)
+        assert burst_result.sent < open_result.sent
+        assert burst_result.sent > 0
+
+    def test_no_straggler_timers_after_horizon(self):
+        """Satellite fix: drivers cancel/skip timers past ``stop_after``."""
+        from repro.scenario.build import build_deployment, build_drivers
+
+        spec = TINY.with_(workload=WorkloadSpec(
+            clients=6, loop="open", rate=200.0, warmup=0.2, duration=0.6))
+        deployment = build_deployment(spec)
+        drivers = build_drivers(spec, deployment)
+        deployment.start()
+        for driver in drivers:
+            driver.start()
+        deployment.run(until=spec.horizon)
+        assert all(driver._timer is None for driver in drivers)
+        sent_at_horizon = sum(d.sent for d in drivers)
+        deployment.run(until=spec.horizon + 5.0)
+        assert sum(d.sent for d in drivers) == sent_at_horizon
+
+    def test_closed_loop_think_timer_not_left_armed(self):
+        from repro.scenario.build import build_deployment, build_drivers
+
+        spec = TINY.with_(workload=WorkloadSpec(
+            clients=2, think_time=10.0, warmup=0.2, duration=0.6))
+        deployment = build_deployment(spec)
+        drivers = build_drivers(spec, deployment)
+        deployment.start()
+        for driver in drivers:
+            driver.start()
+        deployment.run(until=spec.horizon)
+        # every first completion would re-arm at now+10s > horizon: skipped
+        assert all(driver._timer is None for driver in drivers)
+
+    def test_driver_stop_cancels_pending_timer(self):
+        from repro.scenario.build import build_deployment, build_drivers
+
+        spec = TINY.with_(workload=WorkloadSpec(
+            clients=1, loop="open", rate=5.0, warmup=0.0, duration=50.0))
+        deployment = build_deployment(spec)
+        (driver,) = build_drivers(spec, deployment)
+        deployment.start()
+        driver.start()
+        assert driver._timer is not None
+        pending_before = deployment.runtime.loop.pending
+        driver.stop()
+        assert driver._timer is None
+        assert deployment.runtime.loop.pending < pending_before
+
+
+class TestScenarioResult:
+    def test_result_shape_and_row(self):
+        result = run_scenario(TINY)
+        assert result.name == "tiny"
+        assert result.backend == "sim"
+        assert result.completed > 0
+        assert result.sent >= result.completed
+        assert result.counters["client.amulticast"] == result.sent
+        assert "tiny" in result.row()
+        assert result.kv is None
+
+    def test_kv_scenario_exposes_handle(self):
+        spec = TINY.with_(
+            name="kv",
+            topology=TopologySpec(groups=2),
+            workload=WorkloadSpec(clients=2, keys=8, warmup=0.3,
+                                  duration=0.8),
+            app="sharded_kv",
+        )
+        result = run_scenario(spec)
+        assert result.kv is not None
+        assert result.kv.check_consistency() == []
+        assert result.completed > 0

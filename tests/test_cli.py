@@ -77,3 +77,48 @@ class TestCommands:
         assert "PASS" in out
         assert "invariants" in out
         assert "# nemesis seed=7" in out  # --timeline prints the schedule
+
+
+class TestScenarioCommand:
+    def test_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenario", "validate", "spec.json"])
+        assert args.action == "validate"
+        assert args.file == "spec.json"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["scenario", "lint", "spec.json"])
+
+    def test_validate_ok(self, capsys, tmp_path):
+        from repro.scenario import ScenarioSpec
+
+        path = str(tmp_path / "ok.json")
+        ScenarioSpec(name="from-cli").save(path)
+        assert main(["scenario", "validate", path]) == 0
+        out = capsys.readouterr().out
+        assert "'from-cli': OK" in out
+        assert "target group(s)" in out
+
+    def test_validate_invalid_spec(self, capsys, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"name": "bad", "workload": {"loop": "semi"}}, handle)
+        assert main(["scenario", "validate", path]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_validate_unreadable_file(self, capsys, tmp_path):
+        assert main(["scenario", "validate", str(tmp_path / "nope.json")]) == 2
+
+    def test_run_reports_result(self, capsys, tmp_path):
+        from repro.scenario import ScenarioSpec
+        from repro.scenario.spec import ProtocolSpec, WorkloadSpec
+
+        path = str(tmp_path / "tiny.json")
+        ScenarioSpec(
+            name="cli-tiny",
+            workload=WorkloadSpec(clients=2, warmup=0.2, duration=0.6),
+            protocol=ProtocolSpec(costs="soak"),
+        ).save(path)
+        assert main(["scenario", "run", path]) == 0
+        out = capsys.readouterr().out
+        assert "cli-tiny" in out
+        assert "tput=" in out
