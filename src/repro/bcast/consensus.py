@@ -104,6 +104,26 @@ class ConsensusInstance:
                 batch = self.proposed_batch
             self.write_cert = WriteCertificate(regency, digest, batch)
 
+    def rescope(self, members: Tuple[str, ...], quorum: int) -> None:
+        """Re-anchor this instance in a new view.
+
+        An instance for a cid beyond a reconfiguration boundary runs in the
+        post-boundary view: its quorum must be that view's 2f+1 and votes
+        from replicas no longer in the view must not count toward it.  The
+        quorum is otherwise frozen at creation time, so an instance opened
+        by a pipelined proposal (or an early peer vote) just before the
+        boundary executes would keep the *old* view's threshold — after a
+        scale-down that threshold can exceed the number of remaining
+        members and the instance can never decide (observed as an endless
+        regency cycle with full write sets at every regency).
+        """
+        self.quorum = quorum
+        keep = set(members)
+        for votes in self.writes.values():
+            votes &= keep
+        for votes in self.accepts.values():
+            votes &= keep
+
     def should_accept(self, regency: int, digest: bytes) -> bool:
         """True iff a write quorum for (regency, digest) exists, the digest
         matches our proposal for that regency, and no ACCEPT was sent yet."""

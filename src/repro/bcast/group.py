@@ -81,6 +81,17 @@ class BroadcastGroup:
     def replica(self, name: str) -> Replica:
         return self._by_name[name]
 
+    def adopt(self, replica: Replica) -> None:
+        """Track a dynamically spawned member (elastic membership)."""
+        if replica.name in self._by_name:
+            return
+        self.replicas.append(replica)
+        self._by_name[replica.name] = replica
+
+    def update_config(self, config: BroadcastConfig) -> None:
+        """Adopt a reconfigured membership for bookkeeping accessors."""
+        self.config = config
+
     def leader(self) -> Replica:
         """The leader replica of the *lowest* current regency in the group."""
         regency = min(r.regency.current for r in self.replicas)

@@ -63,13 +63,21 @@ class View:
 
 @dataclass(frozen=True)
 class Reconfig:
-    """An ordered membership-change command (complete new membership)."""
+    """An ordered membership-change command (complete new membership).
+
+    ``new_f`` changes the fault threshold together with the membership
+    (scale-up/scale-down): a view always has exactly ``3f + 1`` members, so
+    resizing a group must change ``f`` in the same ordered command.  ``None``
+    keeps the current threshold (the plain swap case).
+    """
 
     group: str
     new_replicas: Tuple[str, ...]
+    new_f: Optional[int] = None
 
     def to_view(self, f: int) -> View:
-        return View(tuple(self.new_replicas), f)
+        return View(tuple(self.new_replicas),
+                    self.new_f if self.new_f is not None else f)
 
 
 def admin_identity(group_id: str) -> str:
@@ -105,12 +113,14 @@ class ViewManager(Actor):
         )
 
     def reconfigure(self, new_replicas: Tuple[str, ...],
-                    callback: Optional[Any] = None) -> None:
-        """Order a membership change to ``new_replicas``."""
-        command = Reconfig(self.group_id, tuple(new_replicas))
+                    callback: Optional[Any] = None,
+                    new_f: Optional[int] = None) -> None:
+        """Order a membership change to ``new_replicas`` (and maybe ``f``)."""
+        command = Reconfig(self.group_id, tuple(new_replicas), new_f)
 
         def done(result: Any) -> None:
-            self.view = View(tuple(new_replicas), self.view.f)
+            f = new_f if new_f is not None else self.view.f
+            self.view = View(tuple(new_replicas), f)
             self._proxy.update_replicas(self.view.replicas, self.view.f)
             self.monitor.record(self.name, "reconfig.confirmed",
                                 members=",".join(new_replicas))
@@ -118,6 +128,21 @@ class ViewManager(Actor):
                 callback(result)
 
         self._proxy.submit(command, done)
+
+    def submit_command(self, command: Any,
+                       callback: Optional[Any] = None) -> None:
+        """Order an arbitrary admin command through the group.
+
+        Used by the elasticity controller to propagate e.g. a neighbouring
+        group's :class:`~repro.core.messages.MembershipUpdate` at a
+        consensus boundary of *this* group.
+        """
+        self._proxy.submit(command, callback)
+
+    def update_view(self, new_replicas: Tuple[str, ...], f: int) -> None:
+        """Adopt an externally confirmed view (controller bookkeeping)."""
+        self.view = View(tuple(new_replicas), f)
+        self._proxy.update_replicas(self.view.replicas, self.view.f)
 
     def on_message(self, src: str, payload: Any) -> None:
         if isinstance(payload, Reply):

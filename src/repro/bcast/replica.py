@@ -25,6 +25,7 @@ proposal) without duplicating the rest of the protocol.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bcast.adaptive import AdaptiveBatcher
@@ -62,6 +63,10 @@ from repro.env import Actor, Monitor, RuntimeOrClock
 STATE_GAP_SLACK = 1
 #: how long a state-transfer round may take before it is retried
 STATE_RETRY_TIMEOUT = 1.0
+#: cap of the exponential state-request backoff (mirrors the client proxy's
+#: retransmit clamp): a joiner that cannot reach the f+1 quorum must not
+#: re-request every tick, but must also keep probing within bounded time
+MAX_STATE_BACKOFF_MULTIPLIER = 64
 #: refuse STOPDATA whose per-cid certificate list exceeds this bound
 #: (a Byzantine reporter must not make the new leader buffer unbounded data)
 MAX_STOPDATA_CERTS = 64
@@ -120,6 +125,16 @@ class Replica(Actor):
 
         self._state_xfer_active = False
         self._state_responses: Dict[str, StateResponse] = {}
+        #: failed state rounds since the last successful adoption; drives
+        #: the capped, jittered re-request backoff
+        self._state_attempts = 0
+        self._state_backoff_until = 0.0
+        #: locally monotonic count of view changes (reconfigs + carried
+        #: checkpoint views), exported as the membership.view.<name> gauge
+        self._view_epoch = 0
+        #: administratively retired (see ``decommission``): stays inactive
+        #: even if catch-up replays a Reconfig that once included us
+        self._retired = False
         #: proposals for consensus ids we have not reached yet (bounded stash)
         self._future_proposals: Dict[int, Tuple[str, Propose]] = {}
 
@@ -142,20 +157,101 @@ class Replica(Actor):
 
     def _apply_reconfig(self, command: Reconfig) -> None:
         """Switch to the new membership at this consensus boundary."""
-        new_view = View(tuple(command.new_replicas), self.view.f)
+        new_view = command.to_view(self.view.f)
         was_active = self.active
         self.view = new_view
         self.regency.update_view(new_view.n, new_view.f)
-        self.active = self.name in new_view
+        # Instances beyond this boundary run in the new view: refresh
+        # their quorum and drop votes from ex-members (see
+        # ConsensusInstance.rescope).
+        for cid, instance in self._consensus.items():
+            if cid >= self.log.next_execute and not instance.decided:
+                instance.rescope(new_view.replicas, new_view.quorum)
+        self.active = self.name in new_view and not self._retired
         self._started.clear()
+        self._note_view_change()
         self.monitor.record(self.name, "replica.reconfigured",
                             members=",".join(new_view.replicas),
                             active=self.active)
+        if not self.active and was_active:
+            self._teardown_departure()
+            return
         if self.active and not was_active:
             # Freshly joined: we are already caught up to this boundary.
             self._maybe_propose()
+        elif self.regency.in_transition:
+            # The Reconfig raced a regency change mid-window: the pending
+            # regency's leader slot may map to a different replica under the
+            # new view (or the old target may have just left).  Re-emit our
+            # STOPDATA toward the leader the *new* view designates so the
+            # synchronization phase converges instead of stalling until the
+            # next request timeout.
+            self.monitor.record(self.name, "reconfig.regency_race",
+                                regency=self.regency.current)
+            self._on_regency_transition(self.regency.current)
+
+    def _teardown_departure(self) -> None:
+        """Cleanly drop a departing replica's in-flight consensus state.
+
+        A removed member must stop voting/proposing immediately and must
+        not hold references to open instances of a window it is no longer
+        part of; it keeps answering StateRequests (its executed log is
+        still valid history) so joiners can catch up from it.
+        """
+        self._consensus.clear()
+        self._future_proposals.clear()
+        self._assembling = False
+        self._state_xfer_active = False
+        self._state_responses.clear()
+        self._pending_since.clear()
+        self._request_timer = None
+        self._stop_assist_at.clear()
+        self.batcher.reset()
+        self.pool = PendingPool()
+        self._update_inflight_gauge()
+        self.monitor.record(self.name, "replica.departed")
+
+    def decommission(self) -> None:
+        """Administratively retire a replica removed from the membership.
+
+        The common departure path is self-service: a member that executes
+        the Reconfig dropping it tears itself down in ``_apply_reconfig``.
+        But a *lagging* member (e.g. a joiner still in state transfer when
+        it is removed) may never execute that command — the remaining
+        members stop counting its votes, so nothing compels it to catch up
+        — and it would idle forever in a stale view.  The elasticity
+        controller calls this once the reconfiguration is confirmed, which
+        matches production practice: the operator decommissions the removed
+        node's process.  Retirement is permanent: replaying an *earlier*
+        Reconfig that once included this replica must not reactivate it,
+        and its inactive catch-up poll stops rescheduling.  Idempotent.
+        """
+        if self._retired:
+            return
+        self._retired = True
+        was_active = self.active
+        self.active = False
+        self.monitor.record(self.name, "replica.decommissioned")
+        if was_active:
+            self._note_view_change()
+            self._teardown_departure()
+        else:
+            self._state_xfer_active = False
+            self._state_responses.clear()
+
+    def _note_view_change(self) -> None:
+        """Export the membership gauges (off the counter fingerprint)."""
+        self._view_epoch += 1
+        self.monitor.gauge(f"membership.size.{self.group_id}",
+                           float(self.view.n))
+        self.monitor.gauge(f"membership.view.{self.name}",
+                           float(self._view_epoch))
 
     def start(self) -> None:
+        self.monitor.gauge(f"membership.size.{self.group_id}",
+                           float(self.view.n))
+        self.monitor.gauge(f"membership.view.{self.name}",
+                           float(self._view_epoch))
         if not self.active:
             self._inactive_poll()
         if self.config.heartbeat_interval > 0:
@@ -176,11 +272,14 @@ class Replica(Actor):
         if src not in self.view.replicas:
             return
         if beat.next_cid > self.log.next_execute:
+            # The leader's beacon reached us, so the group is reachable:
+            # any unreachability backoff is stale evidence — drop it.
+            self._state_backoff_until = 0.0
             self._request_state()
 
     def _inactive_poll(self) -> None:
         """A joiner keeps pulling state until a Reconfig activates it."""
-        if self.active or self.crashed:
+        if self.active or self.crashed or self._retired:
             return
         self._request_state()
         self.set_timer(self.config.request_timeout, self._inactive_poll)
@@ -198,6 +297,8 @@ class Replica(Actor):
         self._stop_assist_at.clear()
         self._state_xfer_active = False
         self._state_responses.clear()
+        self._state_attempts = 0
+        self._state_backoff_until = 0.0
         self.monitor.record(self.name, "replica.recover")
         if self.config.heartbeat_interval > 0:
             self.set_timer(self.config.heartbeat_interval, self._heartbeat_tick)
@@ -529,8 +630,11 @@ class Replica(Actor):
             return False
         if command.group != self.group_id:
             return False
+        new_f = command.new_f if command.new_f is not None else self.view.f
+        if new_f < 1:
+            return False
         try:
-            View(tuple(command.new_replicas), self.view.f)
+            View(tuple(command.new_replicas), new_f)
         except Exception:
             return False
         return True
@@ -876,11 +980,16 @@ class Replica(Actor):
     def _note_progress_gap(self, cid: int) -> None:
         threshold = self.config.max_in_flight + STATE_GAP_SLACK
         if cid >= self.log.next_execute + threshold:
+            # Live protocol traffic proving a gap is fresh reachability
+            # evidence; the backoff only throttles an unreachable quorum.
+            self._state_backoff_until = 0.0
             self._request_state()
 
     def _request_state(self) -> None:
         if self._state_xfer_active:
             return
+        if self.loop.now < self._state_backoff_until:
+            return  # backing off after failed rounds; the next probe is armed
         self._state_xfer_active = True
         self._state_responses.clear()
         self.monitor.record(self.name, "state.request", from_cid=self.log.next_execute)
@@ -889,7 +998,33 @@ class Replica(Actor):
 
     def _state_timeout(self) -> None:
         if self._state_xfer_active:
+            # The f+1 quorum never answered within the round: count a
+            # failure so the next request backs off instead of hot-looping.
             self._state_xfer_active = False
+            self._note_state_failure()
+
+    def _note_state_failure(self) -> None:
+        """Arm the capped, jittered backoff after a fruitless state round.
+
+        Same clamp shape as the client proxy's retransmit backoff (64x cap);
+        the jitter is deterministic per (replica, attempt) via crc32 — NOT
+        the process-salted builtin ``hash`` — so simulated runs stay
+        reproducible while a cohort of joiners still de-synchronizes
+        instead of re-requesting in lockstep.
+        """
+        self._state_attempts += 1
+        multiplier = min(2 ** (self._state_attempts - 1),
+                         MAX_STATE_BACKOFF_MULTIPLIER)
+        jitter = (zlib.crc32(f"{self.name}:{self._state_attempts}".encode())
+                  % 1024) / 4096.0  # [0, 0.25)
+        self._state_backoff_until = self.loop.now + (
+            STATE_RETRY_TIMEOUT * multiplier * (1.0 + jitter))
+        self.monitor.record(self.name, "state.backoff",
+                            attempts=self._state_attempts)
+
+    def _note_state_success(self) -> None:
+        self._state_attempts = 0
+        self._state_backoff_until = 0.0
 
     def _handle_state_request(self, src: str, request: StateRequest) -> None:
         if request.group != self.group_id:
@@ -928,8 +1063,12 @@ class Replica(Actor):
         # Whether or not anything was installable, the round is over: f+1
         # peers answered.  If we were genuinely behind but their responses
         # disagreed (drops), the next timeout retries.  Keeping the flag set
-        # would block the leader from proposing (livelock).
+        # would block the leader from proposing (livelock).  Either way the
+        # quorum is *reachable*, so the unreachability backoff resets — an
+        # inactive joiner then keeps its designed request_timeout poll
+        # cadence rather than the hot loop the backoff guards against.
         self._state_xfer_active = False
+        self._note_state_success()
         if adopted:
             self._execute_ready()
         self._drain_future_proposals()
@@ -962,6 +1101,24 @@ class Replica(Actor):
                 if counts.get((cid, d), 0) >= self.view.f + 1:
                     chosen = batch
                     break
+            if chosen is None:
+                # A single voucher suffices when the batch matches a write
+                # certificate we assembled ourselves: 2f+1 replicas
+                # write-certified this digest, so no other value can ever
+                # decide at this cid (quorum intersection, preserved across
+                # regency changes by the sync rule).  This is the only
+                # recovery path when exactly one correct replica decided a
+                # Reconfig at the view boundary: its post-reconfig STOP
+                # threshold is higher than the old view can muster, and no
+                # second voucher for the boundary cid exists anywhere.
+                instance = self._consensus.get(cid)
+                cert = instance.write_cert if instance is not None else None
+                if cert is not None:
+                    match = options.get(cert.digest)
+                    if match is not None:
+                        chosen = match[1]
+                        self.monitor.record(self.name, "state.cert_adopt",
+                                            cid=cid)
             if chosen is None:
                 break
             for installed_cid, batch in self.log.install_suffix(((cid, chosen),)):
@@ -1019,8 +1176,12 @@ class Replica(Actor):
             # execute; the checkpoint carries the resulting view instead.
             self.view = new_view
             self.regency.update_view(new_view.n, new_view.f)
+            for open_cid, instance in self._consensus.items():
+                if open_cid > checkpoint.cid and not instance.decided:
+                    instance.rescope(new_view.replicas, new_view.quorum)
             self.active = self.name in new_view
             self._assembling = False
+            self._note_view_change()
         self.pool.prune_ordered(self.log.tracker)
         for key in [k for k in self._pending_since
                     if self.log.tracker.last(k[0]) >= k[1]]:
@@ -1031,18 +1192,34 @@ class Replica(Actor):
             self._maybe_propose()
 
     def _run_installed_batch(self, cid: int, batch: Tuple[Request, ...]) -> None:
-        """Execute a state-transferred batch (no replies for stale requests)."""
+        """Execute a state-transferred batch.
+
+        Replies are sent only for requests still sitting in our pending
+        set: those senders asked *us* directly and are still waiting — in
+        particular the admin client behind a Reconfig needs f+1 matching
+        replies before it can confirm the new view.  Historical requests
+        replayed by a joiner were never pending here, so bulk catch-up
+        stays reply-silent.
+        """
         ctx = ExecutionContext(replica=self, time=self.loop.now)
         for request in batch:
-            self._pending_since.pop(request.key(), None)
+            was_pending = self._pending_since.pop(request.key(), None) is not None
             self.pool.remove(request.sender, request.seq)
             if not self.log.mark_ordered(request):
                 continue
             if isinstance(request.command, Reconfig):
                 if self._reconfig_authorized(request):
                     self._apply_reconfig(request.command)
+                    result = ("ok", "reconfig", request.command.new_replicas)
+                else:
+                    result = ("error", "reconfig denied")
             else:
-                self.app.execute(request, ctx)
+                result = self.app.execute(request, ctx)
+            if was_pending and result is not None:
+                reply = Reply(self.group_id, self.name, request.sender,
+                              request.seq, result)
+                self._last_reply[request.sender] = reply
+                self._send_reply(request, reply)
             self.monitor.record(self.name, "replica.executed_catchup",
                                 sender=request.sender, seq=request.seq)
         self.pool.prune_ordered(self.log.tracker)

@@ -157,6 +157,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             targets=targets,
             checkpoint_interval=args.checkpoint_interval,
             max_in_flight=args.max_in_flight,
+            joins=args.joins,
+            leaves=args.leaves,
+            scale_cycles=args.scale_cycles,
         )
         print(report.summary())
         if args.timeline:
@@ -303,7 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="sim", help="execution backend(s) to soak")
     chaos.add_argument("--seed", type=int, default=7,
                        help="nemesis seed (same seed = same fault timeline)")
-    chaos.add_argument("--intensity", choices=["light", "medium", "heavy"],
+    chaos.add_argument("--intensity",
+                       choices=["light", "medium", "heavy", "churn"],
                        default="medium")
     chaos.add_argument("--duration", type=float, default=6.0,
                        help="nemesis horizon scale in runtime seconds")
@@ -320,6 +324,15 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="max_in_flight",
                        help="consensus pipeline depth (1 = unpipelined; "
                             "see docs/PIPELINE.md)")
+    chaos.add_argument("--joins", type=int, default=0,
+                       help="extra join (replica swap-in) churn ops on top "
+                            "of the intensity profile")
+    chaos.add_argument("--leaves", type=int, default=0,
+                       help="extra leave (replica swap-out) churn ops")
+    chaos.add_argument("--scale-cycles", type=int, default=0,
+                       dest="scale_cycles",
+                       help="extra paired scale_up/scale_down cycles "
+                            "(f -> f+1 -> f)")
     chaos.add_argument("--groups", default="g1,g2",
                        help="comma-separated target groups of the 2-level tree")
     chaos.add_argument("--timeline", action="store_true",

@@ -10,7 +10,7 @@ the figure the paper's latency plots report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.bcast.client import GroupProxy
@@ -136,6 +136,25 @@ class MulticastClient(Actor):
                 retransmit_timeout=self.retransmit_timeout,
             )
         return self._proxies[group_id]
+
+    def update_group(self, group_id: str, replicas: Tuple[str, ...],
+                     f: int) -> None:
+        """Adopt a reconfigured group's membership.
+
+        Out-of-band delivery is safe for clients: vote counting is local
+        (not replicated state), and replies from replicas outside the
+        currently-known membership are simply ignored until the update
+        lands.  Any live proxy into the group re-sprays its un-acked
+        requests at the new membership.
+        """
+        config = self.group_configs.get(group_id)
+        if config is None:
+            return
+        self.group_configs[group_id] = dataclass_replace(
+            config, replicas=tuple(replicas), f=f)
+        proxy = self._proxies.get(group_id)
+        if proxy is not None:
+            proxy.update_replicas(tuple(replicas), f)
 
     def on_message(self, src: str, payload: Any) -> None:
         if isinstance(payload, Reply):

@@ -21,8 +21,8 @@ Example:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Type
 
 from repro.bcast.config import BroadcastConfig, CostModel
 from repro.bcast.group import BroadcastGroup
@@ -141,21 +141,32 @@ class ByzCastDeployment:
             )
 
         self.clients: List[MulticastClient] = []
+        #: membership as constructed (epoch 0).  Standbys spawned after
+        #: churn must build their protocol state from THIS and replay the
+        #: ordered history (Reconfigs, MembershipUpdates) to converge —
+        #: seeding them with the membership at spawn time would make their
+        #: replay of early parent-relayed copies diverge from what the
+        #: incumbents executed (the relayer would not be a known parent).
+        self.initial_group_configs: Dict[str, BroadcastConfig] = dict(
+            self.group_configs)
         self._started = False
 
-    def _make_app(self, group_id: str, replica_name: str) -> ByzCastApplication:
+    def _make_app(self, group_id: str, replica_name: str,
+                  group_configs: Optional[Mapping[str, BroadcastConfig]] = None,
+                  ) -> ByzCastApplication:
+        configs = group_configs if group_configs is not None else self.group_configs
         factory = self._app_overrides.get(group_id, {}).get(replica_name)
         if factory is not None:
             return factory(
                 group_id=group_id,
                 tree=self.tree,
-                group_configs=self.group_configs,
+                group_configs=configs,
                 registry=self.registry,
             )
         return ByzCastApplication(
             group_id=group_id,
             tree=self.tree,
-            group_configs=self.group_configs,
+            group_configs=configs,
             registry=self.registry,
         )
 
@@ -193,6 +204,23 @@ class ByzCastDeployment:
         """Start (if needed) and advance the runtime to ``until`` seconds."""
         self.start()
         self.runtime.run(until=until, max_events=max_events)
+
+    def update_group_membership(self, group_id: str,
+                                replicas: Sequence[str], f: int) -> BroadcastConfig:
+        """Adopt a confirmed reconfiguration in deployment bookkeeping.
+
+        Refreshes the canonical ``group_configs`` entry, the group handle,
+        and every client's proxy/vote arithmetic.  Replica-side relay wiring
+        is NOT touched here — that propagates through ordered
+        ``MembershipUpdate`` commands (see :mod:`repro.faults.elasticity`).
+        """
+        config = dataclass_replace(self.group_configs[group_id],
+                                   replicas=tuple(replicas), f=f)
+        self.group_configs[group_id] = config
+        self.groups[group_id].update_config(config)
+        for client in self.clients:
+            client.update_group(group_id, config.replicas, config.f)
+        return config
 
     # -------------------------------------------------------------- accessors
 

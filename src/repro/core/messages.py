@@ -77,6 +77,26 @@ class WireMulticast:
 
 
 @dataclass(frozen=True)
+class MembershipUpdate:
+    """An ordered notice that another group's membership changed.
+
+    The elasticity controller submits this to every group wired to a
+    reconfigured group (its overlay parent and children) through the normal
+    request path, so the update executes at one consensus boundary on every
+    replica.  That ordering matters: the parent-relay quorum merge is
+    *replicated* state (it is checkpointed), so refreshing it out-of-band at
+    arbitrary per-replica execution points would let released messages
+    interleave differently with ordered traffic across replicas — an
+    agreement violation.  Authorization: only the executing group's own
+    ``admin@<group>`` identity may carry it.
+    """
+
+    group: str
+    replicas: Tuple[str, ...]
+    f: int
+
+
+@dataclass(frozen=True)
 class MulticastReply:
     """Per-replica delivery acknowledgement sent to the originating client.
 

@@ -21,11 +21,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from dataclasses import replace as dataclass_replace
+
 from repro.bcast.app import Application, ExecutionContext
 from repro.bcast.client import GroupProxy
 from repro.bcast.config import BroadcastConfig
 from repro.bcast.messages import Reply, Request
-from repro.core.messages import MulticastReply, WireMulticast
+from repro.bcast.reconfig import admin_identity
+from repro.core.messages import MembershipUpdate, MulticastReply, WireMulticast
 from repro.core.tree import OverlayTree
 from repro.crypto.digest import canonical_bytes
 from repro.crypto.keys import KeyRegistry
@@ -94,6 +97,8 @@ class ByzCastApplication(Application):
 
     def execute(self, request: Request, ctx: ExecutionContext) -> Any:
         wire = request.command
+        if isinstance(wire, MembershipUpdate):
+            return self._apply_membership_update(request, wire, ctx)
         if not isinstance(wire, WireMulticast):
             return ("error", "not a multicast")
         problem = self._validate_wire(wire)
@@ -128,6 +133,46 @@ class ByzCastApplication(Application):
             return ("error", "invalid origin signature")
         self._act(wire, ctx)
         return ("ack",)
+
+    def _apply_membership_update(self, request: Request,
+                                 update: MembershipUpdate,
+                                 ctx: ExecutionContext) -> Any:
+        """Adopt a neighbouring group's reconfigured membership (ordered).
+
+        Executes at one consensus boundary on every replica of this group,
+        so the relay wiring that captured construction-time membership —
+        child proxies into ``update.group`` and, when it is our overlay
+        parent, the authorized-relayer set plus the f+1 quorum-head merge —
+        changes at the same logical point everywhere.  Messages the merge
+        releases *because* of the change (a removed dissenting queue) are
+        acted on right here, inside ordered execution.
+        """
+        if request.sender != admin_identity(self.group_id):
+            ctx.monitor.record(ctx.replica_name, "byzcast.membership_denied",
+                               sender=request.sender)
+            return ("error", "membership update denied")
+        old = self.group_configs.get(update.group)
+        if old is None:
+            return ("error", f"unknown group {update.group!r}")
+        try:
+            config = dataclass_replace(old, replicas=tuple(update.replicas),
+                                       f=update.f)
+        except Exception:
+            return ("error", "invalid membership")
+        self.group_configs[update.group] = config
+        proxy = self._child_proxies.get(update.group)
+        if proxy is not None:
+            proxy.update_replicas(config.replicas, config.f)
+        if update.group == self.tree.parent(self.group_id):
+            assert self._merge is not None
+            self._parent_replicas = config.replicas
+            for released in self._merge.update_members(config.replicas,
+                                                       config.f + 1):
+                self._act(released, ctx)
+        ctx.monitor.record(ctx.replica_name, "byzcast.membership_update",
+                           group=update.group,
+                           members=",".join(update.replicas))
+        return ("ok", "membership", update.group, tuple(update.replicas))
 
     def _validate_wire(self, wire: WireMulticast) -> Optional[str]:
         if not wire.dst:
@@ -246,18 +291,48 @@ class ByzCastApplication(Application):
         """
         acted = tuple(sorted(self._acted, key=canonical_bytes))
         a_delivered = tuple(sorted(self._a_delivered, key=canonical_bytes))
-        merge = self._merge.snapshot() if self._merge is not None else None
+        # The merge's membership is itself replicated state under elastic
+        # membership (an ordered MembershipUpdate changes it), so the
+        # snapshot carries (senders, threshold) alongside the queue state.
+        merge = None
+        if self._merge is not None:
+            merge = (tuple(sorted(self._merge.senders)), self._merge.threshold,
+                     self._merge.snapshot())
         delivered = tuple(record.message for record in self.deliveries)
         payload = self.on_snapshot() if self.on_snapshot is not None else None
-        return ("byzcast", acted, a_delivered, merge, delivered, payload)
+        # Neighbour membership is replicated state under elastic membership
+        # (it changes only through ordered MembershipUpdates), so the
+        # snapshot carries every group's (replicas, f): a joiner restoring
+        # this checkpoint must relay to the membership its epoch agreed on,
+        # not whatever the membership was when the joiner was spawned.
+        configs = tuple(
+            (gid, tuple(config.replicas), config.f)
+            for gid, config in sorted(self.group_configs.items())
+        )
+        return ("byzcast", acted, a_delivered, merge, delivered, payload,
+                configs)
 
     def restore(self, state: Tuple) -> None:
         """Adopt a peer's :meth:`snapshot` (checkpoint install path)."""
-        __, acted, a_delivered, merge, delivered, payload = state
+        __, acted, a_delivered, merge, delivered, payload, configs = state
         self._acted = set(acted)
         self._a_delivered = set(a_delivered)
+        for gid, replicas, group_f in configs:
+            known = self.group_configs.get(gid)
+            if known is None:
+                continue
+            config = dataclass_replace(known, replicas=tuple(replicas),
+                                       f=group_f)
+            self.group_configs[gid] = config
+            proxy = self._child_proxies.get(gid)
+            if proxy is not None:
+                proxy.update_replicas(config.replicas, config.f)
+        self.config = self.group_configs[self.group_id]
         if self._merge is not None and merge is not None:
-            self._merge.restore(merge)
+            senders, threshold, queue_state = merge
+            self._parent_replicas = tuple(senders)
+            self._merge.update_members(senders, threshold)
+            self._merge.restore(queue_state)
         # Rebuild the delivery record so the a-delivery *sequence* survives
         # the restore; timestamps/process are local observations, not
         # replicated state, so they reflect the restore itself.

@@ -83,6 +83,29 @@ class QuorumMerge:
                     break  # re-scan heads after every release
         return released
 
+    def update_members(self, senders: Iterable[str], threshold: int) -> List[Any]:
+        """Adopt a new relayer membership (parent-group reconfiguration).
+
+        Queues of retained senders survive (their relayed-but-unconfirmed
+        prefixes stay valid), removed senders' queues are dropped, and new
+        senders start with empty queues.  The released set is kept so
+        already-confirmed messages are never re-released.  Returns any
+        values the membership change itself unblocks (e.g. a withheld
+        message whose only dissenting queue belonged to a removed replica).
+        """
+        new_senders = frozenset(senders)
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if threshold > len(new_senders):
+            raise ValueError("threshold cannot exceed the number of senders")
+        self.senders = new_senders
+        self.threshold = threshold
+        self._queues = {
+            sender: self._queues.get(sender, deque())
+            for sender in new_senders
+        }
+        return self._drain()
+
     def is_released(self, key: Hashable) -> bool:
         return key in self._released
 

@@ -10,6 +10,10 @@ benign crashes and partitions.
 (the chaos-engineering counterpart of a hand-written :class:`FaultPlan`)
 bounded by ``f`` faults per group.
 
+:mod:`repro.faults.elasticity` makes membership churn a schedulable fault:
+join/leave swaps and f-changing scale ops driven through each group's
+ordered reconfiguration path, plus an optional gauge-driven autoscaler.
+
 The test suite uses these to demonstrate the properties the paper claims:
 with at most ``f`` faulty replicas per group, safety (agreement, integrity,
 order) always holds, and liveness is restored after leader changes.
@@ -24,11 +28,19 @@ from repro.faults.behaviors import (
     SilentRelayApp,
     WrongVoteReplica,
 )
+from repro.faults.elasticity import (
+    AutoscalePolicy,
+    ElasticityController,
+    elasticity_controller,
+)
 from repro.faults.injector import (
     FaultPlan,
     schedule_crash,
+    schedule_join,
+    schedule_leave,
     schedule_partition,
     schedule_recover,
+    schedule_scale,
 )
 from repro.faults.nemesis import (
     PROFILES,
@@ -49,6 +61,12 @@ __all__ = [
     "schedule_crash",
     "schedule_partition",
     "schedule_recover",
+    "schedule_join",
+    "schedule_leave",
+    "schedule_scale",
+    "ElasticityController",
+    "AutoscalePolicy",
+    "elasticity_controller",
     "NemesisOp",
     "NemesisSchedule",
     "IntensityProfile",

@@ -1,0 +1,347 @@
+"""Elastic membership: scheduled churn ops and gauge-driven autoscaling.
+
+The :class:`ElasticityController` turns membership churn into a runnable
+fault: ``join``/``leave`` swap a fresh standby replica in for an existing
+member (the view always keeps exactly ``3f + 1`` members), ``scale_up`` /
+``scale_down`` resize a group by changing ``f`` atomically with the
+membership (``Reconfig.new_f``).  Every change flows through the group's
+ordered reconfiguration path — a :class:`~repro.bcast.reconfig.ViewManager`
+submits the ``Reconfig``, and only after the group confirms it does the
+controller
+
+* refresh deployment bookkeeping (``group_configs``, group handles, every
+  client's proxy and vote arithmetic), and
+* announce the change to the group's overlay parent and children as ordered
+  :class:`~repro.core.messages.MembershipUpdate` commands, so the relay
+  wiring (child proxies, the f+1 quorum-head merge) switches at one
+  consensus boundary on every neighbour replica.
+
+Ops on one group are serialized (one ``Reconfig`` in flight at a time);
+ops on different groups proceed concurrently.  Scheduling goes through the
+deployment's :class:`~repro.env.api.Runtime` facade, so the same plan runs
+on the simulator and the real-time backend.
+
+:class:`AutoscalePolicy` is the optional closed loop: it periodically reads
+the ``consensus.in_flight.<replica>`` Monitor gauges (pipeline pressure)
+and scales a group up when the window stays saturated, back down when it
+drains — only ever undoing its own scale-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bcast.reconfig import View, ViewManager
+from repro.bcast.replica import Replica
+from repro.core.messages import MembershipUpdate
+from repro.faults.injector import _at, fault_clock
+
+#: replicas added per scale step (a view has 3f+1 members, so f -> f+1
+#: adds exactly three)
+SCALE_STEP = 3
+
+
+class ElasticityController:
+    """Drives membership churn through a deployment's ordered reconfig path."""
+
+    def __init__(self, deployment) -> None:
+        self.deployment = deployment
+        self.monitor = deployment.monitor
+        self.clock = fault_clock(deployment)
+        self._managers: Dict[str, ViewManager] = {}
+        #: per-group FIFO of churn thunks; one Reconfig in flight per group
+        self._queues: Dict[str, List[Any]] = {}
+        self._busy: Set[str] = set()
+        #: names spawned per group, in spawn order (scale_down removes from
+        #: the tail, so a cycle returns exactly to the pre-cycle membership)
+        self.spawned: Dict[str, List[str]] = {}
+        #: confirmed membership changes: (time, kind, group, members-csv)
+        self.events: List[Tuple[float, str, str, str]] = []
+
+    # ------------------------------------------------------------------- ops
+
+    def join(self, group_id: str, at: Optional[float] = None,
+             member: Optional[str] = None) -> "ElasticityController":
+        """Swap a fresh standby in for ``member`` (default: last member)."""
+        self._schedule(group_id, at, lambda: self._swap(group_id, member, "join"))
+        return self
+
+    def leave(self, group_id: str, member: Optional[str] = None,
+              at: Optional[float] = None) -> "ElasticityController":
+        """Remove ``member`` (default: last member), back-filled by a standby."""
+        self._schedule(group_id, at, lambda: self._swap(group_id, member, "leave"))
+        return self
+
+    def scale_up(self, group_id: str,
+                 at: Optional[float] = None) -> "ElasticityController":
+        """Grow the group to ``f + 1`` (adds three fresh standbys)."""
+        self._schedule(group_id, at, lambda: self._scale_up(group_id))
+        return self
+
+    def scale_down(self, group_id: str,
+                   at: Optional[float] = None) -> "ElasticityController":
+        """Shrink the group to ``f - 1`` (drops the newest three members)."""
+        self._schedule(group_id, at, lambda: self._scale_down(group_id))
+        return self
+
+    def idle(self) -> bool:
+        """True when no churn op is queued or awaiting confirmation."""
+        return not self._busy and not any(self._queues.values())
+
+    def expected_view(self, group_id: str) -> Tuple[Tuple[str, ...], int]:
+        """The membership every active correct replica should hold now."""
+        config = self.deployment.group_configs[group_id]
+        return config.replicas, config.f
+
+    # ------------------------------------------------------------ scheduling
+
+    def _schedule(self, group_id: str, at: Optional[float], thunk) -> None:
+        if group_id not in self.deployment.groups:
+            raise KeyError(f"unknown group {group_id!r}")
+        if at is None:
+            self._enqueue(group_id, thunk)
+        else:
+            _at(self.clock, at, lambda: self._enqueue(group_id, thunk))
+
+    def _enqueue(self, group_id: str, thunk) -> None:
+        self._queues.setdefault(group_id, []).append(thunk)
+        self._drain(group_id)
+
+    def _drain(self, group_id: str) -> None:
+        if group_id in self._busy:
+            return
+        queue = self._queues.get(group_id)
+        if not queue:
+            return
+        self._busy.add(group_id)
+        thunk = queue.pop(0)
+        thunk()
+
+    def _finish(self, group_id: str) -> None:
+        self._busy.discard(group_id)
+        self._drain(group_id)
+
+    # ------------------------------------------------------------- mechanics
+
+    def _manager(self, group_id: str) -> ViewManager:
+        manager = self._managers.get(group_id)
+        if manager is None:
+            dep = self.deployment
+            config = dep.group_configs[group_id]
+            manager = ViewManager(group_id, dep.runtime,
+                                  View(config.replicas, config.f),
+                                  dep.registry, self.monitor)
+            # co-locate the admin with the group's first replica so WAN
+            # site assigners give it a real region
+            dep.network.register(manager, site=dep._sites(group_id, 0))
+            self._managers[group_id] = manager
+        return manager
+
+    def _spawn(self, group_id: str) -> Replica:
+        """Create, register and start a fresh standby replica.
+
+        Named by continuing the group's ``r<index>`` sequence (the member
+        list only grows — departed members stay registered to serve state —
+        so the index is collision-free and deterministic).  The standby
+        starts inactive and polls state until a Reconfig activates it.
+
+        The app is built against the deployment's *construction-time*
+        membership (``initial_group_configs``), not today's: catch-up
+        replays the ordered history from the start (or a checkpoint, whose
+        snapshot carries the membership of its epoch), and the relay wiring
+        must evolve through the replayed MembershipUpdates exactly as the
+        incumbents' did — seeding it with post-churn membership would make
+        early parent-relayed copies unrecognizable and reorder the f+1
+        quorum-merge releases.
+        """
+        dep = self.deployment
+        group = dep.groups[group_id]
+        config = dep.group_configs[group_id]
+        index = len(group.replicas)
+        name = f"{group_id}/r{index}"
+        replica = Replica(
+            name=name,
+            config=config,
+            loop=dep.runtime,
+            registry=dep.registry,
+            app=dep._make_app(group_id, name,
+                              group_configs=dep.initial_group_configs),
+            monitor=self.monitor,
+            view=View(config.replicas, config.f),
+        )
+        dep.network.register(replica, site=dep._sites(group_id, index))
+        group.adopt(replica)
+        replica.start()
+        self.spawned.setdefault(group_id, []).append(name)
+        self.monitor.record(name, "elasticity.spawn", group=group_id)
+        return replica
+
+    def _swap(self, group_id: str, member: Optional[str], kind: str) -> None:
+        config = self.deployment.group_configs[group_id]
+        target = member if member is not None else config.replicas[-1]
+        if target not in config.replicas:
+            self.monitor.record(target, "elasticity.skipped", group=group_id,
+                                op=kind)
+            self._finish(group_id)
+            return
+        standby = self._spawn(group_id)
+        new_replicas = tuple(standby.name if r == target else r
+                             for r in config.replicas)
+        self._reconfigure(group_id, new_replicas, config.f, kind)
+
+    def _scale_up(self, group_id: str) -> None:
+        config = self.deployment.group_configs[group_id]
+        standbys = [self._spawn(group_id) for _ in range(SCALE_STEP)]
+        new_replicas = config.replicas + tuple(s.name for s in standbys)
+        self._reconfigure(group_id, new_replicas, config.f + 1, "scale_up")
+
+    def _scale_down(self, group_id: str) -> None:
+        config = self.deployment.group_configs[group_id]
+        if config.f <= 1:
+            self.monitor.record(group_id, "elasticity.skipped", group=group_id,
+                                op="scale_down")
+            self._finish(group_id)
+            return
+        added = [n for n in self.spawned.get(group_id, ())
+                 if n in config.replicas]
+        drop = list(reversed(added))[:SCALE_STEP]
+        for candidate in reversed(config.replicas):
+            if len(drop) >= SCALE_STEP:
+                break
+            if candidate not in drop:
+                drop.append(candidate)
+        new_replicas = tuple(r for r in config.replicas if r not in drop)
+        self._reconfigure(group_id, new_replicas, config.f - 1, "scale_down")
+
+    def _reconfigure(self, group_id: str, new_replicas: Tuple[str, ...],
+                     new_f: int, kind: str) -> None:
+        config = self.deployment.group_configs[group_id]
+        manager = self._manager(group_id)
+        manager.update_view(config.replicas, config.f)
+
+        def confirmed(result: Any) -> None:
+            updated = self.deployment.update_group_membership(
+                group_id, new_replicas, new_f)
+            self._announce(group_id, updated)
+            # Decommission dropped members that did not tear themselves
+            # down: a replica lagging past the Reconfig (a joiner still in
+            # state transfer, say) never executes it — the group stops
+            # talking to it — so the controller retires it here.
+            for replica in self.deployment.groups[group_id].replicas:
+                if replica.name not in new_replicas:
+                    replica.decommission()
+            self.events.append((self.clock.now, kind, group_id,
+                                ",".join(new_replicas)))
+            self.monitor.record(group_id, f"elasticity.{kind}",
+                                group=group_id, members=",".join(new_replicas))
+            self._finish(group_id)
+
+        self.monitor.record(group_id, "elasticity.reconfigure", group=group_id,
+                            op=kind)
+        manager.reconfigure(new_replicas, callback=confirmed, new_f=new_f)
+
+    def _announce(self, group_id: str, config) -> None:
+        """Order a MembershipUpdate at every neighbour wired to the group."""
+        update = MembershipUpdate(group_id, config.replicas, config.f)
+        tree = self.deployment.tree
+        neighbours: List[str] = []
+        parent = tree.parent(group_id)
+        if parent is not None:
+            neighbours.append(parent)
+        neighbours.extend(tree.children(group_id))
+        for other in neighbours:
+            self._manager(other).submit_command(update)
+
+
+def elasticity_controller(deployment) -> ElasticityController:
+    """The deployment's (lazily created, cached) elasticity controller."""
+    controller = getattr(deployment, "_elasticity", None)
+    if controller is None:
+        controller = ElasticityController(deployment)
+        deployment._elasticity = controller
+    return controller
+
+
+class AutoscalePolicy:
+    """Scale groups on sustained consensus-pipeline pressure.
+
+    Reads the ``consensus.in_flight.<replica>`` gauges every ``period``
+    seconds: a group whose busiest member holds ``high_water`` or more open
+    instances for ``sustain`` consecutive ticks scales up (to at most
+    ``max_f``); once pressure stays at or below ``low_water`` equally long,
+    the policy undoes its *own* scale-ups only (never shrinking below the
+    configured membership).
+    """
+
+    def __init__(
+        self,
+        controller: ElasticityController,
+        groups: Optional[Sequence[str]] = None,
+        period: float = 1.0,
+        high_water: float = 3.0,
+        low_water: float = 1.0,
+        sustain: int = 2,
+        max_f: int = 2,
+    ) -> None:
+        self.controller = controller
+        dep = controller.deployment
+        self.groups = tuple(groups) if groups is not None else tuple(
+            sorted(dep.groups))
+        self.period = period
+        self.high_water = high_water
+        self.low_water = low_water
+        self.sustain = sustain
+        self.max_f = max_f
+        self._hot: Dict[str, int] = {}
+        self._cold: Dict[str, int] = {}
+        #: scale-ups this policy issued and may undo, per group
+        self._owed: Dict[str, int] = {}
+        self._running = False
+
+    def start(self) -> "AutoscalePolicy":
+        if not self._running:
+            self._running = True
+            self.controller.clock.schedule(self.period, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def pressure(self, group_id: str) -> float:
+        """The busiest member's in-flight gauge (0 when never reported)."""
+        dep = self.controller.deployment
+        gauges = dep.monitor.gauges
+        return max(
+            (gauges.get(f"consensus.in_flight.{name}", 0.0)
+             for name in dep.group_configs[group_id].replicas),
+            default=0.0,
+        )
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for group_id in self.groups:
+            depth = self.pressure(group_id)
+            config = self.controller.deployment.group_configs[group_id]
+            if depth >= self.high_water:
+                self._cold[group_id] = 0
+                self._hot[group_id] = self._hot.get(group_id, 0) + 1
+                if (self._hot[group_id] >= self.sustain
+                        and config.f < self.max_f
+                        and self.controller.idle()):
+                    self._hot[group_id] = 0
+                    self._owed[group_id] = self._owed.get(group_id, 0) + 1
+                    self.controller.scale_up(group_id)
+            elif depth <= self.low_water:
+                self._hot[group_id] = 0
+                self._cold[group_id] = self._cold.get(group_id, 0) + 1
+                if (self._cold[group_id] >= self.sustain
+                        and self._owed.get(group_id, 0) > 0
+                        and self.controller.idle()):
+                    self._cold[group_id] = 0
+                    self._owed[group_id] -= 1
+                    self.controller.scale_down(group_id)
+            else:
+                self._hot[group_id] = 0
+                self._cold[group_id] = 0
+        self.controller.clock.schedule(self.period, self._tick)

@@ -104,6 +104,37 @@ class FaultPlan:
         )
         return self
 
+    # ------------------------------------------------------- membership churn
+
+    def join(self, group_id: str, at: float,
+             member: Optional[str] = None) -> "FaultPlan":
+        """Swap a freshly spawned replica in for ``member`` at ``at``."""
+        self._runtime.append(
+            lambda dep: schedule_join(dep, group_id, at, member)
+        )
+        return self
+
+    def leave(self, group_id: str, member: str, at: float) -> "FaultPlan":
+        """Remove ``member`` (back-filled by a standby) at ``at``."""
+        self._runtime.append(
+            lambda dep: schedule_leave(dep, group_id, member, at)
+        )
+        return self
+
+    def scale_up(self, group_id: str, at: float) -> "FaultPlan":
+        """Grow ``group_id`` to ``f + 1`` (3 extra replicas) at ``at``."""
+        self._runtime.append(
+            lambda dep: schedule_scale(dep, group_id, at, up=True)
+        )
+        return self
+
+    def scale_down(self, group_id: str, at: float) -> "FaultPlan":
+        """Shrink ``group_id`` to ``f - 1`` at ``at`` (no-op at f == 1)."""
+        self._runtime.append(
+            lambda dep: schedule_scale(dep, group_id, at, up=False)
+        )
+        return self
+
     def apply_runtime(self, deployment) -> None:
         for arm in self._runtime:
             arm(deployment)
@@ -129,3 +160,29 @@ def schedule_partition(deployment, a: str, b: str, at: float,
     _at(clock, at, lambda: transport.partition(a, b))
     if heal_at is not None:
         _at(clock, heal_at, lambda: transport.heal(a, b))
+
+
+def schedule_join(deployment, group_id: str, at: float,
+                  member: Optional[str] = None) -> None:
+    """Schedule a join (standby swapped in for ``member``) at ``at``."""
+    from repro.faults.elasticity import elasticity_controller
+
+    elasticity_controller(deployment).join(group_id, at=at, member=member)
+
+
+def schedule_leave(deployment, group_id: str, member: str, at: float) -> None:
+    """Schedule ``member`` leaving ``group_id`` at ``at``."""
+    from repro.faults.elasticity import elasticity_controller
+
+    elasticity_controller(deployment).leave(group_id, member=member, at=at)
+
+
+def schedule_scale(deployment, group_id: str, at: float, up: bool) -> None:
+    """Schedule a scale-up (f+1) or scale-down (f-1) at ``at``."""
+    from repro.faults.elasticity import elasticity_controller
+
+    controller = elasticity_controller(deployment)
+    if up:
+        controller.scale_up(group_id, at=at)
+    else:
+        controller.scale_down(group_id, at=at)

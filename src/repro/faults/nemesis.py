@@ -19,12 +19,20 @@ Fault taxonomy (see ``docs/FAULTS.md``):
 * ``burst`` — a window of elevated chaos rates (drops, duplicates,
   corruption, jitter) on the :class:`~repro.env.chaos.ChaosTransport`;
 * ``delay`` — targeted extra latency on the current leader of a group;
-* ``flap`` — rapid partition/heal cycles on one link.
+* ``flap`` — rapid partition/heal cycles on one link;
+* ``join`` / ``leave`` — membership churn: a fresh standby is swapped in
+  for an existing member through the group's ordered reconfiguration
+  (requires an :class:`~repro.faults.elasticity.ElasticityController`);
+* ``scale_up`` / ``scale_down`` — a paired scale cycle growing a group to
+  ``f + 1`` and later shrinking it back.
 
 Safety bound: each group designates at most ``f`` *victim* replicas, and
 every Byzantine/crash/partition op targets only victims, so no group ever
 exceeds its fault threshold and both safety and (post-heal) liveness must
-hold.  Every op ends by :attr:`NemesisSchedule.horizon`: recoveries and
+hold.  Churn swaps only ever replace *non-victim* members (the view keeps
+3f+1 members throughout, so the victim budget is unaffected), and scale
+cycles are strictly paired — the scale-down removes exactly the replicas
+its scale-up added.  Every op ends by :attr:`NemesisSchedule.horizon`: recoveries and
 heals are scheduled before it, and applying a schedule arms a final
 ``calm()``/heal at the horizon so the system can quiesce.
 """
@@ -98,6 +106,9 @@ class IntensityProfile:
     max_corrupt: float = 0.10
     max_jitter_rate: float = 0.30
     max_extra_delay: float = 0.05  # leader-slowdown upper bound, seconds
+    join_ops: int = 0             # standby-for-member swaps (arrivals)
+    leave_ops: int = 0            # member departures (back-filled)
+    scale_cycles: int = 0         # paired scale_up/scale_down cycles
 
 
 PROFILES: Dict[str, IntensityProfile] = {
@@ -109,7 +120,13 @@ PROFILES: Dict[str, IntensityProfile] = {
     "heavy": IntensityProfile("heavy", byzantine_groups=2, crash_ops=3,
                               partition_ops=3, burst_ops=3, delay_ops=2,
                               flap_ops=2, max_drop=0.20, max_corrupt=0.15),
+    "churn": IntensityProfile("churn", byzantine_groups=1, crash_ops=1,
+                              partition_ops=1, burst_ops=1, join_ops=2,
+                              leave_ops=1, scale_cycles=1),
 }
+
+#: op kinds that require an ElasticityController to apply
+CHURN_KINDS = frozenset({"join", "leave", "scale_up", "scale_down"})
 
 
 @dataclass
@@ -266,6 +283,40 @@ class NemesisSchedule:
             ops.append(NemesisOp(start, "flap", (a, b), until=end,
                                  detail=(("cycles", cycles), ("period", round(period, 6)))))
 
+        # Membership churn.  Swaps (join/leave) only ever replace non-victim
+        # members with index >= 1, so the regency-0 leader stays and the
+        # victim budget is untouched; the view keeps 3f+1 members, so live
+        # correct replicas never drop below quorum.  Existing profiles
+        # default all churn counts to zero — no extra rng draws, so their
+        # timelines are byte-identical to pre-churn nemesis versions.
+        def swap_target(gid: str) -> str | None:
+            members = list(groups[gid])
+            candidates = [r for r in members[1:]
+                          if r not in schedule.victims[gid]]
+            if not candidates:
+                return None
+            return candidates[rng.randrange(len(candidates))]
+
+        for kind, count in (("join", profile.join_ops),
+                            ("leave", profile.leave_ops)):
+            for _ in range(count):
+                gid = group_ids[rng.randrange(len(group_ids))]
+                member = swap_target(gid)
+                at = round(rng.uniform(window_lo, window_hi), 6)
+                if member is None:
+                    continue
+                ops.append(NemesisOp(at, kind, (gid, member), until=at))
+
+        # Scale cycles are strictly paired: the scale-down undoes exactly
+        # the three replicas its scale-up added (controller invariant).
+        for _ in range(profile.scale_cycles):
+            gid = group_ids[rng.randrange(len(group_ids))]
+            up = round(rng.uniform(window_lo, 0.5 * (window_lo + window_hi)), 6)
+            down = round(min(up + rng.uniform(0.15, 0.30) * duration,
+                             deadline), 6)
+            ops.append(NemesisOp(up, "scale_up", (gid,), until=down))
+            ops.append(NemesisOp(down, "scale_down", (gid,), until=down))
+
         ops.sort(key=lambda op: (op.time, op.kind, op.target))
         schedule.ops = ops
         return schedule
@@ -287,21 +338,31 @@ class NemesisSchedule:
 
     # -------------------------------------------------------------- applying
 
-    def apply(self, deployment, chaos=None) -> None:
+    def apply(self, deployment, chaos=None, elasticity=None) -> None:
         """Arm every op on the deployment's runtime.
 
         ``chaos`` is the deployment's :class:`~repro.env.chaos.ChaosTransport`
-        (required when the schedule contains burst/delay/flap ops).  At the
-        horizon the chaos layer is calmed and victim partitions healed, so
-        a quiescence check after ``horizon`` is meaningful.
+        (required when the schedule contains burst/delay/flap ops).
+        ``elasticity`` is an
+        :class:`~repro.faults.elasticity.ElasticityController` (required
+        when the schedule contains join/leave/scale ops).  At the horizon
+        the chaos layer is calmed and victim partitions healed, so a
+        quiescence check after ``horizon`` is meaningful.
         """
         clock = fault_clock(deployment)
         transport = fault_transport(deployment)
-        needs_chaos = {"burst", "delay", "flap"} & {op.kind for op in self.ops}
+        kinds = {op.kind for op in self.ops}
+        needs_chaos = {"burst", "delay", "flap"} & kinds
         if needs_chaos and chaos is None:
             raise ValueError(
                 f"schedule contains {sorted(needs_chaos)} ops; pass the "
                 f"deployment's ChaosTransport as chaos="
+            )
+        needs_elasticity = CHURN_KINDS & kinds
+        if needs_elasticity and elasticity is None:
+            raise ValueError(
+                f"schedule contains {sorted(needs_elasticity)} ops; pass an "
+                f"ElasticityController as elasticity="
             )
 
         def peers_of(gid: str, victim: str) -> List[str]:
@@ -353,6 +414,14 @@ class NemesisSchedule:
                            period=detail["period"], cycles=int(detail["cycles"]):
                         chaos.flap_link(a, b, period, cycles),
                 )
+            elif op.kind == "join":
+                elasticity.join(op.target[0], at=op.time, member=op.target[1])
+            elif op.kind == "leave":
+                elasticity.leave(op.target[0], member=op.target[1], at=op.time)
+            elif op.kind == "scale_up":
+                elasticity.scale_up(op.target[0], at=op.time)
+            elif op.kind == "scale_down":
+                elasticity.scale_down(op.target[0], at=op.time)
             else:  # pragma: no cover - generator never emits unknown kinds
                 raise ValueError(f"unknown nemesis op kind {op.kind!r}")
 

@@ -40,7 +40,12 @@ from repro.scenario import (
     build_destination_sampler,
     run_scenario,
 )
-from repro.scenario.spec import ProtocolSpec, TopologySpec, WorkloadSpec
+from repro.scenario.spec import (
+    FaultSpec,
+    ProtocolSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.workload import spec as workloads
 
 
@@ -60,6 +65,15 @@ class BenchCell:
     rate: float = 100.0
     #: "none" or "sharded_kv" (the ``kv`` workload's cross-shard mix)
     app: str = "none"
+    #: network geometry: ``default`` (uniform sim latency) or ``wan``
+    #: (the paper's Table I EC2 inter-region latency matrix), with
+    #: ``sites`` placing one replica per region (``wan_spread``)
+    latency: str = "default"
+    sites: str = "single"
+    #: optional nemesis intensity — the cell measures *under faults*
+    #: (e.g. ``"churn"`` rides membership swaps + a scale cycle along
+    #: with the measurement window)
+    intensity: Optional[str] = None
     backend: str = "sim"
     max_batch: int = 400
     batch_delay: float = bench_batch_delay()
@@ -86,7 +100,8 @@ class BenchCell:
         return ScenarioSpec(
             name=self.name,
             topology=TopologySpec(
-                groups=groups, layout=self.tree, fanout=self.fanout),
+                groups=groups, layout=self.tree, fanout=self.fanout,
+                latency=self.latency, sites=self.sites),
             workload=WorkloadSpec(
                 clients=self.clients, client_prefix="bench-c",
                 loop=self.loop, rate=self.rate,
@@ -101,6 +116,8 @@ class BenchCell:
                 max_in_flight=self.max_in_flight,
                 costs="bench",
             ),
+            faults=(FaultSpec(intensity=self.intensity)
+                    if self.intensity is not None else None),
             app=self.app,
             backend=self.backend,
             seed=self.seed,
@@ -126,6 +143,9 @@ QUICK_CELL = "local_unbatched"
 
 #: the 16-group cell CI's scale-smoke job runs (``--cells scale16_zipf_open``)
 SCALE_SMOKE_CELL = "scale16_zipf_open"
+
+#: the WAN cell CI's bench-smoke job adds (Table I latency, wan_spread)
+WAN_SMOKE_CELL = "wan_global_two_level"
 
 BENCH_MATRIX: List[BenchCell] = [
     # batch-config axis: no leader delay at all (latency-optimal baseline)
@@ -162,6 +182,20 @@ BENCH_MATRIX: List[BenchCell] = [
     BenchCell(name="scale16_kv_mix", workload="kv", tree="balanced",
               groups=16, fanout=4, clients=24, app="sharded_kv",
               duration=3.0, max_in_flight=4),
+    # WAN axis (the paper's §V EC2 campaign): the Table I inter-region
+    # latency matrix with one replica per region — global and mixed
+    # traffic on both tree layouts, plus the same WAN geometry measured
+    # *under membership churn* (joins, leaves and a scale cycle riding
+    # along with the measurement window)
+    BenchCell(name=WAN_SMOKE_CELL, workload="global", tree="two_level",
+              clients=24, latency="wan", sites="wan_spread", duration=3.0,
+              max_in_flight=4),
+    BenchCell(name="wan_mixed_paper_tree", workload="mixed", tree="paper",
+              clients=32, latency="wan", sites="wan_spread", duration=3.0,
+              max_in_flight=4),
+    BenchCell(name="wan_mixed_churn", workload="mixed", tree="two_level",
+              clients=24, latency="wan", sites="wan_spread", duration=8.0,
+              max_in_flight=4, intensity="churn"),
 ]
 
 #: scale variants outside the default matrix (and its baselines): the

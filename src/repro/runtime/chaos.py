@@ -29,10 +29,11 @@ from repro.core.invariants import check_all
 from repro.core.tree import OverlayTree
 from repro.env import make_runtime
 from repro.env.chaos import ChaosConfig, install_chaos
-from repro.faults.nemesis import NemesisSchedule, PROFILES
+from repro.faults.elasticity import elasticity_controller
+from repro.faults.nemesis import CHURN_KINDS, NemesisSchedule, PROFILES
 from repro.runtime.environments import soak_costs
 from repro.scenario import ScenarioSpec, build_deployment
-from repro.scenario.build import scenario_membership
+from repro.scenario.build import scenario_fault_profile, scenario_membership
 from repro.scenario.spec import FaultSpec, ProtocolSpec, TopologySpec, WorkloadSpec
 
 #: cheap calibrated-shape cost model so sim soaks stay fast in wall time
@@ -75,6 +76,13 @@ class SoakConfig:
     #: invariant — executed order is gap-free and equals decided-cid
     #: order — is what makes soaking at depth > 1 meaningful
     max_in_flight: int = 4
+    #: membership-churn ops on top of the intensity profile (joins/leaves
+    #: are standby-for-member swaps; scale cycles pair an f+1 scale-up
+    #: with the scale-down that undoes it) — the soak then also checks
+    #: the two churn invariants (view agreement, joiner replay)
+    joins: int = 0
+    leaves: int = 0
+    scale_cycles: int = 0
 
     def to_scenario(self) -> ScenarioSpec:
         """This soak as a declarative scenario spec."""
@@ -90,7 +98,9 @@ class SoakConfig:
                 max_in_flight=self.max_in_flight,
                 costs="soak",
             ),
-            faults=FaultSpec(intensity=self.intensity, settle=self.settle),
+            faults=FaultSpec(intensity=self.intensity, settle=self.settle,
+                             joins=self.joins, leaves=self.leaves,
+                             scale_cycles=self.scale_cycles),
             backend=self.backend,
             seed=self.seed,
         )
@@ -132,6 +142,11 @@ class ChaosReport:
     retention_ok: bool = True
     #: configured consensus pipeline depth
     max_in_flight: int = 1
+    #: confirmed membership changes: (time, kind, group, members-csv)
+    membership_events: List[Tuple[float, str, str, str]] = field(
+        default_factory=list)
+    #: dynamically spawned replicas that were activated by a Reconfig
+    joiners_activated: int = 0
 
     @property
     def ok(self) -> bool:
@@ -152,6 +167,16 @@ class ChaosReport:
             f"{self.regency_changes} regency changes, "
             f"{self.recoveries} replica recoveries",
         ]
+        if self.membership_events:
+            kinds: Dict[str, int] = {}
+            for _, kind, _, _ in self.membership_events:
+                kinds[kind] = kinds.get(kind, 0) + 1
+            lines.append(
+                "  churn    : " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(kinds.items()))
+                + f"; {self.joiners_activated} joiner(s) activated")
+            for at, kind, gid, members in self.membership_events:
+                lines.append(f"             t={at:.2f} {kind} {gid} -> {members}")
         if self.checkpoint_interval > 0:
             lines.append(
                 f"  memory   : interval={self.checkpoint_interval}, "
@@ -175,9 +200,12 @@ class ChaosReport:
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
         if self.ok:
-            lines.append("  invariants: agreement, integrity, validity, "
-                         "prefix order, acyclic order, execution order "
-                         f"all hold (pipeline depth {self.max_in_flight})")
+            checks = ("agreement, integrity, validity, prefix order, "
+                      "acyclic order, execution order")
+            if self.membership_events:
+                checks += ", view agreement, joiner replay"
+            lines.append(f"  invariants: {checks} all hold "
+                         f"(pipeline depth {self.max_in_flight})")
         return "\n".join(lines)
 
 
@@ -203,7 +231,7 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             groups=scenario_membership(spec),
             seed=spec.fault_seed(),
             duration=spec.fault_duration(),
-            profile=spec.faults.intensity,
+            profile=scenario_fault_profile(spec),
             f=spec.topology.f,
         )
         deployment = build_deployment(
@@ -212,7 +240,10 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             replica_classes=schedule.replica_classes,
             app_overrides=schedule.app_overrides,
         )
-        schedule.apply(deployment, chaos=chaos)
+        elasticity = None
+        if CHURN_KINDS & {op.kind for op in schedule.ops}:
+            elasticity = elasticity_controller(deployment)
+        schedule.apply(deployment, chaos=chaos, elasticity=elasticity)
 
         clients = [
             deployment.add_client(
@@ -246,8 +277,13 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
         deployment.run(until=horizon)
 
         def quiet() -> bool:
+            # Quiescence covers the churn machinery too: a Reconfig still
+            # awaiting confirmation (or queued behind one) means membership
+            # is mid-flight, and the view-agreement check below would flag
+            # a transient as a violation.
             return (state["issued"] >= config.messages
-                    and all(c.pending() == 0 for c in clients))
+                    and all(c.pending() == 0 for c in clients)
+                    and (elasticity is None or elasticity.idle()))
 
         runtime.run_until(quiet, timeout=config.settle, poll=0.05)
         # One extra beat so every replica (not just the f+1 quorum that
@@ -264,14 +300,18 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
         sequences = {}
         for gid in config.targets:
             group = deployment.groups[gid]
+            # Departed members (swapped out by churn) stop at a prefix by
+            # design, so agreement is only asserted over *active* correct
+            # replicas — which includes every activated joiner.
             sequences[gid] = [
                 replica.app.delivered_messages()
                 for replica in group.replicas
-                if not replica.crashed and replica.name not in
-                schedule.replica_classes.get(gid, {})
+                if replica.active and not replica.crashed
+                and replica.name not in schedule.replica_classes.get(gid, {})
             ]
         violations = check_all(sequences, sent_messages, quiescent=liveness_ok)
         violations.extend(_execution_order_violations(deployment, schedule))
+        violations.extend(_churn_violations(deployment, schedule, elasticity))
 
         max_retained = 0
         for gid in deployment.groups:
@@ -301,6 +341,13 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
                 (op.target[1], op.time, op.until)
                 for op in schedule.ops if op.kind == "crash"
             ],
+            membership_events=list(elasticity.events) if elasticity else [],
+            joiners_activated=sum(
+                1 for gid, names in (
+                    elasticity.spawned.items() if elasticity else ())
+                for name in names
+                if deployment.groups[gid].replica(name).active
+            ),
             elapsed=runtime.clock.now,
             checkpoint_interval=config.checkpoint_interval,
             max_retained=max_retained,
@@ -352,6 +399,59 @@ def _execution_order_violations(deployment, schedule) -> List[str]:
                 problems.append(
                     f"{replica.name}: decided cids {missing[:5]} missing "
                     f"from the executed journal")
+    return problems
+
+
+def _churn_violations(deployment, schedule, elasticity) -> List[str]:
+    """The soak's churn invariants (schedules with membership ops only).
+
+    1. **View agreement** — after quiescence, every active correct replica
+       of every group holds exactly the controller's confirmed final
+       membership (no replica is stuck in a stale view, none skipped an
+       ordered ``Reconfig``).
+    2. **Joiner replay** — every dynamically spawned replica that was
+       activated a-delivered exactly the same sequence as the group's
+       incumbent correct replicas: its state (checkpoint transfer + log
+       replay) equals a replay of the agreed sequence, with no gap at the
+       hand-off point and no duplicates.
+    """
+    if elasticity is None:
+        return []
+    problems: List[str] = []
+    for gid in sorted(deployment.groups):
+        byzantine = set(schedule.replica_classes.get(gid, {}))
+        byzantine |= set(schedule.app_overrides.get(gid, {}))
+        expected_members, expected_f = elasticity.expected_view(gid)
+        spawned = set(elasticity.spawned.get(gid, ()))
+        reference = None
+        for replica in deployment.groups[gid].replicas:
+            if (replica.name in byzantine or replica.crashed
+                    or not replica.active):
+                continue
+            if tuple(replica.view.replicas) != tuple(expected_members) \
+                    or replica.view.f != expected_f:
+                problems.append(
+                    f"{replica.name}: view {replica.view.replicas} f="
+                    f"{replica.view.f} != confirmed membership "
+                    f"{expected_members} f={expected_f}")
+            if replica.name not in spawned and reference is None:
+                reference = replica
+        if reference is None:
+            continue
+        agreed = reference.app.delivered_messages()
+        for name in sorted(spawned):
+            joiner = deployment.groups[gid].replica(name)
+            if not joiner.active or joiner.crashed or name in byzantine:
+                continue
+            replayed = joiner.app.delivered_messages()
+            if replayed != agreed:
+                diverge = next(
+                    (i for i, (a, b) in enumerate(zip(replayed, agreed))
+                     if a != b), min(len(replayed), len(agreed)))
+                problems.append(
+                    f"{name}: joiner replay diverges from {reference.name} "
+                    f"at index {diverge} ({len(replayed)} vs {len(agreed)} "
+                    f"deliveries)")
     return problems
 
 

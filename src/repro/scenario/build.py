@@ -10,7 +10,7 @@ the sim backend is bit-identical across runs and hosts.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bcast.config import CostModel
@@ -33,6 +33,8 @@ from repro.workload import spec as workloads
 from repro.workload.clients import (
     BurstOpenLoopDriver,
     ClosedLoopDriver,
+    DiurnalDriver,
+    FlashCrowdDriver,
     OpenLoopDriver,
 )
 
@@ -95,6 +97,27 @@ def scenario_membership(spec: ScenarioSpec) -> Dict[str, Tuple[str, ...]]:
         gid: tuple(f"{gid}/r{i}" for i in range(count))
         for gid in build_tree(spec.topology).nodes
     }
+
+
+def scenario_fault_profile(spec: ScenarioSpec):
+    """The nemesis intensity profile of a spec, churn counts folded in.
+
+    ``faults.joins`` / ``leaves`` / ``scale_cycles`` add membership-churn
+    ops *on top of* the named intensity profile, so e.g. ``intensity:
+    "medium", joins: 2`` soaks the usual medium chaos plus two join swaps.
+    """
+    from repro.faults.nemesis import PROFILES
+
+    profile = PROFILES[spec.faults.intensity]
+    faults = spec.faults
+    if faults.joins or faults.leaves or faults.scale_cycles:
+        profile = dataclass_replace(
+            profile,
+            join_ops=profile.join_ops + faults.joins,
+            leave_ops=profile.leave_ops + faults.leaves,
+            scale_cycles=profile.scale_cycles + faults.scale_cycles,
+        )
+    return profile
 
 
 def build_deployment(
@@ -230,10 +253,21 @@ def build_drivers(
         sampler = build_destination_sampler(workload, targets, clock=clock)
     stop_after = spec.horizon
     drivers = []
+    client_sites: Optional[Tuple[str, ...]] = None
+    if spec.topology.sites == "wan_spread":
+        # WAN geometry: clients live in the regions too (round-robin), so
+        # their first hop crosses the Table I latency matrix like every
+        # replica-to-replica link does
+        from repro.runtime.environments import REGIONS
+
+        client_sites = REGIONS
     for index in range(workload.clients):
         name = f"{workload.client_prefix}{index}"
         client = deployment.add_client(
-            name, retransmit_timeout=spec.protocol.retransmit_timeout)
+            name,
+            site=(client_sites[index % len(client_sites)]
+                  if client_sites else "site0"),
+            retransmit_timeout=spec.protocol.retransmit_timeout)
         common = dict(
             sampler=sampler,
             rng=deployment.rng.stream(f"client.{name}"),
@@ -254,6 +288,15 @@ def build_drivers(
             drivers.append(BurstOpenLoopDriver(
                 client, rate=workload.rate, burst_on=workload.burst_on,
                 burst_off=workload.burst_off, **common))
+        elif workload.loop == "flash":
+            drivers.append(FlashCrowdDriver(
+                client, rate=workload.rate, flash_at=workload.flash_at,
+                flash_factor=workload.flash_factor,
+                flash_width=workload.flash_width, **common))
+        elif workload.loop == "diurnal":
+            drivers.append(DiurnalDriver(
+                client, rate=workload.rate, period=workload.diurnal_period,
+                amplitude=workload.diurnal_amplitude, **common))
         else:
             raise ConfigurationError(f"unknown loop {workload.loop!r}")
     return drivers
@@ -339,7 +382,7 @@ def run_scenario(
             groups=scenario_membership(spec),
             seed=spec.fault_seed(),
             duration=spec.fault_duration(),
-            profile=spec.faults.intensity,
+            profile=scenario_fault_profile(spec),
             f=spec.topology.f,
         )
     deployment = build_deployment(
@@ -349,7 +392,14 @@ def run_scenario(
     )
     try:
         if schedule is not None:
-            schedule.apply(deployment, chaos=chaos)
+            from repro.faults.nemesis import CHURN_KINDS
+
+            elasticity = None
+            if CHURN_KINDS & {op.kind for op in schedule.ops}:
+                from repro.faults.elasticity import elasticity_controller
+
+                elasticity = elasticity_controller(deployment)
+            schedule.apply(deployment, chaos=chaos, elasticity=elasticity)
         drivers = build_drivers(
             spec, deployment,
             collector=collector, meter=meter,

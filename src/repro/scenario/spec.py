@@ -17,19 +17,34 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: bump when the serialized layout changes incompatibly
-SCENARIO_SCHEMA_VERSION = 1
+SCENARIO_SCHEMA_VERSION = 2
+#: schema versions this build can read (v1 docs parse as long as they do
+#: not use v2 vocabulary; ``to_dict`` always writes the current version)
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: enumerated axis values (also the vocabulary ``validate`` lints against)
 LAYOUTS = ("two_level", "paper", "balanced")
 LATENCIES = ("default", "lan", "wan")
 SITES = ("single", "wan_spread")
-LOOPS = ("closed", "open", "burst")
+LOOPS = ("closed", "open", "burst", "flash", "diurnal")
 DESTINATIONS = ("local", "global", "mixed", "zipfian", "hotspot")
 KEY_DISTS = ("uniform", "zipfian", "hotspot")
 COSTS = ("calibrated", "bench", "soak")
 APPS = ("none", "sharded_kv")
 BACKENDS = ("sim", "rt")
-INTENSITIES = ("light", "medium", "heavy")
+INTENSITIES = ("light", "medium", "heavy", "churn")
+
+#: vocabulary introduced by schema 2 — rejected (with a pointed error) in
+#: documents that still declare ``schema: 1``
+V2_KEYS: Dict[str, Tuple[str, ...]] = {
+    "workload": ("flash_at", "flash_factor", "flash_width",
+                 "diurnal_period", "diurnal_amplitude"),
+    "faults": ("joins", "leaves", "scale_cycles"),
+}
+V2_VALUES: Dict[Tuple[str, str], Tuple[str, ...]] = {
+    ("workload", "loop"): ("flash", "diurnal"),
+    ("faults", "intensity"): ("churn",),
+}
 
 
 def _plain(value: Any) -> Any:
@@ -41,6 +56,25 @@ def _plain(value: Any) -> Any:
 
 def _section_to_dict(section: Any) -> Dict[str, Any]:
     return {f.name: _plain(getattr(section, f.name)) for f in fields(section)}
+
+
+def _reject_v2_usage(raw: Dict[str, Any]) -> None:
+    """Refuse v2 vocabulary in a document that declares ``schema: 1``."""
+    for section, keys in V2_KEYS.items():
+        body = raw.get(section)
+        if not isinstance(body, dict):
+            continue
+        used = sorted(set(body) & set(keys))
+        if used:
+            raise ConfigurationError(
+                f"{section} key(s) {used} need scenario schema 2; "
+                f'set "schema": 2 in the document')
+    for (section, key), values in V2_VALUES.items():
+        body = raw.get(section)
+        if isinstance(body, dict) and body.get(key) in values:
+            raise ConfigurationError(
+                f"{section}.{key} = {body[key]!r} needs scenario schema 2; "
+                f'set "schema": 2 in the document')
 
 
 def _section_from_dict(cls, raw: Dict[str, Any], where: str):
@@ -139,6 +173,17 @@ class WorkloadSpec:
     #: dwell (seconds of virtual time) before the hot spot migrates
     hotspot_weight: float = 0.8
     hotspot_period: float = 1.0
+    #: flash loop: a Poisson base rate that spikes to ``rate *
+    #: flash_factor`` during ``[flash_at, flash_at + flash_width)``
+    #: (times relative to the run start, i.e. warmup-inclusive)
+    flash_at: float = 1.0
+    flash_factor: float = 8.0
+    flash_width: float = 0.5
+    #: diurnal loop: the rate swings sinusoidally between
+    #: ``rate * (1 - amplitude)`` and ``rate * (1 + amplitude)``
+    #: with the given period (a compressed day/night load shift)
+    diurnal_period: float = 2.0
+    diurnal_amplitude: float = 0.8
     warmup: float = 1.0
     duration: float = 4.0
     #: sharded-KV workloads only: key-space size and key distribution
@@ -154,10 +199,23 @@ class WorkloadSpec:
             problems.append("workload.clients must be >= 1")
         if self.loop not in LOOPS:
             problems.append(f"workload.loop {self.loop!r} not in {list(LOOPS)}")
-        if self.loop in ("open", "burst") and self.rate <= 0:
-            problems.append("workload.rate must be positive for open/burst loops")
+        if self.loop in ("open", "burst", "flash", "diurnal") and self.rate <= 0:
+            problems.append("workload.rate must be positive for open-loop "
+                            "arrival shapes")
         if self.loop == "burst" and (self.burst_on <= 0 or self.burst_off < 0):
             problems.append("workload.burst_on must be > 0 and burst_off >= 0")
+        if self.loop == "flash":
+            if self.flash_factor < 1.0:
+                problems.append("workload.flash_factor must be >= 1")
+            if self.flash_width <= 0:
+                problems.append("workload.flash_width must be positive")
+            if self.flash_at < 0:
+                problems.append("workload.flash_at must be >= 0")
+        if self.loop == "diurnal":
+            if self.diurnal_period <= 0:
+                problems.append("workload.diurnal_period must be positive")
+            if not 0.0 <= self.diurnal_amplitude < 1.0:
+                problems.append("workload.diurnal_amplitude must be in [0, 1)")
         if self.destinations not in DESTINATIONS:
             problems.append(
                 f"workload.destinations {self.destinations!r} "
@@ -239,6 +297,11 @@ class FaultSpec:
     duration: float = 0.0
     #: extra seconds to quiesce after the final heal (soak harness)
     settle: float = 30.0
+    #: extra membership-churn ops on top of the intensity profile
+    #: (join/leave swaps and paired scale cycles; see docs/FAULTS.md)
+    joins: int = 0
+    leaves: int = 0
+    scale_cycles: int = 0
 
     def lint(self) -> List[str]:
         problems = []
@@ -249,7 +312,15 @@ class FaultSpec:
             problems.append("faults.duration must be >= 0")
         if self.settle < 0:
             problems.append("faults.settle must be >= 0")
+        if self.joins < 0 or self.leaves < 0 or self.scale_cycles < 0:
+            problems.append("faults.joins, leaves and scale_cycles must "
+                            "be >= 0")
         return problems
+
+    def churn(self) -> bool:
+        """True when this spec asks for any membership churn."""
+        return (self.intensity == "churn" or self.joins > 0
+                or self.leaves > 0 or self.scale_cycles > 0)
 
 
 @dataclass(frozen=True)
@@ -287,10 +358,12 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"scenario must be an object, got {type(raw).__name__}")
         schema = int(raw.get("schema", SCENARIO_SCHEMA_VERSION))
-        if schema != SCENARIO_SCHEMA_VERSION:
+        if schema not in SUPPORTED_SCHEMAS:
             raise ConfigurationError(
                 f"unsupported scenario schema {schema} "
-                f"(this build reads schema {SCENARIO_SCHEMA_VERSION})")
+                f"(this build reads schemas {list(SUPPORTED_SCHEMAS)})")
+        if schema < 2:
+            _reject_v2_usage(raw)
         known = {"schema", "name", "app", "backend", "seed",
                  "topology", "workload", "protocol", "faults"}
         unknown = sorted(set(raw) - known)

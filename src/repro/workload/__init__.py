@@ -11,7 +11,14 @@ from repro.workload.spec import (
     table2_skewed_demand,
     table2_uniform_demand,
 )
-from repro.workload.clients import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.clients import (
+    BurstOpenLoopDriver,
+    ClosedLoopDriver,
+    DiurnalDriver,
+    FlashCrowdDriver,
+    OpenLoopDriver,
+    VariableRateOpenLoopDriver,
+)
 
 __all__ = [
     "DestinationSampler",
@@ -25,4 +32,8 @@ __all__ = [
     "table2_skewed_demand",
     "ClosedLoopDriver",
     "OpenLoopDriver",
+    "BurstOpenLoopDriver",
+    "VariableRateOpenLoopDriver",
+    "FlashCrowdDriver",
+    "DiurnalDriver",
 ]

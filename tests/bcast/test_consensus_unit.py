@@ -81,6 +81,37 @@ class TestQuorums:
             inst.add_write(0, d, replica)
         assert inst.should_accept(0, d)
 
+    def test_rescope_shrinks_quorum_and_prunes_ex_members(self):
+        # Regression: an instance opened just before a scale-down boundary
+        # executes keeps the 7-member quorum (5) while only 4 members
+        # remain — it can then never accept and the group cycles through
+        # regencies forever.  Rescoping at the boundary must adopt the new
+        # quorum AND drop votes from removed members so they cannot count
+        # toward it.
+        inst = make_instance(quorum=5)
+        b = batch("a")
+        d = digest(b)
+        inst.note_proposal(3, d, b)
+        for replica in ("r0", "r1", "r2", "r3"):
+            inst.add_write(3, d, replica)
+        assert not inst.should_accept(3, d)  # 4 < 5: wedged pre-fix
+        inst.rescope(("r0", "r1", "r2", "r3"), 3)
+        assert inst.should_accept(3, d)
+
+    def test_rescope_votes_from_removed_members_do_not_count(self):
+        inst = make_instance(quorum=3)
+        b = batch("a")
+        d = digest(b)
+        inst.note_proposal(0, d, b)
+        inst.add_write(0, d, "r4")
+        inst.add_write(0, d, "r5")
+        inst.rescope(("r0", "r1", "r2", "r3"), 3)
+        inst.add_write(0, d, "r0")
+        assert not inst.should_accept(0, d)  # ex-member votes pruned
+        inst.add_write(0, d, "r1")
+        inst.add_write(0, d, "r2")
+        assert inst.should_accept(0, d)
+
     def test_decision_and_batch_recovery(self):
         inst = make_instance()
         b = batch("a", "b")

@@ -1,0 +1,68 @@
+"""Churn chaos soaks: membership ops under faults, on both backends.
+
+The churn soak layers join/leave swaps and a scale cycle on top of the
+standard nemesis faults and checks two extra invariants after quiescence:
+view agreement (every active correct replica holds the controller's
+confirmed final membership) and joiner replay (every activated joiner
+delivered the same sequence as an incumbent).  The sim run is pinned to a
+seed and must be bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.chaos import SoakConfig, run_chaos_soak
+
+#: mirrors the CI churn-soak job (.github/workflows/ci.yml)
+CHURN_SOAK = SoakConfig(backend="sim", seed=11, intensity="churn",
+                        duration=8.0, messages=60, checkpoint_interval=8,
+                        max_in_flight=4, joins=1, leaves=1, scale_cycles=1)
+
+
+def test_churn_soak_passes_with_membership_invariants():
+    report = run_chaos_soak(CHURN_SOAK)
+    assert report.ok, report.summary()
+    kinds = {kind for _, kind, _, _ in report.membership_events}
+    assert kinds == {"join", "leave", "scale_up", "scale_down"}
+    assert report.joiners_activated >= 1
+    summary = report.summary()
+    assert "churn    :" in summary
+    assert "view agreement, joiner replay" in summary
+
+
+def test_churn_soak_is_seed_deterministic():
+    first = run_chaos_soak(CHURN_SOAK)
+    second = run_chaos_soak(CHURN_SOAK)
+    assert first == second  # dataclass equality: every post-mortem field
+    assert first.ok
+
+
+def test_churn_soak_boundary_decision_known_to_one_replica():
+    # Regression (seed 238, checkpointed): a Reconfig decided by exactly one
+    # correct replica raises that replica's STOP threshold past what the old
+    # view can muster, and no second state-transfer voucher for the boundary
+    # cid exists anywhere.  Recovery relies on write-certificate-matching
+    # single-voucher adoption plus replies from catch-up execution so the
+    # admin client can still confirm the view.
+    report = run_chaos_soak(CHURN_SOAK, seed=238, duration=4.0, messages=24,
+                            clients=2, settle=30.0, max_in_flight=2,
+                            joins=0, leaves=0, scale_cycles=0)
+    assert report.ok, report.summary()
+
+
+def test_churn_soak_instance_opened_across_scale_down_boundary():
+    # Regression (seed 42): a pipelined instance opened while the view had 7
+    # members kept quorum 5 after the scale-down back to 4 — 4 live members
+    # could write but never accept, cycling through regencies forever.
+    # ConsensusInstance.rescope at the reconfig boundary fixes the quorum.
+    report = run_chaos_soak(CHURN_SOAK, seed=42, duration=4.0, messages=24,
+                            clients=2, settle=30.0, max_in_flight=2,
+                            checkpoint_interval=0,
+                            joins=0, leaves=0, scale_cycles=0)
+    assert report.ok, report.summary()
+
+
+def test_churn_soak_passes_on_realtime_backend():
+    report = run_chaos_soak(CHURN_SOAK, backend="rt", duration=4.0,
+                            messages=24, checkpoint_interval=0)
+    assert report.ok, report.summary()
+    assert report.membership_events

@@ -1,0 +1,116 @@
+"""Scenario schema v2: new vocabulary, strict v1 back-compat, lint rules.
+
+Schema 2 adds flash/diurnal arrival shapes to the workload section and
+churn knobs (joins/leaves/scale_cycles, intensity "churn") to the fault
+section.  A document that still declares ``"schema": 1`` must not silently
+pick up the new vocabulary — it gets a pointed error telling it to bump.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    FaultSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+def test_current_schema_is_two():
+    assert SCENARIO_SCHEMA_VERSION == 2
+    assert SUPPORTED_SCHEMAS == (1, 2)
+
+
+def test_plain_v1_document_still_loads():
+    spec = ScenarioSpec.from_dict({
+        "schema": 1,
+        "name": "legacy",
+        "workload": {"loop": "open", "rate": 50.0},
+        "faults": {"intensity": "medium"},
+    })
+    assert spec.validate() == []
+    assert spec.workload.loop == "open"
+
+
+@pytest.mark.parametrize("section,body", [
+    ("workload", {"flash_at": 2.0}),
+    ("workload", {"flash_factor": 4.0}),
+    ("workload", {"diurnal_period": 1.0}),
+    ("faults", {"joins": 1}),
+    ("faults", {"scale_cycles": 2}),
+])
+def test_v1_document_with_v2_key_is_rejected_with_pointer(section, body):
+    raw = {"schema": 1, "name": "t", section: body}
+    with pytest.raises(ConfigurationError, match=r'set "schema": 2'):
+        ScenarioSpec.from_dict(raw)
+
+
+@pytest.mark.parametrize("section,key,value", [
+    ("workload", "loop", "flash"),
+    ("workload", "loop", "diurnal"),
+    ("faults", "intensity", "churn"),
+])
+def test_v1_document_with_v2_value_is_rejected(section, key, value):
+    raw = {"schema": 1, "name": "t", section: {key: value}}
+    with pytest.raises(ConfigurationError, match="needs scenario schema 2"):
+        ScenarioSpec.from_dict(raw)
+
+
+def test_v2_document_accepts_new_vocabulary():
+    spec = ScenarioSpec.from_dict({
+        "schema": 2,
+        "name": "churny",
+        "workload": {"loop": "flash", "rate": 80.0, "flash_factor": 6.0},
+        "faults": {"intensity": "churn", "joins": 1, "scale_cycles": 1},
+    })
+    assert spec.validate() == []
+    assert spec.faults.churn()
+
+
+def test_to_dict_writes_current_schema_and_round_trips():
+    spec = ScenarioSpec(
+        name="round-trip",
+        workload=WorkloadSpec(loop="diurnal", rate=60.0,
+                              diurnal_period=3.0, diurnal_amplitude=0.5),
+        faults=FaultSpec(intensity="churn", joins=2, leaves=1, scale_cycles=1),
+    )
+    raw = spec.to_dict()
+    assert raw["schema"] == SCENARIO_SCHEMA_VERSION
+    assert ScenarioSpec.from_dict(raw) == spec
+
+
+def test_unsupported_schema_is_rejected():
+    with pytest.raises(ConfigurationError, match="unsupported scenario schema"):
+        ScenarioSpec.from_dict({"schema": 3, "name": "t"})
+
+
+def test_flash_lint_rules():
+    bad = ScenarioSpec(name="t", workload=WorkloadSpec(
+        loop="flash", rate=10.0, flash_factor=0.5, flash_width=0.0,
+        flash_at=-1.0))
+    problems = "\n".join(bad.validate())
+    assert "flash_factor" in problems
+    assert "flash_width" in problems
+    assert "flash_at" in problems
+
+
+def test_diurnal_lint_rules():
+    bad = ScenarioSpec(name="t", workload=WorkloadSpec(
+        loop="diurnal", rate=10.0, diurnal_period=0.0, diurnal_amplitude=1.0))
+    problems = "\n".join(bad.validate())
+    assert "diurnal_period" in problems
+    assert "diurnal_amplitude" in problems
+
+
+def test_fault_churn_lint_and_predicate():
+    bad = ScenarioSpec(name="t", faults=FaultSpec(joins=-1))
+    assert any("joins" in p for p in bad.validate())
+    assert not FaultSpec().churn()
+    assert FaultSpec(intensity="churn").churn()
+    assert FaultSpec(joins=1).churn()
+    assert FaultSpec(leaves=1).churn()
+    assert FaultSpec(scale_cycles=1).churn()
