@@ -46,11 +46,22 @@ from repro.types import Destination, MessageId, MulticastMessage, destination
 class ShardStateMachine:
     """The deterministic per-replica state of one shard."""
 
+    #: operations that never mutate shard state — eligible for the
+    #: unordered read tier (docs/READS.md)
+    READ_OPS = frozenset({"get", "mget"})
+
     def __init__(self, shard: str, owns: Callable[[str], bool]) -> None:
         self.shard = shard
         self.owns = owns
         self.data: Dict[str, Any] = {}
         self.ops_applied = 0
+        #: state as of the last snapshot — the snapshot-read mirror
+        self._stable: Dict[str, Any] = {}
+
+    @classmethod
+    def is_read_only(cls, op: Tuple) -> bool:
+        """Classify an operation for the read tier."""
+        return bool(op) and op[0] in cls.READ_OPS
 
     def apply(self, op: Tuple) -> Any:
         """Apply one ordered operation; returns this shard's result."""
@@ -91,14 +102,40 @@ class ShardStateMachine:
             ))
         return ("error", f"unknown op {kind!r}")
 
+    def read(self, op: Tuple) -> Any:
+        """Serve a read-only op from the live state — pure, no side effects.
+
+        Result shapes match :meth:`apply` for the same op, so an optimistic
+        read and its ordered fallback are interchangeable to clients.
+        """
+        return self._read_from(self.data, op)
+
+    def read_stale(self, op: Tuple) -> Any:
+        """Serve a read-only op from the last-checkpoint mirror."""
+        return self._read_from(self._stable, op)
+
+    def _read_from(self, data: Dict[str, Any], op: Tuple) -> Any:
+        if not self.is_read_only(op):
+            return ("error", "not a read-only op")
+        kind = op[0]
+        if kind == "get":
+            __, key = op
+            return ("value", data.get(key)) if self.owns(key) else ("none",)
+        __, keys = op
+        return ("values", tuple(
+            (key, data.get(key)) for key in keys if self.owns(key)
+        ))
+
     def snapshot(self) -> Tuple:
         """Deterministic state capture for checkpointing (sorted items)."""
+        self._stable = dict(self.data)
         return (tuple(sorted(self.data.items())), self.ops_applied)
 
     def restore(self, state: Tuple) -> None:
         items, ops_applied = state
         self.data = dict(items)
         self.ops_applied = ops_applied
+        self._stable = dict(items)
 
 
 class StoreClient(MulticastClient):
@@ -134,6 +171,18 @@ class StoreClient(MulticastClient):
     def mget(self, keys: Sequence[str]) -> MessageId:
         keys = tuple(sorted(set(keys)))
         return self._submit(("mget", keys), keys)
+
+    def read(self, key: str, mode: str = "optimistic",
+             callback: Optional[Callable] = None) -> int:
+        """Read ``key`` through the unordered read tier (single shard).
+
+        Returns the read round id; the value arrives via ``callback`` with
+        a :class:`~repro.core.client.ReadOutcome` (falls back to an ordered
+        get on quorum failure — see docs/READS.md).
+        """
+        op = ("get", key)
+        return self.aread(self._shard_of(key), payload=op, mode=mode,
+                          callback=callback)
 
     # -- plumbing --------------------------------------------------------------
 
@@ -209,6 +258,7 @@ class ShardedStore:
                 group_id=group_id, tree=tree, group_configs=group_configs,
                 registry=registry, on_deliver=on_deliver,
                 on_snapshot=machine.snapshot, on_restore=machine.restore,
+                on_read=machine.read, on_snapshot_read=machine.read_stale,
             )
 
         overrides = {

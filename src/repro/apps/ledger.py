@@ -54,9 +54,40 @@ class LedgerEntry:
 class ChannelLedger:
     """The per-replica, hash-chained ledger of one channel."""
 
+    #: read-tier query kinds (docs/READS.md): ("head",) answers with the
+    #: chain head, ("entry", height) with one committed entry
+    READ_OPS = frozenset({"head", "entry"})
+
     def __init__(self, channel: str) -> None:
         self.channel = channel
         self.entries: List[LedgerEntry] = []
+        #: chain length as of the last snapshot — the snapshot-read mirror
+        #: (entries are append-only, so a length fully describes the prefix)
+        self._stable_height = 0
+
+    @classmethod
+    def is_read_only(cls, op: Tuple) -> bool:
+        """Classify a query for the read tier."""
+        return bool(op) and op[0] in cls.READ_OPS
+
+    def read(self, op: Tuple) -> Any:
+        """Serve a chain query from the live chain (pure, deterministic)."""
+        return self._read_at(self.height, op)
+
+    def read_stale(self, op: Tuple) -> Any:
+        """Serve a chain query from the last-checkpoint prefix."""
+        return self._read_at(self._stable_height, op)
+
+    def _read_at(self, height: int, op: Tuple) -> Any:
+        if not self.is_read_only(op):
+            return ("error", "not a read-only op")
+        if op[0] == "head":
+            head = self.entries[height - 1].entry_hash if height else GENESIS
+            return ("head", height, head)
+        wanted = op[1]
+        if 0 <= wanted < height:
+            return ("entry", self.entries[wanted])
+        return ("none",)
 
     @property
     def head_hash(self) -> bytes:
@@ -100,10 +131,12 @@ class ChannelLedger:
 
     def snapshot(self) -> Tuple[LedgerEntry, ...]:
         """Deterministic chain capture for checkpointing."""
+        self._stable_height = self.height
         return tuple(self.entries)
 
     def restore(self, state: Tuple[LedgerEntry, ...]) -> None:
         self.entries = list(state)
+        self._stable_height = len(self.entries)
 
 
 def cross_channel_order_consistent(a: "ChannelLedger", b: "ChannelLedger") -> bool:
@@ -122,6 +155,12 @@ class LedgerClient(MulticastClient):
         """Atomically order ``payload`` on all the given channels."""
         return self.amulticast(destination(*channels), payload=tuple(payload),
                                callback=callback)
+
+    def read_head(self, channel: str, mode: str = "optimistic",
+                  callback=None) -> int:
+        """Read one channel's chain head through the unordered read tier."""
+        return self.aread(channel, payload=("head",), mode=mode,
+                          callback=callback)
 
 
 class OrderingService:
@@ -165,6 +204,7 @@ class OrderingService:
                 group_id=group_id, tree=tree, group_configs=group_configs,
                 registry=registry, on_deliver=on_deliver,
                 on_snapshot=ledger.snapshot, on_restore=ledger.restore,
+                on_read=ledger.read, on_snapshot_read=ledger.read_stale,
             )
 
         overrides = {

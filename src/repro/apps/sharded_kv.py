@@ -85,6 +85,7 @@ class ShardedKVApp:
             group_id=group_id, tree=tree, group_configs=group_configs,
             registry=registry, on_deliver=on_deliver,
             on_snapshot=machine.snapshot, on_restore=machine.restore,
+            on_read=machine.read, on_snapshot_read=machine.read_stale,
         )
 
     def app_overrides(self) -> Dict[str, Dict[str, Callable]]:
@@ -141,6 +142,20 @@ class ShardedKVApp:
             if point < cross_ratio + read_ratio:
                 return destination(self.shard_of(key)), ("get", key)
             return destination(self.shard_of(key)), ("put", key, rng.randrange(100))
+
+        return sample
+
+    def read_sampler(self, key_sampler: KeySampler) -> OpSampler:
+        """A driver sampler of read-*tier* operations: single-key gets.
+
+        Same signature as :meth:`op_sampler` samples, but every op is
+        read-only — drivers route these through ``aread`` instead of the
+        ordered multicast path (the ``read_ratio`` workload axis).
+        """
+
+        def sample(rng) -> Tuple[Destination, Tuple]:
+            key = key_sampler(rng)
+            return destination(self.shard_of(key)), ("get", key)
 
         return sample
 

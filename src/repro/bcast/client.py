@@ -15,15 +15,17 @@ messages into child groups — both are just "senders" to a group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
 
-from repro.bcast.messages import Reply, Request
+from repro.bcast.messages import ReadReply, ReadRequest, Reply, Request
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign
 from repro.env import Actor, TimerHandle
 
 ResultCallback = Callable[[Any], None]
+#: fired when an optimistic read quorum is accepted: (cid, result, voters)
+ReadAcceptCallback = Callable[[int, Any, FrozenSet[str]], None]
 
 
 @dataclass
@@ -121,6 +123,25 @@ class GroupProxy:
         self._send_to_all(entry.request)
         self._arm_retransmit(entry)
 
+    def note_progress(self, seq: int) -> None:
+        """Reset the backoff for ``seq`` after *accepted* (quorum) progress.
+
+        Callers must invoke this only when ``f + 1`` matching votes landed
+        somewhere downstream (e.g. one destination group of a multicast
+        confirmed) — never on a bare reply.  A single Byzantine fast-replier
+        can manufacture bare replies at will; if those counted as progress it
+        could pin the backoff at its floor and keep the client hot-looping
+        retransmissions forever.  Quorum-matched progress, by contrast,
+        carries at least one correct replica's vouch.
+        """
+        entry = self._outstanding.get(seq)
+        if entry is None or entry.retries == 0:
+            return
+        entry.retries = 0
+        if entry.timer is not None:
+            entry.timer.cancel()
+        self._arm_retransmit(entry)
+
     # -- replies ------------------------------------------------------------
 
     def handle_reply(self, src: str, reply: Reply) -> bool:
@@ -160,4 +181,197 @@ class GroupProxy:
 
     def pending(self) -> int:
         """Number of submitted-but-unconfirmed requests."""
+        return len(self._outstanding)
+
+
+@dataclass
+class _OutstandingRead:
+    """Book-keeping for one in-flight optimistic/snapshot read round."""
+
+    request: ReadRequest
+    on_accept: ReadAcceptCallback
+    on_exhausted: Callable[[], None]
+    #: (cid, value digest) -> replicas vouching for exactly that pair
+    votes: Dict[Tuple[int, bytes], Set[str]] = field(default_factory=dict)
+    results: Dict[Tuple[int, bytes], Any] = field(default_factory=dict)
+    #: replicas heard from this round (vote or malformed) — exhaustion gate
+    replied: Set[str] = field(default_factory=set)
+    timer: Optional[TimerHandle] = None
+    retries: int = 0
+
+
+class ReadProxy:
+    """Fans a read probe to every replica and accepts f+1 matching replies.
+
+    The unordered read discipline (BFT-SMaRt ``invokeUnordered``): a reply
+    joins the tally only if its carried digest re-hashes locally from the
+    carried value (a Byzantine replica cannot vote for a value it did not
+    send), and a tally wins only when ``quorum`` distinct replicas agree on
+    the *same* (cid, digest) pair **and** that cid clears the owner's
+    monotone floor.  When the full membership has answered without an
+    acceptable quorum — or the round times out — the proxy retries with
+    exponential backoff and finally reports exhaustion so the owner can
+    fall back to an ordered multicast.
+
+    Backoff discipline (mirrors :meth:`GroupProxy.note_progress`): replies
+    are **never** progress — only an accepted quorum completes the round.
+    A Byzantine fast-replier answering every probe instantly with garbage
+    therefore cannot stop the retry delay from growing.
+
+    ``quorum`` defaults to ``f + 1`` and exists as a parameter *only* so the
+    adversarial test battery can disable the safety check (mutation guard)
+    and demonstrate the unsafe outcome it prevents.
+    """
+
+    MAX_BACKOFF_MULTIPLIER = 64
+
+    def __init__(
+        self,
+        owner: Actor,
+        group_id: str,
+        replicas: Tuple[str, ...],
+        f: int,
+        read_timeout: float = 1.0,
+        max_retries: int = 2,
+        quorum: Optional[int] = None,
+        min_cid: Optional[Callable[[str], int]] = None,
+        mode: Optional[str] = None,
+    ) -> None:
+        self.owner = owner
+        self.group_id = group_id
+        self.replicas = tuple(replicas)
+        self.f = f
+        #: when set, this proxy only claims replies of one read mode (owners
+        #: that keep one proxy per (group, mode) have overlapping rid spaces)
+        self.mode = mode
+        self.read_timeout = read_timeout
+        self.max_retries = max_retries
+        self._quorum_override = quorum
+        #: mode -> monotone floor: accepted cids must not regress (the
+        #: owner's session guarantee; without it an f+1 quorum of *lagging*
+        #: correct replicas plus a Byzantine echo could serve a past state)
+        self._min_cid = min_cid if min_cid is not None else (lambda mode: -1)
+        self._next_rid = 1
+        self._outstanding: Dict[int, _OutstandingRead] = {}
+        self.accepted = 0
+        self.exhausted = 0
+
+    @property
+    def quorum(self) -> int:
+        return (self._quorum_override if self._quorum_override is not None
+                else self.f + 1)
+
+    # -- submission ----------------------------------------------------------
+
+    def read(
+        self,
+        payload: Any,
+        mode: str,
+        on_accept: ReadAcceptCallback,
+        on_exhausted: Callable[[], None],
+    ) -> int:
+        """Probe the group; exactly one of the two callbacks fires once."""
+        rid = self._next_rid
+        self._next_rid += 1
+        request = ReadRequest(self.group_id, self.owner.name, rid, payload, mode)
+        entry = _OutstandingRead(request=request, on_accept=on_accept,
+                                 on_exhausted=on_exhausted)
+        self._outstanding[rid] = entry
+        self._send_to_all(request)
+        self._arm_timer(entry)
+        return rid
+
+    def _send_to_all(self, request: ReadRequest) -> None:
+        for replica in self.replicas:
+            self.owner.send(replica, request)
+
+    def _arm_timer(self, entry: _OutstandingRead) -> None:
+        multiplier = min(2 ** entry.retries, self.MAX_BACKOFF_MULTIPLIER)
+        delay = self.read_timeout * multiplier
+        entry.timer = self.owner.set_timer(
+            delay, lambda: self._next_round(entry))
+
+    def _next_round(self, entry: _OutstandingRead) -> None:
+        """Retry (fresh tally, backed-off timer) or report exhaustion."""
+        rid = entry.request.rid
+        if rid not in self._outstanding:
+            return
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        if entry.retries >= self.max_retries:
+            del self._outstanding[rid]
+            self.exhausted += 1
+            self.owner.monitor.count("read.exhausted")
+            entry.on_exhausted()
+            return
+        entry.retries += 1
+        entry.votes.clear()
+        entry.results.clear()
+        entry.replied.clear()
+        self.owner.monitor.count("read.retry")
+        self._send_to_all(entry.request)
+        self._arm_timer(entry)
+
+    # -- replies ------------------------------------------------------------
+
+    def handle_read_reply(self, src: str, reply: ReadReply) -> bool:
+        """Feed a :class:`ReadReply` received by the owner; True if ours."""
+        if reply.group != self.group_id or reply.req_sender != self.owner.name:
+            return False
+        if self.mode is not None and reply.mode != self.mode:
+            return False
+        if src not in self.replicas or reply.sender != src:
+            return False
+        entry = self._outstanding.get(reply.rid)
+        if entry is None:
+            return True  # ours, but the round already closed
+        if reply.mode != entry.request.mode:
+            return True  # a confused replica echoed the wrong mode: ignore
+        if src in entry.replied:
+            return True  # one vote per replica per round
+        entry.replied.add(src)
+        # Recompute the digest locally over the carried value: a forged
+        # digest (claiming agreement with others while sending a different
+        # value) is discarded as malformed and cannot join any tally.
+        local = digest(("readv", reply.result))
+        if local != reply.value_digest:
+            self.owner.monitor.count("read.forged_digest")
+            self._maybe_exhaust(entry)
+            return True
+        key = (reply.cid, local)
+        voters = entry.votes.setdefault(key, set())
+        voters.add(src)
+        entry.results[key] = reply.result
+        if len(voters) >= self.quorum:
+            if reply.cid >= self._min_cid(entry.request.mode):
+                self._accept(entry, reply.cid, entry.results[key],
+                             frozenset(voters))
+                return True
+            # A matching quorum below the monotone floor: the session
+            # guarantee forbids serving it; keep collecting / retry.
+            self.owner.monitor.count("read.stale_quorum")
+        self._maybe_exhaust(entry)
+        return True
+
+    def _maybe_exhaust(self, entry: _OutstandingRead) -> None:
+        """Full evidence: everyone answered, no acceptable quorum formed."""
+        if len(entry.replied) >= len(self.replicas):
+            self._next_round(entry)
+
+    def _accept(self, entry: _OutstandingRead, cid: int, result: Any,
+                voters: FrozenSet[str]) -> None:
+        del self._outstanding[entry.request.rid]
+        if entry.timer is not None:
+            entry.timer.cancel()
+        self.accepted += 1
+        entry.on_accept(cid, result, voters)
+
+    def update_replicas(self, replicas: Tuple[str, ...], f: int) -> None:
+        """Adopt a reconfigured membership (keeps probe round ids)."""
+        self.replicas = tuple(replicas)
+        self.f = f
+
+    def pending(self) -> int:
+        """Read rounds still collecting replies."""
         return len(self._outstanding)

@@ -58,6 +58,52 @@ class Request:
 
 
 @dataclass(frozen=True)
+class ReadRequest:
+    """An unordered read probe sent directly to every replica of one group.
+
+    Reads bypass consensus entirely (the BFT-SMaRt ``invokeUnordered``
+    pattern): each replica answers from its current executed state, and the
+    client accepts only when ``f + 1`` replies match on (cid, value digest)
+    — at least one of those voters is then correct, so the value was really
+    executed by a correct replica.  ``mode`` selects the staleness contract:
+    ``"optimistic"`` reads the live applied state, ``"snapshot"`` reads the
+    last stable checkpoint (see ``docs/READS.md``).
+
+    Read probes are unsigned and idempotent: a forged or replayed probe can
+    only cause a reply, never a state change, so the signature machinery
+    (and its CPU cost) is reserved for the ordered path.
+    """
+
+    group: str
+    sender: str
+    rid: int            #: per-(sender, group, mode) probe round identifier
+    payload: Any        #: opaque read query (app duck-types ``read()``)
+    mode: str = "optimistic"
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """One replica's answer to a :class:`ReadRequest`.
+
+    ``cid`` is the consensus id whose execution produced the served state
+    (the *applied* cursor, not the decided one — execution is CPU-deferred
+    and two replicas must never vouch for the same cid with different
+    state).  ``value_digest`` commits the replica to ``result`` over
+    canonical bytes; clients recompute it locally, so a Byzantine replica
+    cannot join a quorum for a value it did not actually send.
+    """
+
+    group: str
+    sender: str
+    req_sender: str
+    rid: int
+    mode: str
+    cid: int
+    value_digest: bytes
+    result: Any
+
+
+@dataclass(frozen=True)
 class Propose:
     """Leader's proposal of a batch for consensus instance ``cid``."""
 

@@ -26,7 +26,8 @@ proposal) without duplicating the rest of the protocol.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.bcast.adaptive import AdaptiveBatcher
 from repro.bcast.app import Application, ExecutionContext
@@ -40,6 +41,8 @@ from repro.bcast.messages import (
     CheckpointData,
     Heartbeat,
     Propose,
+    ReadReply,
+    ReadRequest,
     Reply,
     Request,
     StateRequest,
@@ -70,6 +73,9 @@ MAX_STATE_BACKOFF_MULTIPLIER = 64
 #: refuse STOPDATA whose per-cid certificate list exceeds this bound
 #: (a Byzantine reporter must not make the new leader buffer unbounded data)
 MAX_STOPDATA_CERTS = 64
+#: bounded audit trail of served reads (the chaos invariant cross-checks
+#: accepted client reads against the journals of correct voters)
+READ_JOURNAL_CAP = 4096
 
 
 class Replica(Actor):
@@ -137,6 +143,16 @@ class Replica(Actor):
         self._retired = False
         #: proposals for consensus ids we have not reached yet (bounded stash)
         self._future_proposals: Dict[int, Tuple[str, Propose]] = {}
+        #: highest consensus id whose batch has *finished executing* here.
+        #: Distinct from ``log.next_execute``: the cursor advances
+        #: synchronously at decision time while execution is CPU-deferred,
+        #: so reads must be keyed on this counter (and served through the
+        #: same FIFO work queue) or two replicas could vouch for the same
+        #: cid with different applied state.
+        self._applied_cid = -1
+        #: (req_sender, rid, mode, cid, value_digest) of reads we answered
+        self.read_journal: Deque[Tuple[str, int, str, int, bytes]] = deque(
+            maxlen=READ_JOURNAL_CAP)
 
     # ------------------------------------------------------------------ api
 
@@ -312,6 +328,14 @@ class Replica(Actor):
             return  # a joiner only catches up until a Reconfig activates it
         if isinstance(payload, Request):
             self.work(costs.request_recv, lambda: self._handle_request(src, payload))
+        elif isinstance(payload, ReadRequest):
+            # Served through the same FIFO work queue as batch execution:
+            # a read enqueued behind a pending _execute_batch job observes
+            # that batch's effects and its advanced _applied_cid, never a
+            # half-applied mixture.
+            cost = (costs.request_recv + costs.execute_per_msg
+                    + costs.reply_per_msg)
+            self.work(cost, lambda: self._handle_read_request(src, payload))
         elif isinstance(payload, Propose):
             cost = costs.validate_fixed + costs.validate_per_msg * len(payload.batch)
             self.work(cost, lambda: self._handle_propose(src, payload))
@@ -370,6 +394,48 @@ class Replica(Actor):
             self._pending_since[request.key()] = self.loop.now
             self._arm_request_timer()
         self._maybe_propose()
+
+    # -------------------------------------------------------------- reads
+
+    def _handle_read_request(self, src: str, request: ReadRequest) -> None:
+        if request.group != self.group_id:
+            return
+        if request.sender != src:
+            # Read probes are unsigned (idempotent, state-change free), so
+            # the transport source is the only sender evidence we have.
+            self.monitor.count("read.spoofed_sender")
+            return
+        self._serve_read(src, request)
+
+    def _serve_read(self, src: str, request: ReadRequest) -> None:
+        """Answer a read probe from local state (Byzantine override point)."""
+        if request.mode == "snapshot":
+            checkpoint = self.log.checkpoint
+            cid = checkpoint.cid if checkpoint is not None else -1
+            reader = getattr(self.app, "snapshot_read", None)
+        else:
+            cid = self._applied_cid
+            reader = getattr(self.app, "read", None)
+        if reader is None:
+            # App does not support this read mode: stay silent; the client
+            # times out and falls back to the ordered path.
+            self.monitor.count(f"read.unsupported.{request.mode}")
+            return
+        result = reader(request.payload)
+        reply = ReadReply(
+            group=self.group_id,
+            sender=self.name,
+            req_sender=request.sender,
+            rid=request.rid,
+            mode=request.mode,
+            cid=cid,
+            value_digest=digest(("readv", result)),
+            result=result,
+        )
+        self.read_journal.append(
+            (request.sender, request.rid, request.mode, cid, reply.value_digest))
+        self.monitor.count(f"read.served.{request.mode}")
+        self.send(src, reply)
 
     # ----------------------------------------------------------- proposing
 
@@ -724,8 +790,8 @@ class Replica(Actor):
             if self.log.checkpoint_due(cid) and self._app_checkpointable:
                 boundary = (cid, self.log.tracker.snapshot(), self.view)
                 cost += costs.checkpoint_fixed
-            self.work(cost, lambda b=tuple(ordered), m=boundary:
-                      self._execute_batch(b, m))
+            self.work(cost, lambda b=tuple(ordered), m=boundary, c=cid:
+                      self._execute_batch(b, m, c))
         self._drain_future_proposals()
         self._maybe_propose()
 
@@ -733,6 +799,7 @@ class Replica(Actor):
         self,
         batch: Tuple[Request, ...],
         checkpoint_boundary: Optional[Tuple[int, Dict[str, int], View]] = None,
+        cid: int = -1,
     ) -> None:
         ctx = ExecutionContext(replica=self, time=self.loop.now)
         for request in batch:
@@ -750,6 +817,8 @@ class Replica(Actor):
                 reply = Reply(self.group_id, self.name, request.sender, request.seq, result)
                 self._last_reply[request.sender] = reply
                 self._send_reply(request, reply)
+        if cid > self._applied_cid:
+            self._applied_cid = cid
         if checkpoint_boundary is not None:
             cid, tracker_state, view = checkpoint_boundary
             self._take_checkpoint(cid, tracker_state, view)
@@ -1183,6 +1252,8 @@ class Replica(Actor):
             self._assembling = False
             self._note_view_change()
         self.pool.prune_ordered(self.log.tracker)
+        if checkpoint.cid > self._applied_cid:
+            self._applied_cid = checkpoint.cid
         for key in [k for k in self._pending_since
                     if self.log.tracker.last(k[0]) >= k[1]]:
             del self._pending_since[key]
@@ -1223,6 +1294,8 @@ class Replica(Actor):
             self.monitor.record(self.name, "replica.executed_catchup",
                                 sender=request.sender, seq=request.seq)
         self.pool.prune_ordered(self.log.tracker)
+        if cid > self._applied_cid:
+            self._applied_cid = cid
         if self.log.checkpoint_due(cid) and self._app_checkpointable:
             # Catch-up runs synchronously, so tracker and view are exactly
             # the post-``cid`` state here.

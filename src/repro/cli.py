@@ -160,6 +160,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             joins=args.joins,
             leaves=args.leaves,
             scale_cycles=args.scale_cycles,
+            read_ratio=args.read_ratio,
+            read_mode=args.read_mode,
         )
         print(report.summary())
         if args.timeline:
@@ -195,6 +197,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_report,
         load_report,
         run_matrix,
+        saturated_cells,
         save_report,
         speedup_gates,
     )
@@ -225,7 +228,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         baseline = load_report(args.compare)
         comparison = compare(report, baseline, tolerance=args.tolerance,
-                             speedup_gates=speedup_gates())
+                             speedup_gates=speedup_gates(),
+                             skip_latency=saturated_cells())
     except (OSError, ValueError, KeyError, ConfigurationError) as exc:
         print(f"cannot compare against {args.compare}: {exc}")
         return 2
@@ -333,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="scale_cycles",
                        help="extra paired scale_up/scale_down cycles "
                             "(f -> f+1 -> f)")
+    chaos.add_argument("--read-ratio", type=float, default=0.0,
+                       help="extra read-tier probes per write (docs/READS.md); "
+                            "also arms the read-safety invariants")
+    chaos.add_argument("--read-mode", choices=["optimistic", "snapshot"],
+                       default="optimistic",
+                       help="how riding-along reads are served")
     chaos.add_argument("--groups", default="g1,g2",
                        help="comma-separated target groups of the 2-level tree")
     chaos.add_argument("--timeline", action="store_true",

@@ -13,18 +13,55 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.bcast.client import GroupProxy
+from repro.bcast.client import GroupProxy, ReadProxy
 from repro.bcast.config import BroadcastConfig
-from repro.bcast.messages import Reply
+from repro.bcast.messages import ReadReply, Reply
 from repro.core.messages import MulticastReply, WireMulticast
 from repro.core.tree import OverlayTree
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign
 from repro.env import Actor, Monitor, RuntimeOrClock
-from repro.types import ClientId, Destination, MessageId, MulticastMessage
+from repro.types import ClientId, Destination, MessageId, MulticastMessage, destination
 
 CompletionCallback = Callable[[MulticastMessage, float], None]
+ReadCallback = Callable[["ReadOutcome"], None]
+
+#: read modes a client may request (see docs/READS.md)
+READ_MODES = ("ordered", "optimistic", "snapshot")
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """What one ``aread`` returned and how it got there.
+
+    ``fallback`` is True when the optimistic quorum never formed and the
+    value came from a full ordered multicast instead (that path is
+    linearizable, so the staleness contract is trivially met).  ``cid`` is
+    the consensus id the accepted quorum vouched for (-1 on fallback and
+    for pre-first-checkpoint snapshot reads); ``voters`` are the replicas
+    whose matching replies formed the quorum (empty on fallback).
+    """
+
+    group: str
+    mode: str
+    rid: int
+    result: object
+    cid: int
+    fallback: bool
+    latency: float
+    voters: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class _InFlightRead:
+    """Book-keeping for one not-yet-resolved aread."""
+
+    group: str
+    mode: str
+    payload: Tuple
+    issued_at: float
+    callback: Optional[ReadCallback]
 
 
 @dataclass
@@ -42,6 +79,10 @@ class _InFlight:
     #: per group: the f+1-confirmed application result
     group_results: Dict[str, object] = field(default_factory=dict)
     callback: Optional[CompletionCallback] = None
+    #: where/with which proxy seq the wire request entered the tree, so
+    #: accepted (quorum-confirmed) progress can reset that proxy's backoff
+    entry_group: str = ""
+    entry_seq: int = 0
 
 
 class MulticastClient(Actor):
@@ -67,6 +108,8 @@ class MulticastClient(Actor):
         monitor: Optional[Monitor] = None,
         on_complete: Optional[CompletionCallback] = None,
         retransmit_timeout: Optional[float] = 4.0,
+        read_timeout: float = 1.0,
+        read_quorum: Optional[int] = None,
     ) -> None:
         super().__init__(name, loop, monitor)
         self.tree = tree
@@ -74,13 +117,28 @@ class MulticastClient(Actor):
         self.registry = registry
         self.on_complete = on_complete
         self.retransmit_timeout = retransmit_timeout
+        self.read_timeout = read_timeout
+        #: test-only mutation guard: overrides the f+1 read quorum
+        self._read_quorum = read_quorum
         self._proxies: Dict[str, GroupProxy] = {}
+        self._read_proxies: Dict[Tuple[str, str], ReadProxy] = {}
         self._next_seq = 1
+        self._next_read = 1
         self._inflight: Dict[Tuple[str, int], _InFlight] = {}
+        self._inflight_reads: Dict[Tuple[str, str, int], _InFlightRead] = {}
         #: (message, latency) of every confirmed multicast, in completion order
         self.completions: List[Tuple[MulticastMessage, float]] = []
         #: (sender, seq) -> per-group confirmed application results
         self.results: Dict[Tuple[str, int], Dict[str, object]] = {}
+        #: per (group, mode) monotone floor over accepted read cids (the
+        #: session guarantee: this client's reads never travel back in time)
+        self._read_high_water: Dict[Tuple[str, str], int] = {}
+        #: every resolved read, in resolution order (chaos invariants audit
+        #: the voters of non-fallback outcomes against replica read journals)
+        self.read_log: List[ReadOutcome] = []
+        self.reads_issued = 0
+        self.reads_accepted = 0
+        self.reads_fallback = 0
 
     # ------------------------------------------------------------------- api
 
@@ -100,20 +158,118 @@ class MulticastClient(Actor):
         wire = WireMulticast.from_message(message, signature)
 
         entry_group = self._entry_group(message)
-        self._inflight[(self.name, seq)] = _InFlight(
+        entry = _InFlight(
             message=message,
             sent_at=self.loop.now,
             needed=frozenset(message.dst),
             callback=callback,
+            entry_group=entry_group,
         )
-        self._proxy(entry_group).submit(wire)
+        self._inflight[(self.name, seq)] = entry
+        entry.entry_seq = self._proxy(entry_group).submit(wire)
         self.monitor.record(self.name, "client.amulticast",
                             seq=seq, dst=",".join(sorted(message.dst)))
         return mid
 
+    def aread(
+        self,
+        group: str,
+        payload: Tuple = (),
+        mode: str = "optimistic",
+        callback: Optional[ReadCallback] = None,
+    ) -> int:
+        """Read from one destination group, bypassing consensus when safe.
+
+        ``mode`` selects the staleness contract (``docs/READS.md``):
+
+        * ``"optimistic"`` — unordered probe of the group's live applied
+          state, accepted on f+1 matching (cid, digest) replies; falls back
+          to a full ordered multicast on mismatch or timeout.
+        * ``"snapshot"`` — same discipline over the last stable checkpoint
+          (bounded staleness: at most ``checkpoint_interval`` commands).
+        * ``"ordered"`` — skip the optimism and pay the full multicast.
+
+        ``callback(outcome)`` fires exactly once with a
+        :class:`ReadOutcome`.  Returns the read's round id.
+        """
+        if mode not in READ_MODES:
+            raise ValueError(f"unknown read mode {mode!r}")
+        rid = self._next_read
+        self._next_read += 1
+        self.reads_issued += 1
+        entry = _InFlightRead(group=group, mode=mode, payload=tuple(payload),
+                              issued_at=self.loop.now, callback=callback)
+        key = (group, mode, rid)
+        self._inflight_reads[key] = entry
+        if mode == "ordered":
+            self._read_fallback(key, entry)
+            return rid
+        proxy = self._read_proxy(group, mode)
+        proxy.read(
+            entry.payload, mode,
+            on_accept=lambda cid, result, voters, k=key:
+                self._read_accepted(k, cid, result, voters),
+            on_exhausted=lambda k=key: self._read_exhausted(k),
+        )
+        self.monitor.record(self.name, "client.aread", group=group, mode=mode)
+        return rid
+
+    def _read_accepted(self, key: Tuple[str, str, int], cid: int,
+                       result: object, voters: FrozenSet[str]) -> None:
+        entry = self._inflight_reads.pop(key, None)
+        if entry is None:
+            return
+        group, mode, rid = key
+        floor_key = (group, mode)
+        if cid > self._read_high_water.get(floor_key, -1):
+            self._read_high_water[floor_key] = cid
+        self.reads_accepted += 1
+        outcome = ReadOutcome(
+            group=group, mode=mode, rid=rid, result=result, cid=cid,
+            fallback=False, latency=self.loop.now - entry.issued_at,
+            voters=voters,
+        )
+        self.read_log.append(outcome)
+        self.monitor.record(self.name, "client.read_accepted",
+                            group=group, mode=mode, cid=cid)
+        if entry.callback is not None:
+            entry.callback(outcome)
+
+    def _read_exhausted(self, key: Tuple[str, str, int]) -> None:
+        entry = self._inflight_reads.get(key)
+        if entry is None:
+            return
+        self.reads_fallback += 1
+        self.monitor.record(self.name, "client.read_fallback",
+                            group=entry.group, mode=entry.mode)
+        self._read_fallback(key, entry)
+
+    def _read_fallback(self, key: Tuple[str, str, int],
+                       entry: _InFlightRead) -> None:
+        """Resolve a read through the ordered path (always linearizable)."""
+        group, mode, rid = key
+
+        def finish(message: MulticastMessage, latency: float) -> None:
+            inflight = self._inflight_reads.pop(key, None)
+            if inflight is None:
+                return
+            mkey = (message.mid.sender, message.mid.seq)
+            result = self.results.get(mkey, {}).get(group)
+            outcome = ReadOutcome(
+                group=group, mode=mode, rid=rid, result=result, cid=-1,
+                fallback=(mode != "ordered"),
+                latency=self.loop.now - inflight.issued_at,
+            )
+            self.read_log.append(outcome)
+            if inflight.callback is not None:
+                inflight.callback(outcome)
+
+        self.amulticast(destination(group), payload=entry.payload,
+                        callback=finish)
+
     def pending(self) -> int:
-        """Multicasts submitted but not yet confirmed by all destinations."""
-        return len(self._inflight)
+        """Operations submitted but not yet resolved (writes and reads)."""
+        return len(self._inflight) + len(self._inflight_reads)
 
     def _entry_group(self, message: MulticastMessage) -> str:
         """Where the message enters the tree: the lca of its destinations.
@@ -137,6 +293,23 @@ class MulticastClient(Actor):
             )
         return self._proxies[group_id]
 
+    def _read_proxy(self, group_id: str, mode: str) -> ReadProxy:
+        key = (group_id, mode)
+        if key not in self._read_proxies:
+            config = self.group_configs[group_id]
+            self._read_proxies[key] = ReadProxy(
+                owner=self,
+                group_id=group_id,
+                replicas=config.replicas,
+                f=config.f,
+                read_timeout=self.read_timeout,
+                quorum=self._read_quorum,
+                min_cid=lambda mode, g=group_id:
+                    self._read_high_water.get((g, mode), -1),
+                mode=mode,
+            )
+        return self._read_proxies[key]
+
     def update_group(self, group_id: str, replicas: Tuple[str, ...],
                      f: int) -> None:
         """Adopt a reconfigured group's membership.
@@ -155,11 +328,18 @@ class MulticastClient(Actor):
         proxy = self._proxies.get(group_id)
         if proxy is not None:
             proxy.update_replicas(tuple(replicas), f)
+        for (gid, __), read_proxy in self._read_proxies.items():
+            if gid == group_id:
+                read_proxy.update_replicas(tuple(replicas), f)
 
     def on_message(self, src: str, payload: Any) -> None:
         if isinstance(payload, Reply):
             for proxy in self._proxies.values():
                 if proxy.handle_reply(src, payload):
+                    return
+        elif isinstance(payload, ReadReply):
+            for read_proxy in self._read_proxies.values():
+                if read_proxy.handle_read_reply(src, payload):
                     return
         elif isinstance(payload, MulticastReply):
             self._handle_multicast_reply(src, payload)
@@ -182,6 +362,14 @@ class MulticastClient(Actor):
         if len(votes) >= config.f + 1:
             entry.confirmed.add(reply.group)
             entry.group_results[reply.group] = entry.candidates[reply.group][key]
+            # Backoff resets only on *accepted* progress — a full f+1 match
+            # for a destination group, vouched by at least one correct
+            # replica.  A bare reply must never count: a single Byzantine
+            # fast-replier could emit those at will and pin the entry
+            # proxy's retransmit backoff at its floor forever.
+            entry_proxy = self._proxies.get(entry.entry_group)
+            if entry_proxy is not None:
+                entry_proxy.note_progress(entry.entry_seq)
             if entry.confirmed == entry.needed:
                 self._complete((reply.sender, reply.seq), entry)
 

@@ -178,6 +178,7 @@ class ByzCastDeployment:
         site: str = "site0",
         on_complete: Optional[Callable] = None,
         retransmit_timeout: Optional[float] = 4.0,
+        read_timeout: float = 1.0,
     ) -> MulticastClient:
         """Create and register a multicast client endpoint."""
         client = MulticastClient(
@@ -189,6 +190,7 @@ class ByzCastDeployment:
             monitor=self.monitor,
             on_complete=on_complete,
             retransmit_timeout=retransmit_timeout,
+            read_timeout=read_timeout,
         )
         self.network.register(client, site=site)
         self.clients.append(client)

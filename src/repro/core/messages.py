@@ -17,6 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+# Read-tier wire messages live with the broadcast layer (reads are a
+# per-group discipline, not a tree-wide one) but are part of the public
+# client-facing message surface, so they are re-exported here.
+from repro.bcast.messages import ReadReply, ReadRequest  # noqa: F401
 from repro.crypto.signatures import Signature
 from repro.types import Destination, GroupId, MessageId, MulticastMessage
 

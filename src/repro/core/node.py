@@ -57,6 +57,8 @@ class ByzCastApplication(Application):
         accept_any_ancestor: bool = False,
         on_snapshot: Optional[Callable[[], Any]] = None,
         on_restore: Optional[Callable[[Any], None]] = None,
+        on_read: Optional[Callable[[Any], Any]] = None,
+        on_snapshot_read: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         if group_id not in tree:
             raise ValueError(f"group {group_id!r} is not in the overlay tree")
@@ -70,6 +72,12 @@ class ByzCastApplication(Application):
         #: too (see :meth:`snapshot`).
         self.on_snapshot = on_snapshot
         self.on_restore = on_restore
+        #: optional read-tier hooks: ``on_read`` answers an unordered read
+        #: from the live applied business state, ``on_snapshot_read`` from
+        #: the state as of the last checkpoint (see docs/READS.md); both
+        #: must be pure functions of replicated state.
+        self.on_read = on_read
+        self.on_snapshot_read = on_snapshot_read
         self.send_client_replies = send_client_replies
         #: ByzCast requires clients to enter at lca(m.dst) (partial
         #: genuineness); the non-genuine Baseline lets clients enter at any
@@ -92,6 +100,9 @@ class ByzCastApplication(Application):
         self._a_delivered: set = set()
         #: chronological record of local a-deliver events (tests/metrics)
         self.deliveries: List[Delivery] = []
+        #: a-delivery count as of the last checkpoint — the default
+        #: snapshot-read answer (mirrors the stable state, not the live one)
+        self._stable_delivered = 0
 
     # ------------------------------------------------------------- execution
 
@@ -254,6 +265,27 @@ class ByzCastApplication(Application):
             )
             ctx.replica.send(wire.sender, reply)
 
+    # ------------------------------------------------------------------ reads
+
+    def read(self, payload: Any) -> Any:
+        """Answer an unordered read from the live applied state.
+
+        Must be a pure function of the executed prefix: two correct
+        replicas with the same applied cid must return byte-identical
+        answers, or the f+1 read quorum can never form.  The default
+        answers with the a-delivery count at this group — deterministic in
+        the prefix and useful as a progress probe.
+        """
+        if self.on_read is not None:
+            return self.on_read(payload)
+        return ("deliveries", len(self.deliveries))
+
+    def snapshot_read(self, payload: Any) -> Any:
+        """Answer a read from the last *stable* (checkpointed) state."""
+        if self.on_snapshot_read is not None:
+            return self.on_snapshot_read(payload)
+        return ("deliveries", self._stable_delivered)
+
     # ---------------------------------------------------------------- replies
 
     def handle_reply(self, src: str, reply: Reply) -> None:
@@ -299,6 +331,9 @@ class ByzCastApplication(Application):
             merge = (tuple(sorted(self._merge.senders)), self._merge.threshold,
                      self._merge.snapshot())
         delivered = tuple(record.message for record in self.deliveries)
+        # The checkpoint boundary is a deterministic cid, so advancing the
+        # stable-read mirror here keeps it identical across replicas.
+        self._stable_delivered = len(delivered)
         payload = self.on_snapshot() if self.on_snapshot is not None else None
         # Neighbour membership is replicated state under elastic membership
         # (it changes only through ordered MembershipUpdates), so the
@@ -341,6 +376,7 @@ class ByzCastApplication(Application):
                      message=message)
             for message in delivered
         ]
+        self._stable_delivered = len(delivered)
         if self.on_restore is not None:
             self.on_restore(payload)
 

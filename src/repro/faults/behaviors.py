@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-from repro.bcast.messages import Accept, Propose, Request, Write
+from repro.bcast.messages import Accept, Propose, ReadReply, ReadRequest, Request, Write
 from repro.bcast.replica import Replica
 from repro.core.messages import WireMulticast
 from repro.core.node import ByzCastApplication
@@ -82,6 +82,95 @@ class WrongVoteReplica(Replica):
             message = Accept(message.group, message.regency, message.cid,
                              digest(("corrupt", message.digest)), message.sender)
         super()._broadcast(message, size)
+
+
+class StaleReadReplica(Replica):
+    """Serves read probes from a frozen snapshot of the past.
+
+    The first probe it sees pins (cid, result); every later probe is
+    answered with that stale pair — digest-consistent, so the forgery
+    filter passes, but the cid stops advancing.  A correct client's
+    monotone floor plus the f+1 match keep stale quorums from forming
+    (the honest majority answers with fresher cids).
+    """
+
+    def _serve_read(self, src: str, request: ReadRequest) -> None:
+        pinned = getattr(self, "_pinned_read", None)
+        if pinned is None:
+            reader = getattr(self.app, "read", None)
+            result = reader(request.payload) if reader is not None else None
+            pinned = self._pinned_read = (self._applied_cid, result)
+        cid, result = pinned
+        self.monitor.count("byzantine.stale_read")
+        self.send(src, ReadReply(
+            group=self.group_id, sender=self.name, req_sender=request.sender,
+            rid=request.rid, mode=request.mode, cid=cid,
+            value_digest=digest(("readv", result)), result=result))
+
+
+class ForgedReadDigestReplica(Replica):
+    """Answers reads with a digest that does not match the carried value.
+
+    Models a replica trying to split the vote: the digest matches what
+    honest replicas would send, the value is garbage.  Clients recompute
+    the digest locally, so these replies must be discarded as malformed
+    rather than counted toward any quorum.
+    """
+
+    def _serve_read(self, src: str, request: ReadRequest) -> None:
+        reader = getattr(self.app, "read", None)
+        honest = reader(request.payload) if reader is not None else None
+        self.monitor.count("byzantine.forged_read_digest")
+        self.send(src, ReadReply(
+            group=self.group_id, sender=self.name, req_sender=request.sender,
+            rid=request.rid, mode=request.mode, cid=self._applied_cid,
+            value_digest=digest(("readv", honest)),
+            result=("forged", request.rid)))
+
+
+class EquivocatingReadReplica(Replica):
+    """Answers each probe round of the same client with a different value.
+
+    Internally consistent replies (digest matches the value), but no two
+    rounds agree — with up to f such replicas the honest f+1 overlap still
+    fixes a single answer, while f+1 equivocators could pin a client to
+    an arbitrary value (which is why the quorum is f+1, not f).
+    """
+
+    def _serve_read(self, src: str, request: ReadRequest) -> None:
+        count = getattr(self, "_equivocation_count", 0)
+        self._equivocation_count = count + 1
+        result = ("equivocation", count)
+        self.monitor.count("byzantine.equivocating_read")
+        self.send(src, ReadReply(
+            group=self.group_id, sender=self.name, req_sender=request.sender,
+            rid=request.rid, mode=request.mode, cid=self._applied_cid,
+            value_digest=digest(("readv", result)), result=result))
+
+
+class FabricatedReadReplica(Replica):
+    """Serves a value no correct replica ever executed.
+
+    A *colluding* fabricator: every instance answers with the same
+    fabricated value at the same (inflated) cid, so f of them form a
+    perfectly consistent — and perfectly wrong — near-quorum.  Safety
+    rests on the arithmetic: f matching fabrications are one vote short
+    of f+1, and the honest side never completes their quorum.
+    """
+
+    #: shared across instances so colluders agree byte-for-byte
+    FABRICATION: Tuple = ("fabricated", "value")
+    #: cid inflation makes the lie look maximally fresh
+    CID_BOOST = 1_000_000
+
+    def _serve_read(self, src: str, request: ReadRequest) -> None:
+        result = self.FABRICATION
+        self.monitor.count("byzantine.fabricated_read")
+        self.send(src, ReadReply(
+            group=self.group_id, sender=self.name, req_sender=request.sender,
+            rid=request.rid, mode=request.mode,
+            cid=self._applied_cid + self.CID_BOOST,
+            value_digest=digest(("readv", result)), result=result))
 
 
 class SilentRelayApp(ByzCastApplication):

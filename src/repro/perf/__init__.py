@@ -33,6 +33,7 @@ from repro.perf.runner import (
     QUICK_CELL,
     run_cell,
     run_matrix,
+    saturated_cells,
     speedup_gates,
 )
 from repro.perf.report import format_comparison, format_report
@@ -55,5 +56,6 @@ __all__ = [
     "load_report",
     "run_cell",
     "run_matrix",
+    "saturated_cells",
     "save_report",
 ]

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -183,6 +183,7 @@ def compare(
     baseline: BenchReport,
     tolerance: float = 0.10,
     speedup_gates: Optional[Dict[str, Tuple[str, float]]] = None,
+    skip_latency: Optional[Iterable[str]] = None,
 ) -> Comparison:
     """Detect per-cell regressions of ``current`` against ``baseline``.
 
@@ -196,6 +197,12 @@ def compare(
     skipped — a ``--cells`` subset run should not fail on what it did not
     measure.
 
+    ``skip_latency`` names cells whose per-cell p95 check is skipped:
+    cells deliberately driven past saturation (see
+    :func:`repro.perf.runner.saturated_cells`) measure backlog depth in
+    their open-loop latency, so p95 noise between runs carries no signal.
+    Their throughput check and any speedup gate still apply.
+
     Raises :class:`~repro.errors.ConfigurationError` when the two reports
     ran at different cost scales — their absolute numbers are incomparable.
     """
@@ -205,6 +212,7 @@ def compare(
             f"current at ×{current.scale}"
         )
     shared = sorted(set(current.cells) & set(baseline.cells))
+    no_latency = frozenset(skip_latency or ())
     regressions: List[Regression] = []
     improvements: List[Regression] = []
     for name in shared:
@@ -215,6 +223,8 @@ def compare(
             regressions.append(tput)
         elif base.throughput > 0 and tput.change > tolerance:
             improvements.append(tput)
+        if name in no_latency:
+            continue
         p95 = Regression(cell=name, metric="p95",
                          baseline=base.latency_ms.get("p95", 0.0),
                          current=cur.latency_ms.get("p95", 0.0))

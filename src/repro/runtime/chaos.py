@@ -83,6 +83,13 @@ class SoakConfig:
     joins: int = 0
     leaves: int = 0
     scale_cycles: int = 0
+    #: read-tier soak axis (docs/READS.md): ``read_ratio`` extra reads per
+    #: write, riding along with the message budget; the soak then also
+    #: checks the read-safety invariants (no stale read past quorum,
+    #: per-session monotone cids).  0 keeps read machinery entirely out
+    #: of the run (golden counter fingerprints stay untouched).
+    read_ratio: float = 0.0
+    read_mode: str = "optimistic"
 
     def to_scenario(self) -> ScenarioSpec:
         """This soak as a declarative scenario spec."""
@@ -90,7 +97,8 @@ class SoakConfig:
             name=f"soak-{self.intensity}-{self.seed}",
             topology=TopologySpec(names=tuple(self.targets)),
             workload=WorkloadSpec(
-                clients=self.clients, warmup=0.0, duration=self.duration),
+                clients=self.clients, warmup=0.0, duration=self.duration,
+                read_ratio=self.read_ratio, read_mode=self.read_mode),
             protocol=ProtocolSpec(
                 request_timeout=self.request_timeout,
                 retransmit_timeout=self.retransmit_timeout,
@@ -147,6 +155,12 @@ class ChaosReport:
         default_factory=list)
     #: dynamically spawned replicas that were activated by a Reconfig
     joiners_activated: int = 0
+    #: read-tier traffic (docs/READS.md); fallbacks are reads the quorum
+    #: check pushed onto the ordered path — a safety mechanism firing,
+    #: not a failure
+    reads_issued: int = 0
+    reads_accepted: int = 0
+    read_fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -167,6 +181,11 @@ class ChaosReport:
             f"{self.regency_changes} regency changes, "
             f"{self.recoveries} replica recoveries",
         ]
+        if self.reads_issued:
+            lines.append(
+                f"  reads    : {self.reads_issued} issued, "
+                f"{self.reads_accepted} accepted on f+1 match, "
+                f"{self.read_fallbacks} fell back to ordered")
         if self.membership_events:
             kinds: Dict[str, int] = {}
             for _, kind, _, _ in self.membership_events:
@@ -204,6 +223,8 @@ class ChaosReport:
                       "acyclic order, execution order")
             if self.membership_events:
                 checks += ", view agreement, joiner replay"
+            if self.reads_issued:
+                checks += ", read safety"
             lines.append(f"  invariants: {checks} all hold "
                          f"(pipeline depth {self.max_in_flight})")
         return "\n".join(lines)
@@ -252,7 +273,7 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
         ]
         dests = _mixed_destinations(config.targets)
         sent_messages = []
-        state = {"issued": 0}
+        state = {"issued": 0, "read_credit": 0.0}
 
         def issue(client) -> None:
             if state["issued"] >= config.messages:
@@ -260,6 +281,15 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             index = state["issued"]
             state["issued"] += 1
             dst = dests[index % len(dests)]
+            # read_ratio extra reads ride along with the write budget via
+            # a deterministic credit accumulator (no RNG: the write
+            # schedule — and so the golden fingerprints at ratio 0 — is
+            # independent of the read axis)
+            state["read_credit"] += config.read_ratio
+            while state["read_credit"] >= 1.0:
+                state["read_credit"] -= 1.0
+                group = config.targets[index % len(config.targets)]
+                client.aread(group, payload=("peek",), mode=config.read_mode)
             client.amulticast(
                 dst, payload=("soak", index),
                 callback=lambda message, latency, c=client: issue(c),
@@ -312,6 +342,7 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
         violations = check_all(sequences, sent_messages, quiescent=liveness_ok)
         violations.extend(_execution_order_violations(deployment, schedule))
         violations.extend(_churn_violations(deployment, schedule, elasticity))
+        violations.extend(_read_violations(deployment, schedule, clients))
 
         max_retained = 0
         for gid in deployment.groups:
@@ -355,6 +386,9 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             checkpoints_installed=counters.get("checkpoint.installed", 0),
             retention_ok=retention_ok,
             max_in_flight=config.max_in_flight,
+            reads_issued=sum(c.reads_issued for c in clients),
+            reads_accepted=sum(c.reads_accepted for c in clients),
+            read_fallbacks=sum(c.reads_fallback for c in clients),
         )
         return report
     finally:
@@ -452,6 +486,59 @@ def _churn_violations(deployment, schedule, elasticity) -> List[str]:
                     f"{name}: joiner replay diverges from {reference.name} "
                     f"at index {diverge} ({len(replayed)} vs {len(agreed)} "
                     f"deliveries)")
+    return problems
+
+
+def _read_violations(deployment, schedule, clients) -> List[str]:
+    """The soak's read-safety invariants (docs/READS.md).
+
+    1. **No stale read past quorum** — every read a client accepted on an
+       f+1 match must count at least one *correct* replica among its
+       voters, and that replica's read journal must actually record
+       serving this (client, rid, mode) at the accepted cid.  A quorum
+       formed purely of Byzantine repliers — the only way a fabricated or
+       stale value gets past the client — shows up here even if the value
+       happened to look plausible.
+    2. **Monotone sessions** — per (client, group, mode), accepted cids
+       never decrease: the client's high-water floor did its job even
+       under chaos (lagging-but-correct quorums must be rejected, not
+       returned out of order).
+    """
+    problems: List[str] = []
+    for client in clients:
+        floors: Dict[Tuple[str, str], int] = {}
+        for outcome in client.read_log:
+            if outcome.fallback or outcome.mode == "ordered":
+                continue
+            gid = outcome.group
+            byzantine = set(schedule.replica_classes.get(gid, {}))
+            byzantine |= set(schedule.app_overrides.get(gid, {}))
+            group = deployment.groups.get(gid)
+            vouched = False
+            for name in sorted(outcome.voters):
+                if name in byzantine or group is None:
+                    continue
+                replica = group.replica(name)
+                if replica.crashed or not replica.active:
+                    continue
+                if any(sender == client.name and rid == outcome.rid
+                       and mode == outcome.mode and cid == outcome.cid
+                       for sender, rid, mode, cid, _ in replica.read_journal):
+                    vouched = True
+                    break
+            if not vouched:
+                problems.append(
+                    f"{client.name}: read rid={outcome.rid} on {gid} "
+                    f"({outcome.mode}, cid={outcome.cid}) accepted without "
+                    f"a correct voter's journal entry — quorum was "
+                    f"Byzantine-only or value not served")
+            key = (gid, outcome.mode)
+            if outcome.cid < floors.get(key, -1):
+                problems.append(
+                    f"{client.name}: non-monotone read session on {gid} "
+                    f"({outcome.mode}): cid {outcome.cid} after "
+                    f"{floors[key]}")
+            floors[key] = max(floors.get(key, -1), outcome.cid)
     return problems
 
 

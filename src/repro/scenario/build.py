@@ -243,14 +243,25 @@ def build_drivers(
     clock = lambda: deployment.loop.now  # noqa: E731 - tiny adaptor
     op_sampler = None
     sampler = None
+    read_sampler = None
     if spec.app == "sharded_kv":
         op_sampler = deployment.kv.op_sampler(
             build_key_sampler(workload),
             cross_ratio=workload.kv_cross_ratio,
             read_ratio=workload.kv_read_ratio,
         )
+        if workload.read_ratio > 0:
+            read_sampler = deployment.kv.read_sampler(
+                build_key_sampler(workload))
     else:
         sampler = build_destination_sampler(workload, targets, clock=clock)
+        if workload.read_ratio > 0:
+            # opaque workloads probe the default application read
+            # (delivery counts) on a uniformly random target group
+            local = workloads.local_uniform(targets)
+
+            def read_sampler(rng, local=local):
+                return local(rng), ("peek",)
     stop_after = spec.horizon
     drivers = []
     client_sites: Optional[Tuple[str, ...]] = None
@@ -267,7 +278,8 @@ def build_drivers(
             name,
             site=(client_sites[index % len(client_sites)]
                   if client_sites else "site0"),
-            retransmit_timeout=spec.protocol.retransmit_timeout)
+            retransmit_timeout=spec.protocol.retransmit_timeout,
+            read_timeout=spec.protocol.read_timeout)
         common = dict(
             sampler=sampler,
             rng=deployment.rng.stream(f"client.{name}"),
@@ -277,6 +289,9 @@ def build_drivers(
             global_collector=global_collector,
             stop_after=stop_after,
             op_sampler=op_sampler,
+            read_ratio=workload.read_ratio,
+            read_mode=workload.read_mode,
+            read_sampler=read_sampler,
         )
         if workload.loop == "closed":
             drivers.append(ClosedLoopDriver(

@@ -17,10 +17,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: bump when the serialized layout changes incompatibly
-SCENARIO_SCHEMA_VERSION = 2
-#: schema versions this build can read (v1 docs parse as long as they do
-#: not use v2 vocabulary; ``to_dict`` always writes the current version)
-SUPPORTED_SCHEMAS = (1, 2)
+SCENARIO_SCHEMA_VERSION = 3
+#: schema versions this build can read (older docs parse as long as they
+#: do not use newer vocabulary; ``to_dict`` always writes the current
+#: version)
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 #: enumerated axis values (also the vocabulary ``validate`` lints against)
 LAYOUTS = ("two_level", "paper", "balanced")
@@ -33,6 +34,7 @@ COSTS = ("calibrated", "bench", "soak")
 APPS = ("none", "sharded_kv")
 BACKENDS = ("sim", "rt")
 INTENSITIES = ("light", "medium", "heavy", "churn")
+READ_MODES = ("ordered", "optimistic", "snapshot")
 
 #: vocabulary introduced by schema 2 — rejected (with a pointed error) in
 #: documents that still declare ``schema: 1``
@@ -44,6 +46,13 @@ V2_KEYS: Dict[str, Tuple[str, ...]] = {
 V2_VALUES: Dict[Tuple[str, str], Tuple[str, ...]] = {
     ("workload", "loop"): ("flash", "diurnal"),
     ("faults", "intensity"): ("churn",),
+}
+
+#: vocabulary introduced by schema 3 (the read tier, docs/READS.md) —
+#: rejected in documents declaring an older schema
+V3_KEYS: Dict[str, Tuple[str, ...]] = {
+    "workload": ("read_ratio", "read_mode"),
+    "protocol": ("read_timeout",),
 }
 
 
@@ -75,6 +84,19 @@ def _reject_v2_usage(raw: Dict[str, Any]) -> None:
             raise ConfigurationError(
                 f"{section}.{key} = {body[key]!r} needs scenario schema 2; "
                 f'set "schema": 2 in the document')
+
+
+def _reject_v3_usage(raw: Dict[str, Any]) -> None:
+    """Refuse v3 (read-tier) vocabulary in a pre-3 document."""
+    for section, keys in V3_KEYS.items():
+        body = raw.get(section)
+        if not isinstance(body, dict):
+            continue
+        used = sorted(set(body) & set(keys))
+        if used:
+            raise ConfigurationError(
+                f"{section} key(s) {used} need scenario schema 3; "
+                f'set "schema": 3 in the document')
 
 
 def _section_from_dict(cls, raw: Dict[str, Any], where: str):
@@ -192,6 +214,14 @@ class WorkloadSpec:
     #: fraction of KV ops that are cross-shard transfers / reads
     kv_cross_ratio: float = 0.1
     kv_read_ratio: float = 0.2
+    #: read-*tier* axis (schema 3, docs/READS.md): fraction of operations
+    #: issued as reads, and how they are served — ``ordered`` routes them
+    #: through the full multicast (the comparison baseline), ``optimistic``
+    #: through the unordered f+1 fast path, ``snapshot`` from the last
+    #: checkpoint.  Orthogonal to ``kv_read_ratio`` (which mixes ordered
+    #: gets into the write stream).
+    read_ratio: float = 0.0
+    read_mode: str = "ordered"
 
     def lint(self, app: str = "none") -> List[str]:
         problems = []
@@ -234,6 +264,11 @@ class WorkloadSpec:
             problems.append("workload.warmup must be >= 0 and duration > 0")
         if self.think_time < 0:
             problems.append("workload.think_time must be >= 0")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            problems.append("workload.read_ratio must be in [0, 1]")
+        if self.read_mode not in READ_MODES:
+            problems.append(
+                f"workload.read_mode {self.read_mode!r} not in {list(READ_MODES)}")
         if app == "sharded_kv":
             if self.keys < 1:
                 problems.append("workload.keys must be >= 1 for sharded_kv")
@@ -264,6 +299,8 @@ class ProtocolSpec:
     checkpoint_interval: int = 0
     #: consensus pipeline depth (docs/PIPELINE.md)
     max_in_flight: int = 1
+    #: unordered-read probe timeout before retry/fallback (docs/READS.md)
+    read_timeout: float = 1.0
     #: CPU cost model: ``calibrated`` (paper scale) | ``bench``
     #: (×BENCH_SCALE, what the perf matrix uses) | ``soak`` (cheap shape
     #: for chaos soaks)
@@ -281,6 +318,8 @@ class ProtocolSpec:
             problems.append("protocol.checkpoint_interval must be >= 0")
         if self.max_in_flight < 1:
             problems.append("protocol.max_in_flight must be >= 1")
+        if self.read_timeout <= 0:
+            problems.append("protocol.read_timeout must be positive")
         if self.costs not in COSTS:
             problems.append(f"protocol.costs {self.costs!r} not in {list(COSTS)}")
         return problems
@@ -364,6 +403,8 @@ class ScenarioSpec:
                 f"(this build reads schemas {list(SUPPORTED_SCHEMAS)})")
         if schema < 2:
             _reject_v2_usage(raw)
+        if schema < 3:
+            _reject_v3_usage(raw)
         known = {"schema", "name", "app", "backend", "seed",
                  "topology", "workload", "protocol", "faults"}
         unknown = sorted(set(raw) - known)
@@ -436,6 +477,13 @@ class ScenarioSpec:
             problems.append(
                 "workload.keys should be >= the shard count so every shard "
                 "owns at least one key")
+        if (self.workload.read_ratio > 0
+                and self.workload.read_mode == "snapshot"
+                and self.protocol.checkpoint_interval <= 0):
+            problems.append(
+                "workload.read_mode 'snapshot' needs "
+                "protocol.checkpoint_interval > 0 (snapshot reads are "
+                "served from checkpoints)")
         return problems
 
     def check(self) -> "ScenarioSpec":

@@ -56,9 +56,16 @@ class _DriverBase:
         payload: Tuple = ("x",),
         stop_after: Optional[float] = None,
         op_sampler: Optional[OpSampler] = None,
+        read_ratio: float = 0.0,
+        read_mode: str = "optimistic",
+        read_sampler: Optional[OpSampler] = None,
     ) -> None:
         if sampler is None and op_sampler is None:
             raise ValueError("need a destination sampler or an op_sampler")
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if read_ratio > 0 and read_sampler is None:
+            raise ValueError("read_ratio > 0 needs a read_sampler")
         self.client = client
         self.sampler = sampler
         self.rng = rng
@@ -69,8 +76,16 @@ class _DriverBase:
         self.payload = payload
         self.stop_after = stop_after
         self.op_sampler = op_sampler
+        #: the read-tier workload axis: with probability ``read_ratio`` an
+        #: issued op is a read from ``read_sampler``, routed through
+        #: ``client.aread`` in ``read_mode`` ("ordered" keeps the same op
+        #: stream but pays the full multicast — the comparison baseline)
+        self.read_ratio = read_ratio
+        self.read_mode = read_mode
+        self.read_sampler = read_sampler
         self.sent = 0
         self.completed = 0
+        self.reads_sent = 0
         self._stopped = False
         self._timer = None  # the one pending think/arrival timer, if any
 
@@ -125,12 +140,29 @@ class _DriverBase:
     # -- issuing and accounting ------------------------------------------------
 
     def _send(self) -> None:
+        if (self.read_ratio > 0
+                and self.rng.random() < self.read_ratio):
+            self._send_read()
+            return
         if self.op_sampler is not None:
             dst, payload = self.op_sampler(self.rng)
         else:
             dst, payload = self.sampler(self.rng), self.payload
         self.sent += 1
         self.client.amulticast(dst, payload=payload, callback=self._on_complete)
+
+    def _send_read(self) -> None:
+        dst, payload = self.read_sampler(self.rng)
+        self.sent += 1
+        self.reads_sent += 1
+        if self.read_mode == "ordered":
+            # The comparison baseline: same read op, full ordered multicast.
+            self.client.amulticast(dst, payload=payload,
+                                   callback=self._on_complete)
+            return
+        group = sorted(dst)[0]
+        self.client.aread(group, payload=payload, mode=self.read_mode,
+                          callback=self._on_read_complete)
 
     def _record(self, message: MulticastMessage, latency: float) -> None:
         now = self.now
@@ -146,6 +178,21 @@ class _DriverBase:
 
     def _on_complete(self, message: MulticastMessage, latency: float) -> None:
         self._record(message, latency)
+
+    def _on_read_complete(self, outcome: Any) -> None:
+        now = self.now
+        self.completed += 1
+        if self.collector is not None:
+            self.collector.record(now, outcome.latency)
+        if self.meter is not None:
+            self.meter.record(now)
+        # Reads target a single group: classified as local traffic.
+        if self.local_collector is not None:
+            self.local_collector.record(now, outcome.latency)
+        self._post_read_complete()
+
+    def _post_read_complete(self) -> None:
+        """Hook: closed-loop drivers continue their loop after a read."""
 
 
 class ClosedLoopDriver(_DriverBase):
@@ -180,6 +227,9 @@ class ClosedLoopDriver(_DriverBase):
         think_time: float = 0.0,
         stop_after: Optional[float] = None,
         op_sampler: Optional[OpSampler] = None,
+        read_ratio: float = 0.0,
+        read_mode: str = "optimistic",
+        read_sampler: Optional[OpSampler] = None,
     ) -> None:
         super().__init__(
             client, sampler, rng if rng is not None else random.Random(0),
@@ -187,6 +237,8 @@ class ClosedLoopDriver(_DriverBase):
             local_collector=local_collector,
             global_collector=global_collector,
             payload=payload, stop_after=stop_after, op_sampler=op_sampler,
+            read_ratio=read_ratio, read_mode=read_mode,
+            read_sampler=read_sampler,
         )
         self.think_time = think_time
 
@@ -201,6 +253,10 @@ class ClosedLoopDriver(_DriverBase):
 
     def _on_complete(self, message: MulticastMessage, latency: float) -> None:
         self._record(message, latency)
+        self._post_read_complete()
+
+    def _post_read_complete(self) -> None:
+        """The loop continues on any completion — write, read or fallback."""
         if self.think_time > 0:
             self._set_timer(self.think_time, self._issue)
         else:
@@ -231,6 +287,9 @@ class OpenLoopDriver(_DriverBase):
         payload: Tuple = ("x",),
         stop_after: Optional[float] = None,
         op_sampler: Optional[OpSampler] = None,
+        read_ratio: float = 0.0,
+        read_mode: str = "optimistic",
+        read_sampler: Optional[OpSampler] = None,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -240,6 +299,8 @@ class OpenLoopDriver(_DriverBase):
             local_collector=local_collector,
             global_collector=global_collector,
             payload=payload, stop_after=stop_after, op_sampler=op_sampler,
+            read_ratio=read_ratio, read_mode=read_mode,
+            read_sampler=read_sampler,
         )
         self.rate = rate
 

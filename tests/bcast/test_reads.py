@@ -1,0 +1,349 @@
+"""Adversarial battery for the unordered read tier (docs/READS.md).
+
+Every Byzantine read behaviour is exercised twice: with the f+1 quorum
+check **disabled** (the ``quorum`` mutation guard) the unsafe outcome is
+demonstrated, with the check on it is prevented — pinning that the quorum
+match is the load-bearing defence, not an accident of scheduling.  The
+battery closes with the invariant the tier exists to uphold: a correct
+client never returns a value no correct replica executed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.bcast.client import GroupProxy, ReadProxy
+from repro.bcast.messages import ReadReply, Reply
+from repro.crypto.digest import digest
+from repro.faults.behaviors import (
+    EquivocatingReadReplica,
+    FabricatedReadReplica,
+    ForgedReadDigestReplica,
+    StaleReadReplica,
+)
+from repro.sim.actor import Actor
+from tests.helpers import Harness, make_config
+
+
+class ReadClient(Actor):
+    """A scripted client speaking both tiers: ordered writes + read probes."""
+
+    def __init__(self, name, loop, config, registry, monitor=None,
+                 read_timeout: float = 0.3, max_retries: int = 1,
+                 quorum: Optional[int] = None) -> None:
+        super().__init__(name, loop, monitor)
+        self.proxy = GroupProxy(
+            self, config.group_id, config.replicas, config.f, registry,
+            retransmit_timeout=4.0,
+        )
+        self.reads = ReadProxy(
+            self, config.group_id, config.replicas, config.f,
+            read_timeout=read_timeout, max_retries=max_retries,
+            quorum=quorum,
+        )
+        self.results: List[Any] = []
+        #: (cid, result, voters) per accepted read, in acceptance order
+        self.accepted: List[Tuple[int, Any, frozenset]] = []
+        self.exhausted = 0
+
+    def submit(self, command: Any) -> int:
+        return self.proxy.submit(command, self.results.append)
+
+    def read(self, payload: Any = ("peek",), mode: str = "optimistic") -> int:
+        return self.reads.read(
+            payload, mode,
+            on_accept=lambda cid, result, voters:
+                self.accepted.append((cid, result, frozenset(voters))),
+            on_exhausted=lambda: setattr(self, "exhausted", self.exhausted + 1),
+        )
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Reply):
+            self.proxy.handle_reply(src, payload)
+        elif isinstance(payload, ReadReply):
+            self.reads.handle_read_reply(src, payload)
+
+
+def add_read_client(h: Harness, **kwargs) -> ReadClient:
+    client = ReadClient(f"rc{len(h.clients)}", h.loop, h.config, h.registry,
+                        h.monitor, **kwargs)
+    h.network.register(client)
+    h.clients.append(client)
+    return client
+
+
+def correct_read_values(h: Harness, byzantine: Tuple[str, ...]) -> set:
+    """Every value any correct replica would serve for ``("peek",)``."""
+    values = set()
+    for replica in h.group.replicas:
+        if replica.name in byzantine:
+            continue
+        values.add(replica.app.read(("peek",)))
+    return values
+
+
+def test_optimistic_read_happy_path():
+    h = Harness()
+    client = add_read_client(h)
+    for j in range(4):
+        client.submit(("op", j))
+    h.run(until=3.0)
+    assert len(client.results) == 4
+    client.read()
+    h.loop.run(until=5.0)
+    assert client.exhausted == 0
+    [(cid, result, voters)] = client.accepted
+    assert result == ("executed", 4)
+    # cids number consensus *batches*; the quorum vouched for the replicas'
+    # fully-applied cursor, whatever batching produced it
+    assert cid == h.group.replicas[0]._applied_cid >= 0
+    assert len(voters) >= h.config.f + 1
+
+
+def test_snapshot_read_serves_checkpoint_state():
+    h = Harness(config=make_config("g1", checkpoint_interval=2))
+    client = add_read_client(h)
+    for j in range(5):
+        client.submit(("op", j))
+    h.run(until=3.0)
+    client.read(mode="snapshot")
+    h.loop.run(until=5.0)
+    [(cid, result, _)] = client.accepted
+    # The stable mirror trails the live state by design: it holds exactly
+    # the prefix captured at the last checkpoint boundary.
+    live = h.group.replicas[0].app.read(("peek",))
+    assert result[0] == "executed" and result[1] <= live[1]
+    assert cid == h.group.replicas[0].log.checkpoint.cid
+
+
+def test_stale_read_replica_cannot_roll_back():
+    byz = ("g1/r3",)
+    h = Harness(replica_classes={"g1/r3": StaleReadReplica})
+    client = add_read_client(h)
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    client.read()  # pins the stale replica at ("executed", 1)
+    h.loop.run(until=3.0)
+    for j in range(1, 5):
+        client.submit(("op", j))
+    h.loop.run(until=6.0)
+    client.read()
+    h.loop.run(until=8.0)
+    assert client.exhausted == 0
+    fresh = client.accepted[-1]
+    # The stale pair never outvotes the honest majority: the second read
+    # reflects every applied command, and the pinned replica is no voter.
+    assert fresh[1] == ("executed", 5)
+    assert "g1/r3" not in fresh[2]
+    assert fresh[1] in correct_read_values(h, byz)
+
+
+def test_forged_digest_discarded_as_malformed():
+    h = Harness(replica_classes={"g1/r1": ForgedReadDigestReplica})
+    client = add_read_client(h)
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    client.read()
+    h.loop.run(until=4.0)
+    assert h.monitor.counters.get("read.forged_digest", 0) >= 1
+    [(_, result, voters)] = client.accepted
+    assert result == ("executed", 1)
+    assert "g1/r1" not in voters
+
+
+def test_forged_digest_unsafe_without_local_recompute():
+    """Mutation guard: quorum=1 shows what the digest check is up against.
+
+    Even with the quorum disabled, a forged-digest reply can only win if
+    the client skips recomputing the digest — the recompute alone keeps
+    the garbage value out of every tally.
+    """
+    h = Harness(replica_classes={"g1/r0": ForgedReadDigestReplica,
+                                 "g1/r1": ForgedReadDigestReplica,
+                                 "g1/r2": ForgedReadDigestReplica})
+    client = add_read_client(h, quorum=1)
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    client.read()
+    h.loop.run(until=4.0)
+    # 3 of 4 replicas forged; quorum=1 accepts the first *valid* reply,
+    # which can only come from the honest one.
+    [(_, result, voters)] = client.accepted
+    assert result == ("executed", 1)
+    assert voters == frozenset({"g1/r3"})
+
+
+def test_equivocating_reader_never_joins_a_quorum():
+    h = Harness(replica_classes={"g1/r2": EquivocatingReadReplica})
+    client = add_read_client(h)
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    for _ in range(3):
+        client.read()
+    h.loop.run(until=5.0)
+    assert client.exhausted == 0
+    assert len(client.accepted) == 3
+    for cid, result, voters in client.accepted:
+        assert result == ("executed", 1)
+        assert "g1/r2" not in voters
+
+
+def test_f_colluding_fabricators_fail_the_quorum():
+    """f identical lies are one vote short of f+1 — the arithmetic holds."""
+    byz = ("g2/r0", "g2/r1")
+    h = Harness(config=make_config("g2", f=2),
+                replica_classes={name: FabricatedReadReplica for name in byz})
+    client = add_read_client(h)
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    client.read()
+    h.loop.run(until=4.0)
+    assert client.exhausted == 0
+    [(cid, result, voters)] = client.accepted
+    assert result == ("executed", 1)
+    assert result != FabricatedReadReplica.FABRICATION
+    assert not set(byz) & voters
+    assert cid < FabricatedReadReplica.CID_BOOST
+
+
+def test_colluding_fabricators_win_with_quorum_disabled():
+    """Mutation guard: drop the quorum to f and the lie gets through.
+
+    This is the unsafe outcome the f+1 match prevents — two perfectly
+    consistent fabrications form a 2-vote "quorum" and the client returns
+    a value no correct replica ever executed.
+    """
+    byz = ("g2/r0", "g2/r1")
+    h = Harness(config=make_config("g2", f=2),
+                replica_classes={name: FabricatedReadReplica for name in byz})
+    client = add_read_client(h, quorum=2)   # f, not f+1: guard disabled
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    correct = correct_read_values(h, byz)
+    # Slow network partitions, crashes — anything that silences the honest
+    # majority for a moment — let the colluders' replies arrive alone.
+    for name in ("g2/r2", "g2/r3", "g2/r4", "g2/r5", "g2/r6"):
+        h.group.replica(name).crash()
+    client.read()
+    h.loop.run(until=4.0)
+    accepted_values = [result for _, result, _ in client.accepted]
+    assert FabricatedReadReplica.FABRICATION in accepted_values
+    assert FabricatedReadReplica.FABRICATION not in correct
+
+
+def test_byzantine_majority_of_replies_forces_fallback():
+    """No honest quorum reachable -> the read exhausts toward ordered.
+
+    Crash all but one honest replica (an extreme beyond-threshold run):
+    the fabricators agree with each other but are below quorum, the lone
+    honest survivor has no partner — the proxy must retry, exhaust and
+    signal fallback rather than accept either side.
+    """
+    byz = ("g2/r0", "g2/r1")
+    h = Harness(config=make_config("g2", f=2),
+                replica_classes={name: FabricatedReadReplica for name in byz})
+    client = add_read_client(h)
+    client.submit(("op", 0))
+    h.run(until=2.0)
+    for name in ("g2/r2", "g2/r3", "g2/r4", "g2/r5"):
+        h.group.replica(name).crash()
+    client.read()
+    h.loop.run(until=10.0)
+    assert client.accepted == []
+    assert client.exhausted == 1
+
+
+def test_correct_client_never_returns_unexecuted_value():
+    """The tier's one-line contract, pinned across every adversary at once."""
+    byz = ("g2/r0", "g2/r1")
+    h = Harness(config=make_config("g2", f=2),
+                replica_classes={"g2/r0": FabricatedReadReplica,
+                                 "g2/r1": StaleReadReplica})
+    client = add_read_client(h)
+    h.run(until=0.01)
+    for j in range(3):
+        client.submit(("op", j))
+        h.loop.run(until=h.loop.now + 1.0)
+        client.read()
+    h.loop.run(until=12.0)
+    correct = correct_read_values(h, byz) | {
+        ("executed", n) for n in range(4)   # any honest prefix is fair game
+    }
+    for _, result, _ in client.accepted:
+        assert result in correct
+
+
+# -- the retransmit-backoff bugfix (note_progress discipline) ----------------
+
+
+class _FastGarbageReplier(Actor):
+    """Answers every request instantly with a well-formed garbage Reply."""
+
+    def on_message(self, src: str, payload: Any) -> None:
+        from repro.bcast.messages import Request
+
+        if isinstance(payload, Request):
+            self.send(src, Reply(
+                group=payload.group, sender=self.name,
+                req_sender=payload.sender, req_seq=payload.seq,
+                result=("garbage",)))
+
+
+class _Sink(Actor):
+    """Receives everything, never answers (an unresponsive replica)."""
+
+    def on_message(self, src: str, payload: Any) -> None:
+        pass
+
+
+def _dead_group(h: Harness, config) -> None:
+    """Register the 'dead' group: one garbage fast-replier, three sinks."""
+    h.network.register(_FastGarbageReplier(config.replicas[0], h.loop,
+                                           h.monitor))
+    for name in config.replicas[1:]:
+        h.network.register(_Sink(name, h.loop, h.monitor))
+
+
+def test_bare_replies_never_reset_backoff():
+    """A Byzantine fast-replier must not pin the retransmit backoff.
+
+    The proxy targets a group that never answers except for one garbage
+    fast-replier; retries must keep climbing (exponential backoff), not
+    reset on every bare reply.
+    """
+    h = Harness()
+    config = make_config("dead")   # nobody home but the garbage replier
+    client = ReadClient("rc0", h.loop, config, h.registry, h.monitor)
+    client.proxy.retransmit_timeout = 0.1
+    h.network.register(client)
+    _dead_group(h, config)
+    seq = client.submit(("op", 0))
+    h.loop.run(until=5.0)
+    entry = client.proxy._outstanding[seq]
+    # ~5s at 0.1s base: without the fix retries would sit at 0 (each bare
+    # reply "made progress"); with it the backoff ladder has been climbed.
+    assert entry.retries >= 4
+    assert client.results == []
+
+
+def test_note_progress_resets_backoff_only_when_called():
+    h = Harness()
+    config = make_config("dead")
+    client = ReadClient("rc0", h.loop, config, h.registry, h.monitor)
+    client.proxy.retransmit_timeout = 0.1
+    h.network.register(client)
+    _dead_group(h, config)
+    seq = client.submit(("op", 0))
+    h.loop.run(until=2.0)
+    entry = client.proxy._outstanding[seq]
+    climbed = entry.retries
+    assert climbed >= 2
+    client.proxy.note_progress(seq)
+    assert entry.retries == 0
+
+
+def test_digest_recompute_matches_wire_format():
+    """The client-side recompute uses the replica's exact canonical form."""
+    value = ("executed", 7)
+    assert digest(("readv", value)) == digest(("readv", ("executed", 7)))
+    assert digest(("readv", value)) != digest(("readv", ("executed", 8)))

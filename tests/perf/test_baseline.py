@@ -93,6 +93,23 @@ class TestCompare:
         assert not outcome.ok
         assert outcome.regressions[0].metric == "p95"
 
+    def test_saturated_cells_skip_the_p95_check_not_throughput(self):
+        # p95 +20% is ignored for a skip_latency cell (backlog noise)...
+        outcome = compare(
+            _report("now", [_cell("a", 500.0, p95=60.0)]),
+            _report("seed", [_cell("a", 500.0, p95=50.0)]),
+            skip_latency=("a",),
+        )
+        assert outcome.ok
+        # ...but a throughput drop in the same cell still fails.
+        outcome = compare(
+            _report("now", [_cell("a", 400.0, p95=60.0)]),
+            _report("seed", [_cell("a", 500.0, p95=50.0)]),
+            skip_latency=("a",),
+        )
+        assert not outcome.ok
+        assert [r.metric for r in outcome.regressions] == ["throughput"]
+
     def test_improvements_reported_not_failed(self):
         outcome = compare(
             _report("now", [_cell("a", 600.0, p95=40.0)]),

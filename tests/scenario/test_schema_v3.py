@@ -1,0 +1,99 @@
+"""Scenario schema v3: the read tier's vocabulary, strict back-compat.
+
+Schema 3 adds ``read_ratio``/``read_mode`` to the workload section and
+``read_timeout`` to the protocol section (docs/READS.md).  Documents that
+declare ``"schema": 1`` or ``"schema": 2`` must not silently pick up the
+read vocabulary — they get a pointed error telling them to bump.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+def test_current_schema_is_three():
+    assert SCENARIO_SCHEMA_VERSION == 3
+    assert SUPPORTED_SCHEMAS == (1, 2, 3)
+
+
+def test_plain_v2_document_still_loads():
+    spec = ScenarioSpec.from_dict({
+        "schema": 2,
+        "name": "legacy",
+        "workload": {"loop": "flash", "rate": 50.0, "flash_factor": 4.0},
+        "faults": {"intensity": "churn"},
+    })
+    assert spec.validate() == []
+    assert spec.workload.read_ratio == 0.0   # defaults apply, quietly
+
+
+@pytest.mark.parametrize("schema", [1, 2])
+@pytest.mark.parametrize("section,body", [
+    ("workload", {"read_ratio": 0.5}),
+    ("workload", {"read_mode": "optimistic"}),
+    ("protocol", {"read_timeout": 0.5}),
+])
+def test_old_document_with_read_key_is_rejected_with_pointer(
+        schema, section, body):
+    raw = {"schema": schema, "name": "t", section: body}
+    with pytest.raises(ConfigurationError, match=r'set "schema": 3'):
+        ScenarioSpec.from_dict(raw)
+
+
+def test_v3_document_accepts_read_vocabulary():
+    spec = ScenarioSpec.from_dict({
+        "schema": 3,
+        "name": "ready",
+        "workload": {"loop": "open", "rate": 50.0,
+                     "read_ratio": 0.9, "read_mode": "optimistic"},
+        "protocol": {"read_timeout": 0.5},
+    })
+    assert spec.validate() == []
+    assert spec.workload.read_ratio == 0.9
+    assert spec.protocol.read_timeout == 0.5
+
+
+def test_to_dict_writes_current_schema_and_round_trips():
+    spec = ScenarioSpec(
+        name="round-trip",
+        workload=WorkloadSpec(read_ratio=0.25, read_mode="snapshot"),
+        protocol=ProtocolSpec(read_timeout=0.75, checkpoint_interval=32),
+    )
+    raw = spec.to_dict()
+    assert raw["schema"] == SCENARIO_SCHEMA_VERSION == 3
+    assert ScenarioSpec.from_dict(raw) == spec
+
+
+def test_read_lint_rules():
+    bad = ScenarioSpec(name="t", workload=WorkloadSpec(
+        read_ratio=1.5, read_mode="psychic"))
+    problems = "\n".join(bad.validate())
+    assert "read_ratio" in problems
+    assert "read_mode" in problems
+    bad_timeout = ScenarioSpec(name="t", protocol=ProtocolSpec(
+        read_timeout=0.0))
+    assert any("read_timeout" in p for p in bad_timeout.validate())
+
+
+def test_snapshot_reads_require_checkpointing():
+    spec = ScenarioSpec(
+        name="t",
+        workload=WorkloadSpec(read_ratio=0.5, read_mode="snapshot"),
+        protocol=ProtocolSpec(checkpoint_interval=0),
+    )
+    assert any("checkpoint" in p for p in spec.validate())
+    ok = ScenarioSpec(
+        name="t",
+        workload=WorkloadSpec(read_ratio=0.5, read_mode="snapshot"),
+        protocol=ProtocolSpec(checkpoint_interval=16),
+    )
+    assert ok.validate() == []
