@@ -115,6 +115,52 @@ def test_bench_codec_roundtrip(benchmark):
     assert benchmark(roundtrip) == proposal
 
 
+def test_bench_binary_codec_roundtrip(benchmark):
+    """Same workload as :func:`test_bench_codec_roundtrip` on the binary
+    wire codec (docs/WIRE.md) — the two cells track the codec ratio the
+    rt bench gates end-to-end."""
+    from repro.bcast.messages import Propose
+    from repro.crypto.signatures import Signature
+    from repro.env import wire
+
+    batch = tuple(
+        Request("g1", f"c{i}", 1, ("op", i), Signature(f"c{i}", b"\x01" * 16))
+        for i in range(32)
+    )
+    proposal = Propose("g1", 0, 7, batch, "g1/r0")
+
+    def roundtrip():
+        decoded, rest = wire.read_frames(wire.frame(proposal))
+        assert not rest
+        return decoded[0]
+
+    assert benchmark(roundtrip) == proposal
+
+
+def test_bench_mac_vector_batch(benchmark):
+    """One batch digest amortised over per-link HMACs — the sender-side
+    authentication cost of an n-1 broadcast."""
+    from repro.bcast.messages import Propose
+    from repro.crypto.mac import mac_vector
+    from repro.crypto.signatures import Signature
+
+    registry = KeyRegistry()
+    peers = tuple(f"g1/r{i}" for i in range(1, 8))
+    counter = [0]
+
+    def vector():
+        counter[0] += 1
+        batch = tuple(
+            Request("g1", f"c{i}", counter[0], ("op", i),
+                    Signature(f"c{i}", b"\x01" * 16))
+            for i in range(32)
+        )
+        proposal = Propose("g1", 0, counter[0], batch, "g1/r0")
+        return mac_vector(registry, "g1/r0", peers, proposal)
+
+    assert len(benchmark(vector)) == len(peers)
+
+
 def test_bench_frame_route_broadcast(benchmark):
     """The rt-backend broadcast hot path: one payload, n-1 spliced frames.
 
@@ -135,6 +181,26 @@ def test_bench_frame_route_broadcast(benchmark):
 
     def broadcast():
         return sum(len(codec.frame_route("g1/r0", peer, proposal))
+                   for peer in peers)
+
+    assert benchmark(broadcast) > 0
+
+
+def test_bench_binary_frame_route_broadcast(benchmark):
+    """Binary-codec counterpart of the broadcast splice cell."""
+    from repro.bcast.messages import Propose
+    from repro.crypto.signatures import Signature
+    from repro.env import wire
+
+    batch = tuple(
+        Request("g1", f"c{i}", 1, ("op", i), Signature(f"c{i}", b"\x01" * 16))
+        for i in range(32)
+    )
+    proposal = Propose("g1", 0, 7, batch, "g1/r0")
+    peers = tuple(f"g1/r{i}" for i in range(1, 4))
+
+    def broadcast():
+        return sum(len(wire.frame_route("g1/r0", peer, proposal))
                    for peer in peers)
 
     assert benchmark(broadcast) > 0

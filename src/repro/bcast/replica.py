@@ -1129,13 +1129,27 @@ class Replica(Actor):
         if len(self._state_responses) < self.view.f + 1:
             return
         adopted = self._try_adopt_state()
-        # Whether or not anything was installable, the round is over: f+1
-        # peers answered.  If we were genuinely behind but their responses
-        # disagreed (drops), the next timeout retries.  Keeping the flag set
-        # would block the leader from proposing (livelock).  Either way the
-        # quorum is *reachable*, so the unreachability backoff resets — an
-        # inactive joiner then keeps its designed request_timeout poll
-        # cadence rather than the hot loop the backoff guards against.
+        if not adopted:
+            behind = any(r.next_cid > self.log.next_execute
+                         for r in self._state_responses.values())
+            if behind and len(self._state_responses) < len(self.view.replicas) - 1:
+                # f+1 peers answered but no position collected f+1 matching
+                # vouchers, and at least one responder proves we are behind.
+                # The first f+1 answers may simply be the wrong mix — e.g. a
+                # departed member whose log stops before the boundary cid
+                # answering ahead of the members that decided it — so keep
+                # the round open and re-attempt adoption as stragglers
+                # arrive.  STATE_RETRY_TIMEOUT still bounds the round, so a
+                # leader is never blocked from proposing for longer than a
+                # wholly unanswered round.
+                return
+        # The round is over: either something installed, every possible peer
+        # answered, or nobody vouches we are behind.  If we were genuinely
+        # behind but the responses disagreed (drops), the next timeout
+        # retries.  Either way an f+1 quorum is *reachable*, so the
+        # unreachability backoff resets — an inactive joiner then keeps its
+        # designed request_timeout poll cadence rather than the hot loop the
+        # backoff guards against.
         self._state_xfer_active = False
         self._note_state_success()
         if adopted:

@@ -162,6 +162,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             scale_cycles=args.scale_cycles,
             read_ratio=args.read_ratio,
             read_mode=args.read_mode,
+            wire=args.wire,
         )
         print(report.summary())
         if args.timeline:
@@ -343,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--read-mode", choices=["optimistic", "snapshot"],
                        default="optimistic",
                        help="how riding-along reads are served")
+    chaos.add_argument("--wire", choices=["json", "binary"], default="json",
+                       help="wire codec for rt-backend TCP links "
+                            "(docs/WIRE.md); ignored by the sim backend")
     chaos.add_argument("--groups", default="g1,g2",
                        help="comma-separated target groups of the 2-level tree")
     chaos.add_argument("--timeline", action="store_true",

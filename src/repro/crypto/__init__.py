@@ -22,7 +22,7 @@ from repro.crypto.cache import (
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.digest import digest, canonical_bytes
 from repro.crypto.signatures import Signature, sign, verify
-from repro.crypto.mac import mac, verify_mac
+from repro.crypto.mac import mac, verify_mac, mac_vector, verify_mac_vector
 
 __all__ = [
     "KeyRegistry",
@@ -33,6 +33,8 @@ __all__ = [
     "verify",
     "mac",
     "verify_mac",
+    "mac_vector",
+    "verify_mac_vector",
     "cache_stats",
     "caching_disabled",
     "clear_caches",

@@ -35,6 +35,7 @@ CANONICAL_CACHE_SIZE = 8192
 DIGEST_CACHE_SIZE = 8192
 VERIFY_CACHE_SIZE = 4096
 ENCODE_CACHE_SIZE = 2048
+WIRE_ENCODE_CACHE_SIZE = 2048
 
 _MISSING = object()
 
@@ -89,8 +90,13 @@ canonical_cache = IdentityCache(CANONICAL_CACHE_SIZE)
 digest_cache = IdentityCache(DIGEST_CACHE_SIZE)
 verify_cache = IdentityCache(VERIFY_CACHE_SIZE)
 encode_cache = IdentityCache(ENCODE_CACHE_SIZE)
+#: the binary wire codec's encode memo; separate from ``encode_cache``
+#: because both codecs key on object identity and the same message may be
+#: framed by either (repro.env.wire vs repro.env.codec)
+wire_encode_cache = IdentityCache(WIRE_ENCODE_CACHE_SIZE)
 
-_ALL = (canonical_cache, digest_cache, verify_cache, encode_cache)
+_ALL = (canonical_cache, digest_cache, verify_cache, encode_cache,
+        wire_encode_cache)
 
 
 def enabled() -> bool:
@@ -113,7 +119,7 @@ def clear_caches() -> None:
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size counters per cache — surfaced in BENCH reports."""
-    names = ("canonical", "digest", "verify", "encode")
+    names = ("canonical", "digest", "verify", "encode", "wire_encode")
     return {
         name: {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
         for name, cache in zip(names, _ALL)

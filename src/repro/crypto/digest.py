@@ -22,6 +22,25 @@ def _memoisable(obj: Any) -> bool:
     )
 
 
+# Per-dataclass canonical layout, built lazily: the class-name header and,
+# per field, the pre-encoded ``S<len>:<name>=`` prefix plus the attribute
+# name.  Field names never change at runtime, so re-encoding them for
+# every message canonicalized is pure waste on the digest hot path.
+_CANON_META: dict = {}
+
+
+def _canon_meta(cls):
+    name = cls.__name__.encode()
+    fields = []
+    for f in dataclasses.fields(cls):
+        encoded = f.name.encode("utf-8")
+        prefix = b"S" + str(len(encoded)).encode() + b":" + encoded + b"="
+        fields.append((prefix, f.name))
+    meta = (b"C" + name + b"(", tuple(fields))
+    _CANON_META[cls] = meta
+    return meta
+
+
 def canonical_bytes(obj: Any) -> bytes:
     """Serialize ``obj`` into a canonical byte string.
 
@@ -35,46 +54,133 @@ def canonical_bytes(obj: Any) -> bytes:
     request, batch and vote objects, and the recursive walk dominates the
     crypto hot path.
     """
-    if _cache.enabled() and _memoisable(obj):
-        cached = _cache.canonical_cache.get(obj)
+    cache = _cache.canonical_cache if _cache.enabled() else None
+    if cache is not None and _memoisable(obj):
+        cached = cache.get(obj)
         if cached is not None:
             return cached
-        return _cache.canonical_cache.put(obj, _canonical_bytes_uncached(obj))
-    return _canonical_bytes_uncached(obj)
+    out = bytearray()
+    _canonical_into(out, obj, cache)
+    return bytes(out)
 
 
-def _canonical_bytes_uncached(obj: Any) -> bytes:
-    if obj is None:
-        return b"N"
-    if isinstance(obj, bool):
-        return b"B1" if obj else b"B0"
-    if isinstance(obj, int):
-        return b"I" + str(obj).encode()
-    if isinstance(obj, float):
-        return b"F" + repr(obj).encode()
-    if isinstance(obj, str):
+def _canonical_into(out: bytearray, obj: Any, cache) -> None:
+    # Accumulates into ``out`` instead of allocating per-node byte strings;
+    # output is byte-identical to the historical per-node concatenation
+    # (golden traces pin digests).  Exact-type dispatch first, ordered by
+    # frequency in protocol messages; subclasses fall through below.
+    kind = type(obj)
+    if kind is str:
         encoded = obj.encode("utf-8")
-        return b"S" + str(len(encoded)).encode() + b":" + encoded
-    if isinstance(obj, bytes):
-        return b"Y" + str(len(obj)).encode() + b":" + obj
-    if isinstance(obj, (tuple, list)):
-        parts = [canonical_bytes(item) for item in obj]
-        return b"T(" + b",".join(parts) + b")"
-    if isinstance(obj, (set, frozenset)):
+        out += b"S"
+        out += str(len(encoded)).encode()
+        out += b":"
+        out += encoded
+    elif kind is int:
+        out += b"I%d" % obj
+    elif kind is bytes:
+        out += b"Y"
+        out += str(len(obj)).encode()
+        out += b":"
+        out += obj
+    elif kind is tuple or kind is list:
+        if cache is not None and kind is tuple:
+            cached = cache.get(obj)
+            if cached is not None:
+                out += cached
+                return
+            start = len(out)
+            out += b"T("
+            comma = False
+            for item in obj:
+                if comma:
+                    out += b","
+                comma = True
+                _canonical_into(out, item, cache)
+            out += b")"
+            cache.put(obj, bytes(out[start:]))
+            return
+        out += b"T("
+        comma = False
+        for item in obj:
+            if comma:
+                out += b","
+            comma = True
+            _canonical_into(out, item, cache)
+        out += b")"
+    elif obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"B1"
+    elif obj is False:
+        out += b"B0"
+    elif kind is float:
+        out += b"F"
+        out += repr(obj).encode()
+    elif kind is set or kind is frozenset:
         parts = sorted(canonical_bytes(item) for item in obj)
-        return b"Z(" + b",".join(parts) + b")"
-    if isinstance(obj, dict):
+        out += b"Z("
+        out += b",".join(parts)
+        out += b")"
+    elif kind is dict:
         parts = sorted(
             canonical_bytes(k) + b"=" + canonical_bytes(v) for k, v in obj.items()
         )
-        return b"D(" + b",".join(parts) + b")"
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        parts = [
-            canonical_bytes(f.name) + b"=" + canonical_bytes(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        ]
-        return b"C" + type(obj).__name__.encode() + b"(" + b",".join(parts) + b")"
-    raise CryptoError(f"cannot canonicalize object of type {type(obj).__name__}")
+        out += b"D("
+        out += b",".join(parts)
+        out += b")"
+    else:
+        if not (dataclasses.is_dataclass(obj) and not isinstance(obj, type)):
+            # bool/int/float/str subclasses take the slow isinstance path.
+            if isinstance(obj, bool):
+                out += b"B1" if obj else b"B0"
+            elif isinstance(obj, int):
+                out += b"I%d" % obj
+            elif isinstance(obj, float):
+                out += b"F"
+                out += repr(obj).encode()
+            elif isinstance(obj, str):
+                _canonical_into(out, str(obj), cache)
+            elif isinstance(obj, bytes):
+                _canonical_into(out, bytes(obj), cache)
+            elif isinstance(obj, (tuple, list)):
+                _canonical_into(out, tuple(obj), cache)
+            elif isinstance(obj, (set, frozenset)):
+                _canonical_into(out, frozenset(obj), cache)
+            elif isinstance(obj, dict):
+                _canonical_into(out, dict(obj), cache)
+            else:
+                raise CryptoError(
+                    f"cannot canonicalize object of type {kind.__name__}")
+            return
+        if cache is not None:
+            cached = cache.get(obj)
+            if cached is not None:
+                out += cached
+                return
+        start = len(out)
+        meta = _CANON_META.get(kind)
+        if meta is None:
+            meta = _canon_meta(kind)
+        header, fields = meta
+        out += header
+        comma = False
+        for prefix, name in fields:
+            if comma:
+                out += b","
+            comma = True
+            out += prefix
+            _canonical_into(out, getattr(obj, name), cache)
+        out += b")"
+        if cache is not None:
+            cache.put(obj, bytes(out[start:]))
+
+
+def _canonical_bytes_uncached(obj: Any) -> bytes:
+    """Canonical form bypassing the identity cache (kept for tests)."""
+    out = bytearray()
+    _canonical_into(out, obj, None)
+    return bytes(out)
 
 
 def digest(obj: Any) -> bytes:

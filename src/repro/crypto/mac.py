@@ -1,25 +1,44 @@
-"""Pairwise message-authentication codes.
+"""Pairwise message-authentication codes and batch MAC vectors.
 
-BFT-SMaRt authenticates replica-to-replica channels with MAC vectors.  We
-model a pairwise MAC keyed by the unordered pair of identities — enough to
-detect tampering and impersonation between two honest endpoints.
+BFT-SMaRt authenticates replica-to-replica channels with MAC vectors: the
+sender hashes a message once and attaches one small per-link HMAC over
+that hash for each destination — n cheap HMACs over 32 bytes instead of n
+full-body MACs (Bessani et al., DSN 2014).  We model both levels: a
+pairwise MAC keyed by the unordered pair of identities — enough to detect
+tampering and impersonation between two honest endpoints — and the
+amortised batch vector of :func:`mac_vector` / :func:`verify_mac_vector`,
+where the single body digest rides the identity-memoised cache of
+:mod:`repro.crypto.digest`, so a broadcast pays the canonical walk once
+across all links.
 """
 
 from __future__ import annotations
 
 import hmac
 import hashlib
-from typing import Any
+from typing import Any, Dict, Iterable
 
-from repro.crypto.digest import canonical_bytes
+from repro.crypto.digest import canonical_bytes, digest
 from repro.crypto.keys import KeyRegistry
 
 
 def _pair_key(registry: KeyRegistry, a: str, b: str) -> bytes:
+    """The 32-byte channel key of the unordered identity pair (cached).
+
+    Secrets are deterministic per identity, so the derived pair key is a
+    pure function of (registry, pair) — memoised on the registry itself to
+    spare the blake2b per MAC on hot links.
+    """
     low, high = sorted((a, b))
-    return hashlib.blake2b(
-        registry.secret(low) + registry.secret(high), digest_size=32
-    ).digest()
+    cache = getattr(registry, "_pair_keys", None)
+    if cache is None:
+        cache = registry._pair_keys = {}
+    key = cache.get((low, high))
+    if key is None:
+        key = cache[(low, high)] = hashlib.blake2b(
+            registry.secret(low) + registry.secret(high), digest_size=32
+        ).digest()
+    return key
 
 
 def mac(registry: KeyRegistry, src: str, dst: str, obj: Any) -> bytes:
@@ -30,4 +49,37 @@ def mac(registry: KeyRegistry, src: str, dst: str, obj: Any) -> bytes:
 def verify_mac(registry: KeyRegistry, src: str, dst: str, obj: Any, tag: bytes) -> bool:
     """True iff ``tag`` authenticates ``obj`` between ``src`` and ``dst``."""
     expected = mac(registry, src, dst, obj)
+    return hmac.compare_digest(expected, tag)
+
+
+def _link_tag(registry: KeyRegistry, src: str, dst: str, body: bytes) -> bytes:
+    return hmac.new(_pair_key(registry, src, dst), body,
+                    hashlib.blake2b).digest()[:16]
+
+
+def mac_vector(registry: KeyRegistry, src: str, dsts: Iterable[str],
+               obj: Any) -> Dict[str, bytes]:
+    """One MAC tag per destination, amortising the body hash across links.
+
+    ``obj`` (typically a proposal batch) is canonicalized and digested
+    exactly once — memoised by identity, so repeated vectors over the same
+    batch object skip even that — and each link's tag is an HMAC over the
+    32-byte digest under the pairwise channel key.
+    """
+    body = digest(obj)
+    return {dst: _link_tag(registry, src, dst, body) for dst in dsts}
+
+
+def verify_mac_vector(registry: KeyRegistry, src: str, dst: str, obj: Any,
+                      vector: Dict[str, bytes]) -> bool:
+    """True iff ``vector`` carries a valid tag for ``dst``.
+
+    Verification is per-link: a receiver checks only its own entry, and a
+    tag forged for one link says nothing about the others (the per-pair
+    keys are independent).
+    """
+    tag = vector.get(dst)
+    if tag is None:
+        return False
+    expected = _link_tag(registry, src, dst, digest(obj))
     return hmac.compare_digest(expected, tag)

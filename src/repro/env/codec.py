@@ -1,20 +1,30 @@
-"""Wire codec: protocol messages ⇄ length-prefixed JSON frames.
+"""Wire codecs: protocol messages ⇄ length-prefixed frames.
 
 The real-time TCP transport needs a serialization for the protocol's frozen
-dataclasses (requests, votes, multicasts, signatures).  msgpack is not a
-hard dependency of this library, so the frame body is JSON with a small
-tagging scheme for the Python types JSON cannot express:
+dataclasses (requests, votes, multicasts, signatures).  Two codecs share
+one framing (a ``>I`` length prefix) and one registered-type table:
 
-* ``{"!b": "<base64>"}`` — ``bytes`` (digests, signature tags);
-* ``{"!t": [...]}`` — ``tuple``;
-* ``{"!fs": [...]}`` — ``frozenset`` (destination sets);
-* ``{"!m": [[k, v], ...]}`` — ``dict`` with arbitrary keys;
-* ``{"!d": "<TypeName>", "f": {...}}`` — a registered frozen dataclass.
+* **json** (this module, the strict-back-compat default) — the frame body
+  is JSON with a small tagging scheme for the Python types JSON cannot
+  express:
+
+  * ``{"!b": "<base64>"}`` — ``bytes`` (digests, signature tags);
+  * ``{"!t": [...]}`` — ``tuple``;
+  * ``{"!fs": [...]}`` — ``frozenset`` (destination sets);
+  * ``{"!m": [[k, v], ...]}`` — ``dict`` with arbitrary keys;
+  * ``{"!d": "<TypeName>", "f": {...}}`` — a registered frozen dataclass.
+
+* **binary** (:mod:`repro.env.wire`) — a struct-packed tag-byte format
+  with positional dataclass fields keyed by small type ids
+  (docs/WIRE.md); ~2-4x cheaper to encode/decode and several times
+  smaller on the wire.
 
 Every message type of the broadcast and multicast layers is pre-registered;
 applications with custom command dataclasses call :func:`register_wire_type`
-once at startup.  Frames are ``>I``-length-prefixed so they can be streamed
-over TCP (see :class:`repro.env.tcp.TcpTransport`).
+once at startup — **in the same order on every host**, because the binary
+codec derives its per-type ids from registration order.  Select a codec by
+name with :func:`get_codec` (``TcpTransport(wire="binary")``, or the
+scenario knob ``protocol.wire``, docs/SCENARIOS.md).
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ import base64
 import dataclasses
 import json
 import struct
-from typing import Any, Dict, Tuple, Type
+from typing import Any, Callable, Dict, List, Tuple, Type
 
 from repro.crypto import cache as _cache
 from repro.errors import NetworkError
@@ -32,21 +42,35 @@ _LENGTH = struct.Struct(">I")
 #: refuse to decode frames above this size (corrupt length prefix guard)
 MAX_FRAME = 64 * 1024 * 1024
 
+#: codec names accepted by :func:`get_codec` (and ``protocol.wire``)
+CODEC_NAMES = ("json", "binary")
+
 _REGISTRY: Dict[str, Type] = {}
+#: registration-order type ids, shared with the binary codec: the table is
+#: identical on every host as long as types register in the same order
+_TYPE_IDS: Dict[str, int] = {}
+_TYPES_BY_ID: List[Type] = []
 
 
 def register_wire_type(cls: Type) -> Type:
     """Register a frozen dataclass for wire encoding; returns ``cls``.
 
-    Usable as a decorator on application-defined command types.
+    Usable as a decorator on application-defined command types.  The
+    binary codec identifies the class by its registration index, so
+    application types must register in the same order on every host
+    (module-import order suffices — registration happens at import time).
     """
     if not dataclasses.is_dataclass(cls):
         raise TypeError(f"{cls!r} is not a dataclass")
     name = cls.__name__
     existing = _REGISTRY.get(name)
-    if existing is not None and existing is not cls:
-        raise NetworkError(f"wire type name collision: {name!r}")
+    if existing is not None:
+        if existing is not cls:
+            raise NetworkError(f"wire type name collision: {name!r}")
+        return cls
     _REGISTRY[name] = cls
+    _TYPE_IDS[name] = len(_TYPES_BY_ID)
+    _TYPES_BY_ID.append(cls)
     return cls
 
 
@@ -65,6 +89,38 @@ def _register_builtin_types() -> None:
         Reconfig, View, Signature, MessageId, MulticastMessage, Delivery,
     ):
         register_wire_type(cls)
+
+
+def ensure_registered() -> None:
+    """Register the built-in protocol message types (idempotent)."""
+    if not _REGISTRY:
+        _register_builtin_types()
+
+
+def registered_type(name: str) -> Type:
+    """The registered dataclass called ``name`` (raises on unknown)."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise NetworkError(f"unknown wire type {name!r}")
+    return cls
+
+
+def wire_type_id(cls: Type) -> int:
+    """The binary codec's small integer id of a registered class."""
+    try:
+        return _TYPE_IDS[cls.__name__]
+    except KeyError:
+        raise NetworkError(
+            f"cannot encode unregistered dataclass {cls.__name__!r}; "
+            f"call repro.env.codec.register_wire_type({cls.__name__})"
+        ) from None
+
+
+def wire_type_by_id(type_id: int) -> Type:
+    """Inverse of :func:`wire_type_id` (raises on unknown ids)."""
+    if 0 <= type_id < len(_TYPES_BY_ID):
+        return _TYPES_BY_ID[type_id]
+    raise NetworkError(f"unknown wire type id {type_id}")
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -111,9 +167,7 @@ def _from_jsonable(value: Any) -> Any:
         if "!m" in value:
             return {_from_jsonable(k): _from_jsonable(v) for k, v in value["!m"]}
         if "!d" in value:
-            cls = _REGISTRY.get(value["!d"])
-            if cls is None:
-                raise NetworkError(f"unknown wire type {value['!d']!r}")
+            cls = registered_type(value["!d"])
             fields = {k: _from_jsonable(v) for k, v in value["f"].items()}
             return cls(**fields)
     raise NetworkError(f"malformed wire value: {value!r}")
@@ -126,8 +180,7 @@ def encode(obj: Any) -> bytes:
     identity: a broadcast sends the identical Propose/Write/Accept object to
     every peer, and without the cache each send re-walks the object graph.
     """
-    if not _REGISTRY:
-        _register_builtin_types()
+    ensure_registered()
     cacheable = (
         _cache.enabled()
         and dataclasses.is_dataclass(obj)
@@ -145,9 +198,11 @@ def encode(obj: Any) -> bytes:
 
 def decode(body: bytes) -> Any:
     """Inverse of :func:`encode`."""
-    if not _REGISTRY:
-        _register_builtin_types()
-    return _from_jsonable(json.loads(body.decode("utf-8")))
+    ensure_registered()
+    try:
+        return _from_jsonable(json.loads(bytes(body).decode("utf-8")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise NetworkError(f"undecodable JSON frame body: {exc}") from exc
 
 
 def frame(obj: Any) -> bytes:
@@ -158,6 +213,25 @@ def frame(obj: Any) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
+def frame_route_parts(src: str, dst: str, payload: Any) -> Tuple[bytes, ...]:
+    """The buffers of one framed ``(src, dst, payload)`` routing tuple.
+
+    ``b"".join(parts)`` is byte-identical to ``frame((src, dst, payload))``,
+    but the payload body is the memoised :func:`encode` result spliced in
+    *by reference*: a broadcast to ``n - 1`` peers pays the payload encoding
+    once, and the transport can hand the buffers to ``writelines`` without
+    ever concatenating them (the zero-copy write path of
+    :class:`repro.env.tcp.TcpTransport`).
+    """
+    body = encode(payload)
+    head = (b'{"!t":[' + json.dumps(src).encode("utf-8") + b","
+            + json.dumps(dst).encode("utf-8") + b",")
+    total = len(head) + len(body) + 2
+    if total > MAX_FRAME:
+        raise NetworkError(f"frame too large: {total} bytes")
+    return (_LENGTH.pack(total) + head, body, b"]}")
+
+
 def frame_route(src: str, dst: str, payload: Any) -> bytes:
     """One framed ``(src, dst, payload)`` routing tuple, payload encoded once.
 
@@ -166,24 +240,102 @@ def frame_route(src: str, dst: str, payload: Any) -> bytes:
     payload object graph — a broadcast to ``n - 1`` peers pays the payload
     encoding once instead of once per recipient.
     """
-    body = (b'{"!t":[' + json.dumps(src).encode("utf-8") + b","
-            + json.dumps(dst).encode("utf-8") + b","
-            + encode(payload) + b"]}")
-    if len(body) > MAX_FRAME:
-        raise NetworkError(f"frame too large: {len(body)} bytes")
-    return _LENGTH.pack(len(body)) + body
+    return b"".join(frame_route_parts(src, dst, payload))
+
+
+def split_frames(buffer, decode_body: Callable[[Any], Any],
+                 on_bad: Callable[[NetworkError], None] = None,
+                 ) -> Tuple[list, int, bool]:
+    """Offset-based frame splitter shared by both codecs.
+
+    Walks ``buffer`` (any bytes-like: ``bytes``, ``bytearray``,
+    ``memoryview``) without re-slicing the tail per frame and returns
+    ``(decoded_frames, consumed_bytes, ok)``.  ``ok`` is ``False`` when a
+    length prefix exceeds :data:`MAX_FRAME` — the stream cannot be resynced
+    past a corrupt prefix, so the caller must drop the connection.  A frame
+    *body* that fails to decode is isolated when ``on_bad`` is given: the
+    handler is called with the :class:`NetworkError`, the bad frame is
+    skipped (its framing is intact, so the stream resyncs at the next
+    prefix) and splitting continues.  Without ``on_bad`` the error
+    propagates.
+    """
+    out: list = []
+    view = memoryview(buffer)
+    offset = 0
+    size = len(view)
+    ok = True
+    try:
+        while size - offset >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(view, offset)
+            if length > MAX_FRAME:
+                ok = False
+                break
+            end = offset + _LENGTH.size + length
+            if size < end:
+                break
+            # Materialize the body: decoders want bytes, and a memoryview
+            # slice escaping into an exception traceback would pin the
+            # buffer against the caller's in-place compaction.
+            body = bytes(view[offset + _LENGTH.size:end])
+            try:
+                out.append(decode_body(body))
+            except NetworkError as exc:
+                if on_bad is None:
+                    raise
+                on_bad(exc)
+            offset = end
+    finally:
+        view.release()
+    return out, offset, ok
 
 
 def read_frames(buffer: bytes) -> Tuple[list, bytes]:
-    """Split ``buffer`` into complete decoded frames + unconsumed remainder."""
-    out = []
-    while len(buffer) >= _LENGTH.size:
-        (length,) = _LENGTH.unpack_from(buffer)
-        if length > MAX_FRAME:
-            raise NetworkError(f"frame length {length} exceeds limit")
-        end = _LENGTH.size + length
-        if len(buffer) < end:
-            break
-        out.append(decode(buffer[_LENGTH.size:end]))
-        buffer = buffer[end:]
-    return out, buffer
+    """Split ``buffer`` into complete decoded frames + unconsumed remainder.
+
+    Parses by offset (one tail slice at the end) instead of re-slicing the
+    buffer per frame — O(n) in the buffer size.  Raises
+    :class:`NetworkError` on a corrupt length prefix or frame body.
+    """
+    frames, consumed, ok = split_frames(buffer, decode)
+    if not ok:
+        raise NetworkError(f"frame length exceeds limit at offset {consumed}")
+    return frames, bytes(buffer[consumed:])
+
+
+def drain_frames(buffer: bytearray,
+                 decode_body: Callable[[Any], Any] = None,
+                 on_bad: Callable[[NetworkError], None] = None,
+                 ) -> Tuple[list, bool]:
+    """Consume complete frames from ``buffer`` in place.
+
+    The transport's streaming entry point: ``buffer`` is a ``bytearray``
+    that grows by ``+=`` (amortised O(1)) and is compacted exactly once per
+    call (``del buffer[:consumed]``), so bursty links cost O(n) instead of
+    the old per-frame re-slicing O(n²).  Returns ``(frames, ok)`` with
+    ``ok = False`` on a corrupt length prefix (drop the connection); frames
+    with undecodable bodies are skipped via ``on_bad`` (see
+    :func:`split_frames`).
+    """
+    frames, consumed, ok = split_frames(buffer, decode_body or decode, on_bad)
+    if consumed:
+        del buffer[:consumed]
+    return frames, ok
+
+
+def get_codec(name: str):
+    """The codec module registered under ``name`` (``json`` or ``binary``).
+
+    Both codecs expose the same API surface: ``encode`` / ``decode`` /
+    ``frame`` / ``frame_route`` / ``frame_route_parts`` / ``read_frames`` /
+    ``drain_frames``.
+    """
+    import sys
+
+    if name == "json":
+        return sys.modules[__name__]
+    if name == "binary":
+        from repro.env import wire
+
+        return wire
+    raise NetworkError(
+        f"unknown wire codec {name!r}; choose one of {list(CODEC_NAMES)}")

@@ -23,6 +23,7 @@ to run.  Use the simulation backend for reproducible experiments.
 from __future__ import annotations
 
 import asyncio
+import inspect
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import NetworkError, SimulationError
@@ -205,6 +206,7 @@ class RealtimeRuntime(Runtime):
         trace_capacity: int = 0,
         monitor: Optional[Monitor] = None,
         transport_factory: Optional[Callable[..., Transport]] = None,
+        wire: str = "json",
     ) -> None:
         self._aloop = asyncio.new_event_loop()
         self._clock = RealtimeClock(self._aloop)
@@ -213,14 +215,18 @@ class RealtimeRuntime(Runtime):
         )
         self.monitor.bind_clock(lambda: self._clock.now)
         self.rng = SeededRng(seed)
+        self.wire = wire
         factory = transport_factory if transport_factory is not None else InProcessTransport
-        self.network = factory(
-            self._aloop,
-            self._clock,
-            config=network_config,
-            rng=self.rng,
-            monitor=self.monitor,
-        )
+        kwargs = dict(config=network_config, rng=self.rng, monitor=self.monitor)
+        # The wire codec only applies to serializing transports: TcpTransport
+        # declares a ``wire`` parameter, the in-process queue transport
+        # passes message objects by reference and does not.
+        try:
+            if "wire" in inspect.signature(factory).parameters:
+                kwargs["wire"] = wire
+        except (TypeError, ValueError):
+            pass
+        self.network = factory(self._aloop, self._clock, **kwargs)
         self._closed = False
 
     @property

@@ -2,33 +2,46 @@
 
 A :class:`TcpTransport` plays the role of one *host*: it owns a set of
 local endpoints, one listening socket, and lazily-opened outgoing
-connections to peer hosts.  Frames are length-prefixed JSON
-(:mod:`repro.env.codec`) carrying ``(src, dst, payload)``; several hosts
-share a plain *directory* dict mapping endpoint names to ``(host, port)``
-addresses — in tests the directory is a shared in-memory dict, in a real
-deployment it would be distributed configuration.
+connections to peer hosts.  Frames are length-prefixed ``(src, dst,
+payload)`` routing tuples in either wire codec — tagged JSON
+(:mod:`repro.env.codec`, the default) or the struct-packed binary format
+(:mod:`repro.env.wire`), selected per host with ``wire="binary"`` (every
+host of a deployment must agree).  Several hosts share a plain *directory*
+dict mapping endpoint names to ``(host, port)`` addresses — in tests the
+directory is a shared in-memory dict, in a real deployment it would be
+distributed configuration.  A second shared dict, the *site directory*,
+maps endpoint names to site labels so site-level partitions apply across
+hosts.
 
 Messages to local endpoints short-circuit through the ready queue;
 messages to remote endpoints go through one ordered outbound queue per
 peer host, so per-link FIFO holds across the socket as well.  Partition
-semantics match the in-process transport (blocked traffic is dropped at
-the sender and counted).
+semantics match the in-process transport: pair- and site-blocked traffic
+is dropped at the sender and counted as ``net.partitioned``.
 
 Robustness: outbound pumps survive connection loss — they reconnect with
 capped exponential backoff plus jitter (``net.reconnect`` counted) and
-re-send the frame that failed mid-write; inbound connections that deliver
-an oversized or undecodable frame are dropped with a ``net.bad_frame``
-count instead of killing the reader task; :meth:`TcpTransport.shutdown`
-drains pending outbound queues (bounded) before cancelling the pumps.
+re-send the frame that failed mid-write.  A pump that exhausts
+``CONNECT_RETRIES`` gives up (``net.connect_failed``), discarding queued
+frames as ``net.blackholed``; the next send to that address respawns the
+pump with a fresh backoff cycle instead of enqueueing into a dead link
+forever.  Inbound connections parse frames from a single compacted
+``bytearray`` (no per-frame re-slicing); an undecodable frame body is
+counted as ``net.bad_frame`` and skipped (framing stays in sync), while a
+corrupt length prefix — unresyncable — drops the connection.  Outbound
+writes are zero-copy: the memoised payload body is handed to
+``writelines`` between the route-prefix buffers without concatenation.
+:meth:`TcpTransport.shutdown` drains pending outbound queues (bounded)
+before cancelling the pumps.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
-from repro.env.codec import frame_route, read_frames
+from repro.env.codec import get_codec
 from repro.env.monitor import Monitor
 from repro.sim.network import NetworkConfig
 from repro.sim.rng import SeededRng
@@ -40,6 +53,8 @@ CONNECT_BACKOFF = 0.05
 MAX_BACKOFF = 1.0
 #: how long shutdown() waits for outbound queues to flush
 DRAIN_TIMEOUT = 0.5
+#: frames coalesced into one writelines() call per flush
+WRITE_BATCH = 64
 
 
 class TcpTransport:
@@ -53,14 +68,22 @@ class TcpTransport:
         rng: Optional[SeededRng] = None,
         monitor: Optional[Monitor] = None,
         directory: Optional[Dict[str, Tuple[str, int]]] = None,
+        site_directory: Optional[Dict[str, str]] = None,
         host: str = "127.0.0.1",
+        wire: str = "json",
     ) -> None:
         self._aloop = aloop
         self.config = config if config is not None else NetworkConfig()
         self.monitor = monitor if monitor is not None else Monitor()
         self._rng = (rng if rng is not None else SeededRng(0)).stream("network")
         self.directory = directory if directory is not None else {}
+        #: endpoint name -> site label, shared across hosts like the address
+        #: directory so site partitions can resolve *remote* endpoints
+        self.site_directory = (site_directory if site_directory is not None
+                               else {})
         self.host = host
+        self.wire = wire
+        self._codec = get_codec(wire)
         self.port: Optional[int] = None
         self._endpoints: Dict[str, Tuple[Any, str]] = {}
         self._blocked_pairs: Set[Tuple[str, str]] = set()
@@ -113,12 +136,16 @@ class TcpTransport:
         if actor.name in self._endpoints:
             raise NetworkError(f"endpoint {actor.name!r} already registered")
         self._endpoints[actor.name] = (actor, site)
+        self.site_directory[actor.name] = site
         actor.network = self
         if self.port is not None:
             self.directory[actor.name] = (self.host, self.port)
 
     def site_of(self, name: str) -> str:
-        return self._endpoints[name][1]
+        entry = self._endpoints.get(name)
+        if entry is not None:
+            return entry[1]
+        return self.site_directory.get(name, "site0")
 
     def endpoints(self) -> Tuple[str, ...]:
         return tuple(self._endpoints)
@@ -151,6 +178,10 @@ class TcpTransport:
         if (src, dst) in self._blocked_pairs:
             self.monitor.count("net.partitioned")
             return
+        if self._blocked_sites and (
+                (self.site_of(src), self.site_of(dst)) in self._blocked_sites):
+            self.monitor.count("net.partitioned")
+            return
         if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
             self.monitor.count("net.dropped")
             return
@@ -159,10 +190,11 @@ class TcpTransport:
             self._aloop.call_soon(actor.receive, src, payload)
             return
         address = self.directory[dst]
-        # frame_route encodes the payload once (identity-memoised) and only
-        # splices the per-recipient route strings — a broadcast no longer
-        # re-walks the payload object graph for each of the n - 1 peers.
-        self._outbound(address).put_nowait(frame_route(src, dst, payload))
+        # frame_route_parts encodes the payload once (identity-memoised) and
+        # only splices the per-recipient route buffers — a broadcast neither
+        # re-walks the payload object graph nor copies its bytes per peer.
+        self._outbound(address).put_nowait(
+            self._codec.frame_route_parts(src, dst, payload))
 
     # -- plumbing ----------------------------------------------------------
 
@@ -171,6 +203,12 @@ class TcpTransport:
         if queue is None:
             queue = asyncio.Queue()
             self._out_queues[address] = queue
+        task = self._out_tasks.get(address)
+        if task is None or task.done():
+            # First send to this address — or its pump gave up on an
+            # unreachable peer and died.  Respawn with a fresh backoff
+            # cycle; without this, every later frame to the address would
+            # sit in a queue nobody drains.
             self._out_tasks[address] = self._aloop.create_task(
                 self._pump(address, queue)
             )
@@ -193,22 +231,41 @@ class TcpTransport:
 
         Survives connection loss: the frame that failed mid-write is kept
         and re-sent over a fresh connection, so per-link FIFO holds across
-        reconnects too.
+        reconnects too.  Queue entries are tuples of buffers
+        (``frame_route_parts``); up to ``WRITE_BATCH`` frames are coalesced
+        into a single ``writelines`` call per flush.
         """
         writer = None
-        pending: Optional[bytes] = None
+        pending: List[Tuple[bytes, ...]] = []
         try:
             while True:
                 if writer is None:
                     writer = await self._connect(address)
                     if writer is None:
-                        return  # peer stayed unreachable; give up on this link
-                if pending is None:
-                    pending = await queue.get()
+                        # Peer stayed unreachable; give up on this link and
+                        # account for every frame it swallows.  The next
+                        # send respawns the pump (see _outbound).
+                        lost = len(pending)
+                        while not queue.empty():
+                            queue.get_nowait()
+                            lost += 1
+                        if lost:
+                            self.monitor.count("net.blackholed", lost)
+                        return
+                if not pending:
+                    pending.append(await queue.get())
+                    while (len(pending) < WRITE_BATCH
+                           and not queue.empty()):
+                        pending.append(queue.get_nowait())
                 try:
-                    writer.write(pending)
+                    # Entries are part-tuples from frame_route_parts, but a
+                    # single pre-joined frame (bytes) is accepted too.
+                    writer.writelines(
+                        [part for parts in pending
+                         for part in (parts if isinstance(parts, tuple)
+                                      else (parts,))])
                     await writer.drain()
-                    pending = None
+                    pending.clear()
                 except ConnectionError:
                     self.monitor.count("net.reconnect")
                     writer.close()
@@ -221,27 +278,39 @@ class TcpTransport:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
-        buffer = b""
+        buffer = bytearray()
+
+        def bad_frame(exc: NetworkError) -> None:
+            # Undecodable body inside intact framing: count, skip, resync
+            # at the next length prefix — one poisoned frame cannot take
+            # down the link or the frames around it.
+            self.monitor.count("net.bad_frame")
+
         try:
             while True:
                 chunk = await reader.read(65536)
                 if not chunk:
                     break
                 buffer += chunk
-                try:
-                    messages, buffer = read_frames(buffer)
-                except (NetworkError, ValueError):
-                    # Oversized length prefix or an undecodable frame body:
-                    # count it and drop this connection (the peer's pump will
-                    # reconnect) instead of dying with an unhandled error.
-                    self.monitor.count("net.bad_frame")
-                    break
-                for src, dst, payload in messages:
+                messages, ok = self._codec.drain_frames(
+                    buffer, on_bad=bad_frame)
+                for message in messages:
+                    # A frame that decodes but is not a (src, dst, payload)
+                    # routing tuple must not crash the reader task.
+                    if not (isinstance(message, tuple) and len(message) == 3):
+                        self.monitor.count("net.bad_frame")
+                        continue
+                    src, dst, payload = message
                     entry = self._endpoints.get(dst)
                     if entry is None:
                         self.monitor.count("net.misrouted")
                         continue
                     entry[0].receive(src, payload)
+                if not ok:
+                    # Corrupt length prefix: the stream cannot be resynced,
+                    # drop the connection (the peer's pump reconnects).
+                    self.monitor.count("net.bad_frame")
+                    break
         except ConnectionError:
             pass
         finally:

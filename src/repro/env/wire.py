@@ -1,0 +1,411 @@
+"""Binary wire codec: struct-packed frames for the real-time fast path.
+
+Drop-in alternative to the JSON codec (:mod:`repro.env.codec`) with the
+same API surface — ``encode`` / ``decode`` / ``frame`` / ``frame_route`` /
+``frame_route_parts`` / ``read_frames`` / ``drain_frames`` — and the same
+``>I`` length-prefixed framing, but a tag-byte body format instead of
+tagged JSON (full layout: docs/WIRE.md):
+
+====  =========================================================
+tag   payload
+====  =========================================================
+0x00  ``None``
+0x01  ``False``
+0x02  ``True``
+0x03  int, 8-byte signed big-endian (``>q``)
+0x04  int outside ``>q`` range: u32 length + signed two's complement
+0x05  float, IEEE-754 double (``>d``)
+0x06  str: u32 byte length + UTF-8
+0x07  bytes: u32 length
+0x08  tuple: u32 count + items
+0x09  list: u32 count + items
+0x0A  frozenset: u32 count + items in sorted order
+0x0B  dict: u32 count + alternating key, value
+0x0C  registered dataclass: u16 type id + fields in declaration order
+====  =========================================================
+
+Dataclasses carry no field names on the wire: the u16 type id indexes the
+registration-order table shared with the JSON codec
+(:func:`repro.env.codec.register_wire_type`), and fields are positional —
+which is why application types must register in the same order on every
+host.  Sets are serialized sorted, so encoding is canonical: equal objects
+produce identical bytes under either codec.
+
+Encodings of dataclass messages are memoised by object identity in
+:data:`repro.crypto.cache.wire_encode_cache` (a separate cache from the
+JSON codec's, since both key on ``id(obj)``), so a broadcast to ``n - 1``
+peers walks the object graph once.
+
+:func:`decode` is strict: unknown tags, unknown type ids, truncated
+payloads and trailing bytes all raise :class:`~repro.errors.NetworkError`
+— the transport counts ``net.bad_frame`` and isolates the connection
+rather than crashing the reader.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Tuple
+
+from repro.crypto import cache as _cache
+from repro.env import codec as _codec
+from repro.env.codec import MAX_FRAME, _LENGTH  # shared framing
+from repro.errors import NetworkError
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_NONE = b"\x00"
+_FALSE = b"\x01"
+_TRUE = b"\x02"
+_INT64 = 0x03
+_INTBIG = 0x04
+_FLOAT = 0x05
+_STR = 0x06
+_BYTES = 0x07
+_TUPLE = 0x08
+_LIST = 0x09
+_FROZENSET = 0x0A
+_DICT = 0x0B
+_DATACLASS = 0x0C
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+# Per-class metadata, lazily built on first use.  The type-id registry in
+# :mod:`repro.env.codec` is append-only, so these never go stale.
+#   class   -> (b"\x0c" + u16 type id, field-name tuple)   [encode path]
+#   type id -> (class, field count)                        [decode path]
+_DC_BY_CLS: dict = {}
+_DC_BY_ID: dict = {}
+
+
+def _dc_encode_meta(cls) -> Tuple[bytes, Tuple[str, ...]]:
+    head = bytes((_DATACLASS,)) + _U16.pack(_codec.wire_type_id(cls))
+    meta = (head, tuple(f.name for f in dataclasses.fields(cls)))
+    _DC_BY_CLS[cls] = meta
+    return meta
+
+
+def _dc_decode_meta(type_id: int) -> Tuple[type, int]:
+    cls = _codec.wire_type_by_id(type_id)
+    meta = (cls, len(dataclasses.fields(cls)))
+    _DC_BY_ID[type_id] = meta
+    return meta
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    # Dispatch on exact type first: the hot path is protocol dataclasses
+    # full of str/int/bytes/tuple leaves, and `type(x) is T` beats a chain
+    # of isinstance calls.  Subclass and odd cases fall through below.
+    kind = type(value)
+    if kind is str:
+        raw = value.encode("utf-8")
+        out.append(_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_INT64)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8,
+                                 "big", signed=True)
+            out.append(_INTBIG)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif kind is tuple:
+        out.append(_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif kind is bytes:
+        out.append(_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif value is None:
+        out += _NONE
+    elif value is True:
+        out += _TRUE
+    elif value is False:
+        out += _FALSE
+    elif kind is float:
+        out.append(_FLOAT)
+        out += _F64.pack(value)
+    elif kind is list:
+        out.append(_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif kind is frozenset or kind is set:
+        # Sorted for a canonical frame, mirroring the JSON codec.
+        out.append(_FROZENSET)
+        out += _U32.pack(len(value))
+        for item in sorted(value):
+            _encode_into(out, item)
+    elif kind is dict:
+        out.append(_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_into(out, key)
+            _encode_into(out, item)
+    else:
+        meta = _DC_BY_CLS.get(kind)
+        if meta is None:
+            if isinstance(value, int):      # bool/int subclasses
+                _encode_into(out, int(value))
+                return
+            if isinstance(value, float):
+                _encode_into(out, float(value))
+                return
+            if isinstance(value, str):
+                _encode_into(out, str(value))
+                return
+            if not (dataclasses.is_dataclass(value)
+                    and not isinstance(value, type)):
+                raise NetworkError(
+                    f"cannot encode value of type {kind.__name__!r}")
+            meta = _dc_encode_meta(kind)
+        head, names = meta
+        out += head
+        for name in names:
+            _encode_into(out, getattr(value, name))
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize ``obj`` to a binary frame body (no length prefix).
+
+    Dataclass encodings are memoised by object identity, same contract as
+    the JSON codec's :func:`repro.env.codec.encode`.
+    """
+    _codec.ensure_registered()
+    cacheable = (
+        _cache.enabled()
+        and dataclasses.is_dataclass(obj)
+        and not isinstance(obj, type)
+    )
+    if cacheable:
+        cached = _cache.wire_encode_cache.get(obj)
+        if cached is not None:
+            return cached
+    out = bytearray()
+    _encode_into(out, obj)
+    body = bytes(out)
+    if cacheable:
+        _cache.wire_encode_cache.put(obj, body)
+    return body
+
+
+def _decode_from(data: bytes, offset: int, limit: int,
+                 _unpack_i64=_I64.unpack_from,
+                 _unpack_u32=_U32.unpack_from,
+                 _unpack_u16=_U16.unpack_from,
+                 _unpack_f64=_F64.unpack_from) -> Tuple[Any, int]:
+    # Bounds are enforced lazily: ``data[offset]`` past the end raises
+    # IndexError and ``unpack_from`` raises struct.error, both translated
+    # to NetworkError by :func:`decode`.  Only slice reads (str/bytes/
+    # bigint payloads) need an explicit check, because Python slicing
+    # silently truncates instead of raising.  The tag dispatch is ordered
+    # by frequency in protocol traffic: str > int > tuple > dataclass.
+    tag = data[offset]
+    offset += 1
+    if tag == _STR:
+        (length,) = _unpack_u32(data, offset)
+        offset += 4
+        end = offset + length
+        if end > limit:
+            raise NetworkError(
+                f"truncated binary frame: need {length} byte(s) "
+                f"at offset {offset}")
+        return data[offset:end].decode("utf-8"), end
+    if tag == _INT64:
+        return _unpack_i64(data, offset)[0], offset + 8
+    if tag == _TUPLE or tag == _DATACLASS:
+        # The two container tags that dominate protocol frames share one
+        # loop with the leaf tags (str/int/bytes) decoded inline — the
+        # recursive call per leaf would otherwise be the single largest
+        # cost in the decoder.
+        if tag == _TUPLE:
+            (count,) = _unpack_u32(data, offset)
+            offset += 4
+            cls = None
+        else:
+            (type_id,) = _unpack_u16(data, offset)
+            offset += 2
+            meta = _DC_BY_ID.get(type_id)
+            if meta is None:
+                meta = _dc_decode_meta(type_id)
+            cls, count = meta
+        items = []
+        append = items.append
+        for _ in range(count):
+            leaf = data[offset]
+            if leaf == _STR:
+                (length,) = _unpack_u32(data, offset + 1)
+                offset += 5
+                end = offset + length
+                if end > limit:
+                    raise NetworkError(
+                        f"truncated binary frame: need {length} byte(s) "
+                        f"at offset {offset}")
+                append(data[offset:end].decode("utf-8"))
+                offset = end
+            elif leaf == _INT64:
+                append(_unpack_i64(data, offset + 1)[0])
+                offset += 9
+            elif leaf == _BYTES:
+                (length,) = _unpack_u32(data, offset + 1)
+                offset += 5
+                end = offset + length
+                if end > limit:
+                    raise NetworkError(
+                        f"truncated binary frame: need {length} byte(s) "
+                        f"at offset {offset}")
+                append(data[offset:end])
+                offset = end
+            else:
+                item, offset = _decode_from(data, offset, limit)
+                append(item)
+        if cls is None:
+            return tuple(items), offset
+        try:
+            return cls(*items), offset
+        except (TypeError, ValueError) as exc:
+            raise NetworkError(
+                f"cannot rebuild {cls.__name__} from frame: {exc}") from exc
+    if tag == _BYTES:
+        (length,) = _unpack_u32(data, offset)
+        offset += 4
+        end = offset + length
+        if end > limit:
+            raise NetworkError(
+                f"truncated binary frame: need {length} byte(s) "
+                f"at offset {offset}")
+        return data[offset:end], end
+    if tag == _FROZENSET:
+        (count,) = _unpack_u32(data, offset)
+        offset += 4
+        items = []
+        append = items.append
+        for _ in range(count):
+            item, offset = _decode_from(data, offset, limit)
+            append(item)
+        return frozenset(items), offset
+    if tag == _DICT:
+        (count,) = _unpack_u32(data, offset)
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_from(data, offset, limit)
+            value, offset = _decode_from(data, offset, limit)
+            mapping[key] = value
+        return mapping, offset
+    if tag == 0x00:
+        return None, offset
+    if tag == 0x01:
+        return False, offset
+    if tag == 0x02:
+        return True, offset
+    if tag == _FLOAT:
+        return _unpack_f64(data, offset)[0], offset + 8
+    if tag == _LIST:
+        (count,) = _unpack_u32(data, offset)
+        offset += 4
+        items = []
+        append = items.append
+        for _ in range(count):
+            item, offset = _decode_from(data, offset, limit)
+            append(item)
+        return items, offset
+    if tag == _INTBIG:
+        (length,) = _unpack_u32(data, offset)
+        offset += 4
+        end = offset + length
+        if end > limit:
+            raise NetworkError(
+                f"truncated binary frame: need {length} byte(s) "
+                f"at offset {offset}")
+        return int.from_bytes(data[offset:end], "big", signed=True), end
+    raise NetworkError(f"unknown binary wire tag 0x{tag:02x}")
+
+
+def decode(body) -> Any:
+    """Inverse of :func:`encode`; strict about malformed input."""
+    _codec.ensure_registered()
+    if type(body) is not bytes:
+        body = bytes(body)   # memoryview / bytearray input
+    try:
+        value, offset = _decode_from(body, 0, len(body))
+    except IndexError:
+        raise NetworkError(
+            "truncated binary frame: ran out of bytes") from None
+    except struct.error as exc:
+        raise NetworkError(f"truncated binary frame: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise NetworkError(f"invalid UTF-8 in binary frame: {exc}") from exc
+    except RecursionError:
+        raise NetworkError("binary frame nests too deeply") from None
+    if offset != len(body):
+        raise NetworkError(
+            f"{len(body) - offset} trailing byte(s) after binary frame body")
+    return value
+
+
+def frame(obj: Any) -> bytes:
+    """Encode ``obj`` as one length-prefixed binary frame ready to write."""
+    body = encode(obj)
+    if len(body) > MAX_FRAME:
+        raise NetworkError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _route_head(src: str, dst: str) -> bytes:
+    head = bytearray()
+    head.append(_TUPLE)
+    head += _U32.pack(3)
+    _encode_into(head, src)
+    _encode_into(head, dst)
+    return bytes(head)
+
+
+def frame_route_parts(src: str, dst: str, payload: Any) -> Tuple[bytes, ...]:
+    """The buffers of one framed ``(src, dst, payload)`` routing tuple.
+
+    ``b"".join(parts)`` is byte-identical to ``frame((src, dst, payload))``;
+    the payload body is the memoised :func:`encode` result spliced in by
+    reference for the transport's ``writelines`` zero-copy write path.
+    """
+    body = encode(payload)
+    head = _route_head(src, dst)
+    total = len(head) + len(body)
+    if total > MAX_FRAME:
+        raise NetworkError(f"frame too large: {total} bytes")
+    return (_LENGTH.pack(total) + head, body)
+
+
+def frame_route(src: str, dst: str, payload: Any) -> bytes:
+    """One framed ``(src, dst, payload)`` routing tuple, payload encoded once."""
+    return b"".join(frame_route_parts(src, dst, payload))
+
+
+def read_frames(buffer: bytes) -> Tuple[list, bytes]:
+    """Split ``buffer`` into complete decoded frames + unconsumed remainder."""
+    frames, consumed, ok = _codec.split_frames(buffer, decode)
+    if not ok:
+        raise NetworkError(f"frame length exceeds limit at offset {consumed}")
+    return frames, bytes(buffer[consumed:])
+
+
+def drain_frames(buffer: bytearray,
+                 decode_body: Callable[[Any], Any] = None,
+                 on_bad: Callable[[NetworkError], None] = None,
+                 ) -> Tuple[list, bool]:
+    """Consume complete frames from ``buffer`` in place (see JSON codec)."""
+    frames, consumed, ok = _codec.split_frames(
+        buffer, decode_body or decode, on_bad)
+    if consumed:
+        del buffer[:consumed]
+    return frames, ok

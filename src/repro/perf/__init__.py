@@ -37,11 +37,21 @@ from repro.perf.runner import (
     speedup_gates,
 )
 from repro.perf.report import format_comparison, format_report
+from repro.perf.rtbench import (
+    RT_MATRIX,
+    RT_WIRE_SPEEDUP,
+    RtCell,
+    run_rt_cell,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BENCH_MATRIX",
     "BenchCell",
+    "RT_MATRIX",
+    "RT_WIRE_SPEEDUP",
+    "RtCell",
+    "run_rt_cell",
     "BenchReport",
     "CellResult",
     "Comparison",

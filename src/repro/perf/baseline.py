@@ -193,9 +193,13 @@ def compare(
     the baseline cell's by at most ``tolerance``.  This is how pipelined
     matrix cells are held to the docs/PIPELINE.md acceptance bar against
     their depth-1 baselines (cross-name, so the intersection rule above
-    cannot see them).  Gates whose cells are absent on either side are
-    skipped — a ``--cells`` subset run should not fail on what it did not
-    measure.
+    cannot see them).  When the baseline report does not carry the
+    ``baseline_cell`` at all, the gate falls back to the *current*
+    report's measurement of it — the wire-codec rt cells gate binary
+    against json from the same run (committed sim baselines carry no
+    wall-clock cells).  Gates whose cells were not measured on either
+    side are skipped — a ``--cells`` subset run should not fail on what
+    it did not measure.
 
     ``skip_latency`` names cells whose per-cell p95 check is skipped:
     cells deliberately driven past saturation (see
@@ -236,6 +240,8 @@ def compare(
     for name, (base_name, min_speedup) in sorted((speedup_gates or {}).items()):
         cur = current.cells.get(name)
         base = baseline.cells.get(base_name)
+        if base is None:
+            base = current.cells.get(base_name)
         if cur is None or base is None or base.throughput <= 0:
             continue
         gated.append(f"{name} vs {base_name}")

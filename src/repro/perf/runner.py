@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.tree import OverlayTree
 from repro.crypto import cache as _crypto_cache
 from repro.perf.baseline import BenchReport, CellResult
+from repro.perf.rtbench import RT_MATRIX, RtCell, run_rt_cell
 from repro.runtime.environments import BENCH_SCALE, bench_batch_delay
 from repro.scenario import (
     ScenarioSpec,
@@ -258,10 +259,12 @@ def speedup_gates() -> Dict[str, tuple]:
 
     Every matrix cell that names a ``baseline`` cell must beat that cell's
     throughput by its ``speedup`` (default :data:`PIPELINE_SPEEDUP`).
+    The rt wire-codec cells contribute their binary-vs-json gate
+    (:data:`repro.perf.rtbench.RT_WIRE_SPEEDUP`).
     """
     return {
         cell.name: (cell.baseline, cell.speedup or PIPELINE_SPEEDUP)
-        for cell in BENCH_MATRIX
+        for cell in [*BENCH_MATRIX, *RT_MATRIX]
         if cell.baseline is not None
     }
 
@@ -271,14 +274,16 @@ def saturated_cells() -> Tuple[str, ...]:
 
     :func:`repro.perf.baseline.compare` skips the per-cell p95 regression
     check for these (their throughput check and any cross-cell speedup
-    gate still apply).
+    gate still apply).  The wall-clock rt cells are always included —
+    they never carry meaningful latency stats.
     """
-    return tuple(cell.name for cell in [*BENCH_MATRIX, *SCALE_EXTRA_CELLS]
+    return tuple(cell.name
+                 for cell in [*BENCH_MATRIX, *SCALE_EXTRA_CELLS, *RT_MATRIX]
                  if cell.saturated)
 
 
-def _cell_by_name(name: str) -> BenchCell:
-    for cell in [*BENCH_MATRIX, *SCALE_EXTRA_CELLS]:
+def _cell_by_name(name: str):
+    for cell in [*BENCH_MATRIX, *SCALE_EXTRA_CELLS, *RT_MATRIX]:
         if cell.name == name:
             return cell
     raise KeyError(f"no benchmark cell named {name!r}")
@@ -320,16 +325,20 @@ def run_matrix(
     Args:
         rev: revision label stored in the report (e.g. a git short hash).
         optimised: enable adaptive batching + memoisation (see module doc).
-        cells: cell names to run (may include ``SCALE_EXTRA_CELLS``);
-            ``None`` runs the full default matrix.
+        cells: cell names to run (may include ``SCALE_EXTRA_CELLS`` and
+            the rt wire-codec cells); ``None`` runs the full default
+            matrix — the sim cells plus ``RT_MATRIX``.
         progress: optional callable ``(cell_name, CellResult) -> None``
             invoked after each cell (the CLI prints rows as they finish).
     """
-    selected = (BENCH_MATRIX if cells is None
+    selected = ([*BENCH_MATRIX, *RT_MATRIX] if cells is None
                 else [_cell_by_name(name) for name in cells])
     results: Dict[str, CellResult] = {}
     for cell in selected:
-        outcome = run_cell(cell, optimised=optimised)
+        if isinstance(cell, RtCell):
+            outcome = run_rt_cell(cell, optimised=optimised)
+        else:
+            outcome = run_cell(cell, optimised=optimised)
         results[cell.name] = outcome
         if progress is not None:
             progress(cell.name, outcome)

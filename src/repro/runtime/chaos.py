@@ -90,6 +90,9 @@ class SoakConfig:
     #: of the run (golden counter fingerprints stay untouched).
     read_ratio: float = 0.0
     read_mode: str = "optimistic"
+    #: wire codec of the rt backend's TCP transport (docs/WIRE.md); the
+    #: sim backend ignores it (messages pass by reference)
+    wire: str = "json"
 
     def to_scenario(self) -> ScenarioSpec:
         """This soak as a declarative scenario spec."""
@@ -105,6 +108,7 @@ class SoakConfig:
                 checkpoint_interval=self.checkpoint_interval,
                 max_in_flight=self.max_in_flight,
                 costs="soak",
+                wire=self.wire if self.backend == "rt" else "json",
             ),
             faults=FaultSpec(intensity=self.intensity, settle=self.settle,
                              joins=self.joins, leaves=self.leaves,
@@ -245,7 +249,10 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
                          f"choose one of {sorted(PROFILES)}")
 
     spec = config.to_scenario().check()
-    runtime = make_runtime(spec.backend, seed=spec.seed)
+    runtime = make_runtime(
+        spec.backend,
+        **({"seed": spec.seed} if spec.backend == "sim"
+           else {"seed": spec.seed, "wire": spec.protocol.wire}))
     try:
         chaos = install_chaos(runtime, ChaosConfig())
         schedule = NemesisSchedule.generate(

@@ -152,7 +152,8 @@ def build_deployment(
             merged.setdefault(gid, {}).update(factories)
         overrides = merged
     if runtime is None and spec.backend != "sim":
-        runtime = make_runtime(spec.backend, seed=spec.seed)
+        runtime = make_runtime(spec.backend, seed=spec.seed,
+                               wire=spec.protocol.wire)
     deployment = ByzCastDeployment(
         tree,
         f=spec.topology.f,
@@ -390,7 +391,8 @@ def run_scenario(
                 spec.backend,
                 **({"network_config": build_network_config(spec.topology),
                     "seed": spec.seed}
-                   if spec.backend == "sim" else {"seed": spec.seed}),
+                   if spec.backend == "sim"
+                   else {"seed": spec.seed, "wire": spec.protocol.wire}),
             )
         chaos = install_chaos(runtime, ChaosConfig())
         schedule = NemesisSchedule.generate(

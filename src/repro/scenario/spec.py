@@ -17,11 +17,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: bump when the serialized layout changes incompatibly
-SCENARIO_SCHEMA_VERSION = 3
+SCENARIO_SCHEMA_VERSION = 4
 #: schema versions this build can read (older docs parse as long as they
 #: do not use newer vocabulary; ``to_dict`` always writes the current
 #: version)
-SUPPORTED_SCHEMAS = (1, 2, 3)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 #: enumerated axis values (also the vocabulary ``validate`` lints against)
 LAYOUTS = ("two_level", "paper", "balanced")
@@ -35,6 +35,7 @@ APPS = ("none", "sharded_kv")
 BACKENDS = ("sim", "rt")
 INTENSITIES = ("light", "medium", "heavy", "churn")
 READ_MODES = ("ordered", "optimistic", "snapshot")
+WIRES = ("json", "binary")
 
 #: vocabulary introduced by schema 2 — rejected (with a pointed error) in
 #: documents that still declare ``schema: 1``
@@ -53,6 +54,12 @@ V2_VALUES: Dict[Tuple[str, str], Tuple[str, ...]] = {
 V3_KEYS: Dict[str, Tuple[str, ...]] = {
     "workload": ("read_ratio", "read_mode"),
     "protocol": ("read_timeout",),
+}
+
+#: vocabulary introduced by schema 4 (the wire-codec knob, docs/WIRE.md) —
+#: rejected in documents declaring an older schema
+V4_KEYS: Dict[str, Tuple[str, ...]] = {
+    "protocol": ("wire",),
 }
 
 
@@ -97,6 +104,19 @@ def _reject_v3_usage(raw: Dict[str, Any]) -> None:
             raise ConfigurationError(
                 f"{section} key(s) {used} need scenario schema 3; "
                 f'set "schema": 3 in the document')
+
+
+def _reject_v4_usage(raw: Dict[str, Any]) -> None:
+    """Refuse v4 (wire-codec) vocabulary in a pre-4 document."""
+    for section, keys in V4_KEYS.items():
+        body = raw.get(section)
+        if not isinstance(body, dict):
+            continue
+        used = sorted(set(body) & set(keys))
+        if used:
+            raise ConfigurationError(
+                f"{section} key(s) {used} need scenario schema 4; "
+                f'set "schema": 4 in the document')
 
 
 def _section_from_dict(cls, raw: Dict[str, Any], where: str):
@@ -305,6 +325,11 @@ class ProtocolSpec:
     #: (×BENCH_SCALE, what the perf matrix uses) | ``soak`` (cheap shape
     #: for chaos soaks)
     costs: str = "calibrated"
+    #: wire codec of the rt backend's TCP transport (schema 4,
+    #: docs/WIRE.md): ``json`` (tagged JSON, the strict-back-compat
+    #: default) | ``binary`` (struct-packed fast path).  Ignored by the
+    #: sim backend, which passes message objects by reference.
+    wire: str = "json"
 
     def lint(self) -> List[str]:
         problems = []
@@ -322,6 +347,8 @@ class ProtocolSpec:
             problems.append("protocol.read_timeout must be positive")
         if self.costs not in COSTS:
             problems.append(f"protocol.costs {self.costs!r} not in {list(COSTS)}")
+        if self.wire not in WIRES:
+            problems.append(f"protocol.wire {self.wire!r} not in {list(WIRES)}")
         return problems
 
 
@@ -405,6 +432,8 @@ class ScenarioSpec:
             _reject_v2_usage(raw)
         if schema < 3:
             _reject_v3_usage(raw)
+        if schema < 4:
+            _reject_v4_usage(raw)
         known = {"schema", "name", "app", "backend", "seed",
                  "topology", "workload", "protocol", "faults"}
         unknown = sorted(set(raw) - known)
@@ -477,6 +506,11 @@ class ScenarioSpec:
             problems.append(
                 "workload.keys should be >= the shard count so every shard "
                 "owns at least one key")
+        if self.protocol.wire != "json" and self.backend != "rt":
+            problems.append(
+                f"protocol.wire {self.protocol.wire!r} needs backend 'rt' — "
+                "the sim backend passes message objects by reference and "
+                "never serializes them")
         if (self.workload.read_ratio > 0
                 and self.workload.read_mode == "snapshot"
                 and self.protocol.checkpoint_interval <= 0):

@@ -108,6 +108,7 @@ class TestMemoisedFunctions:
 
     def test_cache_stats_shape(self):
         stats = cache_mod.cache_stats()
-        assert set(stats) == {"canonical", "digest", "verify", "encode"}
+        assert set(stats) == {"canonical", "digest", "verify", "encode",
+                              "wire_encode"}
         for entry in stats.values():
             assert set(entry) == {"hits", "misses", "size"}

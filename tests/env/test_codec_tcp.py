@@ -305,6 +305,141 @@ def test_tcp_shutdown_drains_queued_frames():
         aloop.close()
 
 
+def test_tcp_site_partition_blocks_cross_host_traffic():
+    """Regression: ``send`` never consulted ``_blocked_sites``, so site
+    partitions silently did not apply to the TCP transport.  Both
+    endpoints' sites resolve through the shared site directory even when
+    the destination lives on a remote host."""
+    aloop = asyncio.new_event_loop()
+    directory = {}
+    sites = {}
+    host_a = TcpTransport(aloop, directory=directory, site_directory=sites)
+    host_b = TcpTransport(aloop, directory=directory, site_directory=sites)
+    a = Probe("a")
+    b = Probe("b")
+    host_a.register(a, site="dc1")
+    host_b.register(b, site="dc2")
+
+    async def scenario():
+        await host_a.start()
+        await host_b.start()
+        host_a.partition("dc1", "dc2", sites=True)
+        host_a.send("a", "b", ("blocked",))
+        await asyncio.sleep(0.05)
+        host_a.heal("dc1", "dc2", sites=True)
+        host_a.send("a", "b", ("healed",))
+        for _ in range(500):
+            if b.got:
+                break
+            await asyncio.sleep(0.01)
+
+    try:
+        aloop.run_until_complete(scenario())
+        assert host_a.monitor.counters["net.partitioned"] == 1
+        assert b.got == [("a", ("healed",))]
+    finally:
+        host_a.shutdown()
+        host_b.shutdown()
+        aloop.run_until_complete(asyncio.sleep(0.05))
+        aloop.close()
+
+
+def test_tcp_dead_pump_respawns_on_next_send(monkeypatch):
+    """Regression: a pump that exhausted its connect retries died, but the
+    queue it served stayed in ``_out_queues`` — every later frame to that
+    address was enqueued into a blackhole forever.  The next send must
+    respawn the pump with a fresh backoff cycle, and the swallowed frames
+    must be accounted as ``net.blackholed``."""
+    import socket
+
+    from repro.env import tcp as tcp_mod
+
+    monkeypatch.setattr(tcp_mod, "CONNECT_RETRIES", 3)
+    monkeypatch.setattr(tcp_mod, "CONNECT_BACKOFF", 0.001)
+    # Reserve a port that is closed now but bindable later.
+    probe_sock = socket.socket()
+    probe_sock.bind(("127.0.0.1", 0))
+    port = probe_sock.getsockname()[1]
+    probe_sock.close()
+
+    aloop = asyncio.new_event_loop()
+    directory = {"b": ("127.0.0.1", port)}
+    host_a = TcpTransport(aloop, directory=directory)
+    host_b = TcpTransport(aloop, directory=directory)
+    a = Probe("a")
+    b = Probe("b")
+    host_a.register(a)
+    host_b.register(b)
+
+    async def scenario():
+        await host_a.start()
+        # Peer not listening yet: the pump gives up and dies.
+        host_a.send("a", "b", ("lost-1",))
+        host_a.send("a", "b", ("lost-2",))
+        for _ in range(500):
+            if host_a.monitor.counters.get("net.blackholed"):
+                break
+            await asyncio.sleep(0.01)
+        address = ("127.0.0.1", port)
+        assert host_a._out_tasks[address].done()
+        # Peer comes up on the advertised address; the next send must
+        # respawn the pump instead of feeding the dead queue.
+        await host_b.start(port)
+        host_a.send("a", "b", ("after-respawn",))
+        for _ in range(500):
+            if b.got:
+                break
+            await asyncio.sleep(0.01)
+
+    try:
+        aloop.run_until_complete(scenario())
+        assert host_a.monitor.counters["net.blackholed"] == 2
+        assert host_a.monitor.counters["net.connect_failed"] == 1
+        assert b.got == [("a", ("after-respawn",))]
+    finally:
+        host_a.shutdown()
+        host_b.shutdown()
+        aloop.run_until_complete(asyncio.sleep(0.05))
+        aloop.close()
+
+
+def test_drain_frames_consumes_in_place_without_rescanning():
+    """Regression: the reader re-sliced the buffer per frame and grew it
+    with repeated concatenation — O(n²) on bursts.  ``drain_frames``
+    consumes every complete frame in one offset-based pass and compacts
+    the buffer to exactly the trailing partial frame."""
+    objs = [("burst", i, b"y" * (i * 3)) for i in range(20)]
+    stream = b"".join(codec.frame(obj) for obj in objs)
+    half = codec.frame(("partial",))
+    buffer = bytearray(stream + half[:5])
+    frames, ok = codec.drain_frames(buffer)
+    assert ok
+    assert frames == objs
+    assert bytes(buffer) == half[:5]
+    # The remainder completes on the next feed.
+    buffer += half[5:]
+    frames, ok = codec.drain_frames(buffer)
+    assert ok
+    assert frames == [("partial",)]
+    assert buffer == bytearray()
+
+
+def test_drain_frames_isolates_bad_body_and_resyncs():
+    """A frame whose body will not decode is skipped via ``on_bad`` —
+    framing stays intact, the frames around it still arrive."""
+    good_before = codec.frame(("ok", 1))
+    poison_body = b"this is not json"
+    poison = codec._LENGTH.pack(len(poison_body)) + poison_body
+    good_after = codec.frame(("ok", 2))
+    buffer = bytearray(good_before + poison + good_after)
+    bad = []
+    frames, ok = codec.drain_frames(buffer, on_bad=bad.append)
+    assert ok
+    assert frames == [("ok", 1), ("ok", 2)]
+    assert len(bad) == 1 and isinstance(bad[0], NetworkError)
+    assert buffer == bytearray()
+
+
 def test_tcp_connect_gives_up_after_retries(monkeypatch):
     """An unreachable peer exhausts the capped backoff and is counted."""
     from repro.env import tcp as tcp_mod

@@ -1,0 +1,121 @@
+"""The rt transport bench: cell integrity, a miniature run, gate fallback."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.perf.baseline import BenchReport, CellResult, compare
+from repro.perf.rtbench import (
+    RT_MATRIX,
+    RT_WIRE_SPEEDUP,
+    RtCell,
+    run_rt_cell,
+)
+from repro.perf.runner import _cell_by_name, saturated_cells, speedup_gates
+
+#: sub-second cell for tests — not part of the committed matrix
+TINY_RT = RtCell(name="tiny_rt", wire="binary", receivers=1,
+                 requests_per_batch=4, blob_bytes=64,
+                 warmup=0.05, duration=0.25, window=8)
+
+
+class TestRtMatrixDefinition:
+    def test_cells_present_and_resolvable(self):
+        names = {cell.name for cell in RT_MATRIX}
+        assert names == {"rt_json_mixed", "rt_binary_mixed"}
+        for cell in RT_MATRIX:
+            assert _cell_by_name(cell.name) is cell
+            assert cell.wire in ("json", "binary")
+
+    def test_cells_identical_but_for_the_wire(self):
+        """The gate compares codecs, so every other axis must match."""
+        json_cell, binary_cell = RT_MATRIX
+        strip = ("name", "wire", "baseline", "speedup")
+        a = {f.name: getattr(json_cell, f.name)
+             for f in dataclasses.fields(RtCell) if f.name not in strip}
+        b = {f.name: getattr(binary_cell, f.name)
+             for f in dataclasses.fields(RtCell) if f.name not in strip}
+        assert a == b
+
+    def test_binary_gates_on_json(self):
+        gates = speedup_gates()
+        assert gates["rt_binary_mixed"] == ("rt_json_mixed", RT_WIRE_SPEEDUP)
+        assert RT_WIRE_SPEEDUP >= 2.0
+
+    def test_rt_cells_skip_latency_checks(self):
+        skipped = saturated_cells()
+        for cell in RT_MATRIX:
+            assert cell.name in skipped
+
+
+class TestRunRtCell:
+    def test_result_shape(self):
+        outcome = run_rt_cell(TINY_RT)
+        assert outcome.name == "tiny_rt"
+        assert outcome.completed > 0
+        assert outcome.throughput > 0
+        assert outcome.wall_seconds > 0
+        # wall-clock cells carry no latency signal
+        assert set(outcome.latency_ms) == {"mean", "median", "p95", "p99"}
+        assert all(value == 0.0 for value in outcome.latency_ms.values())
+
+
+def _report(rev: str, cells) -> BenchReport:
+    return BenchReport(rev=rev, scale=10.0, optimised=True, cells=cells)
+
+
+def _cell(name: str, throughput: float) -> CellResult:
+    return CellResult(
+        name=name, throughput=throughput, completed=100,
+        latency_ms={"mean": 0.0, "median": 0.0, "p95": 0.0, "p99": 0.0},
+        wall_seconds=1.0)
+
+
+class TestGateFallback:
+    """The speedup gate falls back to the current report when the baseline
+    report never measured the gate's baseline cell — how the rt cells gate
+    binary against json from the same run (BENCH_seed.json carries no
+    wall-clock cells)."""
+
+    GATES = {"rt_binary_mixed": ("rt_json_mixed", 2.0)}
+
+    def test_gate_holds_within_one_report(self):
+        current = _report("now", {
+            "rt_json_mixed": _cell("rt_json_mixed", 500.0),
+            "rt_binary_mixed": _cell("rt_binary_mixed", 1200.0),
+        })
+        baseline = _report("seed", {})  # no rt cells at all
+        outcome = compare(current, baseline, speedup_gates=self.GATES)
+        assert outcome.ok
+        assert "rt_binary_mixed vs rt_json_mixed" in outcome.compared
+
+    def test_gate_fails_when_binary_is_not_fast_enough(self):
+        current = _report("now", {
+            "rt_json_mixed": _cell("rt_json_mixed", 500.0),
+            "rt_binary_mixed": _cell("rt_binary_mixed", 800.0),  # 1.6x < 2x
+        })
+        outcome = compare(current, _report("seed", {}),
+                          speedup_gates=self.GATES)
+        assert not outcome.ok
+        assert any("gate" in r.metric for r in outcome.regressions)
+
+    def test_baseline_report_still_wins_when_it_has_the_cell(self):
+        current = _report("now", {
+            "rt_json_mixed": _cell("rt_json_mixed", 100.0),
+            "rt_binary_mixed": _cell("rt_binary_mixed", 1000.0),
+        })
+        baseline = _report("seed", {
+            # baseline measured json much faster: the gate must use it
+            "rt_json_mixed": _cell("rt_json_mixed", 600.0),
+        })
+        outcome = compare(current, baseline, speedup_gates=self.GATES)
+        assert not outcome.ok  # 1000 < 2 x 600
+
+    def test_unmeasured_gate_is_skipped(self):
+        current = _report("now", {
+            "rt_json_mixed": _cell("rt_json_mixed", 500.0),
+        })
+        outcome = compare(current, _report("seed", {}),
+                          speedup_gates=self.GATES)
+        assert outcome.ok
+        assert outcome.compared == ()

@@ -1,0 +1,107 @@
+"""Property: both wire codecs are lossless inverses over message values.
+
+``decode(encode(x)) == x`` must hold for every value either codec can
+carry — arbitrary nestings of the scalar/container vocabulary and the
+registered protocol dataclasses — and arbitrary *bytes* fed to the binary
+decoder must either decode or raise :class:`NetworkError`, never anything
+else (the transport maps NetworkError to ``net.bad_frame`` isolation; any
+other exception would crash the reader task).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bcast.messages import Accept, Heartbeat, Propose, Reply, Request
+from repro.crypto.signatures import Signature
+from repro.env import codec, wire
+from repro.errors import NetworkError
+
+CODECS = [codec, wire]
+
+names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),                       # includes beyond-int64 bigints
+    st.floats(allow_nan=False),          # NaN != NaN, trivially not a rt
+    names,
+    st.binary(max_size=64),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.lists(children, max_size=4),
+        # sets are serialized sorted, so elements must be mutually
+        # comparable — the codecs document "protocol sets hold
+        # comparable strings" (group-name destination sets)
+        st.one_of(st.lists(names, max_size=4),
+                  st.lists(st.integers(), max_size=4)).map(frozenset),
+        st.dictionaries(
+            st.one_of(st.integers(), names), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+signatures = st.builds(Signature, signer=names, tag=st.binary(max_size=16))
+requests = st.builds(
+    Request, group=names, sender=names, seq=st.integers(min_value=0),
+    command=st.tuples(names, values), signature=signatures)
+messages = st.one_of(
+    signatures,
+    requests,
+    st.builds(Accept, group=names, regency=st.integers(min_value=0),
+              cid=st.integers(min_value=0), digest=st.binary(max_size=16),
+              sender=names),
+    st.builds(Reply, group=names, sender=names, req_sender=names,
+              req_seq=st.integers(min_value=0), result=st.tuples(values)),
+    st.builds(Heartbeat, group=names, regency=st.integers(min_value=0),
+              next_cid=st.integers(min_value=0), sender=names),
+    st.builds(Propose, group=names, regency=st.integers(min_value=0),
+              cid=st.integers(min_value=0),
+              batch=st.lists(requests, max_size=3).map(tuple),
+              leader=names),
+)
+
+
+@pytest.mark.parametrize("mod", CODECS, ids=["json", "binary"])
+@given(value=values)
+@settings(max_examples=60, deadline=None)
+def test_value_roundtrip(mod, value):
+    assert mod.decode(mod.encode(value)) == value
+
+
+@pytest.mark.parametrize("mod", CODECS, ids=["json", "binary"])
+@given(message=messages)
+@settings(max_examples=60, deadline=None)
+def test_registered_message_roundtrip(mod, message):
+    assert mod.decode(mod.encode(message)) == message
+
+
+@pytest.mark.parametrize("mod", CODECS, ids=["json", "binary"])
+@given(message=messages, src=names, dst=names)
+@settings(max_examples=30, deadline=None)
+def test_frame_route_parts_splice_to_the_generic_frame(mod, message, src, dst):
+    parts = mod.frame_route_parts(src, dst, message)
+    assert b"".join(parts) == mod.frame((src, dst, message))
+
+
+@given(data=st.binary(max_size=200))
+@settings(max_examples=120, deadline=None)
+def test_binary_decoder_never_crashes_on_arbitrary_bytes(data):
+    try:
+        wire.decode(data)
+    except NetworkError:
+        pass  # the one failure mode the transport isolates
+
+
+@given(data=st.binary(max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_json_decoder_never_crashes_on_arbitrary_bytes(data):
+    try:
+        codec.decode(data)
+    except NetworkError:
+        pass

@@ -61,6 +61,19 @@ def test_churn_soak_instance_opened_across_scale_down_boundary():
     assert report.ok, report.summary()
 
 
+def test_churn_soak_state_round_stays_open_for_straggler_vouchers():
+    # Regression (seed 107): the first f+1 state responses were the wrong
+    # mix — a departed member whose log stops before the boundary cid
+    # answered ahead of the members that decided it — and the old code
+    # closed the transfer round without adopting, wedging the joiner.
+    # _handle_state_response now keeps the round open while any responder
+    # proves we are behind, until every peer has answered.
+    report = run_chaos_soak(CHURN_SOAK, seed=107, duration=4.0, messages=24,
+                            clients=2, settle=30.0, max_in_flight=2,
+                            joins=0, leaves=0, scale_cycles=0)
+    assert report.ok, report.summary()
+
+
 def test_churn_soak_passes_on_realtime_backend():
     report = run_chaos_soak(CHURN_SOAK, backend="rt", duration=4.0,
                             messages=24, checkpoint_interval=0)

@@ -1,0 +1,86 @@
+"""Scenario schema v4: the wire-codec knob, strict back-compat.
+
+Schema 4 adds ``wire`` to the protocol section (docs/WIRE.md) selecting
+the rt TCP transport's frame codec — ``json`` (default) or ``binary``.
+Documents declaring ``"schema"`` 1–3 must not silently pick up the knob;
+they get a pointed error telling them to bump.  The sim backend passes
+message objects by reference, so a non-default wire on a sim scenario is
+a lint error, not a silent no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    WIRES,
+    ProtocolSpec,
+    ScenarioSpec,
+)
+
+
+def test_schema_four_is_supported():
+    assert 4 in SUPPORTED_SCHEMAS
+    assert SCENARIO_SCHEMA_VERSION >= 4
+    assert WIRES == ("json", "binary")
+
+
+def test_plain_v3_document_still_loads():
+    spec = ScenarioSpec.from_dict({
+        "schema": 3,
+        "name": "legacy",
+        "workload": {"loop": "open", "rate": 50.0, "read_ratio": 0.5},
+        "protocol": {"read_timeout": 0.5},
+    })
+    assert spec.validate() == []
+    assert spec.protocol.wire == "json"   # default applies, quietly
+
+
+@pytest.mark.parametrize("schema", [1, 2, 3])
+def test_old_document_with_wire_key_is_rejected_with_pointer(schema):
+    raw = {"schema": schema, "name": "t", "protocol": {"wire": "binary"}}
+    with pytest.raises(ConfigurationError, match=r'set "schema": 4'):
+        ScenarioSpec.from_dict(raw)
+
+
+def test_v4_document_accepts_wire_vocabulary():
+    spec = ScenarioSpec.from_dict({
+        "schema": 4,
+        "name": "fastpath",
+        "backend": "rt",
+        "protocol": {"wire": "binary"},
+    })
+    assert spec.validate() == []
+    assert spec.protocol.wire == "binary"
+
+
+def test_to_dict_writes_current_schema_and_round_trips():
+    spec = ScenarioSpec(
+        name="round-trip",
+        backend="rt",
+        protocol=ProtocolSpec(wire="binary", checkpoint_interval=32),
+    )
+    raw = spec.to_dict()
+    assert raw["schema"] == SCENARIO_SCHEMA_VERSION
+    assert ScenarioSpec.from_dict(raw) == spec
+
+
+def test_unknown_wire_is_linted():
+    bad = ScenarioSpec(name="t", backend="rt",
+                       protocol=ProtocolSpec(wire="carrier-pigeon"))
+    assert any("wire" in p for p in bad.validate())
+
+
+def test_binary_wire_requires_rt_backend():
+    """The sim backend never serializes — a binary wire there would be a
+    silent no-op, so validation refuses it."""
+    bad = ScenarioSpec(name="t", backend="sim",
+                       protocol=ProtocolSpec(wire="binary"))
+    problems = bad.validate()
+    assert any("rt" in p and "wire" in p for p in problems)
+    ok = ScenarioSpec(name="t", backend="rt",
+                      protocol=ProtocolSpec(wire="binary"))
+    assert ok.validate() == []
