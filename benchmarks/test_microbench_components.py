@@ -161,6 +161,56 @@ def test_bench_mac_vector_batch(benchmark):
     assert len(benchmark(vector)) == len(peers)
 
 
+def test_bench_mac_vector_verify(benchmark):
+    """Receive-side gate of batch authentication: one tag check before any
+    per-request validation.  Contrast with :func:`test_bench_batch_verify`
+    — the per-request signature loop the gate short-circuits for tampered
+    batches."""
+    from repro.bcast.messages import Propose
+    from repro.crypto.mac import mac_vector, verify_mac_vector
+    from repro.crypto.signatures import Signature
+
+    registry = KeyRegistry()
+    peers = tuple(f"g1/r{i}" for i in range(1, 8))
+    counter = [0]
+
+    def verify_one():
+        counter[0] += 1
+        batch = tuple(
+            Request("g1", f"c{i}", counter[0], ("op", i),
+                    Signature(f"c{i}", b"\x01" * 16))
+            for i in range(32)
+        )
+        proposal = Propose("g1", 0, counter[0], batch, "g1/r0")
+        vector = mac_vector(registry, "g1/r0", peers, proposal)
+        return verify_mac_vector(
+            registry, "g1/r0", "g1/r3", proposal, vector)
+
+    assert benchmark(verify_one)
+
+
+def test_bench_batch_verify(benchmark):
+    """The per-request signature loop of proposal validation — the cost a
+    failed link-MAC check saves (see ``test_bench_mac_vector_verify``)."""
+    registry = KeyRegistry()
+    counter = [0]
+
+    def verify_batch():
+        counter[0] += 1
+        batch = tuple(
+            Request("g1", f"c{i}", counter[0], ("op", i),
+                    sign(registry, f"c{i}",
+                         ("req", "g1", f"c{i}", counter[0], ("op", i))))
+            for i in range(32)
+        )
+        return all(
+            verify(registry, req.signed_part(), req.signature)
+            for req in batch
+        )
+
+    assert benchmark(verify_batch)
+
+
 def test_bench_frame_route_broadcast(benchmark):
     """The rt-backend broadcast hot path: one payload, n-1 spliced frames.
 

@@ -89,6 +89,12 @@ class BroadcastConfig:
         costs: the CPU cost model.
         verify_client_signatures: charge + perform signature verification of
             client requests (disabled only in focused microbenchmarks).
+        authenticate_batches: leaders wrap each proposal in an
+            :class:`~repro.bcast.messages.AuthenticatedPropose` carrying a
+            per-link MAC vector, and receivers verify their tag before any
+            per-request validation (BFT-SMaRt-style link authentication;
+            the receive side of ``repro.crypto.mac.verify_mac_vector``).
+            Off by default: golden traces pin the unwrapped message flow.
     """
 
     group_id: str
@@ -104,6 +110,7 @@ class BroadcastConfig:
     max_in_flight: int = 4
     costs: CostModel = field(default_factory=CostModel)
     verify_client_signatures: bool = True
+    authenticate_batches: bool = False
 
     def __post_init__(self) -> None:
         if self.f < 0:

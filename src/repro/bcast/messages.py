@@ -115,6 +115,24 @@ class Propose:
 
 
 @dataclass(frozen=True)
+class AuthenticatedPropose:
+    """A proposal wrapped with its batch MAC vector (docs/WIRE.md).
+
+    With ``BroadcastConfig.authenticate_batches`` on, the leader attaches
+    one :func:`repro.crypto.mac.mac_vector` tag per follower link — one
+    memoised batch digest, one 16-byte HMAC per peer — and each receiver
+    checks its own tag (:func:`~repro.crypto.mac.verify_mac_vector`)
+    *before* paying the per-request validation cost: a tampered or
+    spoofed batch dies on one cheap HMAC instead of ``len(batch)``
+    signature verifies.  ``vector`` maps receiver name → tag; the frozen
+    tuple-of-pairs form keeps the message hashable/canonicalizable.
+    """
+
+    proposal: Propose
+    vector: Tuple[Tuple[str, bytes], ...]
+
+
+@dataclass(frozen=True)
 class Write:
     """Echo of a proposal digest (first quorum phase)."""
 

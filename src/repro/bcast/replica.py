@@ -37,6 +37,7 @@ from repro.bcast.fifo import PendingPool
 from repro.bcast.log import DecisionLog
 from repro.bcast.messages import (
     Accept,
+    AuthenticatedPropose,
     CertReport,
     CheckpointData,
     Heartbeat,
@@ -56,6 +57,7 @@ from repro.bcast.reconfig import Reconfig, View, admin_identity
 from repro.bcast.regency import RegencyManager
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
+from repro.crypto.mac import mac_vector, verify_mac_vector
 from repro.crypto.signatures import verify
 from repro.env import Actor, Monitor, RuntimeOrClock
 
@@ -339,6 +341,11 @@ class Replica(Actor):
         elif isinstance(payload, Propose):
             cost = costs.validate_fixed + costs.validate_per_msg * len(payload.batch)
             self.work(cost, lambda: self._handle_propose(src, payload))
+        elif isinstance(payload, AuthenticatedPropose):
+            cost = (costs.validate_fixed
+                    + costs.validate_per_msg * len(payload.proposal.batch))
+            self.work(cost,
+                      lambda: self._handle_authenticated_propose(src, payload))
         elif isinstance(payload, Write):
             self.work(costs.vote_recv, lambda: self._handle_write(src, payload))
         elif isinstance(payload, Accept):
@@ -548,7 +555,16 @@ class Replica(Actor):
         self._started[cid] = regency
         self._assembling = False
         self.monitor.record(self.name, "consensus.propose", cid=cid, batch=len(batch))
-        self._broadcast(proposal, size=64 * max(1, len(batch)))
+        if self.config.authenticate_batches:
+            # One memoised batch digest, one 16-byte tag per follower link
+            # (BFT-SMaRt MAC vectors); receivers check their tag before
+            # paying per-request validation.
+            vec = mac_vector(self.registry, self.name, self.peers(), proposal)
+            wrapped = AuthenticatedPropose(
+                proposal, tuple(sorted(vec.items())))
+            self._broadcast(wrapped, size=64 * max(1, len(batch)))
+        else:
+            self._broadcast(proposal, size=64 * max(1, len(batch)))
         # Local processing of our own proposal (no network hop for self).
         self._process_proposal(self.name, proposal)
         self._update_inflight_gauge()
@@ -568,6 +584,24 @@ class Replica(Actor):
             # Accepting this proposal may have completed the chain a stashed
             # later proposal was waiting for.
             self._drain_future_proposals()
+
+    def _handle_authenticated_propose(
+            self, src: str, wrapped: AuthenticatedPropose) -> None:
+        """Link-authentication gate of the receive path (docs/WIRE.md).
+
+        The MAC check is per-link and happens *first*: a batch whose tag
+        does not verify under the (src, self) channel key was tampered
+        with in flight or sent by an impersonator, and is dropped for the
+        cost of one digest (memoised) + one HMAC over 32 bytes — never
+        reaching the ``len(batch)``-signature validation loop.  A valid
+        tag proves nothing about the *content* (the leader may be
+        Byzantine), so the full proposal validation still runs after.
+        """
+        if not verify_mac_vector(self.registry, src, self.name,
+                                 wrapped.proposal, dict(wrapped.vector)):
+            self.monitor.record(self.name, "propose.bad_link_mac", src=src)
+            return
+        self._handle_propose(src, wrapped.proposal)
 
     def _process_proposal(self, src: str, proposal: Propose) -> bool:
         if not self._validate_proposal(src, proposal):

@@ -163,6 +163,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             read_ratio=args.read_ratio,
             read_mode=args.read_mode,
             wire=args.wire,
+            layout=args.layout,
+            fanout=args.fanout,
+            adaptive_tree=args.adaptive_tree,
+            adapt_interval=args.adapt_interval,
+            adapt_hysteresis=args.adapt_hysteresis,
         )
         print(report.summary())
         if args.timeline:
@@ -193,6 +198,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.perf import (
         QUICK_CELL,
+        adapt_gates,
         compare,
         format_comparison,
         format_report,
@@ -230,7 +236,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline = load_report(args.compare)
         comparison = compare(report, baseline, tolerance=args.tolerance,
                              speedup_gates=speedup_gates(),
-                             skip_latency=saturated_cells())
+                             skip_latency=saturated_cells(),
+                             adapt_gates=adapt_gates())
     except (OSError, ValueError, KeyError, ConfigurationError) as exc:
         print(f"cannot compare against {args.compare}: {exc}")
         return 2
@@ -344,11 +351,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--read-mode", choices=["optimistic", "snapshot"],
                        default="optimistic",
                        help="how riding-along reads are served")
-    chaos.add_argument("--wire", choices=["json", "binary"], default="json",
+    chaos.add_argument("--wire", choices=["auto", "json", "binary"],
+                       default="auto",
                        help="wire codec for rt-backend TCP links "
-                            "(docs/WIRE.md); ignored by the sim backend")
+                            "(docs/WIRE.md); ignored by the sim backend, "
+                            "auto = the measured-fastest codec (binary) on rt")
+    chaos.add_argument("--layout", choices=["two_level", "balanced"],
+                       default="two_level",
+                       help="overlay layout over the target groups; "
+                            "adaptive-tree soaks want 'balanced'")
+    chaos.add_argument("--fanout", type=int, default=8,
+                       help="targets per auxiliary of a balanced layout")
+    chaos.add_argument("--adaptive-tree", choices=["off", "observe", "on"],
+                       default="off",
+                       help="workload-adaptive overlay trees (docs/TREES.md): "
+                            "observe traffic, or also re-plan + switch via "
+                            "ordered TreeUpdate under chaos")
+    chaos.add_argument("--adapt-interval", type=float, default=1.0,
+                       help="seconds between planner decisions")
+    chaos.add_argument("--adapt-hysteresis", type=float, default=1.2,
+                       help="required cost ratio before a tree switch")
     chaos.add_argument("--groups", default="g1,g2",
-                       help="comma-separated target groups of the 2-level tree")
+                       help="comma-separated target groups of the overlay")
     chaos.add_argument("--timeline", action="store_true",
                        help="print the expanded nemesis timeline")
 

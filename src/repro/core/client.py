@@ -139,6 +139,15 @@ class MulticastClient(Actor):
         self.reads_issued = 0
         self.reads_accepted = 0
         self.reads_fallback = 0
+        #: optional :class:`repro.optimizer.traffic.TrafficCollector` — when
+        #: attached, every submitted write notes (destination set, hops
+        #: under the current tree); None costs nothing on the submit path
+        self.traffic = None
+        #: tree-switch barrier state (see docs/TREES.md): while paused, new
+        #: writes are signed and sequenced immediately but their tree entry
+        #: is deferred, so no message is ever in flight across two trees
+        self._paused = False
+        self._deferred: List[Tuple[WireMulticast, _InFlight]] = []
 
     # ------------------------------------------------------------------- api
 
@@ -157,19 +166,34 @@ class MulticastClient(Actor):
         signature = sign(self.registry, self.name, unsigned.signed_part())
         wire = WireMulticast.from_message(message, signature)
 
-        entry_group = self._entry_group(message)
         entry = _InFlight(
             message=message,
             sent_at=self.loop.now,
             needed=frozenset(message.dst),
             callback=callback,
-            entry_group=entry_group,
         )
+        if self._paused:
+            # Sequencing already happened (seq above), so the client's FIFO
+            # order survives the deferral; entry-group resolution waits for
+            # resume() and uses whatever tree is current *then*.
+            self._deferred.append((wire, entry))
+            self.monitor.record(self.name, "client.deferred", seq=seq)
+            return mid
+        self._enter_tree(wire, entry)
+        return mid
+
+    def _enter_tree(self, wire: WireMulticast, entry: _InFlight) -> None:
+        message = entry.message
+        seq = message.mid.seq
+        entry_group = self._entry_group(message)
+        entry.entry_group = entry_group
         self._inflight[(self.name, seq)] = entry
+        if self.traffic is not None:
+            self.traffic.note(message.dst,
+                              self.tree.destination_height(message.dst))
         entry.entry_seq = self._proxy(entry_group).submit(wire)
         self.monitor.record(self.name, "client.amulticast",
                             seq=seq, dst=",".join(sorted(message.dst)))
-        return mid
 
     def aread(
         self,
@@ -269,7 +293,39 @@ class MulticastClient(Actor):
 
     def pending(self) -> int:
         """Operations submitted but not yet resolved (writes and reads)."""
-        return len(self._inflight) + len(self._inflight_reads)
+        return len(self._inflight) + len(self._inflight_reads) + len(self._deferred)
+
+    def pending_writes(self) -> int:
+        """Writes actually *in the tree* — submitted and unconfirmed.
+
+        Deferred (paused) writes do not count: the tree-switch barrier
+        waits for this to reach zero, and deferred messages only enter the
+        tree after the switch.
+        """
+        return len(self._inflight)
+
+    # ---------------------------------------------------- tree-switch barrier
+
+    def pause(self) -> None:
+        """Hold new writes back (they queue in FIFO order; see resume)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Release writes deferred while paused, in original FIFO order."""
+        self._paused = False
+        deferred, self._deferred = self._deferred, []
+        for wire, entry in deferred:
+            self._enter_tree(wire, entry)
+
+    def update_tree(self, tree: OverlayTree) -> None:
+        """Adopt a new overlay tree (out-of-band safe for clients).
+
+        Entry-group resolution happens per submit, so only messages
+        submitted *after* this call route under the new tree — which is why
+        the controller pauses clients and drains in-flight writes before
+        ordering the :class:`~repro.core.messages.TreeUpdate` (docs/TREES.md).
+        """
+        self.tree = tree
 
     def _entry_group(self, message: MulticastMessage) -> str:
         """Where the message enters the tree: the lca of its destinations.

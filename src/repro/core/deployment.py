@@ -50,6 +50,7 @@ class GroupSpec:
     request_timeout: float = 2.0
     checkpoint_interval: int = 0
     max_in_flight: int = 4
+    authenticate_batches: bool = False
     costs: Optional[CostModel] = None
 
 
@@ -79,6 +80,7 @@ class ByzCastDeployment:
         request_timeout: float = 2.0,
         checkpoint_interval: int = 0,
         max_in_flight: int = 4,
+        authenticate_batches: bool = False,
         runtime: Optional[Runtime] = None,
     ) -> None:
         self.tree = tree
@@ -106,6 +108,7 @@ class ByzCastDeployment:
                 request_timeout=request_timeout,
                 checkpoint_interval=checkpoint_interval,
                 max_in_flight=max_in_flight,
+                authenticate_batches=authenticate_batches,
             ))
             n = 3 * spec.f + 1
             self.group_configs[group_id] = BroadcastConfig(
@@ -119,6 +122,7 @@ class ByzCastDeployment:
                 request_timeout=spec.request_timeout,
                 checkpoint_interval=spec.checkpoint_interval,
                 max_in_flight=spec.max_in_flight,
+                authenticate_batches=spec.authenticate_batches,
                 costs=spec.costs if spec.costs is not None else default_costs,
             )
 

@@ -101,6 +101,26 @@ class MembershipUpdate:
 
 
 @dataclass(frozen=True)
+class TreeUpdate:
+    """An ordered command switching the whole deployment to a new overlay.
+
+    A tree change is a reconfiguration *every* group agrees on: the
+    elasticity controller orders one ``TreeUpdate`` per group (same epoch,
+    same shape) after draining client traffic, so each group adopts the new
+    routing at one consensus boundary.  ``parents`` is the canonical sorted
+    ``(child, parent)`` edge list of the new tree and ``epoch`` increases
+    monotonically — replaying a checkpointed history re-applies updates
+    idempotently, and a stale epoch is a no-op.  Like
+    :class:`MembershipUpdate`, only the executing group's own
+    ``admin@<group>`` identity may carry it (see docs/TREES.md).
+    """
+
+    epoch: int
+    parents: Tuple[Tuple[str, str], ...]
+    targets: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
 class MulticastReply:
     """Per-replica delivery acknowledgement sent to the originating client.
 

@@ -28,7 +28,12 @@ from repro.bcast.client import GroupProxy
 from repro.bcast.config import BroadcastConfig
 from repro.bcast.messages import Reply, Request
 from repro.bcast.reconfig import admin_identity
-from repro.core.messages import MembershipUpdate, MulticastReply, WireMulticast
+from repro.core.messages import (
+    MembershipUpdate,
+    MulticastReply,
+    TreeUpdate,
+    WireMulticast,
+)
 from repro.core.tree import OverlayTree
 from repro.crypto.digest import canonical_bytes
 from repro.crypto.keys import KeyRegistry
@@ -95,6 +100,15 @@ class ByzCastApplication(Application):
 
             self._merge = QuorumMerge(parent_config.replicas, parent_config.f + 1)
 
+        #: monotonically increasing overlay epoch — bumped by each ordered
+        #: :class:`~repro.core.messages.TreeUpdate` (replicated state)
+        self.tree_epoch = 0
+        #: quorum merges of *former* parents still draining relayed copies
+        #: after a tree switch: list of ``(parent_gid, merge)``.  The switch
+        #: barrier drains client traffic first, so these are normally empty
+        #: moments after a switch; they stay registered so a straggling
+        #: correct old-parent replica can still complete an f+1 release.
+        self._prev_merges: List[Tuple[str, Any]] = []
         self._child_proxies: Dict[str, GroupProxy] = {}
         self._acted: set = set()
         self._a_delivered: set = set()
@@ -110,6 +124,8 @@ class ByzCastApplication(Application):
         wire = request.command
         if isinstance(wire, MembershipUpdate):
             return self._apply_membership_update(request, wire, ctx)
+        if isinstance(wire, TreeUpdate):
+            return self._apply_tree_update(request, wire, ctx)
         if not isinstance(wire, WireMulticast):
             return ("error", "not a multicast")
         problem = self._validate_wire(wire)
@@ -126,6 +142,16 @@ class ByzCastApplication(Application):
             for released in self._merge.push(request.sender, wire.identity(), wire):
                 self._act(released, ctx)
             return ("ack",)
+
+        # A straggling relay from a *former* parent (the tree switched while
+        # its copy was in flight): feed the retained drain merge so slow
+        # correct replicas can still complete an f+1 release.  Replica names
+        # embed the group id, so the sender sets are disjoint.
+        for __, merge in self._prev_merges:
+            if request.sender in merge.senders:
+                for released in merge.push(request.sender, wire.identity(), wire):
+                    self._act(released, ctx)
+                return ("ack",)
 
         # Direct submission: must enter the tree at the lca (or, for the
         # non-genuine Baseline, any ancestor) and carry a valid client
@@ -180,10 +206,69 @@ class ByzCastApplication(Application):
             for released in self._merge.update_members(config.replicas,
                                                        config.f + 1):
                 self._act(released, ctx)
+        # A former parent reconfiguring mid-drain must not strand its
+        # retained merge on departed replica queues.
+        for parent_gid, merge in self._prev_merges:
+            if update.group == parent_gid:
+                for released in merge.update_members(config.replicas,
+                                                     config.f + 1):
+                    self._act(released, ctx)
         ctx.monitor.record(ctx.replica_name, "byzcast.membership_update",
                            group=update.group,
                            members=",".join(update.replicas))
         return ("ok", "membership", update.group, tuple(update.replicas))
+
+    def _apply_tree_update(self, request: Request, update: TreeUpdate,
+                           ctx: ExecutionContext) -> Any:
+        """Adopt a new overlay tree (ordered; see docs/TREES.md).
+
+        Executes at one consensus boundary on every replica of this group,
+        so routing (``route_children``), entry validation (``lca``) and the
+        parent quorum merge all flip at the same logical point everywhere —
+        the same discipline as :meth:`_apply_membership_update`.  A stale or
+        replayed epoch is a no-op, which keeps checkpoint-log replay (and
+        joiners catching up through a switch) idempotent.
+        """
+        if request.sender != admin_identity(self.group_id):
+            ctx.monitor.record(ctx.replica_name, "byzcast.tree_update_denied",
+                               sender=request.sender)
+            return ("error", "tree update denied")
+        if update.epoch <= self.tree_epoch:
+            return ("ok", "tree", self.tree_epoch)
+        try:
+            tree = OverlayTree(dict(update.parents), update.targets)
+        except Exception as exc:
+            return ("error", f"invalid tree: {exc}")
+        if self.group_id not in tree:
+            # Group join/leave travels through membership elasticity, not
+            # tree updates: a switch may rewire every edge but must keep
+            # this group a node.
+            return ("error", "tree update drops the executing group")
+        for gid in tree.nodes:
+            if gid not in self.group_configs:
+                return ("error", f"unknown group {gid!r} in tree update")
+        old_parent = self.tree.parent(self.group_id)
+        new_parent = tree.parent(self.group_id)
+        self.tree = tree
+        self.tree_epoch = update.epoch
+        if new_parent != old_parent:
+            from repro.core.relay import QuorumMerge
+
+            if self._merge is not None:
+                # Keep the old merge draining: straggling relays from the
+                # former parent may still need f+1 confirmation.
+                self._prev_merges.append((old_parent, self._merge))
+            if new_parent is not None:
+                config = self.group_configs[new_parent]
+                self._parent_replicas = config.replicas
+                self._merge = QuorumMerge(config.replicas, config.f + 1)
+            else:
+                self._parent_replicas = ()
+                self._merge = None
+        ctx.monitor.record(ctx.replica_name, "byzcast.tree_update",
+                           epoch=update.epoch,
+                           parent=new_parent or "(root)")
+        return ("ok", "tree", update.epoch)
 
     def _validate_wire(self, wire: WireMulticast) -> Optional[str]:
         if not wire.dst:
@@ -344,12 +429,25 @@ class ByzCastApplication(Application):
             (gid, tuple(config.replicas), config.f)
             for gid, config in sorted(self.group_configs.items())
         )
+        # The overlay itself is replicated state under adaptive trees (an
+        # ordered TreeUpdate changes it): a joiner restoring a post-switch
+        # checkpoint must route on the tree its epoch agreed on, drain
+        # merges included.
+        drains = tuple(
+            (parent_gid, tuple(sorted(m.senders)), m.threshold, m.snapshot())
+            for parent_gid, m in self._prev_merges
+        )
+        tree_state = (self.tree_epoch, self.tree.parent_edges(),
+                      tuple(sorted(self.tree.targets)), drains)
         return ("byzcast", acted, a_delivered, merge, delivered, payload,
-                configs)
+                configs, tree_state)
 
     def restore(self, state: Tuple) -> None:
         """Adopt a peer's :meth:`snapshot` (checkpoint install path)."""
-        __, acted, a_delivered, merge, delivered, payload, configs = state
+        from repro.core.relay import QuorumMerge
+
+        (__, acted, a_delivered, merge, delivered, payload, configs,
+         tree_state) = state
         self._acted = set(acted)
         self._a_delivered = set(a_delivered)
         for gid, replicas, group_f in configs:
@@ -363,11 +461,31 @@ class ByzCastApplication(Application):
             if proxy is not None:
                 proxy.update_replicas(config.replicas, config.f)
         self.config = self.group_configs[self.group_id]
+        # Adopt the snapshot's overlay *before* the merge state: the merge
+        # queues belong to the snapshot's parent, which after a switch is
+        # not necessarily this replica's construction-time parent.
+        tree_epoch, edges, targets, drains = tree_state
+        if tree_epoch != self.tree_epoch:
+            self.tree = OverlayTree(dict(edges), targets)
+            self.tree_epoch = tree_epoch
+            parent = self.tree.parent(self.group_id)
+            if parent is not None:
+                config = self.group_configs[parent]
+                self._parent_replicas = config.replicas
+                self._merge = QuorumMerge(config.replicas, config.f + 1)
+            else:
+                self._parent_replicas = ()
+                self._merge = None
         if self._merge is not None and merge is not None:
             senders, threshold, queue_state = merge
             self._parent_replicas = tuple(senders)
             self._merge.update_members(senders, threshold)
             self._merge.restore(queue_state)
+        self._prev_merges = []
+        for parent_gid, senders, threshold, queue_state in drains:
+            drain = QuorumMerge(senders, threshold)
+            drain.restore(queue_state)
+            self._prev_merges.append((parent_gid, drain))
         # Rebuild the delivery record so the a-delivery *sequence* survives
         # the restore; timestamps/process are local observations, not
         # replicated state, so they reflect the restore itself.

@@ -173,6 +173,15 @@ class OverlayTree:
 
     # -- queries ----------------------------------------------------------------
 
+    def parent_edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Sorted ``(child, parent)`` edges — the canonical wire form.
+
+        ``OverlayTree(dict(edges), targets)`` rebuilds an equal tree, which
+        is how :class:`~repro.core.messages.TreeUpdate` ships a tree through
+        ordered consensus and checkpoints.
+        """
+        return tuple(sorted(self._parent.items()))
+
     def parent(self, node: str) -> Optional[str]:
         """Parent group of ``node`` (None for the root)."""
         return self._parent.get(node)

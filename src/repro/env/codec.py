@@ -87,6 +87,11 @@ def _register_builtin_types() -> None:
         bmsg.StateRequest, bmsg.StateResponse,
         cmsg.WireMulticast, cmsg.MulticastReply,
         Reconfig, View, Signature, MessageId, MulticastMessage, Delivery,
+        # Admin commands ride inside Request.command over neighbour links,
+        # so they need wire ids too.  Appended after the original table —
+        # the binary codec's type ids are registration-order indexes.
+        cmsg.MembershipUpdate, cmsg.TreeUpdate,
+        bmsg.AuthenticatedPropose,
     ):
         register_wire_type(cls)
 

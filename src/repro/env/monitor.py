@@ -49,6 +49,10 @@ class Monitor:
         #: with a ``<name>.peak`` high-water companion; kept apart from
         #: ``counters`` so gauge churn never perturbs counter fingerprints
         self.gauges: Dict[str, float] = {}
+        #: interned ``<name>.peak`` keys — :meth:`gauge` is on the consensus
+        #: hot path (pipeline depth transitions), so the concat happens once
+        #: per gauge name, not once per call
+        self._peak_keys: Dict[str, str] = {}
         self._clock = None  # set by the deployment; callable () -> float
 
     def bind_clock(self, clock) -> None:
@@ -79,9 +83,20 @@ class Monitor:
         )
 
     def gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value`` and track its ``.peak``."""
+        """Set gauge ``name`` to ``value`` and track its ``.peak``.
+
+        The plain value store always happens — live policies (e.g.
+        :class:`repro.faults.elasticity.AutoscalePolicy`) read gauges even
+        on untraced deployments.  Peak tracking is observability-only, so
+        on a disabled monitor it takes the same fast exit as
+        :meth:`record`: no string build, no extra dict traffic.
+        """
         self.gauges[name] = value
-        peak = name + ".peak"
+        if not self.enabled:
+            return
+        peak = self._peak_keys.get(name)
+        if peak is None:
+            peak = self._peak_keys[name] = name + ".peak"
         if value > self.gauges.get(peak, float("-inf")):
             self.gauges[peak] = value
 

@@ -33,7 +33,8 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bcast.reconfig import View, ViewManager
 from repro.bcast.replica import Replica
-from repro.core.messages import MembershipUpdate
+from repro.core.messages import MembershipUpdate, TreeUpdate
+from repro.core.tree import OverlayTree
 from repro.faults.injector import _at, fault_clock
 
 #: replicas added per scale step (a view has 3f+1 members, so f -> f+1
@@ -57,6 +58,16 @@ class ElasticityController:
         self.spawned: Dict[str, List[str]] = {}
         #: confirmed membership changes: (time, kind, group, members-csv)
         self.events: List[Tuple[float, str, str, str]] = []
+        #: overlay epoch of the last *confirmed* tree switch (0 = initial)
+        self.tree_epoch = 0
+        #: confirmed tree switches (count; also recorded in ``events``)
+        self.tree_switches = 0
+        #: switch in progress (barrier draining or TreeUpdates ordering)
+        self._tree_busy = False
+        #: switches requested while one was in progress, FIFO
+        self._tree_queue: List[OverlayTree] = []
+        #: how often the drain barrier re-polls client write-pendings
+        self.tree_poll_interval = 0.05
 
     # ------------------------------------------------------------------- ops
 
@@ -84,9 +95,97 @@ class ElasticityController:
         self._schedule(group_id, at, lambda: self._scale_down(group_id))
         return self
 
+    def tree_update(self, tree: OverlayTree,
+                    at: Optional[float] = None) -> "ElasticityController":
+        """Switch the deployment to a new overlay tree (docs/TREES.md).
+
+        The switch is a drain barrier followed by an ordered
+        :class:`~repro.core.messages.TreeUpdate` at *every* group:
+
+        1. pause every client (new writes queue in FIFO order),
+        2. wait until no write is in flight anywhere in the tree and no
+           churn reconfiguration is awaiting confirmation,
+        3. order one ``TreeUpdate`` (same epoch, same edges) through each
+           group's ViewManager — churn ops queue behind the switch while
+           the updates confirm,
+        4. on all-confirmed: flip the deployment/client tree handles and
+           resume the clients on the new routing.
+
+        Draining first is what makes order safety trivial: no message is
+        ever relayed across two different trees, so FIFO and global order
+        hold across the switch by the unchanged per-tree argument.
+        Switches serialize; one requested mid-switch runs after.
+        """
+        if at is not None:
+            _at(self.clock, at, lambda: self.tree_update(tree))
+            return self
+        current = self.deployment.tree
+        if tree.targets != current.targets or tree.nodes != current.nodes:
+            raise ValueError(
+                "tree updates rewire edges over the existing groups; "
+                "group join/leave goes through membership elasticity")
+        if self._tree_busy:
+            self._tree_queue.append(tree)
+            return self
+        self._tree_busy = True
+        for client in self.deployment.clients:
+            client.pause()
+        self.monitor.record("elasticity", "tree.barrier",
+                            epoch=self.tree_epoch + 1)
+        self._await_drain(tree)
+        return self
+
+    def _await_drain(self, tree: OverlayTree) -> None:
+        draining = any(c.pending_writes() for c in self.deployment.clients)
+        if draining or self._busy:
+            self.clock.schedule(self.tree_poll_interval,
+                                lambda: self._await_drain(tree))
+            return
+        self._commit_tree(tree)
+
+    def _commit_tree(self, tree: OverlayTree) -> None:
+        epoch = self.tree_epoch + 1
+        update = TreeUpdate(epoch, tree.parent_edges(),
+                            tuple(sorted(tree.targets)))
+        groups = sorted(self.deployment.groups)
+        # Churn ops arriving while the updates confirm queue behind the
+        # switch (every group reads busy until the epoch is confirmed).
+        self._busy.update(groups)
+        waiting = set(groups)
+
+        def confirmed(group_id: str) -> None:
+            waiting.discard(group_id)
+            if waiting:
+                return
+            self.deployment.tree = tree
+            self.tree_epoch = epoch
+            self.tree_switches += 1
+            for client in self.deployment.clients:
+                client.update_tree(tree)
+                client.resume()
+            self.events.append((self.clock.now, "tree", "*",
+                                f"epoch={epoch}"))
+            self.monitor.record("elasticity", "tree.switch", epoch=epoch)
+            self.monitor.gauge("tree.epoch", float(epoch))
+            self._tree_busy = False
+            for group_id_ in groups:
+                self._finish(group_id_)
+            if self._tree_queue:
+                self.tree_update(self._tree_queue.pop(0))
+
+        for group_id in groups:
+            self._manager(group_id).submit_command(
+                update, callback=lambda result, g=group_id: confirmed(g))
+
+    def expected_tree(self) -> Tuple[int, Tuple[Tuple[str, str], ...]]:
+        """(epoch, edges) every active correct replica should hold now."""
+        return self.tree_epoch, self.deployment.tree.parent_edges()
+
     def idle(self) -> bool:
-        """True when no churn op is queued or awaiting confirmation."""
-        return not self._busy and not any(self._queues.values())
+        """True when no churn op or tree switch is queued or in flight."""
+        return (not self._busy and not self._tree_busy
+                and not self._tree_queue
+                and not any(self._queues.values()))
 
     def expected_view(self, group_id: str) -> Tuple[Tuple[str, ...], int]:
         """The membership every active correct replica should hold now."""

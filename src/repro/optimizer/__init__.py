@@ -10,6 +10,10 @@ the overlay tree minimizing the total lca height ``Σ_d H(T, d)`` subject to
 * :mod:`repro.optimizer.heuristic` — demand-clustering heuristic for larger
   instances.
 * :mod:`repro.optimizer.report` — regenerates the paper's Table III.
+* :mod:`repro.optimizer.traffic` — online per-destination-set traffic
+  observation (the adaptation loop's *observe* stage, docs/TREES.md).
+* :mod:`repro.optimizer.planner` — online re-planning with hysteresis
+  (the *decide* stage).
 """
 
 from repro.optimizer.model import (
@@ -24,8 +28,13 @@ from repro.optimizer.model import (
 from repro.optimizer.enumerate import enumerate_trees, optimize_exhaustive
 from repro.optimizer.heuristic import optimize_heuristic
 from repro.optimizer.report import table3_report, format_table3
+from repro.optimizer.traffic import TrafficCollector
+from repro.optimizer.planner import TreePlanner, replan
 
 __all__ = [
+    "TrafficCollector",
+    "TreePlanner",
+    "replan",
     "OptimizationInput",
     "TreeEvaluation",
     "destinations_through",

@@ -26,11 +26,15 @@ from repro.perf.baseline import (
     save_report,
 )
 from repro.perf.runner import (
+    ADAPT_CONTROL_CELL,
+    ADAPT_GAIN,
+    ADAPT_SMOKE_CELL,
     BENCH_MATRIX,
     BenchCell,
     MIXED_CELL,
     PIPELINE_SPEEDUP,
     QUICK_CELL,
+    adapt_gates,
     run_cell,
     run_matrix,
     saturated_cells,
@@ -45,6 +49,10 @@ from repro.perf.rtbench import (
 )
 
 __all__ = [
+    "ADAPT_CONTROL_CELL",
+    "ADAPT_GAIN",
+    "ADAPT_SMOKE_CELL",
+    "adapt_gates",
     "BENCH_SCHEMA_VERSION",
     "BENCH_MATRIX",
     "BenchCell",

@@ -63,9 +63,15 @@ class CellResult:
     #: the cell's deployment (memory-bound metric; 0 in pre-checkpoint
     #: baselines, which is why it is informational and never compared)
     max_retained: int = 0
+    #: mean overlay hops per delivered global message over the measurement
+    #: window (0 when the cell ran without the traffic collector); the
+    #: adaptive-tree gate in :func:`compare` reads this
+    mean_hops: float = 0.0
+    #: ordered tree switches the adaptive planner committed during the cell
+    tree_switches: int = 0
 
     def to_json(self) -> Dict:
-        return {
+        doc = {
             "throughput": round(self.throughput, 3),
             "completed": self.completed,
             "latency_ms": {
@@ -75,6 +81,13 @@ class CellResult:
             "wall_seconds": round(self.wall_seconds, 3),
             "max_retained": self.max_retained,
         }
+        # Adaptive-tree metrics appear only on cells that collected them,
+        # keeping pre-adaptive cells byte-identical to older baselines.
+        if self.mean_hops:
+            doc["mean_hops"] = round(self.mean_hops, 4)
+        if self.tree_switches:
+            doc["tree_switches"] = self.tree_switches
+        return doc
 
     @classmethod
     def from_json(cls, name: str, raw: Dict) -> "CellResult":
@@ -86,6 +99,8 @@ class CellResult:
                         for key, value in raw["latency_ms"].items()},
             wall_seconds=float(raw.get("wall_seconds", 0.0)),
             max_retained=int(raw.get("max_retained", 0)),
+            mean_hops=float(raw.get("mean_hops", 0.0)),
+            tree_switches=int(raw.get("tree_switches", 0)),
         )
 
 
@@ -184,6 +199,7 @@ def compare(
     tolerance: float = 0.10,
     speedup_gates: Optional[Dict[str, Tuple[str, float]]] = None,
     skip_latency: Optional[Iterable[str]] = None,
+    adapt_gates: Optional[Dict[str, Tuple[str, float]]] = None,
 ) -> Comparison:
     """Detect per-cell regressions of ``current`` against ``baseline``.
 
@@ -200,6 +216,15 @@ def compare(
     wall-clock cells).  Gates whose cells were not measured on either
     side are skipped — a ``--cells`` subset run should not fail on what
     it did not measure.
+
+    ``adapt_gates`` maps an adaptive-tree cell to ``(control_cell,
+    min_gain)``: the adaptive cell's p50 latency *and* mean overlay hop
+    count must both improve at least ``min_gain``-fold over the static
+    control cell (lower is better on both axes — the inverse direction of
+    a throughput gate).  Lookup follows the speedup-gate rule: control
+    from the baseline report when present, else from the same run (the
+    control cells are measured alongside the adaptive ones).  Gates whose
+    cells were not measured on either side are skipped.
 
     ``skip_latency`` names cells whose per-cell p95 check is skipped:
     cells deliberately driven past saturation (see
@@ -259,6 +284,33 @@ def compare(
                          current=cur.latency_ms.get("p95", 0.0))
         if p95.baseline > 0 and p95.change > tolerance:
             regressions.append(p95)
+    for name, (base_name, min_gain) in sorted((adapt_gates or {}).items()):
+        cur = current.cells.get(name)
+        base = baseline.cells.get(base_name)
+        if base is None:
+            base = current.cells.get(base_name)
+        if cur is None or base is None:
+            continue
+        gated.append(f"{name} vs {base_name}")
+        # Lower-is-better gates: cur must be <= base / min_gain on both
+        # p50 latency and mean hop count.
+        checks = (
+            (f"p50(x{min_gain:g} gate)",
+             base.latency_ms.get("median", 0.0),
+             cur.latency_ms.get("median", 0.0)),
+            (f"mean_hops(x{min_gain:g} gate)",
+             base.mean_hops, cur.mean_hops),
+        )
+        for metric, base_value, cur_value in checks:
+            if base_value <= 0:
+                continue
+            entry = Regression(cell=f"{name} vs {base_name}", metric=metric,
+                               baseline=base_value / min_gain,
+                               current=cur_value)
+            if cur_value <= 0 or cur_value * min_gain > base_value:
+                regressions.append(entry)
+            else:
+                improvements.append(entry)
     return Comparison(
         baseline_rev=baseline.rev,
         current_rev=current.rev,

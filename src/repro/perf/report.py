@@ -17,6 +17,8 @@ def _cell_row(name: str, cell: CellResult) -> str:
         f"p99={lat.get('p99', 0.0):7.2f}ms)  "
         f"wall={cell.wall_seconds:6.2f}s  "
         f"retained={cell.max_retained}"
+        + (f"  hops={cell.mean_hops:.2f}" if cell.mean_hops else "")
+        + (f"  switches={cell.tree_switches}" if cell.tree_switches else "")
     )
 
 

@@ -107,6 +107,19 @@ class BenchCell:
     #: service time, so ``compare`` must not treat its p95 as a regression
     #: signal (throughput still is one)
     saturated: bool = False
+    #: adaptive-tree axis (schema 5, docs/TREES.md): ``observe`` runs the
+    #: traffic collector only (hop counts without switching — the static
+    #: control), ``on`` runs the full observe→decide→switch loop
+    adaptive_tree: str = "off"
+    adapt_interval: float = 1.0
+    adapt_min_samples: int = 48
+    adapt_hysteresis: float = 1.2
+    adapt_cooldown: float = 2.0
+    #: ``hotpairs`` workload shape: fraction of traffic on the hot
+    #: cross-half pairs and the epoch length after which the pairing
+    #: migrates (docs/SCENARIOS.md)
+    hotspot_weight: float = 0.8
+    hotspot_period: float = 5.0
 
     def to_scenario(self, optimised: bool = False) -> ScenarioSpec:
         """This cell as a runnable scenario spec."""
@@ -124,6 +137,8 @@ class BenchCell:
                 warmup=self.warmup, duration=self.duration,
                 key_dist=self.key_dist,
                 read_ratio=self.read_ratio, read_mode=self.read_mode,
+                hotspot_weight=self.hotspot_weight,
+                hotspot_period=self.hotspot_period,
             ),
             protocol=ProtocolSpec(
                 max_batch=self.max_batch,
@@ -131,6 +146,11 @@ class BenchCell:
                 adaptive_batching=optimised,
                 checkpoint_interval=self.checkpoint_interval,
                 max_in_flight=self.max_in_flight,
+                adaptive_tree=self.adaptive_tree,
+                adapt_interval=self.adapt_interval,
+                adapt_min_samples=self.adapt_min_samples,
+                adapt_hysteresis=self.adapt_hysteresis,
+                adapt_cooldown=self.adapt_cooldown,
                 costs="bench",
             ),
             faults=(FaultSpec(intensity=self.intensity)
@@ -168,6 +188,13 @@ WAN_SMOKE_CELL = "wan_global_two_level"
 #: the optimistic cell must reach READ_SPEEDUP x its ordered twin)
 READ_SMOKE_CELL = "read90_zipf_open"
 READ_SPEEDUP = 5.0
+
+#: the adaptive-tree cell CI's adapt-smoke job runs, and the static
+#: control it gates against (docs/TREES.md): the adaptive cell must show
+#: >= ADAPT_GAIN x lower post-adaptation p50 latency AND mean hop count
+ADAPT_SMOKE_CELL = "adapt_zipf_hotspot_migration"
+ADAPT_CONTROL_CELL = "adapt_skew_static"
+ADAPT_GAIN = 1.3
 
 BENCH_MATRIX: List[BenchCell] = [
     # batch-config axis: no leader delay at all (latency-optimal baseline)
@@ -237,6 +264,26 @@ BENCH_MATRIX: List[BenchCell] = [
               loop="open", rate=1600.0, warmup=0.5, duration=1.5,
               read_ratio=0.9, read_mode="optimistic", saturated=True,
               baseline="read90_zipf_ordered", speedup=READ_SPEEDUP),
+    # adaptive-tree axis (docs/TREES.md): 8 target groups on a balanced
+    # fanout-4 tree, 90% of traffic on zipf-ranked cross-half pairs whose
+    # pairing migrates every hotspot_period seconds.  On the static tree
+    # every hot pair costs 3 overlay hops (its lca is the root); the
+    # online planner re-clusters the hot pairs under one auxiliary,
+    # cutting them to 2.  The control cell runs the identical workload
+    # with the collector in observe-only mode; the adaptive cell must
+    # show an ADAPT_GAIN x drop in post-adaptation p50 latency and mean
+    # hops against it (the ``adapt_gates`` check in compare()).  The long
+    # warmup leaves the measurement window entirely post-switch.
+    BenchCell(name=ADAPT_CONTROL_CELL, workload="hotpairs", tree="balanced",
+              groups=8, fanout=4, clients=16, hotspot_weight=0.9,
+              hotspot_period=4.0, warmup=6.0, duration=2.0,
+              max_in_flight=4, adaptive_tree="observe"),
+    BenchCell(name=ADAPT_SMOKE_CELL, workload="hotpairs", tree="balanced",
+              groups=8, fanout=4, clients=16, hotspot_weight=0.9,
+              hotspot_period=4.0, warmup=6.0, duration=2.0,
+              max_in_flight=4, adaptive_tree="on",
+              adapt_interval=0.5, adapt_min_samples=48,
+              adapt_hysteresis=1.2, adapt_cooldown=1.0),
 ]
 
 #: scale variants outside the default matrix (and its baselines): the
@@ -267,6 +314,17 @@ def speedup_gates() -> Dict[str, tuple]:
         for cell in [*BENCH_MATRIX, *RT_MATRIX]
         if cell.baseline is not None
     }
+
+
+def adapt_gates() -> Dict[str, tuple]:
+    """Adaptive-tree gates for :func:`repro.perf.baseline.compare`.
+
+    The adaptive cell must improve post-adaptation p50 latency and mean
+    overlay hop count by at least :data:`ADAPT_GAIN` x over its static
+    control cell (both lower-is-better; cross-name, resolved from the
+    same run when the committed baseline predates the adaptive cells).
+    """
+    return {ADAPT_SMOKE_CELL: (ADAPT_CONTROL_CELL, ADAPT_GAIN)}
 
 
 def saturated_cells() -> Tuple[str, ...]:
@@ -311,6 +369,8 @@ def run_cell(cell: BenchCell, optimised: bool = True) -> CellResult:
         },
         wall_seconds=result.wall_seconds,
         max_retained=result.max_retained,
+        mean_hops=result.mean_hops,
+        tree_switches=result.tree_switches,
     )
 
 

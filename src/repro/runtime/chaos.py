@@ -56,6 +56,11 @@ class SoakConfig:
     backend: str = "sim"
     seed: int = 7
     targets: Tuple[str, ...] = ("g1", "g2")
+    #: overlay layout over the targets (``two_level`` | ``balanced``);
+    #: adaptive-tree soaks want ``balanced`` with >= 2 auxiliary bins so
+    #: the planner has leaf assignments to re-plan
+    layout: str = "two_level"
+    fanout: int = 8
     intensity: str = "medium"
     #: nemesis horizon scale: ops start after ~5% and all end by ~85%
     duration: float = 12.0
@@ -91,14 +96,26 @@ class SoakConfig:
     read_ratio: float = 0.0
     read_mode: str = "optimistic"
     #: wire codec of the rt backend's TCP transport (docs/WIRE.md); the
-    #: sim backend ignores it (messages pass by reference)
-    wire: str = "json"
+    #: sim backend ignores it (messages pass by reference).  ``auto``
+    #: resolves to the measured-fastest codec per backend (binary on rt).
+    wire: str = "auto"
+    #: workload-adaptive overlay trees (docs/TREES.md): ``off`` |
+    #: ``observe`` | ``on``.  ``on`` runs the full observe → decide →
+    #: switch loop *under chaos* and arms the tree-switch invariant:
+    #: after quiescence every active correct replica must hold exactly
+    #: the controller's confirmed tree epoch and edges.
+    adaptive_tree: str = "off"
+    adapt_interval: float = 1.0
+    adapt_min_samples: int = 24
+    adapt_hysteresis: float = 1.2
+    adapt_cooldown: float = 2.0
 
     def to_scenario(self) -> ScenarioSpec:
         """This soak as a declarative scenario spec."""
         return ScenarioSpec(
             name=f"soak-{self.intensity}-{self.seed}",
-            topology=TopologySpec(names=tuple(self.targets)),
+            topology=TopologySpec(names=tuple(self.targets),
+                                  layout=self.layout, fanout=self.fanout),
             workload=WorkloadSpec(
                 clients=self.clients, warmup=0.0, duration=self.duration,
                 read_ratio=self.read_ratio, read_mode=self.read_mode),
@@ -109,6 +126,11 @@ class SoakConfig:
                 max_in_flight=self.max_in_flight,
                 costs="soak",
                 wire=self.wire if self.backend == "rt" else "json",
+                adaptive_tree=self.adaptive_tree,
+                adapt_interval=self.adapt_interval,
+                adapt_min_samples=self.adapt_min_samples,
+                adapt_hysteresis=self.adapt_hysteresis,
+                adapt_cooldown=self.adapt_cooldown,
             ),
             faults=FaultSpec(intensity=self.intensity, settle=self.settle,
                              joins=self.joins, leaves=self.leaves,
@@ -165,6 +187,10 @@ class ChaosReport:
     reads_issued: int = 0
     reads_accepted: int = 0
     read_fallbacks: int = 0
+    #: adaptive-tree soaks (docs/TREES.md): confirmed ordered tree
+    #: switches and the final agreed tree epoch
+    tree_switches: int = 0
+    tree_epoch: int = 0
 
     @property
     def ok(self) -> bool:
@@ -190,6 +216,10 @@ class ChaosReport:
                 f"  reads    : {self.reads_issued} issued, "
                 f"{self.reads_accepted} accepted on f+1 match, "
                 f"{self.read_fallbacks} fell back to ordered")
+        if self.tree_switches:
+            lines.append(
+                f"  tree     : {self.tree_switches} ordered switch(es), "
+                f"final epoch {self.tree_epoch}")
         if self.membership_events:
             kinds: Dict[str, int] = {}
             for _, kind, _, _ in self.membership_events:
@@ -229,6 +259,8 @@ class ChaosReport:
                 checks += ", view agreement, joiner replay"
             if self.reads_issued:
                 checks += ", read safety"
+            if self.tree_switches:
+                checks += ", tree-switch agreement"
             lines.append(f"  invariants: {checks} all hold "
                          f"(pipeline depth {self.max_in_flight})")
         return "\n".join(lines)
@@ -252,7 +284,8 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
     runtime = make_runtime(
         spec.backend,
         **({"seed": spec.seed} if spec.backend == "sim"
-           else {"seed": spec.seed, "wire": spec.protocol.wire}))
+           else {"seed": spec.seed,
+                 "wire": spec.protocol.resolved_wire(spec.backend)}))
     try:
         chaos = install_chaos(runtime, ChaosConfig())
         schedule = NemesisSchedule.generate(
@@ -269,7 +302,8 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             app_overrides=schedule.app_overrides,
         )
         elasticity = None
-        if CHURN_KINDS & {op.kind for op in schedule.ops}:
+        if (CHURN_KINDS & {op.kind for op in schedule.ops}
+                or config.adaptive_tree == "on"):
             elasticity = elasticity_controller(deployment)
         schedule.apply(deployment, chaos=chaos, elasticity=elasticity)
 
@@ -278,7 +312,32 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
                 f"c{i}", retransmit_timeout=config.retransmit_timeout)
             for i in range(config.clients)
         ]
-        dests = _mixed_destinations(config.targets)
+        planner = None
+        if config.adaptive_tree != "off":
+            from repro.optimizer.planner import TreePlanner
+            from repro.optimizer.traffic import TrafficCollector
+
+            traffic = TrafficCollector()
+            traffic.bind_clock(lambda: runtime.clock.now)
+            for client in clients:
+                client.traffic = traffic
+            if config.adaptive_tree == "on":
+                planner = TreePlanner(
+                    elasticity, traffic,
+                    interval=config.adapt_interval,
+                    min_samples=config.adapt_min_samples,
+                    hysteresis=config.adapt_hysteresis,
+                    cooldown=config.adapt_cooldown,
+                ).start()
+        if config.adaptive_tree != "off" and len(config.targets) >= 4:
+            # cross-branch hot pairs (double-weighted) + every local
+            # single: under the initial balanced packing each hot pair
+            # spans two auxiliary branches, so a working planner provably
+            # re-packs them under one — and a control run shows the static
+            # hop tax
+            dests = _cross_pair_destinations(config.targets)
+        else:
+            dests = _mixed_destinations(config.targets)
         sent_messages = []
         state = {"issued": 0, "read_credit": 0.0}
 
@@ -346,10 +405,13 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
                 if replica.active and not replica.crashed
                 and replica.name not in schedule.replica_classes.get(gid, {})
             ]
+        if planner is not None:
+            planner.stop()
         violations = check_all(sequences, sent_messages, quiescent=liveness_ok)
         violations.extend(_execution_order_violations(deployment, schedule))
         violations.extend(_churn_violations(deployment, schedule, elasticity))
         violations.extend(_read_violations(deployment, schedule, clients))
+        violations.extend(_tree_violations(deployment, schedule, elasticity))
 
         max_retained = 0
         for gid in deployment.groups:
@@ -396,6 +458,8 @@ def run_chaos_soak(config: Optional[SoakConfig] = None, **overrides) -> ChaosRep
             reads_issued=sum(c.reads_issued for c in clients),
             reads_accepted=sum(c.reads_accepted for c in clients),
             read_fallbacks=sum(c.reads_fallback for c in clients),
+            tree_switches=elasticity.tree_switches if elasticity else 0,
+            tree_epoch=elasticity.tree_epoch if elasticity else 0,
         )
         return report
     finally:
@@ -549,6 +613,40 @@ def _read_violations(deployment, schedule, clients) -> List[str]:
     return problems
 
 
+def _tree_violations(deployment, schedule, elasticity) -> List[str]:
+    """The soak's tree-switch invariant (adaptive-tree soaks, docs/TREES.md).
+
+    After quiescence, every active correct replica of *every* group
+    (targets and auxiliaries alike) must hold exactly the controller's
+    confirmed overlay: the same tree epoch and the same parent edges.  A
+    replica on a stale tree would relay along edges the rest of the
+    deployment abandoned — global messages would blackhole or double-route
+    — so agreement here is what makes an ordered ``TreeUpdate`` a safe
+    reconfiguration rather than a split-brain.
+    """
+    if elasticity is None:
+        return []
+    problems: List[str] = []
+    expected_epoch, expected_edges = elasticity.expected_tree()
+    for gid in sorted(deployment.groups):
+        byzantine = set(schedule.replica_classes.get(gid, {}))
+        byzantine |= set(schedule.app_overrides.get(gid, {}))
+        for replica in deployment.groups[gid].replicas:
+            if (replica.name in byzantine or replica.crashed
+                    or not replica.active):
+                continue
+            app = replica.app
+            if app.tree_epoch != expected_epoch:
+                problems.append(
+                    f"{replica.name}: tree epoch {app.tree_epoch} != "
+                    f"confirmed epoch {expected_epoch}")
+            elif app.tree.parent_edges() != expected_edges:
+                problems.append(
+                    f"{replica.name}: tree edges {app.tree.parent_edges()} "
+                    f"!= confirmed edges {expected_edges}")
+    return problems
+
+
 def _mixed_destinations(targets: Sequence[str]) -> List[frozenset]:
     """Every single target plus adjacent pairs — mixed local/global load."""
     dests = [frozenset([t]) for t in targets]
@@ -556,3 +654,18 @@ def _mixed_destinations(targets: Sequence[str]) -> List[frozenset]:
         if a != b:
             dests.append(frozenset([a, b]))
     return sorted(set(dests), key=sorted)
+
+
+def _cross_pair_destinations(targets: Sequence[str]) -> List[frozenset]:
+    """Hot cross-branch pairs (×2 weight) plus every single target.
+
+    Pair ``i`` joins ``targets[i]`` with ``targets[half + i]`` — opposite
+    halves of the initial ``balanced`` packing, so each pair's lca is the
+    root until the planner co-locates it.  Pairs appear twice in the
+    cycle, putting 2/3 of an equal-rotation workload's weight on them
+    (enough predicted savings to clear the planner's hysteresis).
+    """
+    half = len(targets) // 2
+    pairs = [frozenset([targets[i], targets[half + i]]) for i in range(half)]
+    singles = [frozenset([t]) for t in targets]
+    return pairs + pairs + singles

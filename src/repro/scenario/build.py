@@ -153,7 +153,7 @@ def build_deployment(
         overrides = merged
     if runtime is None and spec.backend != "sim":
         runtime = make_runtime(spec.backend, seed=spec.seed,
-                               wire=spec.protocol.wire)
+                               wire=proto.resolved_wire(spec.backend))
     deployment = ByzCastDeployment(
         tree,
         f=spec.topology.f,
@@ -213,6 +213,11 @@ def build_destination_sampler(
             ),
             workloads.uniform_pairs(targets),
             workload.local_parts, workload.global_parts,
+        )
+    if workload.destinations == "hotpairs":
+        return workloads.hotspot_pairs(
+            targets, hot_weight=workload.hotspot_weight,
+            period=workload.hotspot_period, s=workload.zipf_s, clock=clock,
         )
     raise ConfigurationError(
         f"unknown destination distribution {workload.destinations!r}")
@@ -337,6 +342,11 @@ class ScenarioResult:
     wall_seconds: float
     #: high-water mark of retained executed batches across all replicas
     max_retained: int = 0
+    #: adaptive-tree runs (docs/TREES.md): mean per-message hop count over
+    #: the collector's window (post-switch traffic after an adaptation)
+    #: and the number of ordered tree switches the planner committed
+    mean_hops: float = 0.0
+    tree_switches: int = 0
     #: Monitor counter snapshot — the determinism fingerprint on sim
     counters: Dict[str, int] = field(default_factory=dict)
     #: the run's :class:`~repro.apps.sharded_kv.ShardedKVApp` handle
@@ -392,7 +402,8 @@ def run_scenario(
                 **({"network_config": build_network_config(spec.topology),
                     "seed": spec.seed}
                    if spec.backend == "sim"
-                   else {"seed": spec.seed, "wire": spec.protocol.wire}),
+                   else {"seed": spec.seed,
+                         "wire": spec.protocol.resolved_wire(spec.backend)}),
             )
         chaos = install_chaos(runtime, ChaosConfig())
         schedule = NemesisSchedule.generate(
@@ -422,12 +433,37 @@ def run_scenario(
             collector=collector, meter=meter,
             local_collector=local_collector, global_collector=global_collector,
         )
+        traffic = None
+        planner = None
+        if spec.protocol.adaptive_tree != "off":
+            # observe: every client notes (destination set, hop count) into
+            # one shared ring; on: the planner closes the loop by driving
+            # ordered tree switches through the elasticity controller
+            from repro.optimizer.traffic import TrafficCollector
+
+            traffic = TrafficCollector()
+            traffic.bind_clock(lambda: deployment.loop.now)
+            for client in deployment.clients:
+                client.traffic = traffic
+            if spec.protocol.adaptive_tree == "on":
+                from repro.faults.elasticity import elasticity_controller
+                from repro.optimizer.planner import TreePlanner
+
+                planner = TreePlanner(
+                    elasticity_controller(deployment), traffic,
+                    interval=spec.protocol.adapt_interval,
+                    min_samples=spec.protocol.adapt_min_samples,
+                    hysteresis=spec.protocol.adapt_hysteresis,
+                    cooldown=spec.protocol.adapt_cooldown,
+                ).start()
         deployment.start()
         for driver in drivers:
             driver.start()
         deployment.run(until=spec.horizon, max_events=max_events)
         for driver in drivers:
             driver.stop()
+        if planner is not None:
+            planner.stop()
 
         max_retained = 0
         for group in deployment.groups.values():
@@ -448,6 +484,9 @@ def run_scenario(
             completed=sum(d.completed for d in drivers),
             wall_seconds=wall,
             max_retained=max_retained,
+            mean_hops=(traffic.mean_hops(since=workload.warmup)
+                       if traffic is not None else 0.0),
+            tree_switches=planner.switches if planner is not None else 0,
             counters=deployment.monitor.snapshot(),
             kv=deployment.kv,
         )

@@ -17,25 +17,26 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: bump when the serialized layout changes incompatibly
-SCENARIO_SCHEMA_VERSION = 4
+SCENARIO_SCHEMA_VERSION = 5
 #: schema versions this build can read (older docs parse as long as they
 #: do not use newer vocabulary; ``to_dict`` always writes the current
 #: version)
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 #: enumerated axis values (also the vocabulary ``validate`` lints against)
 LAYOUTS = ("two_level", "paper", "balanced")
 LATENCIES = ("default", "lan", "wan")
 SITES = ("single", "wan_spread")
 LOOPS = ("closed", "open", "burst", "flash", "diurnal")
-DESTINATIONS = ("local", "global", "mixed", "zipfian", "hotspot")
+DESTINATIONS = ("local", "global", "mixed", "zipfian", "hotspot", "hotpairs")
 KEY_DISTS = ("uniform", "zipfian", "hotspot")
 COSTS = ("calibrated", "bench", "soak")
 APPS = ("none", "sharded_kv")
 BACKENDS = ("sim", "rt")
 INTENSITIES = ("light", "medium", "heavy", "churn")
 READ_MODES = ("ordered", "optimistic", "snapshot")
-WIRES = ("json", "binary")
+WIRES = ("auto", "json", "binary")
+ADAPTIVE_TREE_MODES = ("off", "observe", "on")
 
 #: vocabulary introduced by schema 2 — rejected (with a pointed error) in
 #: documents that still declare ``schema: 1``
@@ -60,6 +61,17 @@ V3_KEYS: Dict[str, Tuple[str, ...]] = {
 #: rejected in documents declaring an older schema
 V4_KEYS: Dict[str, Tuple[str, ...]] = {
     "protocol": ("wire",),
+}
+
+#: vocabulary introduced by schema 5 (workload-adaptive overlay trees,
+#: docs/TREES.md) — rejected in documents declaring an older schema
+V5_KEYS: Dict[str, Tuple[str, ...]] = {
+    "protocol": ("adaptive_tree", "adapt_interval", "adapt_min_samples",
+                 "adapt_hysteresis", "adapt_cooldown"),
+}
+V5_VALUES: Dict[Tuple[str, str], Tuple[str, ...]] = {
+    ("workload", "destinations"): ("hotpairs",),
+    ("protocol", "wire"): ("auto",),
 }
 
 
@@ -117,6 +129,25 @@ def _reject_v4_usage(raw: Dict[str, Any]) -> None:
             raise ConfigurationError(
                 f"{section} key(s) {used} need scenario schema 4; "
                 f'set "schema": 4 in the document')
+
+
+def _reject_v5_usage(raw: Dict[str, Any]) -> None:
+    """Refuse v5 (adaptive-tree) vocabulary in a pre-5 document."""
+    for section, keys in V5_KEYS.items():
+        body = raw.get(section)
+        if not isinstance(body, dict):
+            continue
+        used = sorted(set(body) & set(keys))
+        if used:
+            raise ConfigurationError(
+                f"{section} key(s) {used} need scenario schema 5; "
+                f'set "schema": 5 in the document')
+    for (section, key), values in V5_VALUES.items():
+        body = raw.get(section)
+        if isinstance(body, dict) and body.get(key) in values:
+            raise ConfigurationError(
+                f"{section}.{key} = {body[key]!r} needs scenario schema 5; "
+                f'set "schema": 5 in the document')
 
 
 def _section_from_dict(cls, raw: Dict[str, Any], where: str):
@@ -326,10 +357,32 @@ class ProtocolSpec:
     #: for chaos soaks)
     costs: str = "calibrated"
     #: wire codec of the rt backend's TCP transport (schema 4,
-    #: docs/WIRE.md): ``json`` (tagged JSON, the strict-back-compat
-    #: default) | ``binary`` (struct-packed fast path).  Ignored by the
-    #: sim backend, which passes message objects by reference.
-    wire: str = "json"
+    #: docs/WIRE.md): ``auto`` (the default since schema 5: ``binary`` on
+    #: rt, ``json`` on sim — resolved by :meth:`resolved_wire`) | ``json``
+    #: (tagged JSON, the strict-back-compat choice) | ``binary``
+    #: (struct-packed fast path).  Ignored by the sim backend, which
+    #: passes message objects by reference.
+    wire: str = "auto"
+    #: workload-adaptive overlay trees (schema 5, docs/TREES.md):
+    #: ``off`` (static tree, zero observation overhead) | ``observe``
+    #: (collect traffic + publish ``tree.hops``/``tree.skew`` gauges, never
+    #: switch) | ``on`` (full observe → decide → switch loop)
+    adaptive_tree: str = "off"
+    #: seconds between planner decisions (deployment virtual time)
+    adapt_interval: float = 1.0
+    #: minimum observed submits before the planner will re-plan
+    adapt_min_samples: int = 48
+    #: required cost ratio current/candidate before switching (>= 1.0;
+    #: predicted savings below this never trigger a switch)
+    adapt_hysteresis: float = 1.2
+    #: seconds after a switch during which the planner holds off
+    adapt_cooldown: float = 2.0
+
+    def resolved_wire(self, backend: str) -> str:
+        """The concrete codec ``auto`` stands for on the given backend."""
+        if self.wire == "auto":
+            return "binary" if backend == "rt" else "json"
+        return self.wire
 
     def lint(self) -> List[str]:
         problems = []
@@ -349,6 +402,18 @@ class ProtocolSpec:
             problems.append(f"protocol.costs {self.costs!r} not in {list(COSTS)}")
         if self.wire not in WIRES:
             problems.append(f"protocol.wire {self.wire!r} not in {list(WIRES)}")
+        if self.adaptive_tree not in ADAPTIVE_TREE_MODES:
+            problems.append(
+                f"protocol.adaptive_tree {self.adaptive_tree!r} "
+                f"not in {list(ADAPTIVE_TREE_MODES)}")
+        if self.adapt_interval <= 0:
+            problems.append("protocol.adapt_interval must be positive")
+        if self.adapt_min_samples < 1:
+            problems.append("protocol.adapt_min_samples must be >= 1")
+        if self.adapt_hysteresis < 1.0:
+            problems.append("protocol.adapt_hysteresis must be >= 1.0")
+        if self.adapt_cooldown < 0:
+            problems.append("protocol.adapt_cooldown must be >= 0")
         return problems
 
 
@@ -434,6 +499,8 @@ class ScenarioSpec:
             _reject_v3_usage(raw)
         if schema < 4:
             _reject_v4_usage(raw)
+        if schema < 5:
+            _reject_v5_usage(raw)
         known = {"schema", "name", "app", "backend", "seed",
                  "topology", "workload", "protocol", "faults"}
         unknown = sorted(set(raw) - known)
@@ -506,11 +573,16 @@ class ScenarioSpec:
             problems.append(
                 "workload.keys should be >= the shard count so every shard "
                 "owns at least one key")
-        if self.protocol.wire != "json" and self.backend != "rt":
+        if self.protocol.wire not in ("json", "auto") and self.backend != "rt":
             problems.append(
                 f"protocol.wire {self.protocol.wire!r} needs backend 'rt' — "
                 "the sim backend passes message objects by reference and "
-                "never serializes them")
+                "never serializes them (use 'auto' to pick per backend)")
+        if (self.workload.destinations == "hotpairs"
+                and len(self.target_names()) < 2):
+            problems.append(
+                "workload.destinations 'hotpairs' needs at least two "
+                "target groups")
         if (self.workload.read_ratio > 0
                 and self.workload.read_mode == "snapshot"
                 and self.protocol.checkpoint_interval <= 0):

@@ -220,6 +220,58 @@ def hotspot_migration(
     return sample
 
 
+def hotspot_pairs(
+    targets: Sequence[str],
+    hot_weight: float = 0.9,
+    period: float = 1.0,
+    s: float = 1.0,
+    clock: Optional[Callable[[], float]] = None,
+) -> DestinationSampler:
+    """Global hot *pairs* whose pairing migrates — the adaptive-tree stress.
+
+    Targets split into a front and a back half.  With probability
+    ``hot_weight`` the destination is the pair ``(front[i], back[(i +
+    epoch) % |back|])`` with ``i`` drawn Zipf(``s``)-ranked over the front
+    half; otherwise it is a uniform local single.  The epoch advances
+    every ``period`` (virtual seconds under a ``clock``, else every
+    ``ceil(period)`` draws), so *which* groups co-occur rotates over time:
+    a tree adapted to one epoch's pairing is cross-branch again in the
+    next — exactly the shifting-skew workload FlexCast-style online
+    re-planning is for (docs/TREES.md).
+
+    Under the canonical ``balanced(fanout = |targets| / 2)`` tree the two
+    halves sit in different branches, so every hot pair costs the full
+    3-level path until the planner co-locates that epoch's pairing.
+    """
+    if len(targets) < 2:
+        raise WorkloadError("need at least two target groups for pairs")
+    if not 0.0 < hot_weight <= 1.0:
+        raise WorkloadError("hot_weight must be in (0, 1]")
+    if period <= 0:
+        raise WorkloadError("period must be positive")
+    names = list(targets)
+    half = len(names) // 2
+    front, back = names[:half], names[half:]
+    cumulative = _zipf_cumulative(len(front), s)
+    singles = [destination(t) for t in names]
+    sample_period = max(1, int(period))
+    drawn = 0
+
+    def sample(rng: random.Random) -> Destination:
+        nonlocal drawn
+        if clock is not None:
+            epoch = int(clock() / period)
+        else:
+            epoch = drawn // sample_period
+            drawn += 1
+        if rng.random() < hot_weight:
+            rank = _zipf_index(cumulative, rng)
+            return destination(front[rank], back[(rank + epoch) % len(back)])
+        return singles[rng.randrange(len(singles))]
+
+    return sample
+
+
 # -- key distributions (sharded-KV workloads) ---------------------------------
 
 

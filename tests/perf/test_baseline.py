@@ -143,6 +143,86 @@ class TestCompare:
             )
 
 
+def _adapt_cell(name: str, p50: float, hops: float,
+                switches: int = 0) -> CellResult:
+    return CellResult(
+        name=name, throughput=200.0, completed=400,
+        latency_ms={"mean": p50, "median": p50, "p95": p50 * 1.3,
+                    "p99": p50 * 1.5},
+        wall_seconds=1.0, mean_hops=hops, tree_switches=switches,
+    )
+
+
+class TestAdaptGates:
+    GATES = {"adaptive": ("control", 1.3)}
+
+    def test_gate_passes_when_both_metrics_improve(self):
+        outcome = compare(
+            _report("now", [_adapt_cell("control", 120.0, 2.8),
+                            _adapt_cell("adaptive", 75.0, 1.9, switches=2)]),
+            _report("seed", [_cell("a", 500.0)]),
+            adapt_gates=self.GATES,
+        )
+        assert outcome.ok
+        assert "adaptive vs control" in outcome.compared
+        gained = {r.metric for r in outcome.improvements
+                  if r.cell == "adaptive vs control"}
+        assert gained == {"p50(x1.3 gate)", "mean_hops(x1.3 gate)"}
+
+    def test_gate_fails_on_insufficient_p50_gain(self):
+        outcome = compare(
+            _report("now", [_adapt_cell("control", 120.0, 2.8),
+                            _adapt_cell("adaptive", 110.0, 1.9)]),  # 1.09x
+            _report("seed", [_cell("a", 500.0)]),
+            adapt_gates=self.GATES,
+        )
+        assert not outcome.ok
+        assert any(r.metric.startswith("p50") for r in outcome.regressions)
+
+    def test_gate_fails_on_insufficient_hop_gain(self):
+        outcome = compare(
+            _report("now", [_adapt_cell("control", 120.0, 2.8),
+                            _adapt_cell("adaptive", 75.0, 2.5)]),  # 1.12x
+            _report("seed", [_cell("a", 500.0)]),
+            adapt_gates=self.GATES,
+        )
+        assert not outcome.ok
+        assert any(r.metric.startswith("mean_hops")
+                   for r in outcome.regressions)
+
+    def test_gate_fails_when_adaptive_cell_collected_no_hops(self):
+        outcome = compare(
+            _report("now", [_adapt_cell("control", 120.0, 2.8),
+                            _adapt_cell("adaptive", 75.0, 0.0)]),
+            _report("seed", [_cell("a", 500.0)]),
+            adapt_gates=self.GATES,
+        )
+        assert not outcome.ok
+
+    def test_gate_skipped_when_cells_unmeasured(self):
+        outcome = compare(
+            _report("now", [_cell("a", 500.0)]),
+            _report("seed", [_cell("a", 500.0)]),
+            adapt_gates=self.GATES,
+        )
+        assert outcome.ok
+        assert "adaptive vs control" not in outcome.compared
+
+    def test_adapt_metrics_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_adapt.json")
+        save_report(path, _report(
+            "r", [_adapt_cell("adaptive", 75.0, 1.9, switches=2),
+                  _cell("plain", 500.0)]))
+        loaded = load_report(path)
+        assert loaded.cells["adaptive"].mean_hops == 1.9
+        assert loaded.cells["adaptive"].tree_switches == 2
+        # cells without the metrics serialize exactly as before
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert "mean_hops" not in raw["cells"]["plain"]
+        assert loaded.cells["plain"].mean_hops == 0.0
+
+
 class TestRendering:
     def test_report_lists_every_cell(self):
         text = format_report(_report("r1", [_cell("a", 500.0), _cell("b", 2.0)]))

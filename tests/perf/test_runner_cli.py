@@ -48,7 +48,8 @@ class TestMatrixDefinition:
         workloads = {cell.workload for cell in BENCH_MATRIX}
         trees = {cell.tree for cell in BENCH_MATRIX}
         delays = {cell.batch_delay for cell in BENCH_MATRIX}
-        assert workloads == {"local", "global", "mixed", "zipfian", "kv"}
+        assert workloads == {"local", "global", "mixed", "zipfian", "kv",
+                             "hotpairs"}
         assert trees == {"two_level", "paper", "balanced"}
         assert len(delays) > 1  # batched and unbatched configs
 

@@ -1,0 +1,85 @@
+"""Property: tree switches never break delivery, order, or agreement.
+
+Adaptive soaks drive cross-pair hotspot traffic so the planner provably
+re-plans mid-run, while the nemesis injects crashes/partitions (and, in
+the churn variant, membership swaps — so a regency change or a join can
+land *mid-switch*).  For arbitrary seeds the run must quiesce with every
+invariant intact: gap-free / duplicate-free delivery, identical relative
+order of the messages common to any two correct replicas (checked before,
+during and after the switch by construction — the order invariant spans
+the whole run), view agreement, and the tree-switch agreement invariant
+(every active replica of every group ends on the same tree epoch and
+edges).  Small hypothesis budget: each example is a full simulated soak.
+
+The rt backend runs the same seeded schedule on wall clock — once, fixed
+seed — pinning that ordered TreeUpdates behave identically off-sim.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.chaos import SoakConfig, run_chaos_soak
+
+FAST_ADAPT = SoakConfig(
+    backend="sim", duration=6.0, messages=32, clients=2,
+    targets=("g1", "g2", "g3", "g4"), layout="balanced", fanout=2,
+    intensity="light", settle=30.0, max_in_flight=2,
+    adaptive_tree="on", adapt_interval=0.4, adapt_min_samples=12,
+    adapt_hysteresis=1.1, adapt_cooldown=0.5,
+)
+
+#: membership churn rides along: joins/leaves + a scale cycle interleave
+#: with the planner's switches, so reconfigurations and tree updates
+#: contend for the same ordered admin path
+CHURN_ADAPT = SoakConfig(
+    backend="sim", duration=8.0, messages=32, clients=2,
+    targets=("g1", "g2", "g3", "g4"), layout="balanced", fanout=2,
+    intensity="churn", joins=1, scale_cycles=1, settle=30.0,
+    max_in_flight=2, checkpoint_interval=16,
+    adaptive_tree="on", adapt_interval=0.4, adapt_min_samples=12,
+    adapt_hysteresis=1.1, adapt_cooldown=0.5,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=4, deadline=None)
+def test_random_seeds_never_violate_invariants_across_switches(seed):
+    report = run_chaos_soak(FAST_ADAPT, seed=seed)
+    assert report.liveness_ok, report.summary()
+    assert report.violations == [], report.summary()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=3, deadline=None)
+def test_mid_switch_churn_and_regency_changes_hold_invariants(seed):
+    report = run_chaos_soak(CHURN_ADAPT, seed=seed)
+    assert report.liveness_ok, report.summary()
+    assert report.violations == [], report.summary()
+
+
+def test_adaptive_soak_actually_switches_and_is_deterministic():
+    """The property above is vacuous if no switch ever fires — pin a seed
+    that provably switches, and that the sim schedule is replayable."""
+    first = run_chaos_soak(FAST_ADAPT, seed=11)
+    assert first.tree_switches >= 1, first.summary()
+    assert first.tree_epoch >= 1
+    assert first.violations == [], first.summary()
+    second = run_chaos_soak(FAST_ADAPT, seed=11)
+    assert second == first  # dataclass equality: every post-mortem field
+
+
+def test_rt_backend_survives_tree_switches():
+    config = SoakConfig(
+        backend="rt", duration=4.0, messages=24, clients=2,
+        targets=("g1", "g2", "g3", "g4"), layout="balanced", fanout=2,
+        intensity="light", settle=20.0, max_in_flight=2,
+        adaptive_tree="on", adapt_interval=0.4, adapt_min_samples=12,
+        adapt_hysteresis=1.1, adapt_cooldown=0.5,
+    )
+    report = run_chaos_soak(config, seed=11)
+    assert report.liveness_ok, report.summary()
+    assert report.violations == [], report.summary()
+    # same seed, same config: the sim expands the identical fault timeline
+    sim = run_chaos_soak(config, backend="sim", seed=11)
+    assert sim.schedule == report.schedule

@@ -25,7 +25,8 @@ from repro.scenario.spec import (
 def test_schema_four_is_supported():
     assert 4 in SUPPORTED_SCHEMAS
     assert SCENARIO_SCHEMA_VERSION >= 4
-    assert WIRES == ("json", "binary")
+    # schema 5 added "auto"; the v4 vocabulary is still there
+    assert {"json", "binary"} <= set(WIRES)
 
 
 def test_plain_v3_document_still_loads():
@@ -36,7 +37,8 @@ def test_plain_v3_document_still_loads():
         "protocol": {"read_timeout": 0.5},
     })
     assert spec.validate() == []
-    assert spec.protocol.wire == "json"   # default applies, quietly
+    # the schema-5 default applies quietly and resolves to json off-rt
+    assert spec.protocol.resolved_wire(spec.backend) == "json"
 
 
 @pytest.mark.parametrize("schema", [1, 2, 3])

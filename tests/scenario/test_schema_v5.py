@@ -1,0 +1,121 @@
+"""Scenario schema v5: adaptive-tree knobs, hotpairs, wire "auto".
+
+Schema 5 adds the workload-adaptive overlay loop (docs/TREES.md): the
+``protocol.adaptive_tree`` mode plus its tuning knobs, the ``hotpairs``
+destination sampler (a migrating cross-half hotspot the planner must chase)
+and the ``wire: auto`` default that resolves to the binary codec on the rt
+backend and json on sim.  Documents declaring older schemas must not
+silently pick up any of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import (
+    ADAPTIVE_TREE_MODES,
+    SCENARIO_SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    ProtocolSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def test_schema_five_is_current():
+    assert SCENARIO_SCHEMA_VERSION == 5
+    assert 5 in SUPPORTED_SCHEMAS
+    assert ADAPTIVE_TREE_MODES == ("off", "observe", "on")
+
+
+def test_plain_v4_document_still_loads():
+    spec = ScenarioSpec.from_dict({
+        "schema": 4,
+        "name": "legacy",
+        "backend": "rt",
+        "protocol": {"wire": "binary"},
+    })
+    assert spec.validate() == []
+    assert spec.protocol.adaptive_tree == "off"
+
+
+@pytest.mark.parametrize("schema", [1, 2, 3, 4])
+@pytest.mark.parametrize("body", [
+    {"protocol": {"adaptive_tree": "on"}},
+    {"protocol": {"adapt_interval": 0.5}},
+    {"protocol": {"adapt_hysteresis": 1.5}},
+    {"workload": {"destinations": "hotpairs"}},
+])
+def test_old_document_with_v5_vocabulary_is_rejected(schema, body):
+    raw = {"schema": schema, "name": "t", **body}
+    with pytest.raises(ConfigurationError, match=r'set "schema": 5'):
+        ScenarioSpec.from_dict(raw)
+
+
+def test_old_document_with_wire_auto_is_rejected():
+    # schema 4 knows the wire key but not the "auto" value — it gets the
+    # v5 pointer; pre-4 documents trip the v4 key check first, which is
+    # an equally firm rejection
+    with pytest.raises(ConfigurationError, match=r'set "schema": 5'):
+        ScenarioSpec.from_dict(
+            {"schema": 4, "name": "t", "protocol": {"wire": "auto"}})
+    with pytest.raises(ConfigurationError, match=r'set "schema": 4'):
+        ScenarioSpec.from_dict(
+            {"schema": 3, "name": "t", "protocol": {"wire": "auto"}})
+
+
+def test_v5_document_accepts_adaptive_vocabulary():
+    spec = ScenarioSpec.from_dict({
+        "schema": 5,
+        "name": "adaptive",
+        "topology": {"groups": 8, "layout": "balanced", "fanout": 4},
+        "workload": {"destinations": "hotpairs", "hotspot_weight": 0.9,
+                     "hotspot_period": 4.0},
+        "protocol": {"adaptive_tree": "on", "adapt_interval": 0.5,
+                     "adapt_min_samples": 48, "adapt_hysteresis": 1.2,
+                     "adapt_cooldown": 1.0},
+    })
+    assert spec.validate() == []
+    assert spec.protocol.adaptive_tree == "on"
+    assert spec.workload.destinations == "hotpairs"
+
+
+def test_round_trips_at_current_schema():
+    spec = ScenarioSpec(
+        name="rt",
+        topology=TopologySpec(groups=8, layout="balanced", fanout=4),
+        workload=WorkloadSpec(destinations="hotpairs"),
+        protocol=ProtocolSpec(adaptive_tree="observe", adapt_interval=0.25),
+    )
+    raw = spec.to_dict()
+    assert raw["schema"] == SCENARIO_SCHEMA_VERSION
+    assert ScenarioSpec.from_dict(raw) == spec
+
+
+def test_wire_auto_resolves_per_backend():
+    proto = ProtocolSpec()  # the schema-5 default
+    assert proto.wire == "auto"
+    assert proto.resolved_wire("rt") == "binary"
+    assert proto.resolved_wire("sim") == "json"
+    # explicit choices are never second-guessed
+    assert ProtocolSpec(wire="json").resolved_wire("rt") == "json"
+
+
+def test_adaptive_knobs_are_linted():
+    bad = ScenarioSpec(name="t",
+                       protocol=ProtocolSpec(adaptive_tree="sometimes"))
+    assert any("adaptive_tree" in p for p in bad.validate())
+    for proto in (ProtocolSpec(adapt_interval=0.0),
+                  ProtocolSpec(adapt_min_samples=0),
+                  ProtocolSpec(adapt_hysteresis=0.8),
+                  ProtocolSpec(adapt_cooldown=-1.0)):
+        assert ScenarioSpec(name="t", protocol=proto).validate() != []
+
+
+def test_hotpairs_needs_at_least_two_targets():
+    bad = ScenarioSpec(name="t",
+                       topology=TopologySpec(groups=1),
+                       workload=WorkloadSpec(destinations="hotpairs"))
+    assert any("hotpairs" in p for p in bad.validate())

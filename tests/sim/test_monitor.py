@@ -110,7 +110,7 @@ class TestDisabledFastPath:
 
 class TestGauges:
     def test_gauge_tracks_value_and_peak(self):
-        monitor = Monitor()
+        monitor = Monitor(trace_capacity=8)
         monitor.gauge("consensus.in_flight.r0", 2.0)
         monitor.gauge("consensus.in_flight.r0", 4.0)
         monitor.gauge("consensus.in_flight.r0", 1.0)
@@ -121,3 +121,29 @@ class TestGauges:
         monitor = Monitor()
         monitor.gauge("depth", 3.0)
         assert monitor.snapshot() == {}
+
+    def test_disabled_gauge_keeps_value_but_skips_peak(self):
+        # Live policies (AutoscalePolicy) read plain gauges on untraced
+        # deployments, so the value store must survive the fast path; only
+        # the observability-grade peak companion is skipped.
+        monitor = Monitor()
+        monitor.gauge("consensus.in_flight.r0", 5.0)
+        monitor.gauge("consensus.in_flight.r0", 2.0)
+        assert monitor.gauges["consensus.in_flight.r0"] == 2.0
+        assert "consensus.in_flight.r0.peak" not in monitor.gauges
+
+    def test_disabled_gauge_builds_no_peak_key_strings(self):
+        """Mirror of the record() zero-allocation pin: with tracing off,
+        gauge() must return before interning (concatenating) a peak key."""
+        monitor = Monitor()
+        for index in range(100):
+            monitor.gauge("consensus.in_flight.r0", float(index))
+        assert monitor._peak_keys == {}
+        monitor_on = Monitor(trace_capacity=1)
+        for index in range(100):
+            monitor_on.gauge("consensus.in_flight.r0", float(index))
+        # enabled path interns the key once, not per call
+        assert monitor_on._peak_keys == {
+            "consensus.in_flight.r0": "consensus.in_flight.r0.peak"
+        }
+        assert monitor_on.gauges["consensus.in_flight.r0.peak"] == 99.0
